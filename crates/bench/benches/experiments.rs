@@ -1,0 +1,162 @@
+//! Criterion benchmarks wrapping each paper experiment's computational
+//! core, one group per table/figure. For the full printed reproductions
+//! run the binaries in `src/bin/` (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pubkey::space::ModExpConfig;
+use secproc::flow;
+use secproc::measure;
+use secproc::simcipher::{SimAes, SimDes, Variant};
+use secproc::ssl::{speedup_series, SslCostModel};
+use secproc::{gap, issops::KernelVariant};
+use std::hint::black_box;
+use xr32::config::CpuConfig;
+
+fn bench_fig1_gap(c: &mut Criterion) {
+    c.bench_function("fig1/gap_trend", |b| {
+        b.iter(|| gap::trend(black_box(1500.0)));
+    });
+}
+
+fn bench_fig4_callgraph(c: &mut Criterion) {
+    let config = CpuConfig::default();
+    c.bench_function("fig4/call_graph_total_cycles", |b| {
+        let graph = flow::fig4_call_graph(&config, 32);
+        b.iter(|| graph.total_cycles(black_box("decrypt")).expect("DAG"));
+    });
+}
+
+fn bench_fig5_adcurves(c: &mut Criterion) {
+    let config = CpuConfig::default();
+    c.bench_function("fig5/formulate_mpn_curves_n8", |b| {
+        b.iter(|| flow::formulate_mpn_curves(black_box(&config), 8));
+    });
+}
+
+fn bench_fig6_cartesian(c: &mut Criterion) {
+    use tie::insn::{CustomInsn, InsnSet};
+    let add = |k: u32| CustomInsn::new("add", k, 400 * k as u64);
+    let mul = |k: u32| CustomInsn::new("mul", k, 6000 * k as u64);
+    let rows: Vec<InsnSet> = std::iter::once(InsnSet::empty())
+        .chain([2u32, 4, 8, 16].iter().map(|&k| InsnSet::from_insns([add(k), mul(1)])))
+        .collect();
+    let cols: Vec<InsnSet> = std::iter::once(InsnSet::empty())
+        .chain([2u32, 4, 8, 16].iter().map(|&k| InsnSet::from_insns([add(k)])))
+        .collect();
+    c.bench_function("fig6/cartesian_reduce_25_to_9", |b| {
+        b.iter(|| {
+            let mut distinct = std::collections::BTreeSet::new();
+            for x in &rows {
+                for y in &cols {
+                    distinct.insert(x.union(y));
+                }
+            }
+            assert_eq!(distinct.len(), 9);
+            distinct
+        });
+    });
+}
+
+fn bench_table1_symmetric(c: &mut Criterion) {
+    let config = CpuConfig::default();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("des_block_base_iss", |b| {
+        let mut sim = SimDes::new(config.clone(), Variant::Base, *b"benchkey");
+        sim.set_verify(false);
+        let mut x = 1u64;
+        b.iter(|| {
+            let (out, cycles) = sim.crypt_block(x, false);
+            x = out;
+            cycles
+        });
+    });
+    group.bench_function("des_block_accel_iss", |b| {
+        let mut sim = SimDes::new(config.clone(), Variant::Accelerated, *b"benchkey");
+        sim.set_verify(false);
+        let mut x = 1u64;
+        b.iter(|| {
+            let (out, cycles) = sim.crypt_block(x, false);
+            x = out;
+            cycles
+        });
+    });
+    group.bench_function("aes_block_base_iss", |b| {
+        let mut sim = SimAes::new(config.clone(), Variant::Base, b"bench-aes-key-01");
+        sim.set_verify(false);
+        let block = [7u8; 16];
+        b.iter(|| sim.encrypt_block(black_box(&block)));
+    });
+    group.finish();
+}
+
+fn bench_fig8_ssl(c: &mut Criterion) {
+    let config = CpuConfig::default();
+    let tdes = measure::measure_tdes(&config, 4);
+    let base = SslCostModel {
+        handshake_cycles: 1.0e9,
+        bulk_cycles_per_byte: tdes.base_cpb,
+        misc_cycles_per_byte: 40.0,
+        misc_fixed_cycles: 1.0e6,
+    };
+    let opt = SslCostModel {
+        handshake_cycles: 1.0e9 / 60.0,
+        bulk_cycles_per_byte: tdes.opt_cpb,
+        misc_cycles_per_byte: 40.0,
+        misc_fixed_cycles: 1.0e6,
+    };
+    let sizes: Vec<u64> = (0..=5).map(|i| 1024u64 << i).collect();
+    c.bench_function("fig8/ssl_speedup_series", |b| {
+        b.iter(|| speedup_series(black_box(&base), black_box(&opt), &sizes));
+    });
+}
+
+fn bench_sec43_exploration(c: &mut Criterion) {
+    let models = flow::characterize_kernels(
+        &CpuConfig::default(),
+        KernelVariant::Base,
+        8,
+        &macromodel::charact::CharactOptions {
+            train_samples: 12,
+            validation_points: 4,
+        },
+    );
+    let mut group = c.benchmark_group("sec43");
+    group.sample_size(10);
+    group.bench_function("macro_model_candidate_128b", |b| {
+        b.iter(|| {
+            flow::explore_single(
+                black_box(&models),
+                &ModExpConfig::optimized(),
+                128,
+                4.0,
+            )
+            .expect("candidate runs")
+        });
+    });
+    group.bench_function("cosim_candidate_128b", |b| {
+        b.iter(|| {
+            flow::cosimulate_candidate(
+                &CpuConfig::default(),
+                KernelVariant::Base,
+                &ModExpConfig::optimized(),
+                128,
+                4.0,
+            )
+            .expect("candidate co-simulates")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1_gap,
+    bench_fig4_callgraph,
+    bench_fig5_adcurves,
+    bench_fig6_cartesian,
+    bench_table1_symmetric,
+    bench_fig8_ssl,
+    bench_sec43_exploration
+);
+criterion_main!(benches);

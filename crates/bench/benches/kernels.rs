@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the substrate layers: native mpn kernels,
+//! the XR32 ISS itself, and the ISS-backed kernel calls — the raw
+//! machinery every experiment is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pubkey::ops::opname;
+use secproc::issops::IssMpn;
+use std::hint::black_box;
+use xr32::asm::assemble;
+use xr32::config::CpuConfig;
+use xr32::cpu::Cpu;
+
+fn bench_native_mpn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_mpn");
+    for n in [8usize, 32, 128] {
+        let a: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+        let b: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x85eb_ca6b)).collect();
+        group.bench_with_input(BenchmarkId::new("add_n", n), &n, |bench, _| {
+            let mut r = vec![0u32; n];
+            bench.iter(|| mpint::mpn::add_n(black_box(&mut r), black_box(&a), black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("addmul_1", n), &n, |bench, _| {
+            let mut r = b.clone();
+            bench.iter(|| mpint::mpn::addmul_1(black_box(&mut r), black_box(&a), 0xdead_beef));
+        });
+    }
+    group.finish();
+}
+
+fn bench_iss_throughput(c: &mut Criterion) {
+    // How many simulated instructions per host second the ISS delivers.
+    let program = assemble(
+        "main:
+            movi a0, 0
+            movi a1, 10000
+        loop:
+            addi a0, a0, 1
+            xor  a2, a0, a1
+            bne  a0, a1, loop
+            halt",
+    )
+    .expect("bench program assembles");
+    c.bench_function("iss/30k_insn_loop", |bench| {
+        bench.iter(|| {
+            let mut cpu = Cpu::new(CpuConfig::default());
+            cpu.run(black_box(&program)).expect("loop halts")
+        });
+    });
+}
+
+fn bench_iss_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iss_kernel");
+    for n in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("addmul_1_base", n), &n, |bench, &n| {
+            let mut iss = IssMpn::base(CpuConfig::default());
+            iss.set_verify(false);
+            let mut seed = 0u64;
+            bench.iter(|| {
+                seed += 1;
+                iss.measure32(opname::ADDMUL_1, n, seed)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("addmul_1_mac4", n), &n, |bench, &n| {
+            let mut iss = IssMpn::accelerated(CpuConfig::default(), 16, 4);
+            iss.set_verify(false);
+            let mut seed = 0u64;
+            bench.iter(|| {
+                seed += 1;
+                iss.measure32(opname::ADDMUL_1, n, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_native_mpn, bench_iss_throughput, bench_iss_kernels);
+criterion_main!(benches);

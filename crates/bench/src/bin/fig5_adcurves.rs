@@ -1,0 +1,49 @@
+//! Regenerates **Fig. 5**: (a) the A-D curve for `mpn_add_n`, (b) the
+//! A-D curve for `mpn_addmul_1`, and (c) their propagation through an
+//! example call graph with Pareto pruning.
+
+use secproc::flow;
+use tie::adcurve::AdCurve;
+use tie::callgraph::CallGraph;
+use tie::select::Selector;
+use xr32::config::CpuConfig;
+
+fn main() {
+    let config = CpuConfig::default();
+    let n = 32; // 1024-bit operands, as in the paper's RSA context
+    println!("Fig. 5 — A-D curves for library routines (n = {n} limbs)\n");
+
+    let curves = flow::formulate_mpn_curves(&config, n);
+
+    println!("(a) mpn_add_n (paper: 202 cycles base, add_2..add_16 points)");
+    print!("{}", curves["mpn_add_n"].render());
+
+    println!("\n(b) mpn_addmul_1 (mac_1..mac_4 points)");
+    print!("{}", curves["mpn_addmul_1"].render());
+
+    // (c) combine through a root with both children, then Pareto-prune.
+    let mut g = CallGraph::new();
+    g.add_node("root", 10.0);
+    g.add_node("mpn_add_n", 0.0);
+    g.add_node("mpn_addmul_1", 0.0);
+    g.add_call("root", "mpn_add_n", 2.0).expect("nodes exist");
+    g.add_call("root", "mpn_addmul_1", 1.0).expect("nodes exist");
+    let mut sel = Selector::new(g);
+    for (name, curve) in &curves {
+        sel.set_leaf_curve(name.clone(), curve.clone());
+    }
+    let combined: AdCurve = sel.propagate().expect("DAG")["root"].clone();
+    println!(
+        "\n(c) root = 2 x mpn_add_n + 1 x mpn_addmul_1 + 10 local cycles"
+    );
+    println!(
+        "    combined: {} points (instruction sharing + dominance reduced)",
+        combined.len()
+    );
+    let pruned = combined.pareto();
+    println!(
+        "    after Pareto pruning: {} points (inferior points like the paper's P1 removed)",
+        pruned.len()
+    );
+    print!("{}", pruned.render());
+}

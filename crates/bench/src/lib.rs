@@ -1,0 +1,24 @@
+//! Shared helpers for the benchmark harnesses that regenerate the
+//! paper's tables and figures (see `src/bin/*` and `benches/*`).
+
+use secproc::flow::{self, KernelModels};
+use secproc::issops::KernelVariant;
+use xr32::config::CpuConfig;
+
+/// Characterizes the base kernels with harness-default options.
+pub fn default_models(max_limbs: usize) -> KernelModels {
+    flow::characterize_kernels(
+        &CpuConfig::default(),
+        KernelVariant::Base,
+        max_limbs,
+        &macromodel::charact::CharactOptions {
+            train_samples: 24,
+            validation_points: 8,
+        },
+    )
+}
+
+/// Prints a section header in the harness output.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}

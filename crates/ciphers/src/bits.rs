@@ -1,0 +1,141 @@
+//! Bit-permutation helpers.
+//!
+//! DES is dominated by bit permutations — the operation class that maps
+//! worst onto a 32-bit RISC ISA and best onto custom hardware (cf. the
+//! bit-permutation instructions of Shi & Lee cited by the paper). These
+//! helpers use FIPS-style numbering: **bit 1 is the most significant bit**
+//! of the `width`-bit value.
+
+/// Applies a FIPS-style permutation table to the top `in_width` bits of
+/// `input`, producing a `table.len()`-bit output (left-aligned in the
+/// returned `u64`'s low `table.len()` bits).
+///
+/// `table[i]` gives the 1-based source bit (MSB = 1) for output bit
+/// `i + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use ciphers::bits::permute;
+///
+/// // Swap the two halves of a 4-bit value: output bits take source
+/// // bits 3,4,1,2.
+/// let out = permute(0b1001, 4, &[3, 4, 1, 2]);
+/// assert_eq!(out, 0b0110);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any table entry is 0 or exceeds `in_width`, or if
+/// `in_width`/`table.len()` exceed 64.
+pub fn permute(input: u64, in_width: u32, table: &[u8]) -> u64 {
+    assert!(in_width <= 64);
+    assert!(table.len() <= 64);
+    let mut out = 0u64;
+    for &src in table {
+        assert!(src >= 1 && (src as u32) <= in_width, "bad permutation entry");
+        let bit = (input >> (in_width - src as u32)) & 1;
+        out = (out << 1) | bit;
+    }
+    out
+}
+
+/// Rotates the low `width` bits of `v` left by `n` (used by the DES key
+/// schedule on 28-bit register halves).
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or exceeds 63, or if `n >= width`.
+pub fn rotl(v: u64, width: u32, n: u32) -> u64 {
+    assert!(width >= 1 && width <= 63);
+    assert!(n < width);
+    let mask = (1u64 << width) - 1;
+    ((v << n) | (v >> (width - n))) & mask
+}
+
+/// Splits a `width`-bit value into two `width/2`-bit halves `(hi, lo)`.
+///
+/// # Panics
+///
+/// Panics if `width` is odd or exceeds 64.
+pub fn split(v: u64, width: u32) -> (u64, u64) {
+    assert!(width % 2 == 0 && width <= 64);
+    let half = width / 2;
+    let mask = if half == 64 { u64::MAX } else { (1u64 << half) - 1 };
+    ((v >> half) & mask, v & mask)
+}
+
+/// Joins two `width/2`-bit halves back into a `width`-bit value.
+///
+/// # Panics
+///
+/// Panics if `width` is odd or exceeds 64.
+pub fn join(hi: u64, lo: u64, width: u32) -> u64 {
+    assert!(width % 2 == 0 && width <= 64);
+    let half = width / 2;
+    let mask = if half == 64 { u64::MAX } else { (1u64 << half) - 1 };
+    ((hi & mask) << half) | (lo & mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_permutation() {
+        let table: Vec<u8> = (1..=16).collect();
+        assert_eq!(permute(0xbeef, 16, &table), 0xbeef);
+    }
+
+    #[test]
+    fn reverse_permutation() {
+        let table: Vec<u8> = (1..=8).rev().collect();
+        assert_eq!(permute(0b1000_0001, 8, &table), 0b1000_0001);
+        assert_eq!(permute(0b1100_0000, 8, &table), 0b0000_0011);
+    }
+
+    #[test]
+    fn permutation_then_inverse_is_identity() {
+        let table = [3u8, 1, 4, 2];
+        // inverse: output bit of `table` position.
+        let mut inv = [0u8; 4];
+        for (i, &t) in table.iter().enumerate() {
+            inv[(t - 1) as usize] = (i + 1) as u8;
+        }
+        for v in 0..16u64 {
+            let p = permute(v, 4, &table);
+            assert_eq!(permute(p, 4, &inv), v);
+        }
+    }
+
+    #[test]
+    fn expansion_tables_duplicate_bits() {
+        // A 2-bit input expanded to 4 bits by repeating each bit.
+        let out = permute(0b10, 2, &[1, 1, 2, 2]);
+        assert_eq!(out, 0b1100);
+    }
+
+    #[test]
+    fn rotl_28_wraps() {
+        let v = 0x8000001u64; // bit 28 and bit 1 set
+        assert_eq!(rotl(v, 28, 1), 0x3);
+        assert_eq!(rotl(v, 28, 2), 0x6);
+    }
+
+    #[test]
+    fn split_join_roundtrip() {
+        let v = 0x0123_4567_89ab_cdefu64;
+        let (hi, lo) = split(v, 64);
+        assert_eq!(join(hi, lo, 64), v);
+        let (hi, lo) = split(0xabcdef, 24);
+        assert_eq!(hi, 0xabc);
+        assert_eq!(lo, 0xdef);
+        assert_eq!(join(hi, lo, 24), 0xabcdef);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad permutation entry")]
+    fn out_of_range_entry_panics() {
+        let _ = permute(0, 4, &[5]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Private-key cryptographic algorithms for the security processing
+//! platform.
+//!
+//! Implements the symmetric algorithms evaluated in the DAC 2002 paper
+//! (Table 1): [`des`] (FIPS 46-3), [`tdes`] (triple DES, EDE), and
+//! [`aes`] (FIPS 197), plus [`sha1`] (FIPS 180-1) for the unaccelerated
+//! "miscellaneous" share of SSL processing, block-cipher [`modes`], and
+//! the [`bits`] permutation helpers the ciphers (and the XR32
+//! bit-permutation custom instructions) are built on.
+//!
+//! # Examples
+//!
+//! ```
+//! use ciphers::{BlockCipher, aes::Aes};
+//!
+//! let key = [0u8; 16];
+//! let aes = Aes::new_128(&key);
+//! let mut block = *b"hello aes 128!!!";
+//! let original = block;
+//! aes.encrypt_block(&mut block);
+//! assert_ne!(block, original);
+//! aes.decrypt_block(&mut block);
+//! assert_eq!(block, original);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod bits;
+pub mod des;
+pub mod modes;
+pub mod sha1;
+pub mod tdes;
+
+pub use aes::Aes;
+pub use des::Des;
+pub use sha1::Sha1;
+pub use tdes::TripleDes;
+
+/// A block cipher operating in place on fixed-size blocks.
+///
+/// Object-safe so the platform's layered API can dispatch over algorithms
+/// selected at run time.
+pub trait BlockCipher {
+    /// Block size in bytes (8 for DES/3DES, 16 for AES).
+    fn block_size(&self) -> usize;
+
+    /// Encrypts one block in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len() != self.block_size()`.
+    fn encrypt_block(&self, block: &mut [u8]);
+
+    /// Decrypts one block in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len() != self.block_size()`.
+    fn decrypt_block(&self, block: &mut [u8]);
+}

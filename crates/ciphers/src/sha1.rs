@@ -1,0 +1,210 @@
+//! SHA-1 (FIPS 180-1).
+//!
+//! SSL record processing MACs every record; in the paper's Fig. 8
+//! workload breakdown this hashing belongs to the *miscellaneous* share
+//! that the custom instructions do **not** accelerate — the Amdahl term
+//! that caps large-transaction speedup at ~3×.
+
+/// SHA-1 digest size in bytes.
+pub const DIGEST_SIZE: usize = 20;
+
+/// Streaming SHA-1 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use ciphers::Sha1;
+///
+/// let mut h = Sha1::new();
+/// h.update(b"abc");
+/// let digest = h.finalize();
+/// assert_eq!(digest[..4], [0xa9, 0x99, 0x3e, 0x36]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The SHA-1 compression function: folds one 64-byte block into the
+/// state. Public so the XR32 assembly kernel can be validated against it.
+pub fn compress(state: &mut [u32; 5], block: &[u8; 64]) {
+    let mut w = [0u32; 80];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(chunk.try_into().expect("chunked by 4"));
+    }
+    for i in 16..80 {
+        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e] = *state;
+    for (i, &wi) in w.iter().enumerate() {
+        let (f, k) = match i {
+            0..=19 => ((b & c) | ((!b) & d), 0x5a82_7999),
+            20..=39 => (b ^ c ^ d, 0x6ed9_eba1),
+            40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
+            _ => (b ^ c ^ d, 0xca62_c1d6),
+        };
+        let t = a
+            .rotate_left(5)
+            .wrapping_add(f)
+            .wrapping_add(e)
+            .wrapping_add(k)
+            .wrapping_add(wi);
+        e = d;
+        d = c;
+        c = b.rotate_left(30);
+        b = a;
+        a = t;
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+}
+
+impl Sha1 {
+    /// Creates a hasher in the FIPS 180-1 initial state.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0],
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs input bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len += data.len() as u64;
+        if self.buffer_len > 0 {
+            let take = data.len().min(64 - self.buffer_len);
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                compress(&mut self.state, &block);
+                self.buffer_len = 0;
+            }
+            if data.is_empty() {
+                return; // everything absorbed into the partial buffer
+            }
+        }
+        while data.len() >= 64 {
+            compress(
+                &mut self.state,
+                data[..64].try_into().expect("length checked"),
+            );
+            data = &data[64..];
+        }
+        self.buffer[..data.len()].copy_from_slice(data);
+        self.buffer_len = data.len();
+    }
+
+    /// Pads, finishes, and returns the 20-byte digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_SIZE] {
+        let bit_len = self.total_len * 8;
+        self.update(&[0x80]);
+        while self.buffer_len != 56 {
+            self.update(&[0]);
+        }
+        // Length field must not recount into total_len; write directly.
+        self.buffer[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buffer;
+        compress(&mut self.state, &block);
+        let mut out = [0u8; DIGEST_SIZE];
+        for (i, s) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&s.to_be_bytes());
+        }
+        out
+    }
+
+    /// One-shot convenience digest.
+    pub fn digest(data: &[u8]) -> [u8; DIGEST_SIZE] {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(
+            hex(&Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+    }
+
+    #[test]
+    fn fips_vector_empty() {
+        assert_eq!(
+            hex(&Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+    }
+
+    #[test]
+    fn fips_vector_two_blocks() {
+        assert_eq!(
+            hex(&Sha1::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::new();
+        for _ in 0..1000 {
+            h.update(&[b'a'; 1000]);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..300u32).map(|i| i as u8).collect();
+        let oneshot = Sha1::digest(&data);
+        for chunk in [1usize, 3, 63, 64, 65, 127] {
+            let mut h = Sha1::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn exact_block_boundary_padding() {
+        // 55, 56 and 64 byte messages exercise all padding branches.
+        for n in [55usize, 56, 63, 64, 119, 120] {
+            let data = vec![0xabu8; n];
+            let d1 = Sha1::digest(&data);
+            let mut h = Sha1::new();
+            h.update(&data[..n / 2]);
+            h.update(&data[n / 2..]);
+            assert_eq!(h.finalize(), d1, "n={n}");
+        }
+    }
+}

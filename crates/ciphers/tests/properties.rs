@@ -1,0 +1,110 @@
+//! Property-based tests for the symmetric algorithms.
+
+use ciphers::modes;
+use ciphers::{Aes, BlockCipher, Des, Sha1, TripleDes};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn des_roundtrips(key in any::<u64>(), block in any::<u64>()) {
+        let des = Des::new(key.to_be_bytes());
+        prop_assert_eq!(des.decrypt_u64(des.encrypt_u64(block)), block);
+    }
+
+    #[test]
+    fn des_complementation(key in any::<u64>(), block in any::<u64>()) {
+        let c = Des::new(key.to_be_bytes()).encrypt_u64(block);
+        let cc = Des::new((!key).to_be_bytes()).encrypt_u64(!block);
+        prop_assert_eq!(cc, !c);
+    }
+
+    #[test]
+    fn tdes_roundtrips_and_degenerates(k1 in any::<u64>(), k2 in any::<u64>(), block in any::<u64>()) {
+        let tdes = TripleDes::new(k1.to_be_bytes(), k2.to_be_bytes(), k1.to_be_bytes());
+        prop_assert_eq!(tdes.decrypt_u64(tdes.encrypt_u64(block)), block);
+        let same = TripleDes::new(k1.to_be_bytes(), k1.to_be_bytes(), k1.to_be_bytes());
+        let des = Des::new(k1.to_be_bytes());
+        prop_assert_eq!(same.encrypt_u64(block), des.encrypt_u64(block));
+    }
+
+    #[test]
+    fn aes_roundtrips_all_key_sizes(
+        key in prop::collection::vec(any::<u8>(), 32),
+        block in any::<[u8; 16]>(),
+    ) {
+        for len in [16usize, 24, 32] {
+            let aes = Aes::new(&key[..len]);
+            let mut b = block;
+            aes.encrypt_block(&mut b);
+            prop_assert_ne!(b, block);
+            aes.decrypt_block(&mut b);
+            prop_assert_eq!(b, block);
+        }
+    }
+
+    #[test]
+    fn aes_blocks_differ_under_different_keys(block in any::<[u8; 16]>(), k in any::<u8>()) {
+        let a = Aes::new(&[k; 16]);
+        let b = Aes::new(&[k.wrapping_add(1); 16]);
+        let mut x = block;
+        let mut y = block;
+        a.encrypt_block(&mut x);
+        b.encrypt_block(&mut y);
+        prop_assert_ne!(x, y);
+    }
+
+    #[test]
+    fn cbc_roundtrips_any_length(
+        data in prop::collection::vec(any::<u8>(), 0..200),
+        key in any::<[u8; 16]>(),
+        iv in any::<[u8; 16]>(),
+    ) {
+        let aes = Aes::new_128(&key);
+        let ct = modes::cbc_encrypt(&aes, &iv, &data).expect("iv is block sized");
+        prop_assert_eq!(ct.len() % 16, 0);
+        prop_assert!(ct.len() > data.len());
+        let pt = modes::cbc_decrypt(&aes, &iv, &ct).expect("valid ciphertext");
+        prop_assert_eq!(pt, data);
+    }
+
+    #[test]
+    fn ctr_preserves_length_and_roundtrips(
+        data in prop::collection::vec(any::<u8>(), 0..200),
+        key in any::<[u8; 16]>(),
+        nonce in any::<[u8; 16]>(),
+    ) {
+        let aes = Aes::new_128(&key);
+        let ct = modes::ctr_xcrypt(&aes, &nonce, &data).expect("nonce sized");
+        prop_assert_eq!(ct.len(), data.len());
+        let pt = modes::ctr_xcrypt(&aes, &nonce, &ct).expect("nonce sized");
+        prop_assert_eq!(pt, data);
+    }
+
+    #[test]
+    fn pkcs7_roundtrips(data in prop::collection::vec(any::<u8>(), 0..100), block in 1usize..32) {
+        let padded = modes::pad_pkcs7(&data, block);
+        prop_assert_eq!(padded.len() % block, 0);
+        let unpadded = modes::unpad_pkcs7(&padded, block).expect("fresh padding is valid");
+        prop_assert_eq!(unpadded, data);
+    }
+
+    #[test]
+    fn sha1_incremental_equals_oneshot(
+        data in prop::collection::vec(any::<u8>(), 0..500),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let oneshot = Sha1::digest(&data);
+        let mid = split.index(data.len() + 1);
+        let mut h = Sha1::new();
+        h.update(&data[..mid.min(data.len())]);
+        h.update(&data[mid.min(data.len())..]);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    #[test]
+    fn sha1_distinguishes_inputs(data in prop::collection::vec(any::<u8>(), 1..100)) {
+        let mut flipped = data.clone();
+        flipped[0] ^= 1;
+        prop_assert_ne!(Sha1::digest(&data), Sha1::digest(&flipped));
+    }
+}

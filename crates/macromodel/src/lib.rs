@@ -1,0 +1,53 @@
+//! Performance characterization and macro-modeling of software library
+//! routines (the paper's Section 3.2).
+//!
+//! A **performance macro-model** expresses the cycle count of a library
+//! routine as a function of parameters characterizing its inputs (e.g.
+//! the bit-widths of `mpn_add_n`'s operands). Models are fitted by
+//! statistical regression over data gathered from cycle-accurate ISS
+//! runs with pseudo-random stimuli; algorithm exploration then replaces
+//! ISS runs with native execution plus model evaluation — in the paper,
+//! 1407× faster on average with 11.8 % mean absolute error.
+//!
+//! - [`regress`]: ordinary least squares (normal equations, partial
+//!   pivoting) — the replacement for the paper's S-Plus fits;
+//! - [`model`]: monomial-basis macro-models and accuracy metrics;
+//! - [`stimulus`]: bounded parameter-space sampling ("the input values
+//!   used for characterization are generated to lie within a bounded
+//!   super-space of the input space used by the application");
+//! - [`charact`]: the end-to-end characterization driver.
+//!
+//! # Examples
+//!
+//! ```
+//! use macromodel::charact::{characterize, CharactOptions};
+//! use macromodel::model::Monomial;
+//! use macromodel::stimulus::ParamSpace;
+//!
+//! // Characterize a routine whose true cost is 7 + 3n cycles.
+//! let space = ParamSpace::new(vec![(1, 64)]);
+//! let basis = vec![Monomial::constant(1), Monomial::linear(1, 0)];
+//! let mut rng = rand::rng();
+//! let outcome = characterize(
+//!     &space,
+//!     &basis,
+//!     &CharactOptions::default(),
+//!     &mut rng,
+//!     |p| 7.0 + 3.0 * p[0] as f64,
+//! )?;
+//! assert!((outcome.model.predict(&[10]) - 37.0).abs() < 1e-6);
+//! assert!(outcome.quality.r_squared > 0.999);
+//! # Ok::<(), macromodel::regress::RegressError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod charact;
+pub mod model;
+pub mod regress;
+pub mod stimulus;
+
+pub use charact::{characterize, CharactOptions, Characterization};
+pub use model::{MacroModel, ModelQuality, Monomial};
+pub use stimulus::ParamSpace;

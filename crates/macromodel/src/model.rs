@@ -1,0 +1,335 @@
+//! Macro-models: monomial-basis cycle-count predictors, plus accuracy
+//! metrics.
+//!
+//! Arithmetic routines have "regular behavior (piecewise linear,
+//! quadratic, etc.) over input bit-width subspaces" (paper §3.2), so a
+//! small monomial basis over the input parameters fits them well.
+
+use core::fmt;
+
+/// One basis term: a product of integer powers of the input parameters,
+/// e.g. `n₀·n₁` or `n₀²`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Monomial {
+    exponents: Vec<u32>,
+}
+
+impl Monomial {
+    /// Builds a monomial from per-parameter exponents.
+    pub fn new(exponents: Vec<u32>) -> Self {
+        Monomial { exponents }
+    }
+
+    /// The constant term (all exponents zero) over `dims` parameters.
+    pub fn constant(dims: usize) -> Self {
+        Monomial {
+            exponents: vec![0; dims],
+        }
+    }
+
+    /// The linear term in parameter `dim` of a `dims`-parameter space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= dims`.
+    pub fn linear(dims: usize, dim: usize) -> Self {
+        assert!(dim < dims);
+        let mut e = vec![0; dims];
+        e[dim] = 1;
+        Monomial { exponents: e }
+    }
+
+    /// The quadratic term in parameter `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= dims`.
+    pub fn quadratic(dims: usize, dim: usize) -> Self {
+        assert!(dim < dims);
+        let mut e = vec![0; dims];
+        e[dim] = 2;
+        Monomial { exponents: e }
+    }
+
+    /// The cross term `p[i]·p[j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dims` or `j >= dims`.
+    pub fn cross(dims: usize, i: usize, j: usize) -> Self {
+        assert!(i < dims && j < dims);
+        let mut e = vec![0; dims];
+        e[i] += 1;
+        e[j] += 1;
+        Monomial { exponents: e }
+    }
+
+    /// Number of parameters this monomial expects.
+    pub fn dims(&self) -> usize {
+        self.exponents.len()
+    }
+
+    /// Evaluates the monomial at a parameter point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.dims()`.
+    pub fn eval(&self, params: &[u64]) -> f64 {
+        assert_eq!(params.len(), self.exponents.len());
+        self.exponents
+            .iter()
+            .zip(params)
+            .map(|(&e, &p)| (p as f64).powi(e as i32))
+            .product()
+    }
+
+    /// A full polynomial basis of total degree ≤ 2 over `dims`
+    /// parameters (constant, linears, squares, pairwise crosses).
+    pub fn degree2_basis(dims: usize) -> Vec<Monomial> {
+        let mut basis = vec![Monomial::constant(dims)];
+        for d in 0..dims {
+            basis.push(Monomial::linear(dims, d));
+        }
+        for d in 0..dims {
+            basis.push(Monomial::quadratic(dims, d));
+        }
+        for i in 0..dims {
+            for j in i + 1..dims {
+                basis.push(Monomial::cross(dims, i, j));
+            }
+        }
+        basis
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.exponents.iter().all(|&e| e == 0) {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for (i, &e) in self.exponents.iter().enumerate() {
+            if e == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, "*")?;
+            }
+            first = false;
+            if e == 1 {
+                write!(f, "n{i}")?;
+            } else {
+                write!(f, "n{i}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A fitted macro-model: `cycles ≈ Σ coeffᵢ · monomialᵢ(params)`.
+///
+/// # Examples
+///
+/// ```
+/// use macromodel::model::{MacroModel, Monomial};
+///
+/// // cycles = 12 + 6.25 n
+/// let m = MacroModel::new(
+///     "mpn_add_n",
+///     vec![Monomial::constant(1), Monomial::linear(1, 0)],
+///     vec![12.0, 6.25],
+/// );
+/// assert_eq!(m.predict(&[32]), 12.0 + 6.25 * 32.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroModel {
+    name: String,
+    basis: Vec<Monomial>,
+    coeffs: Vec<f64>,
+}
+
+impl MacroModel {
+    /// Builds a model from a basis and fitted coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basis` and `coeffs` lengths differ or the basis is
+    /// empty.
+    pub fn new(name: impl Into<String>, basis: Vec<Monomial>, coeffs: Vec<f64>) -> Self {
+        assert_eq!(basis.len(), coeffs.len(), "basis/coefficient mismatch");
+        assert!(!basis.is_empty(), "empty basis");
+        MacroModel {
+            name: name.into(),
+            basis,
+            coeffs,
+        }
+    }
+
+    /// The routine name the model describes.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The basis terms.
+    pub fn basis(&self) -> &[Monomial] {
+        &self.basis
+    }
+
+    /// The fitted coefficients.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Predicted cycle count at a parameter point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter count does not match the basis.
+    pub fn predict(&self, params: &[u64]) -> f64 {
+        self.basis
+            .iter()
+            .zip(&self.coeffs)
+            .map(|(m, &c)| c * m.eval(params))
+            .sum()
+    }
+}
+
+impl fmt::Display for MacroModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(…) ≈ ", self.name)?;
+        for (i, (m, c)) in self.basis.iter().zip(&self.coeffs).enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c:.2}·{m}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Goodness-of-fit metrics for a model against observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelQuality {
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+    /// Mean absolute error in cycles.
+    pub mae: f64,
+    /// Mean absolute percentage error (the paper reports 11.8 %).
+    pub mae_pct: f64,
+    /// Worst-case absolute percentage error.
+    pub max_err_pct: f64,
+}
+
+impl ModelQuality {
+    /// Computes metrics of `model` over observation pairs
+    /// `(params, cycles)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observations` is empty.
+    pub fn evaluate(model: &MacroModel, observations: &[(Vec<u64>, f64)]) -> Self {
+        assert!(!observations.is_empty(), "no observations");
+        let n = observations.len() as f64;
+        let mean_y: f64 = observations.iter().map(|(_, y)| y).sum::<f64>() / n;
+        let mut ss_res = 0.0;
+        let mut ss_tot = 0.0;
+        let mut abs_err_sum = 0.0;
+        let mut pct_sum = 0.0;
+        let mut pct_max: f64 = 0.0;
+        for (params, y) in observations {
+            let pred = model.predict(params);
+            let e = pred - y;
+            ss_res += e * e;
+            ss_tot += (y - mean_y) * (y - mean_y);
+            abs_err_sum += e.abs();
+            if *y != 0.0 {
+                let pct = (e.abs() / y.abs()) * 100.0;
+                pct_sum += pct;
+                pct_max = pct_max.max(pct);
+            }
+        }
+        ModelQuality {
+            r_squared: if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot },
+            mae: abs_err_sum / n,
+            mae_pct: pct_sum / n,
+            max_err_pct: pct_max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monomial_eval() {
+        let m = Monomial::new(vec![2, 1]);
+        assert_eq!(m.eval(&[3, 5]), 45.0);
+        assert_eq!(Monomial::constant(2).eval(&[9, 9]), 1.0);
+        assert_eq!(Monomial::cross(2, 0, 1).eval(&[4, 6]), 24.0);
+    }
+
+    #[test]
+    fn degree2_basis_size() {
+        // 1 + d + d + d(d-1)/2
+        assert_eq!(Monomial::degree2_basis(1).len(), 3);
+        assert_eq!(Monomial::degree2_basis(2).len(), 6);
+        assert_eq!(Monomial::degree2_basis(3).len(), 10);
+    }
+
+    #[test]
+    fn model_predicts_polynomial() {
+        let m = MacroModel::new(
+            "mul",
+            vec![
+                Monomial::constant(2),
+                Monomial::cross(2, 0, 1),
+            ],
+            vec![30.0, 2.5],
+        );
+        assert_eq!(m.predict(&[8, 8]), 30.0 + 2.5 * 64.0);
+    }
+
+    #[test]
+    fn perfect_fit_has_r2_one_and_zero_error() {
+        let m = MacroModel::new(
+            "f",
+            vec![Monomial::constant(1), Monomial::linear(1, 0)],
+            vec![5.0, 2.0],
+        );
+        let obs: Vec<(Vec<u64>, f64)> =
+            (1..20).map(|n| (vec![n], 5.0 + 2.0 * n as f64)).collect();
+        let q = ModelQuality::evaluate(&m, &obs);
+        assert!((q.r_squared - 1.0).abs() < 1e-12);
+        assert!(q.mae < 1e-9);
+        assert!(q.mae_pct < 1e-9);
+    }
+
+    #[test]
+    fn biased_model_has_positive_error() {
+        let m = MacroModel::new("f", vec![Monomial::constant(1)], vec![10.0]);
+        let obs = vec![(vec![1u64], 20.0), (vec![2], 20.0)];
+        let q = ModelQuality::evaluate(&m, &obs);
+        assert_eq!(q.mae, 10.0);
+        assert_eq!(q.mae_pct, 50.0);
+        assert_eq!(q.max_err_pct, 50.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let m = MacroModel::new(
+            "mpn_add_n",
+            vec![Monomial::constant(1), Monomial::linear(1, 0)],
+            vec![12.0, 6.25],
+        );
+        let s = m.to_string();
+        assert!(s.contains("mpn_add_n"));
+        assert!(s.contains("6.25·n0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_coeffs_rejected() {
+        let _ = MacroModel::new("x", vec![Monomial::constant(1)], vec![1.0, 2.0]);
+    }
+}

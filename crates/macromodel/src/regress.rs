@@ -1,0 +1,204 @@
+//! Ordinary least squares regression.
+//!
+//! Solves `min ‖Xβ − y‖²` through the normal equations
+//! `(XᵀX)β = Xᵀy` with Gaussian elimination and partial pivoting — a
+//! from-scratch replacement for the S-Plus fits the paper uses.
+
+use core::fmt;
+
+/// Error from a regression fit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegressError {
+    /// No observations were provided.
+    Empty,
+    /// Rows have inconsistent widths, or `y` length differs from the
+    /// number of rows.
+    Shape,
+    /// Fewer observations than coefficients.
+    Underdetermined {
+        /// Number of observations.
+        rows: usize,
+        /// Number of coefficients requested.
+        cols: usize,
+    },
+    /// The normal equations are singular (collinear features).
+    Singular,
+}
+
+impl fmt::Display for RegressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegressError::Empty => write!(f, "no observations"),
+            RegressError::Shape => write!(f, "inconsistent design-matrix shape"),
+            RegressError::Underdetermined { rows, cols } => {
+                write!(f, "underdetermined fit: {rows} observations, {cols} coefficients")
+            }
+            RegressError::Singular => write!(f, "singular normal equations (collinear features)"),
+        }
+    }
+}
+
+impl std::error::Error for RegressError {}
+
+/// Fits `y ≈ X β` by ordinary least squares.
+///
+/// `rows` are feature vectors (already including a constant column if an
+/// intercept is wanted). Returns the coefficient vector `β`.
+///
+/// # Errors
+///
+/// Returns [`RegressError`] on shape mismatches, too few observations,
+/// or singular normal equations.
+///
+/// # Examples
+///
+/// ```
+/// use macromodel::regress::fit;
+///
+/// // y = 2 + 3x
+/// let rows = vec![vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]];
+/// let y = vec![2.0, 5.0, 8.0];
+/// let beta = fit(&rows, &y)?;
+/// assert!((beta[0] - 2.0).abs() < 1e-9);
+/// assert!((beta[1] - 3.0).abs() < 1e-9);
+/// # Ok::<(), macromodel::regress::RegressError>(())
+/// ```
+pub fn fit(rows: &[Vec<f64>], y: &[f64]) -> Result<Vec<f64>, RegressError> {
+    if rows.is_empty() {
+        return Err(RegressError::Empty);
+    }
+    let n = rows.len();
+    let k = rows[0].len();
+    if k == 0 || y.len() != n || rows.iter().any(|r| r.len() != k) {
+        return Err(RegressError::Shape);
+    }
+    if n < k {
+        return Err(RegressError::Underdetermined { rows: n, cols: k });
+    }
+
+    // Normal equations: A = XᵀX (k×k), b = Xᵀy.
+    let mut a = vec![vec![0.0f64; k]; k];
+    let mut b = vec![0.0f64; k];
+    for (row, &yi) in rows.iter().zip(y) {
+        for i in 0..k {
+            b[i] += row[i] * yi;
+            for j in i..k {
+                a[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..k {
+        for j in 0..i {
+            a[i][j] = a[j][i];
+        }
+    }
+    solve(a, b)
+}
+
+/// Solves the dense linear system `A x = b` by Gaussian elimination with
+/// partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, RegressError> {
+    let k = b.len();
+    for col in 0..k {
+        // Pivot.
+        let pivot = (col..k)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("nonempty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(RegressError::Singular);
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..k {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..k {
+                a[row][j] -= f * a[col][j];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; k];
+    for col in (0..k).rev() {
+        let mut acc = b[col];
+        for j in col + 1..k {
+            acc -= a[col][j] * x[j];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_quadratic_recovered() {
+        // y = 1 + 2n + 0.5 n^2
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|n| vec![1.0, n as f64, (n * n) as f64])
+            .collect();
+        let y: Vec<f64> = (0..20)
+            .map(|n| 1.0 + 2.0 * n as f64 + 0.5 * (n * n) as f64)
+            .collect();
+        let beta = fit(&rows, &y).unwrap();
+        assert!((beta[0] - 1.0).abs() < 1e-8);
+        assert!((beta[1] - 2.0).abs() < 1e-8);
+        assert!((beta[2] - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn noisy_fit_close_to_truth() {
+        // Deterministic pseudo-noise.
+        let rows: Vec<Vec<f64>> = (0..200).map(|n| vec![1.0, n as f64]).collect();
+        let y: Vec<f64> = (0..200)
+            .map(|n| {
+                let noise = ((n * 37 + 11) % 13) as f64 - 6.0;
+                10.0 + 4.0 * n as f64 + noise
+            })
+            .collect();
+        let beta = fit(&rows, &y).unwrap();
+        assert!((beta[1] - 4.0).abs() < 0.05, "slope {}", beta[1]);
+        assert!((beta[0] - 10.0).abs() < 3.0, "intercept {}", beta[0]);
+    }
+
+    #[test]
+    fn multivariate_fit() {
+        // y = 3a + 5b with no intercept column.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..10 {
+            for b in 0..10 {
+                rows.push(vec![a as f64, b as f64]);
+                y.push(3.0 * a as f64 + 5.0 * b as f64);
+            }
+        }
+        let beta = fit(&rows, &y).unwrap();
+        assert!((beta[0] - 3.0).abs() < 1e-8);
+        assert!((beta[1] - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert_eq!(fit(&[], &[]), Err(RegressError::Empty));
+        assert_eq!(
+            fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]),
+            Err(RegressError::Shape)
+        );
+        assert_eq!(fit(&[vec![1.0, 2.0]], &[3.0]).unwrap_err(),
+            RegressError::Underdetermined { rows: 1, cols: 2 });
+    }
+
+    #[test]
+    fn collinear_features_detected() {
+        // Second column is exactly twice the first.
+        let rows: Vec<Vec<f64>> = (0..10).map(|n| vec![n as f64, 2.0 * n as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|n| n as f64).collect();
+        assert_eq!(fit(&rows, &y), Err(RegressError::Singular));
+    }
+}

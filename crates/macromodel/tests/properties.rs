@@ -1,0 +1,120 @@
+//! Property-based tests for the regression and macro-model machinery.
+
+use macromodel::charact::{characterize, CharactOptions};
+use macromodel::model::{MacroModel, ModelQuality, Monomial};
+use macromodel::regress::fit;
+use macromodel::stimulus::ParamSpace;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn ols_recovers_exact_affine_models(
+        c0 in -100.0f64..100.0,
+        c1 in -10.0f64..10.0,
+        n in 3usize..40,
+    ) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = (0..n).map(|i| c0 + c1 * i as f64).collect();
+        let beta = fit(&rows, &y).expect("well-posed fit");
+        prop_assert!((beta[0] - c0).abs() < 1e-6, "c0 {} vs {}", beta[0], c0);
+        prop_assert!((beta[1] - c1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ols_residual_is_orthogonal_to_features(
+        coeffs in prop::collection::vec(-5.0f64..5.0, 2..4),
+        seed in any::<u64>(),
+    ) {
+        // With noise, OLS residuals must be orthogonal to each feature
+        // column (the normal equations).
+        let k = coeffs.len();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let n = 60;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..k).map(|j| ((i * (j + 1)) % 17) as f64 + next()).collect())
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                r.iter().zip(&coeffs).map(|(x, c)| x * c).sum::<f64>() + next()
+            })
+            .collect();
+        let beta = match fit(&rows, &y) {
+            Ok(b) => b,
+            Err(_) => return Ok(()), // degenerate random design; skip
+        };
+        for j in 0..k {
+            let dot: f64 = rows
+                .iter()
+                .zip(&y)
+                .map(|(r, yi)| {
+                    let pred: f64 = r.iter().zip(&beta).map(|(x, b)| x * b).sum();
+                    (yi - pred) * r[j]
+                })
+                .sum();
+            prop_assert!(dot.abs() < 1e-5, "residual not orthogonal: {dot}");
+        }
+    }
+
+    #[test]
+    fn monomials_are_multiplicative(a in 1u64..50, b in 1u64..50) {
+        let m = Monomial::cross(2, 0, 1);
+        prop_assert_eq!(m.eval(&[a, b]), (a * b) as f64);
+        let q = Monomial::quadratic(1, 0);
+        prop_assert_eq!(q.eval(&[a]), (a * a) as f64);
+    }
+
+    #[test]
+    fn characterization_nails_affine_ground_truth(
+        c0 in 1.0f64..200.0,
+        c1 in 0.5f64..50.0,
+        seed in any::<u64>(),
+    ) {
+        let space = ParamSpace::new(vec![(1, 64)]);
+        let basis = vec![Monomial::constant(1), Monomial::linear(1, 0)];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ch = characterize(
+            &space,
+            &basis,
+            &CharactOptions { train_samples: 24, validation_points: 6 },
+            &mut rng,
+            |p| c0 + c1 * p[0] as f64,
+        )
+        .expect("affine fits");
+        prop_assert!(ch.quality.mae_pct < 1e-6);
+        prop_assert!((ch.model.predict(&[10]) - (c0 + 10.0 * c1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quality_metrics_are_scale_consistent(offset in 1.0f64..1000.0) {
+        // A model that is exactly 10% high everywhere has mae_pct = 10.
+        let m = MacroModel::new(
+            "f",
+            vec![Monomial::linear(1, 0)],
+            vec![1.1 * offset],
+        );
+        let obs: Vec<(Vec<u64>, f64)> =
+            (1..20).map(|n| (vec![n], offset * n as f64)).collect();
+        let q = ModelQuality::evaluate(&m, &obs);
+        prop_assert!((q.mae_pct - 10.0).abs() < 1e-9);
+        prop_assert!((q.max_err_pct - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_is_sorted_and_in_bounds(lo in 1u64..50, span in 1u64..100, count in 2usize..20) {
+        let space = ParamSpace::new(vec![(lo, lo + span)]);
+        let pts = space.sweep(count);
+        prop_assert_eq!(pts.len(), count);
+        for w in pts.windows(2) {
+            prop_assert!(w[0][0] <= w[1][0]);
+        }
+        prop_assert_eq!(pts[0][0], lo);
+        prop_assert_eq!(pts[count - 1][0], lo + span);
+    }
+}

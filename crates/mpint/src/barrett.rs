@@ -1,0 +1,179 @@
+//! Barrett modular reduction.
+//!
+//! Barrett reduction trades the per-multiplication division of the naive
+//! `(a*b) mod m` strategy for two multiplications by a precomputed
+//! reciprocal. It is one of the five modular-multiplication strategies in
+//! the paper's modular-exponentiation design space and, unlike Montgomery,
+//! needs no representation conversion.
+
+use crate::nat::Natural;
+use core::fmt;
+
+/// Error returned when constructing a [`BarrettCtx`] from an unsuitable
+/// modulus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidModulusError {
+    reason: &'static str,
+}
+
+impl fmt::Display for InvalidModulusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid barrett modulus: {}", self.reason)
+    }
+}
+
+impl std::error::Error for InvalidModulusError {}
+
+/// Precomputed context for Barrett reduction modulo `m > 1`.
+///
+/// The context stores `mu = floor(b^(2k) / m)` where `b = 2^32` and `k`
+/// is the limb length of `m`. [`BarrettCtx::reduce`] then reduces any
+/// value `x < m^2` with two multiplications and at most two conditional
+/// subtractions.
+///
+/// # Examples
+///
+/// ```
+/// use mpint::{BarrettCtx, Natural};
+///
+/// let m = Natural::from_u64(0x1234_5678_9abc_deff);
+/// let ctx = BarrettCtx::new(&m)?;
+/// let a = &Natural::from_u64(u64::MAX) % &m;
+/// let x = &a * &a; // < m^2, the domain of `reduce`
+/// assert_eq!(ctx.reduce(&x), &x % &m);
+/// # Ok::<(), mpint::barrett::InvalidModulusError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarrettCtx {
+    m: Natural,
+    mu: Natural,
+    k: usize,
+}
+
+impl BarrettCtx {
+    /// Builds a Barrett context for modulus `m > 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidModulusError`] if `m <= 1`.
+    pub fn new(m: &Natural) -> Result<Self, InvalidModulusError> {
+        if m.is_zero() || m.is_one() {
+            return Err(InvalidModulusError {
+                reason: "modulus must be greater than one",
+            });
+        }
+        let k = m.limbs().len();
+        let mu = &(Natural::one() << (64 * k)) / m;
+        Ok(BarrettCtx {
+            m: m.clone(),
+            mu,
+            k,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &Natural {
+        &self.m
+    }
+
+    /// Reduces `x` modulo `m`. `x` must be `< m^2` (asserted in debug
+    /// builds); this always holds for products of reduced operands.
+    pub fn reduce(&self, x: &Natural) -> Natural {
+        debug_assert!(x < &(&self.m * &self.m), "barrett input out of range");
+        let k = self.k;
+        // q1 = floor(x / b^(k-1)); q2 = q1*mu; q3 = floor(q2 / b^(k+1))
+        let q1 = x.clone() >> (32 * (k - 1));
+        let q2 = &q1 * &self.mu;
+        let q3 = q2 >> (32 * (k + 1));
+        // r = x - q3*m, corrected into [0, m).
+        let r2 = &q3 * &self.m;
+        let mut r = x
+            .checked_sub(&r2)
+            .expect("barrett estimate exceeded the input");
+        while r >= self.m {
+            r = &r - &self.m;
+        }
+        r
+    }
+
+    /// Modular multiplication `a*b mod m` of two already-reduced values.
+    pub fn mul_mod(&self, a: &Natural, b: &Natural) -> Natural {
+        self.reduce(&(a * b))
+    }
+
+    /// Modular exponentiation `base^exp mod m` via Barrett binary
+    /// square-and-multiply.
+    pub fn pow_mod(&self, base: &Natural, exp: &Natural) -> Natural {
+        if exp.is_zero() {
+            return &Natural::one() % &self.m;
+        }
+        let b = base % &self.m;
+        let mut acc = b.clone();
+        for i in (0..exp.bit_length() - 1).rev() {
+            acc = self.mul_mod(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mul_mod(&acc, &b);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_trivial_moduli() {
+        assert!(BarrettCtx::new(&Natural::zero()).is_err());
+        assert!(BarrettCtx::new(&Natural::one()).is_err());
+    }
+
+    #[test]
+    fn reduce_matches_divrem() {
+        let m = Natural::from_hex_str("fedcba987654321123456789abcdef01").unwrap();
+        let ctx = BarrettCtx::new(&m).unwrap();
+        let vals = [
+            Natural::zero(),
+            Natural::one(),
+            m.clone() - Natural::one(),
+            m.clone(),
+            &m * &Natural::from_u64(12345),
+            &(&m - &Natural::one()) * &(&m - &Natural::one()),
+        ];
+        for x in vals {
+            assert_eq!(ctx.reduce(&x), &x % &m, "x={x:?}");
+        }
+    }
+
+    #[test]
+    fn mul_mod_matches_divrem() {
+        let m = Natural::from_hex_str("100000000000000000000000000000067").unwrap();
+        let ctx = BarrettCtx::new(&m).unwrap();
+        let a = Natural::from_hex_str("ffffffffffffffffffffffffffffffff").unwrap() % &m;
+        let b = Natural::from_hex_str("123456789123456789123456789123456").unwrap() % &m;
+        assert_eq!(ctx.mul_mod(&a, &b), &(&a * &b) % &m);
+    }
+
+    #[test]
+    fn pow_mod_matches_reference() {
+        let m = Natural::from_u64(0x1_0000_0000_0063); // even modulus also fine for Barrett
+        let ctx = BarrettCtx::new(&m).unwrap();
+        let b = Natural::from_u64(0xdead_beef);
+        let e = Natural::from_u64(0x1_2345);
+        assert_eq!(ctx.pow_mod(&b, &e), b.pow_mod(&e, &m));
+        assert_eq!(ctx.pow_mod(&b, &Natural::zero()), Natural::one());
+    }
+
+    #[test]
+    fn works_on_even_moduli_unlike_montgomery() {
+        let m = Natural::from_u64(1 << 20);
+        let ctx = BarrettCtx::new(&m).unwrap();
+        let a = Natural::from_u64(0xabcdef);
+        let b = Natural::from_u64(0x123456);
+        assert_eq!(
+            ctx.mul_mod(&(&a % &m), &(&b % &m)),
+            &(&(&a % &m) * &(&b % &m)) % &m
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Karatsuba sub-quadratic multiplication.
+//!
+//! One of the five modular-multiplication strategies explored in the
+//! paper's algorithm design space pairs Karatsuba products with Barrett or
+//! Montgomery reduction. Below [`KARATSUBA_THRESHOLD`] limbs the schoolbook
+//! basecase from [`crate::mpn`] is used.
+
+use crate::limb::Limb;
+use crate::mpn;
+
+/// Operand size (in limbs) below which schoolbook multiplication is used.
+pub const KARATSUBA_THRESHOLD: usize = 16;
+
+/// Multiplies two limb vectors, returning a vector of exactly
+/// `a.len() + b.len()` limbs (not trimmed). Uses Karatsuba recursion above
+/// the threshold and the schoolbook basecase below it.
+///
+/// # Examples
+///
+/// ```
+/// use mpint::karatsuba;
+///
+/// let a = vec![u32::MAX; 40];
+/// let b = vec![u32::MAX; 40];
+/// let k = karatsuba::mul(&a, &b);
+/// let mut s = vec![0u32; 80];
+/// mpint::mpn::mul_basecase(&mut s, &a, &b);
+/// assert_eq!(k, s);
+/// ```
+pub fn mul<L: Limb>(a: &[L], b: &[L]) -> Vec<L> {
+    let mut r = vec![L::ZERO; a.len() + b.len()];
+    let an = mpn::normalized(a);
+    let bn = mpn::normalized(b);
+    if an.is_empty() || bn.is_empty() {
+        return r;
+    }
+    let prod = mul_rec(an, bn);
+    r[..prod.len()].copy_from_slice(&prod);
+    r
+}
+
+fn mul_rec<L: Limb>(a: &[L], b: &[L]) -> Vec<L> {
+    debug_assert!(!a.is_empty() && !b.is_empty());
+    if a.len().min(b.len()) <= KARATSUBA_THRESHOLD {
+        let mut r = vec![L::ZERO; a.len() + b.len()];
+        mpn::mul_basecase(&mut r, a, b);
+        return r;
+    }
+    let m = a.len().max(b.len()) / 2;
+    let (a0, a1) = split(a, m);
+    let (b0, b1) = split(b, m);
+
+    let z0 = mul_nonempty(a0, b0);
+    let z2 = mul_nonempty(a1, b1);
+    let asum = add_vec(a0, a1);
+    let bsum = add_vec(b0, b1);
+    let mut z1 = mul_nonempty(&asum, &bsum);
+    sub_assign(&mut z1, &z0);
+    sub_assign(&mut z1, &z2);
+
+    let mut r = vec![L::ZERO; a.len() + b.len()];
+    add_at(&mut r, &z0, 0);
+    add_at(&mut r, &z1, m);
+    add_at(&mut r, &z2, 2 * m);
+    r
+}
+
+fn mul_nonempty<L: Limb>(a: &[L], b: &[L]) -> Vec<L> {
+    let a = mpn::normalized(a);
+    let b = mpn::normalized(b);
+    if a.is_empty() || b.is_empty() {
+        Vec::new()
+    } else {
+        mul_rec(a, b)
+    }
+}
+
+fn split<L: Limb>(a: &[L], m: usize) -> (&[L], &[L]) {
+    if a.len() <= m {
+        (a, &[])
+    } else {
+        (&a[..m], &a[m..])
+    }
+}
+
+/// Adds two limb vectors of arbitrary lengths into a fresh vector.
+fn add_vec<L: Limb>(a: &[L], b: &[L]) -> Vec<L> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut r = long.to_vec();
+    let mut carry = mpn::add_n_in_place(&mut r[..short.len()], short);
+    let mut i = short.len();
+    while carry && i < r.len() {
+        let (s, c) = r[i].add_carry(L::ONE, false);
+        r[i] = s;
+        carry = c;
+        i += 1;
+    }
+    if carry {
+        r.push(L::ONE);
+    }
+    r
+}
+
+/// Subtracts `b` from `a` in place. `a` must be numerically `>= b`.
+fn sub_assign<L: Limb>(a: &mut [L], b: &[L]) {
+    let b = mpn::normalized(b);
+    if b.is_empty() {
+        return;
+    }
+    debug_assert!(a.len() >= b.len());
+    let mut borrow = mpn::sub_n_in_place(&mut a[..b.len()], b);
+    let mut i = b.len();
+    while borrow {
+        debug_assert!(i < a.len(), "karatsuba middle term went negative");
+        let (d, bo) = a[i].sub_borrow(L::ONE, false);
+        a[i] = d;
+        borrow = bo;
+        i += 1;
+    }
+}
+
+/// Adds `v` into `r` starting at limb offset `off`, propagating the carry.
+/// The final carry must not escape `r`.
+fn add_at<L: Limb>(r: &mut [L], v: &[L], off: usize) {
+    let v = mpn::normalized(v);
+    if v.is_empty() {
+        return;
+    }
+    let mut carry = mpn::add_n_in_place(&mut r[off..off + v.len()], v);
+    let mut i = off + v.len();
+    while carry {
+        debug_assert!(i < r.len(), "karatsuba recombination overflow");
+        let (s, c) = r[i].add_carry(L::ONE, false);
+        r[i] = s;
+        carry = c;
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(n: usize, seed: u32) -> Vec<u32> {
+        (0..n)
+            .map(|i| {
+                let x = seed
+                    .wrapping_mul(0x9e37_79b9)
+                    .wrapping_add(i as u32)
+                    .wrapping_mul(0x85eb_ca6b);
+                x ^ (x >> 13)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_basecase_square() {
+        for n in [1usize, 5, 17, 33, 64, 100] {
+            let a = pattern(n, 7);
+            let b = pattern(n, 13);
+            let k = mul(&a, &b);
+            let mut s = vec![0u32; 2 * n];
+            mpn::mul_basecase(&mut s, &a, &b);
+            assert_eq!(k, s, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_basecase_rectangular() {
+        let a = pattern(70, 3);
+        let b = pattern(21, 9);
+        let k = mul(&a, &b);
+        let mut s = vec![0u32; 91];
+        mpn::mul_basecase(&mut s, &a, &b);
+        assert_eq!(k, s);
+    }
+
+    #[test]
+    fn zero_operand_gives_zero() {
+        let a = pattern(40, 1);
+        let z = vec![0u32; 40];
+        assert_eq!(mul(&a, &z), vec![0u32; 80]);
+    }
+
+    #[test]
+    fn u16_limbs_match_basecase() {
+        let a: Vec<u16> = (0..50).map(|i| (i * 2654 + 7) as u16).collect();
+        let b: Vec<u16> = (0..50).map(|i| (i * 40503 + 11) as u16).collect();
+        let k = mul(&a, &b);
+        let mut s = vec![0u16; 100];
+        mpn::mul_basecase(&mut s, &a, &b);
+        assert_eq!(k, s);
+    }
+
+    #[test]
+    fn all_ones_worst_case_carries() {
+        let a = vec![u32::MAX; 65];
+        let b = vec![u32::MAX; 65];
+        let k = mul(&a, &b);
+        let mut s = vec![0u32; 130];
+        mpn::mul_basecase(&mut s, &a, &b);
+        assert_eq!(k, s);
+    }
+}

@@ -1,0 +1,191 @@
+//! Limb abstraction: the machine word of the multi-precision layer.
+//!
+//! The paper's algorithm design space includes the *radix* of the
+//! multi-precision representation (2^16 vs. 2^32) as an explicit axis.
+//! [`Limb`] abstracts over the limb width so the [`crate::mpn`] routines
+//! work for both radices. All double-width intermediate arithmetic is done
+//! in `u64`, which comfortably holds a product of two 32-bit limbs.
+
+use core::fmt;
+use core::hash::Hash;
+use core::ops::{BitAnd, BitOr, BitXor, Not, Shl, Shr};
+
+/// A machine limb: an unsigned integer of at most 32 bits.
+///
+/// Implemented for [`u16`] (radix 2^16) and [`u32`] (radix 2^32).
+///
+/// # Examples
+///
+/// ```
+/// use mpint::Limb;
+///
+/// fn top_bit<L: Limb>(x: L) -> bool {
+///     (x.to_u64() >> (L::BITS - 1)) & 1 == 1
+/// }
+/// assert!(top_bit(0x8000u16));
+/// assert!(!top_bit(0x8000u32));
+/// ```
+pub trait Limb:
+    Copy
+    + Eq
+    + Ord
+    + Hash
+    + Default
+    + fmt::Debug
+    + fmt::Display
+    + fmt::LowerHex
+    + BitAnd<Output = Self>
+    + BitOr<Output = Self>
+    + BitXor<Output = Self>
+    + Not<Output = Self>
+    + Shl<u32, Output = Self>
+    + Shr<u32, Output = Self>
+    + Send
+    + Sync
+    + 'static
+{
+    /// Number of bits in the limb (16 or 32).
+    const BITS: u32;
+    /// The zero limb.
+    const ZERO: Self;
+    /// The one limb.
+    const ONE: Self;
+    /// All-ones limb (the maximum value).
+    const MAX: Self;
+
+    /// Widens the limb to `u64`.
+    fn to_u64(self) -> u64;
+
+    /// Truncates a `u64` to a limb, discarding high bits.
+    fn from_u64(v: u64) -> Self;
+
+    /// Number of leading zero bits.
+    fn leading_zeros(self) -> u32 {
+        self.to_u64().leading_zeros() - (64 - Self::BITS)
+    }
+
+    /// Full addition with carry-in, returning `(sum, carry_out)`.
+    fn add_carry(self, rhs: Self, carry: bool) -> (Self, bool) {
+        let t = self.to_u64() + rhs.to_u64() + carry as u64;
+        (Self::from_u64(t), (t >> Self::BITS) != 0)
+    }
+
+    /// Full subtraction with borrow-in, returning `(difference, borrow_out)`.
+    fn sub_borrow(self, rhs: Self, borrow: bool) -> (Self, bool) {
+        let t = self
+            .to_u64()
+            .wrapping_sub(rhs.to_u64())
+            .wrapping_sub(borrow as u64);
+        (Self::from_u64(t), (t >> Self::BITS) != 0)
+    }
+
+    /// Widening multiplication, returning `(low, high)` limbs of the product.
+    fn mul_wide(self, rhs: Self) -> (Self, Self) {
+        let t = self.to_u64() * rhs.to_u64();
+        (Self::from_u64(t), Self::from_u64(t >> Self::BITS))
+    }
+
+    /// Divides the double-limb value `(hi, lo)` by `self`, returning
+    /// `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero, or if `hi >= self` (quotient would not
+    /// fit in a single limb).
+    fn div_wide(self, hi: Self, lo: Self) -> (Self, Self) {
+        assert!(self != Self::ZERO, "division by zero limb");
+        assert!(hi < self, "double-limb quotient overflow");
+        let d = self.to_u64();
+        let n = (hi.to_u64() << Self::BITS) | lo.to_u64();
+        (Self::from_u64(n / d), Self::from_u64(n % d))
+    }
+}
+
+impl Limb for u16 {
+    const BITS: u32 = 16;
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+    const MAX: Self = u16::MAX;
+
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self as u64
+    }
+
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        v as u16
+    }
+}
+
+impl Limb for u32 {
+    const BITS: u32 = 32;
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+    const MAX: Self = u32::MAX;
+
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self as u64
+    }
+
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        v as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_carry_propagates() {
+        let (s, c) = 0xffff_ffffu32.add_carry(0, true);
+        assert_eq!(s, 0);
+        assert!(c);
+        let (s, c) = 0xfffeu16.add_carry(1, false);
+        assert_eq!(s, 0xffff);
+        assert!(!c);
+    }
+
+    #[test]
+    fn sub_borrow_propagates() {
+        let (d, b) = 0u32.sub_borrow(1, false);
+        assert_eq!(d, u32::MAX);
+        assert!(b);
+        let (d, b) = 5u16.sub_borrow(3, true);
+        assert_eq!(d, 1);
+        assert!(!b);
+    }
+
+    #[test]
+    fn mul_wide_matches_u64() {
+        let (lo, hi) = 0xffff_ffffu32.mul_wide(0xffff_ffff);
+        let t = 0xffff_ffffu64 * 0xffff_ffffu64;
+        assert_eq!(lo as u64, t & 0xffff_ffff);
+        assert_eq!(hi as u64, t >> 32);
+    }
+
+    #[test]
+    fn div_wide_roundtrip() {
+        let d = 0x8000_0001u32;
+        let (q, r) = d.div_wide(0x7fff_ffff, 0x1234_5678);
+        let n = ((0x7fff_ffffu64) << 32) | 0x1234_5678;
+        assert_eq!(q as u64, n / d as u64);
+        assert_eq!(r as u64, n % d as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_wide_by_zero_panics() {
+        let _ = 0u32.div_wide(0, 1);
+    }
+
+    #[test]
+    fn leading_zeros_respects_width() {
+        assert_eq!(1u16.leading_zeros(), 15);
+        assert_eq!(1u32.leading_zeros(), 31);
+        assert_eq!(Limb::leading_zeros(0x8000u16), 0);
+    }
+}

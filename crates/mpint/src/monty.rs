@@ -1,0 +1,274 @@
+//! Montgomery modular multiplication.
+//!
+//! Montgomery reduction is one of the five modular-multiplication
+//! strategies in the paper's modular-exponentiation design space. It
+//! replaces division by the modulus with shifts and limb-level
+//! multiply-accumulate (`mpn_addmul_1`) — exactly the kernels the paper
+//! accelerates with custom instructions.
+
+use crate::limb::Limb;
+use crate::mpn;
+use crate::nat::Natural;
+use core::fmt;
+
+/// Error returned when constructing a [`MontyCtx`] from an unsuitable
+/// modulus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidModulusError {
+    reason: &'static str,
+}
+
+impl fmt::Display for InvalidModulusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid montgomery modulus: {}", self.reason)
+    }
+}
+
+impl std::error::Error for InvalidModulusError {}
+
+/// Precomputed context for Montgomery arithmetic modulo an odd modulus.
+///
+/// Values in *Montgomery form* are plain [`Natural`]s `< m` representing
+/// `a·R mod m` with `R = 2^(32·len)`.
+///
+/// # Examples
+///
+/// ```
+/// use mpint::{MontyCtx, Natural};
+///
+/// let m = Natural::from_u64(0xffff_ffff_ffff_ffc5); // odd
+/// let ctx = MontyCtx::new(&m)?;
+/// let a = Natural::from_u64(123456789);
+/// let b = Natural::from_u64(987654321);
+/// let am = ctx.to_monty(&a);
+/// let bm = ctx.to_monty(&b);
+/// let pm = ctx.mul(&am, &bm);
+/// assert_eq!(ctx.from_monty(&pm), &(&a * &b) % &m);
+/// # Ok::<(), mpint::monty::InvalidModulusError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MontyCtx {
+    n: Vec<u32>,
+    n0inv: u32,
+    rr: Vec<u32>,
+    modulus: Natural,
+}
+
+/// Computes the inverse of an odd `u32` modulo `2^32` by Newton iteration.
+fn inv_u32(x: u32) -> u32 {
+    debug_assert!(x & 1 == 1);
+    let mut y = x; // correct to 3 bits
+    for _ in 0..5 {
+        y = y.wrapping_mul(2u32.wrapping_sub(x.wrapping_mul(y)));
+    }
+    debug_assert_eq!(x.wrapping_mul(y), 1);
+    y
+}
+
+impl MontyCtx {
+    /// Builds a Montgomery context for the odd modulus `m > 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidModulusError`] if `m` is even or `<= 1`.
+    pub fn new(m: &Natural) -> Result<Self, InvalidModulusError> {
+        if m.is_even() {
+            return Err(InvalidModulusError {
+                reason: "modulus must be odd",
+            });
+        }
+        if m.is_one() || m.is_zero() {
+            return Err(InvalidModulusError {
+                reason: "modulus must be greater than one",
+            });
+        }
+        let n = m.limbs().to_vec();
+        let len = n.len();
+        let n0inv = inv_u32(n[0]).wrapping_neg();
+        // R^2 mod m with R = 2^(32*len).
+        let r2 = (Natural::one() << (64 * len)) % m.clone();
+        let rr = r2.to_limbs_padded(len);
+        Ok(MontyCtx {
+            n,
+            n0inv,
+            rr,
+            modulus: m.clone(),
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &Natural {
+        &self.modulus
+    }
+
+    /// The modulus size in 32-bit limbs.
+    pub fn limb_len(&self) -> usize {
+        self.n.len()
+    }
+
+    /// Converts `a` (must be `< m`… larger values are reduced first) into
+    /// Montgomery form.
+    pub fn to_monty(&self, a: &Natural) -> Natural {
+        let a = if a >= &self.modulus {
+            a % &self.modulus
+        } else {
+            a.clone()
+        };
+        self.mul_limbs(&a.to_limbs_padded(self.n.len()), &self.rr)
+    }
+
+    /// Converts a Montgomery-form value back to the plain representation.
+    pub fn from_monty(&self, a: &Natural) -> Natural {
+        let mut one = vec![0u32; self.n.len()];
+        one[0] = 1;
+        self.mul_limbs(&a.to_limbs_padded(self.n.len()), &one)
+    }
+
+    /// Montgomery product of two Montgomery-form values:
+    /// `a·b·R^{-1} mod m`.
+    pub fn mul(&self, a: &Natural, b: &Natural) -> Natural {
+        self.mul_limbs(
+            &a.to_limbs_padded(self.n.len()),
+            &b.to_limbs_padded(self.n.len()),
+        )
+    }
+
+    /// Montgomery square.
+    pub fn sqr(&self, a: &Natural) -> Natural {
+        self.mul(a, a)
+    }
+
+    /// Modular exponentiation `base^exp mod m` via Montgomery binary
+    /// square-and-multiply. `base` is a plain (non-Montgomery) value.
+    pub fn pow_mod(&self, base: &Natural, exp: &Natural) -> Natural {
+        if exp.is_zero() {
+            return &Natural::one() % &self.modulus;
+        }
+        let bm = self.to_monty(base);
+        let mut acc = bm.clone();
+        for i in (0..exp.bit_length() - 1).rev() {
+            acc = self.sqr(&acc);
+            if exp.bit(i) {
+                acc = self.mul(&acc, &bm);
+            }
+        }
+        self.from_monty(&acc)
+    }
+
+    /// Core operation on padded limb vectors: multiply then Montgomery
+    /// reduce.
+    fn mul_limbs(&self, a: &[u32], b: &[u32]) -> Natural {
+        let len = self.n.len();
+        debug_assert_eq!(a.len(), len);
+        debug_assert_eq!(b.len(), len);
+        // t = a * b, with room for len reduction carries plus one limb.
+        let mut t = vec![0u32; 2 * len + 1];
+        mpn::mul_basecase(&mut t[..2 * len], a, b);
+        self.reduce_in_place(&mut t)
+    }
+
+    /// Montgomery-reduces the double-length value in `t`
+    /// (`t.len() == 2*len + 1`), returning `t · R^{-1} mod m`.
+    fn reduce_in_place(&self, t: &mut [u32]) -> Natural {
+        let len = self.n.len();
+        debug_assert_eq!(t.len(), 2 * len + 1);
+        for i in 0..len {
+            let m = t[i].wrapping_mul(self.n0inv);
+            let carry = mpn::addmul_1(&mut t[i..i + len], &self.n, m);
+            // Propagate the carry limb into the upper part.
+            let mut j = i + len;
+            let mut c = carry;
+            while c != 0 {
+                let (s, over) = t[j].add_carry(c, false);
+                t[j] = s;
+                c = over as u32;
+                j += 1;
+            }
+            debug_assert_eq!(t[i], 0);
+        }
+        let mut r = t[len..2 * len].to_vec();
+        let extra = t[2 * len];
+        if extra != 0 || mpn::cmp(&r, &self.n) != core::cmp::Ordering::Less {
+            let borrow = mpn::sub_n_in_place(&mut r, &self.n);
+            debug_assert_eq!(borrow as u32, extra);
+        }
+        Natural::from_limbs(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nat_hex(s: &str) -> Natural {
+        Natural::from_hex_str(s).unwrap()
+    }
+
+    #[test]
+    fn inv_u32_inverts_odd_values() {
+        for x in [1u32, 3, 5, 0xdead_beef | 1, u32::MAX] {
+            assert_eq!(x.wrapping_mul(inv_u32(x)), 1, "x={x}");
+        }
+    }
+
+    #[test]
+    fn rejects_even_and_trivial_moduli() {
+        assert!(MontyCtx::new(&Natural::from_u64(10)).is_err());
+        assert!(MontyCtx::new(&Natural::one()).is_err());
+        assert!(MontyCtx::new(&Natural::zero()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_to_from_monty() {
+        let m = nat_hex("f000000000000000000000000000000d"); // odd 128-bit
+        let ctx = MontyCtx::new(&m).unwrap();
+        for v in [0u64, 1, 2, 0xffff_ffff, u64::MAX] {
+            let a = Natural::from_u64(v);
+            assert_eq!(ctx.from_monty(&ctx.to_monty(&a)), a, "v={v:#x}");
+        }
+    }
+
+    #[test]
+    fn mul_matches_divrem_reduction() {
+        let m = nat_hex("c59cdafb3e8b2f1d00000000000000000000000000000061");
+        let ctx = MontyCtx::new(&m).unwrap();
+        let a = nat_hex("123456789abcdef0fedcba9876543210aaaaaaaabbbbbbbb") % &m;
+        let b = nat_hex("9f8e7d6c5b4a39281726354453627181deadbeefcafebabe") % &m;
+        let expect = &(&a * &b) % &m;
+        let got = ctx.from_monty(&ctx.mul(&ctx.to_monty(&a), &ctx.to_monty(&b)));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pow_mod_matches_reference() {
+        let m = Natural::from_u64(0xffff_ffff_ffff_ffc5);
+        let ctx = MontyCtx::new(&m).unwrap();
+        let b = Natural::from_u64(0x1234_5678_9abc_def1);
+        let e = Natural::from_u64(0xfedc_ba98);
+        assert_eq!(ctx.pow_mod(&b, &e), b.pow_mod(&e, &m));
+        assert_eq!(ctx.pow_mod(&b, &Natural::zero()), Natural::one());
+        assert_eq!(ctx.pow_mod(&b, &Natural::one()), &b % &m);
+    }
+
+    #[test]
+    fn values_larger_than_modulus_are_reduced() {
+        let m = Natural::from_u64(0x1_0000_000f); // odd
+        let ctx = MontyCtx::new(&m).unwrap();
+        let big = Natural::from_hex_str("ffffffffffffffffffffffff").unwrap();
+        let got = ctx.from_monty(&ctx.to_monty(&big));
+        assert_eq!(got, &big % &m);
+    }
+
+    #[test]
+    fn single_limb_modulus() {
+        let m = Natural::from_u32(0xfffffffb); // prime
+        let ctx = MontyCtx::new(&m).unwrap();
+        let a = Natural::from_u32(0x12345678);
+        let b = Natural::from_u32(0x9abcdef1);
+        let expect = &(&a * &b) % &m;
+        assert_eq!(
+            ctx.from_monty(&ctx.mul(&ctx.to_monty(&a), &ctx.to_monty(&b))),
+            expect
+        );
+    }
+}

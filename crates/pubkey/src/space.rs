@@ -1,0 +1,253 @@
+//! The modular-exponentiation algorithm design space (paper §4.3).
+//!
+//! "Over 450 candidate algorithms were considered for evaluation due to
+//! the permutations arising from five modular multiplication algorithms,
+//! five input block sizes, three Chinese Remainder Theorem
+//! implementations, two radix sizes and three different software caching
+//! options." This module enumerates exactly that lattice:
+//! 5 × 5 × 3 × 2 × 3 = 450 configurations.
+
+use core::fmt;
+
+/// The modular-multiplication strategy (5 options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MulAlgo {
+    /// Schoolbook product followed by a full division.
+    MulDiv,
+    /// Schoolbook product + Barrett reduction.
+    Barrett,
+    /// Montgomery (CIOS-style) multiplication.
+    Montgomery,
+    /// Karatsuba product followed by a full division.
+    KaratsubaDiv,
+    /// Karatsuba product + Barrett reduction.
+    KaratsubaBarrett,
+}
+
+impl MulAlgo {
+    /// All strategies.
+    pub const ALL: [MulAlgo; 5] = [
+        MulAlgo::MulDiv,
+        MulAlgo::Barrett,
+        MulAlgo::Montgomery,
+        MulAlgo::KaratsubaDiv,
+        MulAlgo::KaratsubaBarrett,
+    ];
+}
+
+impl fmt::Display for MulAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MulAlgo::MulDiv => "muldiv",
+            MulAlgo::Barrett => "barrett",
+            MulAlgo::Montgomery => "montgomery",
+            MulAlgo::KaratsubaDiv => "kara-div",
+            MulAlgo::KaratsubaBarrett => "kara-barrett",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Chinese-Remainder-Theorem handling for RSA decryption (3 options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CrtMode {
+    /// Single full-size exponentiation modulo `n`.
+    None,
+    /// Two half-size exponentiations; the recombination coefficient
+    /// `q⁻¹ mod p` is recomputed on every call.
+    Recompute,
+    /// Two half-size exponentiations with the precomputed Garner
+    /// coefficient stored in the key.
+    Garner,
+}
+
+impl CrtMode {
+    /// All CRT modes.
+    pub const ALL: [CrtMode; 3] = [CrtMode::None, CrtMode::Recompute, CrtMode::Garner];
+}
+
+impl fmt::Display for CrtMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CrtMode::None => "no-crt",
+            CrtMode::Recompute => "crt-recompute",
+            CrtMode::Garner => "crt-garner",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Limb radix of the multi-precision representation (2 options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Radix {
+    /// 16-bit limbs: products fit a 32-bit word, so no wide multiply is
+    /// needed — attractive on multiplier-less cores.
+    R16,
+    /// 32-bit limbs: half the iterations, needs a 32×32 multiplier.
+    R32,
+}
+
+impl Radix {
+    /// All radices.
+    pub const ALL: [Radix; 2] = [Radix::R16, Radix::R32];
+}
+
+impl fmt::Display for Radix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Radix::R16 => f.write_str("r16"),
+            Radix::R32 => f.write_str("r32"),
+        }
+    }
+}
+
+/// Software caching of derived per-key state (3 options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CacheMode {
+    /// Recompute reduction constants (Barrett `mu`, Montgomery `R²`,
+    /// `n0'`) on every exponentiation.
+    None,
+    /// Cache reduction constants per modulus (hash-table lookup).
+    Context,
+    /// Cache reduction constants *and* the window precomputation table
+    /// per (base, modulus) pair.
+    ContextAndTable,
+}
+
+impl CacheMode {
+    /// All caching options.
+    pub const ALL: [CacheMode; 3] = [
+        CacheMode::None,
+        CacheMode::Context,
+        CacheMode::ContextAndTable,
+    ];
+}
+
+impl fmt::Display for CacheMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CacheMode::None => "nocache",
+            CacheMode::Context => "ctxcache",
+            CacheMode::ContextAndTable => "fullcache",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One point in the modular-exponentiation design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModExpConfig {
+    /// Modular-multiplication strategy.
+    pub mul: MulAlgo,
+    /// Exponent window width in bits (1–5; the paper's "input block
+    /// sizes").
+    pub window: u32,
+    /// CRT handling.
+    pub crt: CrtMode,
+    /// Limb radix.
+    pub radix: Radix,
+    /// Software caching option.
+    pub cache: CacheMode,
+}
+
+impl ModExpConfig {
+    /// Window widths explored (5 options).
+    pub const WINDOWS: [u32; 5] = [1, 2, 3, 4, 5];
+
+    /// A sensible default (and the baseline for Table 1's unoptimized
+    /// software): schoolbook multiply + division, binary exponent
+    /// scanning, no CRT, 32-bit limbs, no caching.
+    pub fn baseline() -> Self {
+        ModExpConfig {
+            mul: MulAlgo::MulDiv,
+            window: 1,
+            crt: CrtMode::None,
+            radix: Radix::R32,
+            cache: CacheMode::None,
+        }
+    }
+
+    /// The configuration the paper's exploration converges to for RSA
+    /// decryption: Montgomery multiplication, 5-bit windows, Garner CRT,
+    /// 32-bit limbs, cached contexts and tables.
+    pub fn optimized() -> Self {
+        ModExpConfig {
+            mul: MulAlgo::Montgomery,
+            window: 5,
+            crt: CrtMode::Garner,
+            radix: Radix::R32,
+            cache: CacheMode::ContextAndTable,
+        }
+    }
+
+    /// Enumerates the full 450-candidate lattice in a deterministic
+    /// order.
+    pub fn enumerate() -> Vec<ModExpConfig> {
+        let mut out = Vec::with_capacity(450);
+        for &mul in &MulAlgo::ALL {
+            for &window in &Self::WINDOWS {
+                for &crt in &CrtMode::ALL {
+                    for &radix in &Radix::ALL {
+                        for &cache in &CacheMode::ALL {
+                            out.push(ModExpConfig {
+                                mul,
+                                window,
+                                crt,
+                                radix,
+                                cache,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ModExpConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/w{}/{}/{}/{}",
+            self.mul, self.window, self.crt, self.radix, self.cache
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn lattice_has_450_distinct_points() {
+        let all = ModExpConfig::enumerate();
+        assert_eq!(all.len(), 450, "5 × 5 × 3 × 2 × 3");
+        let set: BTreeSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 450);
+    }
+
+    #[test]
+    fn baseline_and_optimized_are_members() {
+        let all = ModExpConfig::enumerate();
+        assert!(all.contains(&ModExpConfig::baseline()));
+        assert!(all.contains(&ModExpConfig::optimized()));
+    }
+
+    #[test]
+    fn display_is_unique_per_config() {
+        let all = ModExpConfig::enumerate();
+        let names: BTreeSet<String> = all.iter().map(|c| c.to_string()).collect();
+        assert_eq!(names.len(), 450);
+    }
+
+    #[test]
+    fn axis_sizes_match_paper() {
+        assert_eq!(MulAlgo::ALL.len(), 5);
+        assert_eq!(ModExpConfig::WINDOWS.len(), 5);
+        assert_eq!(CrtMode::ALL.len(), 3);
+        assert_eq!(Radix::ALL.len(), 2);
+        assert_eq!(CacheMode::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,491 @@
+//! The four-phase system design methodology (the paper's Fig. 3).
+//!
+//! 1. **Performance characterization** ([`characterize_kernels`]): run
+//!    each library kernel on the cycle-accurate ISS with pseudo-random
+//!    stimuli and fit macro-models by regression.
+//! 2. **Algorithm exploration** ([`explore_modexp`]): evaluate every
+//!    candidate of the 450-point modular-exponentiation design space
+//!    natively with macro-model cycle accrual, replacing ISS runs.
+//! 3. **Custom-instruction formulation** ([`formulate_mpn_curves`]):
+//!    measure each routine under every resource level of its custom
+//!    instruction family, producing local A-D curves.
+//! 4. **Global selection** ([`build_selector`], and
+//!    [`tie::Selector::select`]): propagate A-D curves through the
+//!    algorithm's call graph and pick the best point under an area
+//!    budget.
+
+use crate::issops::{IssMpn, KernelVariant};
+use macromodel::charact::{characterize, with_name, CharactOptions, Characterization};
+use macromodel::model::{MacroModel, ModelQuality, Monomial};
+use macromodel::stimulus::ParamSpace;
+use mpint::Natural;
+use pubkey::modexp::{mod_exp, ExpCache, ModExpError};
+use pubkey::ops::{opname, ModeledMpn, MpnOps};
+use pubkey::space::ModExpConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+use tie::adcurve::{AdCurve, AdPoint};
+use tie::callgraph::CallGraph;
+use tie::insn::CustomInsn;
+use tie::select::Selector;
+use xr32::config::CpuConfig;
+
+/// Fitted macro-models for every basic operation, with accuracy
+/// metadata.
+#[derive(Debug, Clone)]
+pub struct KernelModels {
+    /// Per-op models for 32-bit limbs.
+    pub models32: BTreeMap<&'static str, MacroModel>,
+    /// Per-op models for 16-bit limbs.
+    pub models16: BTreeMap<&'static str, MacroModel>,
+    /// Fit quality per (op, radix-tag) pair, e.g. `("mpn_add_n", 32)`.
+    pub quality: BTreeMap<(&'static str, u32), ModelQuality>,
+}
+
+impl KernelModels {
+    /// Builds the macro-model-metered ops provider from these models.
+    pub fn modeled_ops(&self, glue_cost: f64) -> ModeledMpn {
+        ModeledMpn::with_radix_models(self.models32.clone(), self.models16.clone(), glue_cost)
+    }
+
+    /// Mean absolute percentage error across all fitted models (the
+    /// paper reports 11.8 % overall).
+    pub fn mean_abs_error_pct(&self) -> f64 {
+        if self.quality.is_empty() {
+            return 0.0;
+        }
+        self.quality.values().map(|q| q.mae_pct).sum::<f64>() / self.quality.len() as f64
+    }
+}
+
+/// Phase 1: characterizes every basic-operation kernel of the given
+/// variant on the ISS, fitting linear macro-models in the operand
+/// length over `1..=max_limbs`.
+///
+/// # Panics
+///
+/// Panics if a regression fit is degenerate (cannot happen for the
+/// bundled kernels, whose profiles are near-affine).
+pub fn characterize_kernels(
+    config: &CpuConfig,
+    variant: KernelVariant,
+    max_limbs: usize,
+    options: &CharactOptions,
+) -> KernelModels {
+    let mut models32 = BTreeMap::new();
+    let mut models16 = BTreeMap::new();
+    let mut quality = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(0xC0DE_2002);
+
+    for width in [32u32, 16] {
+        let mut iss = IssMpn::with_variant(config.clone(), variant);
+        iss.set_verify(false); // characterization measures timing only
+        for op in opname::ALL {
+            let space = if op == opname::DIV_QHAT {
+                ParamSpace::new(vec![(1, 1)])
+            } else {
+                ParamSpace::new(vec![(1, max_limbs as u64)])
+            };
+            let basis = if op == opname::DIV_QHAT {
+                vec![Monomial::constant(1)]
+            } else {
+                vec![Monomial::constant(1), Monomial::linear(1, 0)]
+            };
+            let mut seed = 1u64;
+            let ch: Characterization = characterize(
+                &space,
+                &basis,
+                options,
+                &mut rng,
+                |params: &[u64]| {
+                    seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    let n = params[0] as usize;
+                    if width == 32 {
+                        iss.measure32(op, n, seed)
+                    } else {
+                        iss.measure16(op, n, seed)
+                    }
+                },
+            )
+            .unwrap_or_else(|e| panic!("characterization of {op} (r{width}) failed: {e}"));
+            let ch = with_name(ch, op);
+            quality.insert((op, width), ch.quality);
+            if width == 32 {
+                models32.insert(op, ch.model);
+            } else {
+                models16.insert(op, ch.model);
+            }
+        }
+    }
+    KernelModels {
+        models32,
+        models16,
+        quality,
+    }
+}
+
+/// One evaluated design-space candidate.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The configuration.
+    pub config: ModExpConfig,
+    /// Estimated cycles for the workload.
+    pub cycles: f64,
+}
+
+/// Phase 2 result: the ranked design space plus timing bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ExplorationResult {
+    /// All candidates, sorted fastest-first.
+    pub ranked: Vec<Candidate>,
+    /// Wall-clock time of the whole exploration.
+    pub elapsed: Duration,
+    /// Candidates evaluated.
+    pub evaluated: usize,
+}
+
+impl ExplorationResult {
+    /// The winning configuration.
+    pub fn best(&self) -> &Candidate {
+        &self.ranked[0]
+    }
+}
+
+/// Phase 2: evaluates every candidate of the design space with
+/// macro-model metering on a fixed RSA-decrypt-like workload
+/// (`base^exp mod m` with `bits`-bit operands).
+///
+/// # Errors
+///
+/// Returns [`ModExpError`] if a configuration fails (which would be a
+/// defect — all 450 are executable).
+pub fn explore_modexp(
+    models: &KernelModels,
+    bits: usize,
+    glue_cost: f64,
+) -> Result<ExplorationResult, ModExpError> {
+    let mut rng = StdRng::seed_from_u64(0xE4B0);
+    let m = {
+        // An odd modulus with the top bit set.
+        let mut m = Natural::random_bits(&mut rng, bits);
+        if m.is_even() {
+            m = &m + &Natural::one();
+        }
+        m
+    };
+    let base = Natural::random_below(&mut rng, &m);
+    let exp = Natural::random_bits(&mut rng, bits);
+    let expect = base.pow_mod(&exp, &m);
+
+    let start = Instant::now();
+    let mut ranked = Vec::with_capacity(450);
+    for config in ModExpConfig::enumerate() {
+        let mut ops = models.modeled_ops(glue_cost);
+        let mut cache = ExpCache::new();
+        // Caching benefits repeat calls: run twice, cost the second.
+        let r1 = mod_exp(&mut ops, &base, &exp, &m, &config, &mut cache)?;
+        debug_assert_eq!(r1, expect);
+        MpnOps::<u32>::reset(&mut ops);
+        let r2 = mod_exp(&mut ops, &base, &exp, &m, &config, &mut cache)?;
+        assert_eq!(r2, expect, "config {config} computed a wrong result");
+        ranked.push(Candidate {
+            config,
+            cycles: MpnOps::<u32>::cycles(&ops),
+        });
+    }
+    ranked.sort_by(|a, b| a.cycles.total_cmp(&b.cycles));
+    Ok(ExplorationResult {
+        evaluated: ranked.len(),
+        elapsed: start.elapsed(),
+        ranked,
+    })
+}
+
+/// Evaluates a single candidate with macro-model metering on the same
+/// fixed workload as [`explore_modexp`], returning estimated cycles.
+///
+/// # Errors
+///
+/// Returns [`ModExpError`] on configuration failure.
+pub fn explore_single(
+    models: &KernelModels,
+    candidate: &ModExpConfig,
+    bits: usize,
+    glue_cost: f64,
+) -> Result<f64, ModExpError> {
+    let mut rng = StdRng::seed_from_u64(0xE4B0);
+    let mut m = Natural::random_bits(&mut rng, bits);
+    if m.is_even() {
+        m = &m + &Natural::one();
+    }
+    let base = Natural::random_below(&mut rng, &m);
+    let exp = Natural::random_bits(&mut rng, bits);
+    let mut ops = models.modeled_ops(glue_cost);
+    let mut cache = ExpCache::new();
+    mod_exp(&mut ops, &base, &exp, &m, candidate, &mut cache)?;
+    MpnOps::<u32>::reset(&mut ops);
+    mod_exp(&mut ops, &base, &exp, &m, candidate, &mut cache)?;
+    Ok(MpnOps::<u32>::cycles(&ops))
+}
+
+/// Evaluates a single candidate by full ISS co-simulation (the slow
+/// reference the paper could only afford for six candidates).
+///
+/// # Errors
+///
+/// Returns [`ModExpError`] on configuration failure.
+pub fn cosimulate_candidate(
+    config: &CpuConfig,
+    variant: KernelVariant,
+    candidate: &ModExpConfig,
+    bits: usize,
+    glue_cost: f64,
+) -> Result<f64, ModExpError> {
+    let mut rng = StdRng::seed_from_u64(0xE4B0);
+    let mut m = Natural::random_bits(&mut rng, bits);
+    if m.is_even() {
+        m = &m + &Natural::one();
+    }
+    let base = Natural::random_below(&mut rng, &m);
+    let exp = Natural::random_bits(&mut rng, bits);
+
+    let mut iss = IssMpn::with_variant(config.clone(), variant);
+    iss.set_verify(false);
+    iss.set_glue_cost(glue_cost);
+    let mut cache = ExpCache::new();
+    mod_exp(&mut iss, &base, &exp, &m, candidate, &mut cache)?;
+    MpnOps::<u32>::reset(&mut iss);
+    mod_exp(&mut iss, &base, &exp, &m, candidate, &mut cache)?;
+    Ok(MpnOps::<u32>::cycles(&iss))
+}
+
+/// The shared user-register load/store plumbing as a selection-level
+/// instruction (counted once however many datapaths share it).
+fn ur_ls_insn() -> CustomInsn {
+    let area = crate::insns::ldur().area + crate::insns::stur().area;
+    CustomInsn::new("ur_ls", 1, area)
+}
+
+/// Phase 3: formulates the A-D curves for `mpn_add_n` and
+/// `mpn_addmul_1` by measuring the base kernel and every accelerated
+/// resource level on the ISS at `n` limbs (the paper's Fig. 5(a)/(b)).
+pub fn formulate_mpn_curves(config: &CpuConfig, n: usize) -> BTreeMap<String, AdCurve> {
+    let mut curves = BTreeMap::new();
+
+    // mpn_add_n family: base point plus add2/4/8/16.
+    let mut points = Vec::new();
+    let mut base = IssMpn::base(config.clone());
+    base.set_verify(false);
+    base.measure32(opname::ADD_N, n, 7); // warm
+    points.push(AdPoint::base(base.measure32(opname::ADD_N, n, 8)));
+    for lanes in [2u32, 4, 8, 16] {
+        let mut iss = IssMpn::accelerated(config.clone(), lanes, 1);
+        iss.set_verify(false);
+        iss.measure32(opname::ADD_N, n, 7);
+        let cycles = iss.measure32(opname::ADD_N, n, 8);
+        points.push(AdPoint::new(
+            [
+                ur_ls_insn(),
+                CustomInsn::new("add", lanes, crate::insns::add_k(lanes).area),
+            ],
+            cycles,
+        ));
+    }
+    curves.insert("mpn_add_n".to_owned(), AdCurve::from_points(points));
+
+    // mpn_addmul_1 family: base point plus mac1/2/4.
+    let mut points = Vec::new();
+    let mut base = IssMpn::base(config.clone());
+    base.set_verify(false);
+    base.measure32(opname::ADDMUL_1, n, 7);
+    points.push(AdPoint::base(base.measure32(opname::ADDMUL_1, n, 8)));
+    for lanes in [1u32, 2, 4] {
+        let mut iss = IssMpn::accelerated(config.clone(), 2, lanes);
+        iss.set_verify(false);
+        iss.measure32(opname::ADDMUL_1, n, 7);
+        let cycles = iss.measure32(opname::ADDMUL_1, n, 8);
+        points.push(AdPoint::new(
+            [
+                ur_ls_insn(),
+                CustomInsn::new("mac", lanes, crate::insns::mac_k(lanes).area),
+            ],
+            cycles,
+        ));
+    }
+    curves.insert("mpn_addmul_1".to_owned(), AdCurve::from_points(points));
+
+    curves
+}
+
+/// Builds the paper's Fig. 4 call graph — the optimized modular
+/// exponentiation example — annotated with this platform's measured
+/// leaf cycles. `k` is the operand size in limbs.
+pub fn fig4_call_graph(config: &CpuConfig, k: usize) -> CallGraph {
+    let mut iss = IssMpn::base(config.clone());
+    iss.set_verify(false);
+    iss.measure32(opname::ADD_N, k, 3);
+    let addn = iss.measure32(opname::ADD_N, k, 4);
+    iss.measure32(opname::ADDMUL_1, k, 3);
+    let addmul = iss.measure32(opname::ADDMUL_1, k, 4);
+
+    let mut g = CallGraph::new();
+    g.add_node("decrypt", 120.0);
+    g.add_node("mpz_mul", 40.0);
+    g.add_node("mod_hw", 30.0);
+    g.add_node("mpz_mod", 60.0);
+    g.add_node("mpz_add", 10.0);
+    g.add_node("mpz_sub", 10.0);
+    g.add_node("mpz_gcdext", 200.0);
+    g.add_node("mpn_add_n", addn);
+    g.add_node("mpn_addmul_1", addmul);
+    for (caller, callee, count) in [
+        ("decrypt", "mpz_mul", 4.0),
+        ("decrypt", "mod_hw", 4.0),
+        ("decrypt", "mpz_mod", 2.0),
+        ("decrypt", "mpz_add", 2.0),
+        ("decrypt", "mpz_sub", 2.0),
+        ("mpz_mul", "mpn_addmul_1", k as f64),
+        ("mod_hw", "mpn_addmul_1", k as f64),
+        ("mod_hw", "mpn_add_n", 2.0),
+        ("mpz_mod", "mpn_add_n", 1.0),
+        ("mpz_add", "mpn_add_n", 1.0),
+        ("mpz_sub", "mpn_add_n", 1.0),
+        ("mpz_gcdext", "mpn_add_n", 3.0),
+    ] {
+        g.add_call(caller, callee, count)
+            .expect("nodes declared above");
+    }
+    g
+}
+
+/// Phase 4: assembles the global selector from the Fig. 4 call graph
+/// and the formulated curves.
+pub fn build_selector(config: &CpuConfig, k: usize) -> Selector {
+    let graph = fig4_call_graph(config, k);
+    let curves = formulate_mpn_curves(config, k);
+    let mut sel = Selector::new(graph);
+    for (name, curve) in curves {
+        sel.set_leaf_curve(name, curve);
+    }
+    sel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_options() -> CharactOptions {
+        CharactOptions {
+            train_samples: 12,
+            validation_points: 5,
+        }
+    }
+
+    #[test]
+    fn characterization_fits_linear_kernels_well() {
+        let models = characterize_kernels(
+            &CpuConfig::default(),
+            KernelVariant::Base,
+            16,
+            &quick_options(),
+        );
+        for op in opname::ALL {
+            assert!(models.models32.contains_key(op), "{op} missing (r32)");
+            assert!(models.models16.contains_key(op), "{op} missing (r16)");
+        }
+        let q = models.quality[&(opname::ADDMUL_1, 32)];
+        assert!(q.mae_pct < 15.0, "addmul_1 fit error {}%", q.mae_pct);
+        assert!(models.mean_abs_error_pct() < 20.0);
+        // Per-limb cost: addmul > add (multiplies dominate).
+        let am = models.models32[opname::ADDMUL_1].predict(&[16]);
+        let an = models.models32[opname::ADD_N].predict(&[16]);
+        assert!(am > an, "addmul {am} vs add {an}");
+    }
+
+    #[test]
+    fn exploration_ranks_the_space_and_best_beats_baseline() {
+        let models = characterize_kernels(
+            &CpuConfig::default(),
+            KernelVariant::Base,
+            8,
+            &quick_options(),
+        );
+        let result = explore_modexp(&models, 128, 4.0).unwrap();
+        assert_eq!(result.evaluated, 450);
+        let best = result.best();
+        let baseline = result
+            .ranked
+            .iter()
+            .find(|c| c.config == ModExpConfig::baseline())
+            .expect("baseline in the space");
+        assert!(
+            best.cycles < baseline.cycles / 2.0,
+            "exploration should find large algorithmic wins: best {} vs baseline {}",
+            best.cycles,
+            baseline.cycles
+        );
+        // The winner should use a modern reduction, CRT and caching.
+        assert_ne!(best.config.mul, pubkey::MulAlgo::MulDiv);
+    }
+
+    #[test]
+    fn ad_curves_are_monotone_in_resources() {
+        let curves = formulate_mpn_curves(&CpuConfig::default(), 32);
+        let addn = &curves["mpn_add_n"];
+        assert_eq!(addn.len(), 5);
+        let pts = addn.points();
+        assert_eq!(pts[0].area(), 0);
+        for w in pts.windows(2) {
+            assert!(w[0].cycles > w[1].cycles, "more lanes, fewer cycles");
+        }
+        let addmul = &curves["mpn_addmul_1"];
+        assert_eq!(addmul.len(), 4);
+    }
+
+    #[test]
+    fn selector_improves_with_budget() {
+        let sel = build_selector(&CpuConfig::default(), 32);
+        let root = sel.root_curve("decrypt").unwrap();
+        assert!(root.len() >= 3);
+        let no_hw = sel.select("decrypt", 0).unwrap().unwrap();
+        let big = sel.select("decrypt", 1_000_000).unwrap().unwrap();
+        assert!(no_hw.cycles > big.cycles);
+        assert_eq!(no_hw.area(), 0);
+    }
+
+    #[test]
+    fn cosimulation_agrees_with_models_roughly() {
+        let models = characterize_kernels(
+            &CpuConfig::default(),
+            KernelVariant::Base,
+            8,
+            &quick_options(),
+        );
+        let cfg = ModExpConfig::optimized();
+        let modeled = {
+            let mut ops = models.modeled_ops(4.0);
+            let mut cache = ExpCache::new();
+            let mut rng = StdRng::seed_from_u64(0xE4B0);
+            let mut m = Natural::random_bits(&mut rng, 128);
+            if m.is_even() {
+                m = &m + &Natural::one();
+            }
+            let base = Natural::random_below(&mut rng, &m);
+            let exp = Natural::random_bits(&mut rng, 128);
+            mod_exp(&mut ops, &base, &exp, &m, &cfg, &mut cache).unwrap();
+            MpnOps::<u32>::reset(&mut ops);
+            mod_exp(&mut ops, &base, &exp, &m, &cfg, &mut cache).unwrap();
+            MpnOps::<u32>::cycles(&ops)
+        };
+        let cosim =
+            cosimulate_candidate(&CpuConfig::default(), KernelVariant::Base, &cfg, 128, 4.0)
+                .unwrap();
+        let err = ((modeled - cosim) / cosim).abs() * 100.0;
+        assert!(
+            err < 30.0,
+            "macro-model estimate {modeled:.0} vs co-sim {cosim:.0} ({err:.1}% off)"
+        );
+    }
+}

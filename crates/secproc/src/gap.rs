@@ -1,0 +1,160 @@
+//! The security processing gap (the paper's Fig. 1).
+//!
+//! Fig. 1 contrasts two trends across wireless generations and silicon
+//! nodes: the MIPS required to run security protocols at the
+//! generation's data rate, and the MIPS an embedded processor delivers.
+//! The required side grows with the data rate (and with stronger
+//! algorithms); the delivered side grows far more slowly — the *security
+//! processing gap*.
+
+/// One generation/node point of the trend.
+#[derive(Debug, Clone, Copy)]
+pub struct GapPoint {
+    /// Wireless generation label.
+    pub generation: &'static str,
+    /// Silicon node in microns.
+    pub node_um: f64,
+    /// Peak downlink data rate in kbit/s.
+    pub data_rate_kbps: f64,
+    /// Embedded processor performance at that node, MIPS.
+    pub processor_mips: f64,
+}
+
+/// The five generation/node pairs of Fig. 1 (2G through 3G/WLAN over
+/// 0.35 µm to 0.10 µm). Processor MIPS follow the roughly 1.6×-per-node
+/// improvement of late-1990s embedded cores (the paper's 0.18 µm
+/// reference point is the 188 MHz Xtensa).
+pub fn generations() -> Vec<GapPoint> {
+    vec![
+        GapPoint {
+            generation: "2G",
+            node_um: 0.35,
+            data_rate_kbps: 14.4,
+            processor_mips: 75.0,
+        },
+        GapPoint {
+            generation: "2.5G",
+            node_um: 0.25,
+            data_rate_kbps: 384.0,
+            processor_mips: 120.0,
+        },
+        GapPoint {
+            generation: "3G (low)",
+            node_um: 0.18,
+            data_rate_kbps: 2_000.0,
+            processor_mips: 188.0,
+        },
+        GapPoint {
+            generation: "3G (high)",
+            node_um: 0.13,
+            data_rate_kbps: 10_000.0,
+            processor_mips: 300.0,
+        },
+        GapPoint {
+            generation: "WLAN",
+            node_um: 0.10,
+            data_rate_kbps: 55_000.0,
+            processor_mips: 480.0,
+        },
+    ]
+}
+
+/// Computes the MIPS required to sustain security processing at a data
+/// rate, given the measured protocol cost in cycles/byte.
+///
+/// `cycles_per_byte` is the end-to-end SSL-style cost (bulk cipher +
+/// MAC + amortized handshake) — use the platform measurements to supply
+/// it.
+pub fn required_mips(data_rate_kbps: f64, cycles_per_byte: f64) -> f64 {
+    // bytes/s = rate * 1000 / 8; MIPS ≈ cycles/s / 1e6 (1 cycle ≈ 1
+    // issued instruction on the single-issue baseline).
+    data_rate_kbps * 1000.0 / 8.0 * cycles_per_byte / 1.0e6
+}
+
+/// One rendered row of the Fig. 1 data.
+#[derive(Debug, Clone, Copy)]
+pub struct GapRow {
+    /// The generation/node point.
+    pub point: GapPoint,
+    /// MIPS required for security processing at this generation.
+    pub required_mips: f64,
+}
+
+impl GapRow {
+    /// Ratio of required to available MIPS (> 1 means the processor
+    /// cannot keep up).
+    pub fn gap_factor(&self) -> f64 {
+        self.required_mips / self.point.processor_mips
+    }
+}
+
+/// Builds the trend with the supplied security cost (cycles/byte).
+pub fn trend(cycles_per_byte: f64) -> Vec<GapRow> {
+    generations()
+        .into_iter()
+        .map(|point| GapRow {
+            required_mips: required_mips(point.data_rate_kbps, cycles_per_byte),
+            point,
+        })
+        .collect()
+}
+
+/// Renders the Fig. 1 table.
+pub fn render(rows: &[GapRow]) -> String {
+    let mut out = String::from(
+        "generation | node (um) | rate (kbps) | required MIPS | processor MIPS | gap\n-----------+-----------+-------------+---------------+----------------+-----\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} | {:>9.2} | {:>11.1} | {:>13.1} | {:>14.0} | {:>4.1}x\n",
+            r.point.generation,
+            r.point.node_um,
+            r.point.data_rate_kbps,
+            r.required_mips,
+            r.point.processor_mips,
+            r.gap_factor()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requirements_outgrow_processors() {
+        // With a fixed protocol cost, the required-MIPS curve must cross
+        // the processor curve between 2G and 3G — the paper's gap.
+        let rows = trend(1500.0); // SSL-ish cycles/byte on the baseline
+        assert!(
+            rows.first().unwrap().gap_factor() < 1.0,
+            "2G was sustainable"
+        );
+        assert!(
+            rows.last().unwrap().gap_factor() > 10.0,
+            "WLAN rates are far beyond the embedded core"
+        );
+        // Monotone growth of the gap.
+        for w in rows.windows(2) {
+            assert!(w[1].gap_factor() > w[0].gap_factor());
+        }
+    }
+
+    #[test]
+    fn required_mips_scales_linearly() {
+        assert!((required_mips(8.0, 1000.0) - 1.0).abs() < 1e-9);
+        assert!((required_mips(16.0, 1000.0) - 2.0).abs() < 1e-9);
+        assert!((required_mips(8.0, 2000.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn five_generations_rendered() {
+        let rows = trend(500.0);
+        assert_eq!(rows.len(), 5);
+        let text = render(&rows);
+        assert!(text.contains("2G"));
+        assert!(text.contains("WLAN"));
+        assert_eq!(text.lines().count(), 7);
+    }
+}

@@ -1,0 +1,638 @@
+//! The ISS-backed basic-operations provider.
+//!
+//! [`IssMpn`] implements [`pubkey::ops::MpnOps`] by running the XR32
+//! assembly kernels on the cycle-accurate simulator for **every** basic
+//! operation — the paper's slow-but-accurate reference evaluation
+//! method ("several hours to few days per candidate algorithm" on real
+//! hardware models; our XR32 is faster but still orders of magnitude
+//! slower than macro-model estimation).
+//!
+//! Every call optionally verifies the kernel's result against the
+//! native Rust implementation, so any divergence between the assembly
+//! and the reference is caught at the first occurrence.
+
+use crate::insns;
+use crate::kernels::mpn as kmpn;
+use mpint::limb::Limb;
+use mpint::mpn;
+use pubkey::ops::{div_qhat_reference, opname, MpnOps};
+use std::collections::BTreeMap;
+use xr32::asm::{assemble, Program};
+use xr32::config::CpuConfig;
+use xr32::cpu::Cpu;
+use xr32::ext::ExtensionSet;
+
+/// Base addresses of the kernel operand regions in simulator memory.
+const RP_ADDR: u32 = 0x1000;
+const AP_ADDR: u32 = 0x40000;
+const BP_ADDR: u32 = 0x80000;
+
+/// Which kernel library the 32-bit side runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelVariant {
+    /// Plain RISC kernels (the optimized-software baseline).
+    Base,
+    /// Custom-instruction kernels with the given adder/MAC lane counts.
+    Accelerated {
+        /// `add<k>`/`sub<k>` datapath lanes (2, 4, 8 or 16).
+        add_lanes: u32,
+        /// `mac<k>`/`msub<k>` datapath lanes (1, 2 or 4).
+        mac_lanes: u32,
+    },
+}
+
+/// ISS-backed [`MpnOps`] provider (32-bit and 16-bit radix sides).
+pub struct IssMpn {
+    cpu32: Cpu,
+    prog32: Program,
+    cpu16: Cpu,
+    prog16: Program,
+    cycles: f64,
+    counts: BTreeMap<&'static str, u64>,
+    glue_cost: f64,
+    verify: bool,
+}
+
+impl IssMpn {
+    /// Builds a provider running the base kernels on the given core
+    /// configuration.
+    pub fn base(config: CpuConfig) -> Self {
+        Self::with_variant(config, KernelVariant::Base)
+    }
+
+    /// Builds a provider running the accelerated kernels (the matching
+    /// extension set is configured automatically).
+    pub fn accelerated(config: CpuConfig, add_lanes: u32, mac_lanes: u32) -> Self {
+        Self::with_variant(
+            config,
+            KernelVariant::Accelerated {
+                add_lanes,
+                mac_lanes,
+            },
+        )
+    }
+
+    /// Builds a provider for an explicit kernel variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled kernel sources fail to assemble (a build
+    /// defect, not a runtime condition).
+    pub fn with_variant(config: CpuConfig, variant: KernelVariant) -> Self {
+        let (src32, ext): (String, ExtensionSet) = match variant {
+            KernelVariant::Base => (kmpn::base32_source(), ExtensionSet::new()),
+            KernelVariant::Accelerated {
+                add_lanes,
+                mac_lanes,
+            } => (
+                kmpn::accel32_source(add_lanes, mac_lanes),
+                insns::mpn_extension_set(add_lanes, mac_lanes),
+            ),
+        };
+        let prog32 = assemble(&src32).expect("bundled 32-bit kernels must assemble");
+        let prog16 = assemble(&kmpn::base16_source()).expect("bundled 16-bit kernels must assemble");
+        let mut cpu32 = Cpu::with_extensions(config.clone(), ext);
+        cpu32.set_fuel(u64::MAX);
+        let mut cpu16 = Cpu::new(config);
+        cpu16.set_fuel(u64::MAX);
+        IssMpn {
+            cpu32,
+            prog32,
+            cpu16,
+            prog16,
+            cycles: 0.0,
+            counts: BTreeMap::new(),
+            glue_cost: 4.0,
+            verify: true,
+        }
+    }
+
+    /// Enables/disables per-call verification against the native
+    /// implementation (on by default).
+    pub fn set_verify(&mut self, verify: bool) {
+        self.verify = verify;
+    }
+
+    /// Sets the cycle cost charged per glue unit (algorithm-layer
+    /// control overhead).
+    pub fn set_glue_cost(&mut self, cost: f64) {
+        self.glue_cost = cost;
+    }
+
+    /// Measures one kernel invocation: runs `op` on freshly written
+    /// operands of `n` limbs (32-bit side) and returns the cycle count.
+    /// Used by the characterization phase.
+    pub fn measure32(&mut self, op: &'static str, n: usize, seed: u64) -> f64 {
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 32) as u32
+        };
+        let before = self.cycles;
+        match op {
+            opname::ADD_N | opname::SUB_N => {
+                let a: Vec<u32> = (0..n).map(|_| next()).collect();
+                let b: Vec<u32> = (0..n).map(|_| next()).collect();
+                let mut r = vec![0u32; n];
+                if op == opname::ADD_N {
+                    MpnOps::<u32>::add_n(self, &mut r, &a, &b);
+                } else {
+                    MpnOps::<u32>::sub_n(self, &mut r, &a, &b);
+                }
+            }
+            opname::MUL_1 | opname::ADDMUL_1 | opname::SUBMUL_1 => {
+                let a: Vec<u32> = (0..n).map(|_| next()).collect();
+                let mut r: Vec<u32> = (0..n).map(|_| next()).collect();
+                let b = next();
+                match op {
+                    opname::MUL_1 => {
+                        MpnOps::<u32>::mul_1(self, &mut r, &a, b);
+                    }
+                    opname::ADDMUL_1 => {
+                        MpnOps::<u32>::addmul_1(self, &mut r, &a, b);
+                    }
+                    _ => {
+                        MpnOps::<u32>::submul_1(self, &mut r, &a, b);
+                    }
+                }
+            }
+            opname::LSHIFT | opname::RSHIFT => {
+                let a: Vec<u32> = (0..n).map(|_| next()).collect();
+                let mut r = vec![0u32; n];
+                let cnt = (next() % 31) + 1;
+                if op == opname::LSHIFT {
+                    MpnOps::<u32>::lshift(self, &mut r, &a, cnt);
+                } else {
+                    MpnOps::<u32>::rshift(self, &mut r, &a, cnt);
+                }
+            }
+            opname::DIV_QHAT => {
+                let d1 = next() | 0x8000_0000;
+                let d0 = next();
+                let n2 = next() % d1;
+                MpnOps::<u32>::div_qhat(self, n2, next(), next(), d1, d0);
+            }
+            other => panic!("unknown op {other}"),
+        }
+        self.cycles - before
+    }
+
+    /// 16-bit-radix counterpart of [`IssMpn::measure32`].
+    pub fn measure16(&mut self, op: &'static str, n: usize, seed: u64) -> f64 {
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 48) as u16
+        };
+        let before = self.cycles;
+        match op {
+            opname::ADD_N | opname::SUB_N => {
+                let a: Vec<u16> = (0..n).map(|_| next()).collect();
+                let b: Vec<u16> = (0..n).map(|_| next()).collect();
+                let mut r = vec![0u16; n];
+                if op == opname::ADD_N {
+                    MpnOps::<u16>::add_n(self, &mut r, &a, &b);
+                } else {
+                    MpnOps::<u16>::sub_n(self, &mut r, &a, &b);
+                }
+            }
+            opname::MUL_1 | opname::ADDMUL_1 | opname::SUBMUL_1 => {
+                let a: Vec<u16> = (0..n).map(|_| next()).collect();
+                let mut r: Vec<u16> = (0..n).map(|_| next()).collect();
+                let b = next();
+                match op {
+                    opname::MUL_1 => {
+                        MpnOps::<u16>::mul_1(self, &mut r, &a, b);
+                    }
+                    opname::ADDMUL_1 => {
+                        MpnOps::<u16>::addmul_1(self, &mut r, &a, b);
+                    }
+                    _ => {
+                        MpnOps::<u16>::submul_1(self, &mut r, &a, b);
+                    }
+                }
+            }
+            opname::LSHIFT | opname::RSHIFT => {
+                let a: Vec<u16> = (0..n).map(|_| next()).collect();
+                let mut r = vec![0u16; n];
+                let cnt = ((next() % 15) + 1) as u32;
+                if op == opname::LSHIFT {
+                    MpnOps::<u16>::lshift(self, &mut r, &a, cnt);
+                } else {
+                    MpnOps::<u16>::rshift(self, &mut r, &a, cnt);
+                }
+            }
+            opname::DIV_QHAT => {
+                let d1 = next() | 0x8000;
+                let d0 = next();
+                let n2 = next() % d1;
+                MpnOps::<u16>::div_qhat(self, n2, next(), next(), d1, d0);
+            }
+            other => panic!("unknown op {other}"),
+        }
+        self.cycles - before
+    }
+
+    fn bump(&mut self, name: &'static str) {
+        *self.counts.entry(name).or_insert(0) += 1;
+    }
+
+    /// Runs a three-pointer kernel (`rp`, `ap`, `bp`-or-scalar, `n`) on
+    /// the 32-bit core and returns `a0`.
+    fn call32(&mut self, label: &str, args: &[u32]) -> u32 {
+        let summary = self
+            .cpu32
+            .call(&self.prog32, label, args)
+            .unwrap_or_else(|e| panic!("kernel {label} faulted: {e}"));
+        self.cycles += summary.cycles as f64;
+        self.cpu32.reg(0)
+    }
+
+    fn call16(&mut self, label: &str, args: &[u32]) -> u32 {
+        let summary = self
+            .cpu16
+            .call(&self.prog16, label, args)
+            .unwrap_or_else(|e| panic!("kernel {label} faulted: {e}"));
+        self.cycles += summary.cycles as f64;
+        self.cpu16.reg(0)
+    }
+}
+
+/// Writes limbs into simulator memory (width-dispatched).
+fn write_limbs<L: Limb>(cpu: &mut Cpu, addr: u32, data: &[L]) {
+    match L::BITS {
+        32 => {
+            for (i, &v) in data.iter().enumerate() {
+                cpu.mem_mut()
+                    .store_u32(addr + 4 * i as u32, v.to_u64() as u32)
+                    .expect("kernel operand region in range");
+            }
+        }
+        16 => {
+            for (i, &v) in data.iter().enumerate() {
+                cpu.mem_mut()
+                    .store_u16(addr + 2 * i as u32, v.to_u64() as u16)
+                    .expect("kernel operand region in range");
+            }
+        }
+        other => panic!("unsupported limb width {other}"),
+    }
+}
+
+fn read_limbs<L: Limb>(cpu: &Cpu, addr: u32, n: usize) -> Vec<L> {
+    match L::BITS {
+        32 => (0..n)
+            .map(|i| {
+                L::from_u64(cpu.mem().load_u32(addr + 4 * i as u32).expect("in range") as u64)
+            })
+            .collect(),
+        16 => (0..n)
+            .map(|i| {
+                L::from_u64(cpu.mem().load_u16(addr + 2 * i as u32).expect("in range") as u64)
+            })
+            .collect(),
+        other => panic!("unsupported limb width {other}"),
+    }
+}
+
+macro_rules! impl_iss_mpnops {
+    ($limb:ty, $call:ident) => {
+        impl MpnOps<$limb> for IssMpn {
+            fn add_n(&mut self, r: &mut [$limb], a: &[$limb], b: &[$limb]) -> bool {
+                self.bump(opname::ADD_N);
+                let cpu = if <$limb>::BITS == 32 { &mut self.cpu32 } else { &mut self.cpu16 };
+                write_limbs(cpu, AP_ADDR, a);
+                write_limbs(cpu, BP_ADDR, b);
+                let carry = self.$call("mpn_add_n", &[RP_ADDR, AP_ADDR, BP_ADDR, a.len() as u32]);
+                let cpu = if <$limb>::BITS == 32 { &self.cpu32 } else { &self.cpu16 };
+                let out: Vec<$limb> = read_limbs(cpu, RP_ADDR, a.len());
+                r.copy_from_slice(&out);
+                if self.verify {
+                    let mut expect = vec![<$limb as Limb>::ZERO; a.len()];
+                    let ec = mpn::add_n(&mut expect, a, b);
+                    assert_eq!(out, expect, "mpn_add_n kernel diverged");
+                    assert_eq!(carry != 0, ec, "mpn_add_n carry diverged");
+                }
+                carry != 0
+            }
+
+            fn sub_n(&mut self, r: &mut [$limb], a: &[$limb], b: &[$limb]) -> bool {
+                self.bump(opname::SUB_N);
+                let cpu = if <$limb>::BITS == 32 { &mut self.cpu32 } else { &mut self.cpu16 };
+                write_limbs(cpu, AP_ADDR, a);
+                write_limbs(cpu, BP_ADDR, b);
+                let borrow = self.$call("mpn_sub_n", &[RP_ADDR, AP_ADDR, BP_ADDR, a.len() as u32]);
+                let cpu = if <$limb>::BITS == 32 { &self.cpu32 } else { &self.cpu16 };
+                let out: Vec<$limb> = read_limbs(cpu, RP_ADDR, a.len());
+                r.copy_from_slice(&out);
+                if self.verify {
+                    let mut expect = vec![<$limb as Limb>::ZERO; a.len()];
+                    let eb = mpn::sub_n(&mut expect, a, b);
+                    assert_eq!(out, expect, "mpn_sub_n kernel diverged");
+                    assert_eq!(borrow != 0, eb, "mpn_sub_n borrow diverged");
+                }
+                borrow != 0
+            }
+
+            fn mul_1(&mut self, r: &mut [$limb], a: &[$limb], b: $limb) -> $limb {
+                self.bump(opname::MUL_1);
+                let cpu = if <$limb>::BITS == 32 { &mut self.cpu32 } else { &mut self.cpu16 };
+                write_limbs(cpu, AP_ADDR, a);
+                let carry =
+                    self.$call("mpn_mul_1", &[RP_ADDR, AP_ADDR, a.len() as u32, b.to_u64() as u32]);
+                let cpu = if <$limb>::BITS == 32 { &self.cpu32 } else { &self.cpu16 };
+                let out: Vec<$limb> = read_limbs(cpu, RP_ADDR, a.len());
+                r.copy_from_slice(&out);
+                if self.verify {
+                    let mut expect = vec![<$limb as Limb>::ZERO; a.len()];
+                    let ec = mpn::mul_1(&mut expect, a, b);
+                    assert_eq!(out, expect, "mpn_mul_1 kernel diverged");
+                    assert_eq!(<$limb as Limb>::from_u64(carry as u64), ec);
+                }
+                <$limb as Limb>::from_u64(carry as u64)
+            }
+
+            fn addmul_1(&mut self, r: &mut [$limb], a: &[$limb], b: $limb) -> $limb {
+                self.bump(opname::ADDMUL_1);
+                let expect_pair = if self.verify {
+                    let mut expect = r[..a.len()].to_vec();
+                    let ec = mpn::addmul_1(&mut expect, a, b);
+                    Some((expect, ec))
+                } else {
+                    None
+                };
+                let cpu = if <$limb>::BITS == 32 { &mut self.cpu32 } else { &mut self.cpu16 };
+                write_limbs(cpu, AP_ADDR, a);
+                write_limbs(cpu, RP_ADDR, &r[..a.len()]);
+                let carry = self.$call(
+                    "mpn_addmul_1",
+                    &[RP_ADDR, AP_ADDR, a.len() as u32, b.to_u64() as u32],
+                );
+                let cpu = if <$limb>::BITS == 32 { &self.cpu32 } else { &self.cpu16 };
+                let out: Vec<$limb> = read_limbs(cpu, RP_ADDR, a.len());
+                r[..a.len()].copy_from_slice(&out);
+                if let Some((expect, ec)) = expect_pair {
+                    assert_eq!(out, expect, "mpn_addmul_1 kernel diverged");
+                    assert_eq!(<$limb as Limb>::from_u64(carry as u64), ec);
+                }
+                <$limb as Limb>::from_u64(carry as u64)
+            }
+
+            fn submul_1(&mut self, r: &mut [$limb], a: &[$limb], b: $limb) -> $limb {
+                self.bump(opname::SUBMUL_1);
+                let expect_pair = if self.verify {
+                    let mut expect = r[..a.len()].to_vec();
+                    let ec = mpn::submul_1(&mut expect, a, b);
+                    Some((expect, ec))
+                } else {
+                    None
+                };
+                let cpu = if <$limb>::BITS == 32 { &mut self.cpu32 } else { &mut self.cpu16 };
+                write_limbs(cpu, AP_ADDR, a);
+                write_limbs(cpu, RP_ADDR, &r[..a.len()]);
+                let borrow = self.$call(
+                    "mpn_submul_1",
+                    &[RP_ADDR, AP_ADDR, a.len() as u32, b.to_u64() as u32],
+                );
+                let cpu = if <$limb>::BITS == 32 { &self.cpu32 } else { &self.cpu16 };
+                let out: Vec<$limb> = read_limbs(cpu, RP_ADDR, a.len());
+                r[..a.len()].copy_from_slice(&out);
+                if let Some((expect, ec)) = expect_pair {
+                    assert_eq!(out, expect, "mpn_submul_1 kernel diverged");
+                    assert_eq!(<$limb as Limb>::from_u64(borrow as u64), ec);
+                }
+                <$limb as Limb>::from_u64(borrow as u64)
+            }
+
+            fn lshift(&mut self, r: &mut [$limb], a: &[$limb], cnt: u32) -> $limb {
+                self.bump(opname::LSHIFT);
+                let cpu = if <$limb>::BITS == 32 { &mut self.cpu32 } else { &mut self.cpu16 };
+                write_limbs(cpu, AP_ADDR, a);
+                let out_bits =
+                    self.$call("mpn_lshift", &[RP_ADDR, AP_ADDR, a.len() as u32, cnt]);
+                let cpu = if <$limb>::BITS == 32 { &self.cpu32 } else { &self.cpu16 };
+                let out: Vec<$limb> = read_limbs(cpu, RP_ADDR, a.len());
+                r.copy_from_slice(&out);
+                if self.verify {
+                    let mut expect = vec![<$limb as Limb>::ZERO; a.len()];
+                    let eo = mpn::lshift(&mut expect, a, cnt);
+                    assert_eq!(out, expect, "mpn_lshift kernel diverged");
+                    assert_eq!(<$limb as Limb>::from_u64(out_bits as u64), eo);
+                }
+                <$limb as Limb>::from_u64(out_bits as u64)
+            }
+
+            fn rshift(&mut self, r: &mut [$limb], a: &[$limb], cnt: u32) -> $limb {
+                self.bump(opname::RSHIFT);
+                let cpu = if <$limb>::BITS == 32 { &mut self.cpu32 } else { &mut self.cpu16 };
+                write_limbs(cpu, AP_ADDR, a);
+                let out_bits =
+                    self.$call("mpn_rshift", &[RP_ADDR, AP_ADDR, a.len() as u32, cnt]);
+                let cpu = if <$limb>::BITS == 32 { &self.cpu32 } else { &self.cpu16 };
+                let out: Vec<$limb> = read_limbs(cpu, RP_ADDR, a.len());
+                r.copy_from_slice(&out);
+                if self.verify {
+                    let mut expect = vec![<$limb as Limb>::ZERO; a.len()];
+                    let eo = mpn::rshift(&mut expect, a, cnt);
+                    assert_eq!(out, expect, "mpn_rshift kernel diverged");
+                    assert_eq!(<$limb as Limb>::from_u64(out_bits as u64), eo);
+                }
+                <$limb as Limb>::from_u64(out_bits as u64)
+            }
+
+            fn div_qhat(
+                &mut self,
+                n2: $limb,
+                n1: $limb,
+                n0: $limb,
+                d1: $limb,
+                d0: $limb,
+            ) -> $limb {
+                self.bump(opname::DIV_QHAT);
+                let q = self.$call(
+                    "div_qhat",
+                    &[
+                        n2.to_u64() as u32,
+                        n1.to_u64() as u32,
+                        n0.to_u64() as u32,
+                        d1.to_u64() as u32,
+                        d0.to_u64() as u32,
+                    ],
+                );
+                let q = <$limb as Limb>::from_u64(q as u64);
+                if self.verify {
+                    let expect = div_qhat_reference(n2, n1, n0, d1, d0);
+                    assert_eq!(q, expect, "div_qhat kernel diverged");
+                }
+                q
+            }
+
+            fn glue(&mut self, units: u64) {
+                self.cycles += self.glue_cost * units as f64;
+            }
+
+            fn cycles(&self) -> f64 {
+                self.cycles
+            }
+
+            fn reset(&mut self) {
+                self.cycles = 0.0;
+                self.counts.clear();
+            }
+
+            fn call_counts(&self) -> &BTreeMap<&'static str, u64> {
+                &self.counts
+            }
+        }
+    };
+}
+
+impl_iss_mpnops!(u32, call32);
+impl_iss_mpnops!(u16, call16);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x155)
+    }
+
+    #[test]
+    fn base_kernels_match_native_u32() {
+        let mut iss = IssMpn::base(CpuConfig::default());
+        let mut r = rng();
+        for n in [1usize, 2, 3, 7, 8, 31, 32] {
+            let a: Vec<u32> = (0..n).map(|_| r.random()).collect();
+            let b: Vec<u32> = (0..n).map(|_| r.random()).collect();
+            let mut out = vec![0u32; n];
+            // Verification mode asserts equality internally.
+            MpnOps::<u32>::add_n(&mut iss, &mut out, &a, &b);
+            MpnOps::<u32>::sub_n(&mut iss, &mut out, &a, &b);
+            MpnOps::<u32>::mul_1(&mut iss, &mut out, &a, 0xdead_beef);
+            let mut acc = b.clone();
+            MpnOps::<u32>::addmul_1(&mut iss, &mut acc, &a, 0x9e37_79b9);
+            MpnOps::<u32>::submul_1(&mut iss, &mut acc, &a, 0x0bad_f00d);
+            MpnOps::<u32>::lshift(&mut iss, &mut out, &a, 13);
+            MpnOps::<u32>::rshift(&mut iss, &mut out, &a, 5);
+        }
+        assert!(MpnOps::<u32>::cycles(&iss) > 0.0);
+    }
+
+    #[test]
+    fn base_kernels_match_native_u16() {
+        let mut iss = IssMpn::base(CpuConfig::default());
+        let mut r = rng();
+        for n in [1usize, 5, 16, 33] {
+            let a: Vec<u16> = (0..n).map(|_| r.random()).collect();
+            let b: Vec<u16> = (0..n).map(|_| r.random()).collect();
+            let mut out = vec![0u16; n];
+            MpnOps::<u16>::add_n(&mut iss, &mut out, &a, &b);
+            MpnOps::<u16>::sub_n(&mut iss, &mut out, &a, &b);
+            MpnOps::<u16>::mul_1(&mut iss, &mut out, &a, 0xbeef);
+            let mut acc = b.clone();
+            MpnOps::<u16>::addmul_1(&mut iss, &mut acc, &a, 0x79b9);
+            MpnOps::<u16>::submul_1(&mut iss, &mut acc, &a, 0xf00d);
+            MpnOps::<u16>::lshift(&mut iss, &mut out, &a, 7);
+            MpnOps::<u16>::rshift(&mut iss, &mut out, &a, 3);
+        }
+    }
+
+    #[test]
+    fn accelerated_kernels_match_native() {
+        for (al, ml) in [(2u32, 1u32), (4, 2), (8, 4), (16, 4)] {
+            let mut iss = IssMpn::accelerated(CpuConfig::default(), al, ml);
+            let mut r = rng();
+            for n in [1usize, 3, 4, 17, 32] {
+                let a: Vec<u32> = (0..n).map(|_| r.random()).collect();
+                let b: Vec<u32> = (0..n).map(|_| r.random()).collect();
+                let mut out = vec![0u32; n];
+                MpnOps::<u32>::add_n(&mut iss, &mut out, &a, &b);
+                MpnOps::<u32>::sub_n(&mut iss, &mut out, &a, &b);
+                let mut acc = b.clone();
+                MpnOps::<u32>::addmul_1(&mut iss, &mut acc, &a, 0x1234_5677);
+                MpnOps::<u32>::submul_1(&mut iss, &mut acc, &a, 0x7654_3211);
+            }
+        }
+    }
+
+    #[test]
+    fn div_qhat_kernel_matches_reference_u32_and_u16() {
+        let mut iss = IssMpn::base(CpuConfig::default());
+        let mut r = rng();
+        for _ in 0..40 {
+            let d1: u32 = r.random::<u32>() | 0x8000_0000;
+            let d0: u32 = r.random();
+            let n2: u32 = r.random::<u32>() % d1;
+            let n1: u32 = r.random();
+            let n0: u32 = r.random();
+            // verify-mode asserts equality with the reference.
+            MpnOps::<u32>::div_qhat(&mut iss, n2, n1, n0, d1, d0);
+
+            let d1: u16 = r.random::<u16>() | 0x8000;
+            let d0: u16 = r.random();
+            let n2: u16 = r.random::<u16>() % d1;
+            MpnOps::<u16>::div_qhat(&mut iss, n2, r.random(), r.random(), d1, d0);
+        }
+    }
+
+    #[test]
+    fn div_qhat_kernel_edge_case_top_limb_equals_divisor() {
+        let mut iss = IssMpn::base(CpuConfig::default());
+        // n2 == d1: the Knuth clamp path.
+        MpnOps::<u32>::div_qhat(&mut iss, 0x8000_0000, 5, 7, 0x8000_0000, 0x1234);
+        MpnOps::<u32>::div_qhat(
+            &mut iss,
+            0xffff_ffff,
+            0xffff_ffff,
+            0xffff_ffff,
+            0xffff_ffff,
+            0xffff_ffff,
+        );
+        MpnOps::<u16>::div_qhat(&mut iss, 0x8000, 5, 7, 0x8000, 0x34);
+    }
+
+    #[test]
+    fn acceleration_reduces_cycles() {
+        let n = 32;
+        let a: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+        let b: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x85eb_ca6b)).collect();
+
+        let mut base = IssMpn::base(CpuConfig::default());
+        let mut out = vec![0u32; n];
+        // Warm the caches, then measure.
+        MpnOps::<u32>::add_n(&mut base, &mut out, &a, &b);
+        MpnOps::<u32>::reset(&mut base);
+        MpnOps::<u32>::add_n(&mut base, &mut out, &a, &b);
+        let base_cycles = MpnOps::<u32>::cycles(&base);
+
+        let mut fast = IssMpn::accelerated(CpuConfig::default(), 8, 4);
+        MpnOps::<u32>::add_n(&mut fast, &mut out, &a, &b);
+        MpnOps::<u32>::reset(&mut fast);
+        MpnOps::<u32>::add_n(&mut fast, &mut out, &a, &b);
+        let fast_cycles = MpnOps::<u32>::cycles(&fast);
+
+        assert!(
+            fast_cycles * 1.5 < base_cycles,
+            "accelerated add_n {fast_cycles} vs base {base_cycles}"
+        );
+    }
+
+    #[test]
+    fn measure32_is_monotone_in_n() {
+        let mut iss = IssMpn::base(CpuConfig::default());
+        let c8 = iss.measure32(opname::ADDMUL_1, 8, 1);
+        let c32 = iss.measure32(opname::ADDMUL_1, 32, 2);
+        assert!(c32 > c8, "32-limb ({c32}) vs 8-limb ({c8})");
+    }
+
+    #[test]
+    fn glue_is_charged() {
+        let mut iss = IssMpn::base(CpuConfig::default());
+        iss.set_glue_cost(3.0);
+        MpnOps::<u32>::glue(&mut iss, 5);
+        assert_eq!(MpnOps::<u32>::cycles(&iss), 15.0);
+    }
+}

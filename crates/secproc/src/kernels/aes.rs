@@ -1,0 +1,292 @@
+//! XR32 assembly kernels for AES-128 block encryption.
+//!
+//! - [`base_source`]: byte-oriented software AES (S-box and xtime
+//!   tables in memory, SubBytes+ShiftRows fused through a source-index
+//!   table, MixColumns via the xtime identity).
+//! - [`accel_source`]: `aesround`/`xorur` custom instructions — one
+//!   instruction per round.
+//!
+//! `aes_block` takes no register arguments: the state, key and tables
+//! live at the fixed addresses of [`MemoryMap`]. The state is
+//! transformed in place (encrypt direction).
+
+use ciphers::aes;
+use xr32::cpu::Cpu;
+
+/// Memory layout used by the AES kernels.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryMap {
+    /// 256-byte S-box.
+    pub sbox: u32,
+    /// 256-byte xtime table (`xtime[b] = gmul(b, 2)`).
+    pub xtime: u32,
+    /// 16 words: ShiftRows source index per output byte.
+    pub sridx: u32,
+    /// Round-key bytes: 11 rounds × 16 bytes, state-packed.
+    pub key_bytes: u32,
+    /// Round-key words: 11 rounds × 4 words (for the accelerated
+    /// kernel's `aesround`).
+    pub key_words: u32,
+    /// Round-0 key words byte-swapped to match the state's in-memory
+    /// byte order (for the accelerated kernel's `xorur`).
+    pub key0_words: u32,
+    /// 16-byte state buffer.
+    pub state: u32,
+    /// 16-byte scratch buffer.
+    pub scratch: u32,
+}
+
+impl Default for MemoryMap {
+    fn default() -> Self {
+        MemoryMap {
+            sbox: 0x0002_0000,
+            xtime: 0x0002_0100,
+            sridx: 0x0002_0200,
+            key_bytes: 0x0002_0300,
+            key_words: 0x0002_0400,
+            key0_words: 0x0002_04c0,
+            state: 0x0002_0500,
+            scratch: 0x0002_0540,
+        }
+    }
+}
+
+/// Installs tables and the expanded key into simulator memory.
+///
+/// # Panics
+///
+/// Panics if the key schedule is not AES-128 (11 round keys) or the
+/// memory regions are out of range.
+pub fn install(cpu: &mut Cpu, map: &MemoryMap, key: &aes::Aes) {
+    assert_eq!(key.round_keys().len(), 11, "aes kernel is AES-128");
+    let sbox: Vec<u8> = (0..=255u8).map(aes::sbox).collect();
+    let xtime: Vec<u8> = (0..=255u8).map(|b| aes::gmul(b, 2)).collect();
+    cpu.mem_mut().write_bytes(map.sbox, &sbox).expect("sbox");
+    cpu.mem_mut().write_bytes(map.xtime, &xtime).expect("xtime");
+    // ShiftRows: out[r + 4c] = in[r + 4((c + r) % 4)].
+    let mut sridx = [0u32; 16];
+    for r in 0..4usize {
+        for c in 0..4usize {
+            sridx[r + 4 * c] = (r + 4 * ((c + r) % 4)) as u32;
+        }
+    }
+    cpu.mem_mut().write_words(map.sridx, &sridx).expect("sridx");
+    let mut key_bytes = Vec::with_capacity(176);
+    let mut key_words = Vec::with_capacity(44);
+    for rk in key.round_keys() {
+        // state-packed bytes: kb[r + 4c] = rk[c].to_be_bytes()[r]
+        for c in 0..4usize {
+            key_bytes.extend_from_slice(&rk[c].to_be_bytes());
+        }
+        key_words.extend_from_slice(rk);
+    }
+    cpu.mem_mut()
+        .write_bytes(map.key_bytes, &key_bytes)
+        .expect("key bytes");
+    cpu.mem_mut()
+        .write_words(map.key_words, &key_words)
+        .expect("key words");
+    // Round-0 key with bytes in state order, for the word-wise
+    // AddRoundKey(0) XOR of the accelerated kernel.
+    let key0: Vec<u32> = key.round_keys()[0]
+        .iter()
+        .map(|w| w.swap_bytes())
+        .collect();
+    cpu.mem_mut()
+        .write_words(map.key0_words, &key0)
+        .expect("key0 words");
+}
+
+/// Writes a 16-byte block into the state buffer.
+pub fn write_state(cpu: &mut Cpu, map: &MemoryMap, block: &[u8; 16]) {
+    cpu.mem_mut()
+        .write_bytes(map.state, block)
+        .expect("state buffer");
+}
+
+/// Reads the state buffer back.
+pub fn read_state(cpu: &Cpu, map: &MemoryMap) -> [u8; 16] {
+    cpu.mem()
+        .read_bytes(map.state, 16)
+        .expect("state buffer")
+        .try_into()
+        .expect("16 bytes")
+}
+
+/// Base (software) AES-128 encryption kernel.
+pub fn base_source(map: &MemoryMap) -> String {
+    format!(
+        "
+; --- subshift: SubBytes + ShiftRows from state into scratch.
+;     Clobbers a4-a9.
+subshift:
+    movi a4, 0             ; i
+    movi a9, 16
+.ss_loop:
+    slli a5, a4, 2
+    movi a6, {sridx}
+    add  a5, a5, a6
+    lw   a5, a5, 0         ; src index
+    movi a6, {state}
+    add  a5, a5, a6
+    lbu  a5, a5, 0         ; state[src]
+    movi a6, {sbox}
+    add  a5, a5, a6
+    lbu  a5, a5, 0         ; sbox[...]
+    movi a6, {scratch}
+    add  a6, a6, a4
+    sb   a5, a6, 0
+    addi a4, a4, 1
+    bne  a4, a9, .ss_loop
+    ret
+
+; --- mixcols: MixColumns from scratch into state. Clobbers a2-a13.
+mixcols:
+    movi a2, 0             ; column
+    movi a13, 4
+.mc_loop:
+    slli a3, a2, 2
+    movi a4, {scratch}
+    add  a3, a3, a4        ; column base
+    lbu  a4, a3, 0         ; b0
+    lbu  a5, a3, 1         ; b1
+    lbu  a6, a3, 2         ; b2
+    lbu  a7, a3, 3         ; b3
+    xor  a8, a4, a5
+    xor  a9, a6, a7
+    xor  a8, a8, a9        ; u = b0^b1^b2^b3
+    ; out0 = b0 ^ u ^ xtime[b0^b1]
+    xor  a9, a4, a5
+    movi a10, {xtime}
+    add  a9, a9, a10
+    lbu  a9, a9, 0
+    xor  a9, a9, a8
+    xor  a9, a9, a4
+    slli a11, a2, 2
+    movi a12, {state}
+    add  a11, a11, a12
+    sb   a9, a11, 0
+    ; out1 = b1 ^ u ^ xtime[b1^b2]
+    xor  a9, a5, a6
+    add  a9, a9, a10
+    lbu  a9, a9, 0
+    xor  a9, a9, a8
+    xor  a9, a9, a5
+    sb   a9, a11, 1
+    ; out2 = b2 ^ u ^ xtime[b2^b3]
+    xor  a9, a6, a7
+    add  a9, a9, a10
+    lbu  a9, a9, 0
+    xor  a9, a9, a8
+    xor  a9, a9, a6
+    sb   a9, a11, 2
+    ; out3 = b3 ^ u ^ xtime[b3^b0]
+    xor  a9, a7, a4
+    add  a9, a9, a10
+    lbu  a9, a9, 0
+    xor  a9, a9, a8
+    xor  a9, a9, a7
+    sb   a9, a11, 3
+    addi a2, a2, 1
+    bne  a2, a13, .mc_loop
+    ret
+
+; --- addkey: state ^= key_bytes[a0 = round * 16] (word-wise).
+;     Clobbers a4-a8.
+addkey:
+    movi a4, {keyb}
+    add  a4, a4, a0
+    movi a5, {state}
+    movi a6, 0
+    movi a8, 4
+.ak_loop:
+    lw   a7, a4, 0
+    lw   a9, a5, 0
+    xor  a7, a7, a9
+    sw   a7, a5, 0
+    addi a4, a4, 4
+    addi a5, a5, 4
+    addi a6, a6, 1
+    bne  a6, a8, .ak_loop
+    ret
+
+; --- aes_block: AES-128 encrypt the state buffer in place.
+aes_block:
+    addi sp, sp, -8
+    sw   ra, sp, 0
+    ; AddRoundKey(0)
+    movi a0, 0
+    call addkey
+    movi a3, 1             ; round
+    sw   a3, sp, 4
+.rounds:
+    call subshift
+    call mixcols
+    lw   a3, sp, 4
+    slli a0, a3, 4
+    call addkey
+    lw   a3, sp, 4
+    addi a3, a3, 1
+    sw   a3, sp, 4
+    movi a4, 10
+    bne  a3, a4, .rounds
+    ; final round: SubBytes + ShiftRows, copy scratch to state, AddKey(10)
+    call subshift
+    movi a4, {scratch}
+    movi a5, {state}
+    movi a6, 0
+    movi a8, 4
+.fin_copy:
+    lw   a7, a4, 0
+    sw   a7, a5, 0
+    addi a4, a4, 4
+    addi a5, a5, 4
+    addi a6, a6, 1
+    bne  a6, a8, .fin_copy
+    movi a0, 160
+    call addkey
+    lw   ra, sp, 0
+    addi sp, sp, 8
+    ret
+",
+        sridx = map.sridx,
+        state = map.state,
+        sbox = map.sbox,
+        scratch = map.scratch,
+        xtime = map.xtime,
+        keyb = map.key_bytes,
+    )
+}
+
+/// Accelerated AES-128 kernel using `aesround` + `xorur`.
+pub fn accel_source(map: &MemoryMap) -> String {
+    format!(
+        "
+aes_block:
+    movi a0, {state}
+    movi a1, {keyw}
+    movi a2, {key0w}
+    cust ldur ur0, a0, 4
+    cust ldur ur1, a2, 4
+    cust xorur ur0, ur1    ; AddRoundKey(0), state byte order
+    movi a2, 1
+    movi a4, 10
+.rounds:
+    slli a3, a2, 4
+    add  a3, a3, a1
+    cust ldur ur1, a3, 4
+    cust aesround ur0, ur1, 0
+    addi a2, a2, 1
+    bne  a2, a4, .rounds
+    movi a3, 160
+    add  a3, a3, a1
+    cust ldur ur1, a3, 4
+    cust aesround ur0, ur1, 1
+    cust stur ur0, a0, 4
+    ret
+",
+        state = map.state,
+        keyw = map.key_words,
+        key0w = map.key0_words,
+    )
+}

@@ -1,0 +1,11 @@
+//! XR32 assembly kernels for the platform's basic operations.
+//!
+//! Each submodule provides assembly source text plus (in tests and the
+//! ISS-backed ops provider) the host-side calling conventions. The
+//! kernels are the "lower software layers (standard libraries, basic
+//! operations)" the paper characterizes and accelerates.
+
+pub mod aes;
+pub mod des;
+pub mod mpn;
+pub mod sha;

@@ -1,0 +1,186 @@
+//! XR32 assembly kernel for the SHA-1 compression function.
+//!
+//! SHA-1 is the *miscellaneous* (unaccelerated) share of SSL record
+//! processing in the platform's Fig. 8 workload model, so only a base
+//! software kernel exists — its cycles are the Amdahl term that bounds
+//! large-transaction speedup.
+//!
+//! `sha1_compress` takes no register arguments: the 5-word state and the
+//! 16-word message block (already big-endian-decoded words) live at the
+//! fixed addresses of [`MemoryMap`]; an 80-word scratch area holds the
+//! expanded schedule.
+
+use xr32::cpu::Cpu;
+
+/// Memory layout used by the SHA-1 kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryMap {
+    /// 5-word hash state.
+    pub state: u32,
+    /// 16-word message block.
+    pub block: u32,
+    /// 80-word schedule scratch.
+    pub sched: u32,
+}
+
+impl Default for MemoryMap {
+    fn default() -> Self {
+        MemoryMap {
+            state: 0x0003_0000,
+            block: 0x0003_0020,
+            sched: 0x0003_0080,
+        }
+    }
+}
+
+/// Writes the hash state.
+pub fn write_state(cpu: &mut Cpu, map: &MemoryMap, state: &[u32; 5]) {
+    cpu.mem_mut().write_words(map.state, state).expect("state");
+}
+
+/// Reads the hash state back.
+pub fn read_state(cpu: &Cpu, map: &MemoryMap) -> [u32; 5] {
+    cpu.mem()
+        .read_words(map.state, 5)
+        .expect("state")
+        .try_into()
+        .expect("5 words")
+}
+
+/// Writes one 64-byte message block (as 16 big-endian-decoded words).
+pub fn write_block(cpu: &mut Cpu, map: &MemoryMap, block: &[u8; 64]) {
+    let words: Vec<u32> = block
+        .chunks_exact(4)
+        .map(|c| u32::from_be_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    cpu.mem_mut().write_words(map.block, &words).expect("block");
+}
+
+/// The SHA-1 compression kernel source.
+pub fn source(map: &MemoryMap) -> String {
+    format!(
+        "
+sha1_compress:
+    ; copy block words into the schedule area
+    movi a0, {block}
+    movi a1, {sched}
+    movi a2, 0
+    movi a3, 16
+.cp_loop:
+    lw   a4, a0, 0
+    sw   a4, a1, 0
+    addi a0, a0, 4
+    addi a1, a1, 4
+    addi a2, a2, 1
+    bne  a2, a3, .cp_loop
+    ; expand: w[i] = rotl1(w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16])
+    movi a2, 16
+    movi a3, 80
+    movi a0, {sched}
+.ex_loop:
+    slli a1, a2, 2
+    add  a1, a1, a0        ; &w[i]
+    lw   a4, a1, -12       ; w[i-3]
+    lw   a5, a1, -32       ; w[i-8]
+    xor  a4, a4, a5
+    lw   a5, a1, -56       ; w[i-14]
+    xor  a4, a4, a5
+    lw   a5, a1, -64       ; w[i-16]
+    xor  a4, a4, a5
+    slli a5, a4, 1
+    srli a4, a4, 31
+    or   a4, a4, a5
+    sw   a4, a1, 0
+    addi a2, a2, 1
+    bne  a2, a3, .ex_loop
+    ; load state into a4..a8 (a, b, c, d, e)
+    movi a0, {state}
+    lw   a4, a0, 0
+    lw   a5, a0, 4
+    lw   a6, a0, 8
+    lw   a7, a0, 12
+    lw   a8, a0, 16
+    movi a2, 0             ; round
+    movi a0, {sched}
+.round:
+    ; select (f, k) by round range into (a9, a10)
+    movi a11, 20
+    bltu a2, a11, .r0
+    movi a11, 40
+    bltu a2, a11, .r1
+    movi a11, 60
+    bltu a2, a11, .r2
+    ; 60..79: parity
+    xor  a9, a5, a6
+    xor  a9, a9, a7
+    movi a10, 0xca62c1d6
+    j .mix
+.r0:
+    ; ch: (b & c) | (~b & d)
+    and  a9, a5, a6
+    movi a10, 0xffffffff
+    xor  a10, a5, a10
+    and  a10, a10, a7
+    or   a9, a9, a10
+    movi a10, 0x5a827999
+    j .mix
+.r1:
+    xor  a9, a5, a6
+    xor  a9, a9, a7
+    movi a10, 0x6ed9eba1
+    j .mix
+.r2:
+    ; maj: (b & c) | (b & d) | (c & d)
+    and  a9, a5, a6
+    and  a11, a5, a7
+    or   a9, a9, a11
+    and  a11, a6, a7
+    or   a9, a9, a11
+    movi a10, 0x8f1bbcdc
+.mix:
+    ; t = rotl5(a) + f + e + k + w[i]
+    slli a11, a4, 5
+    srli a12, a4, 27
+    or   a11, a11, a12
+    add  a11, a11, a9
+    add  a11, a11, a8
+    add  a11, a11, a10
+    slli a12, a2, 2
+    add  a12, a12, a0
+    lw   a12, a12, 0
+    add  a11, a11, a12
+    ; e = d; d = c; c = rotl30(b); b = a; a = t
+    mov  a8, a7
+    mov  a7, a6
+    slli a6, a5, 30
+    srli a12, a5, 2
+    or   a6, a6, a12
+    mov  a5, a4
+    mov  a4, a11
+    addi a2, a2, 1
+    movi a11, 80
+    bne  a2, a11, .round
+    ; add back into the state
+    movi a0, {state}
+    lw   a9, a0, 0
+    add  a9, a9, a4
+    sw   a9, a0, 0
+    lw   a9, a0, 4
+    add  a9, a9, a5
+    sw   a9, a0, 4
+    lw   a9, a0, 8
+    add  a9, a9, a6
+    sw   a9, a0, 8
+    lw   a9, a0, 12
+    add  a9, a9, a7
+    sw   a9, a0, 12
+    lw   a9, a0, 16
+    add  a9, a9, a8
+    sw   a9, a0, 16
+    ret
+",
+        block = map.block,
+        sched = map.sched,
+        state = map.state,
+    )
+}

@@ -1,0 +1,52 @@
+//! The programmable wireless security processing platform.
+//!
+//! This crate is the paper's primary contribution assembled from the
+//! workspace's substrates: the layered cryptographic software stack
+//! running on the XR32 extensible processor, the custom-instruction
+//! catalog, and the four-phase co-design methodology
+//! (characterize → explore → formulate → select).
+//!
+//! - [`insns`]: the TIE-style custom-instruction catalog (`add<k>`,
+//!   `mac<k>`, `desround`, `aesround`, …) with semantics, latency and
+//!   structural area;
+//! - [`kernels`]: the XR32 assembly implementations of the basic
+//!   operations (`mpn_*`, DES/AES blocks, SHA-1 compression);
+//! - [`issops`]: the ISS-backed [`pubkey::ops::MpnOps`] provider
+//!   (co-simulation: every basic op runs cycle-accurately);
+//! - [`simcipher`]: simulator-backed DES/AES/SHA-1 block engines;
+//! - [`flow`]: the methodology driver — kernel characterization into
+//!   macro-models, design-space exploration, A-D-curve formulation and
+//!   global custom-instruction selection;
+//! - [`platform`]: the user-facing [`platform::SecurityProcessor`] API
+//!   (baseline vs. optimized platforms);
+//! - [`measure`]: Table 1 cycles/byte measurements;
+//! - [`ssl`]: the SSL transaction model behind Fig. 8;
+//! - [`gap`]: the security-processing-gap trend model behind Fig. 1.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use secproc::platform::{Algorithm, PlatformKind, SecurityProcessor};
+//!
+//! let mut baseline = SecurityProcessor::new(PlatformKind::Baseline);
+//! let mut optimized = SecurityProcessor::new(PlatformKind::Optimized);
+//! let b = baseline.symmetric_cycles_per_byte(Algorithm::Des);
+//! let o = optimized.symmetric_cycles_per_byte(Algorithm::Des);
+//! assert!(b / o > 5.0, "custom instructions pay off");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod gap;
+pub mod insns;
+pub mod issops;
+pub mod kernels;
+pub mod measure;
+pub mod platform;
+pub mod simcipher;
+pub mod ssl;
+
+pub use issops::IssMpn;
+pub use platform::{Algorithm, PlatformKind, SecurityProcessor};

@@ -1,0 +1,304 @@
+//! Table 1 measurements: cycles/byte (symmetric) and cycles/operation
+//! (RSA) on the baseline vs. optimized platform.
+
+use crate::issops::{IssMpn, KernelVariant};
+use crate::simcipher::{SimAes, SimDes, Variant};
+use mpint::Natural;
+use pubkey::modexp::ExpCache;
+use pubkey::ops::MpnOps;
+use pubkey::rsa::KeyPair;
+use pubkey::space::ModExpConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xr32::config::CpuConfig;
+
+/// One symmetric-algorithm row of Table 1.
+#[derive(Debug, Clone)]
+pub struct SymmetricRow {
+    /// Algorithm name as printed.
+    pub name: &'static str,
+    /// Baseline cycles/byte (original software, Table 1 column 1).
+    pub base_cpb: f64,
+    /// Optimized-platform cycles/byte (column 2).
+    pub opt_cpb: f64,
+}
+
+impl SymmetricRow {
+    /// The speedup factor (column 3).
+    pub fn speedup(&self) -> f64 {
+        self.base_cpb / self.opt_cpb
+    }
+}
+
+/// One RSA row of Table 1 (cycles per operation).
+#[derive(Debug, Clone)]
+pub struct RsaRow {
+    /// Operation name as printed.
+    pub name: &'static str,
+    /// Baseline cycles.
+    pub base_cycles: f64,
+    /// Optimized cycles.
+    pub opt_cycles: f64,
+}
+
+impl RsaRow {
+    /// The speedup factor.
+    pub fn speedup(&self) -> f64 {
+        self.base_cycles / self.opt_cycles
+    }
+}
+
+/// Measures the DES row over `blocks` blocks.
+pub fn measure_des(config: &CpuConfig, blocks: usize) -> SymmetricRow {
+    let key = *b"\x13\x34\x57\x79\x9B\xBC\xDF\xF1";
+    let mut base = SimDes::new(config.clone(), Variant::Base, key);
+    let mut fast = SimDes::new(config.clone(), Variant::Accelerated, key);
+    SymmetricRow {
+        name: "DES enc./dec.",
+        base_cpb: base.cycles_per_byte(blocks),
+        opt_cpb: fast.cycles_per_byte(blocks),
+    }
+}
+
+/// Measures the 3DES row: three chained DES passes (EDE) per block.
+pub fn measure_tdes(config: &CpuConfig, blocks: usize) -> SymmetricRow {
+    let keys = [*b"\x01\x23\x45\x67\x89\xAB\xCD\xEF", *b"\x23\x45\x67\x89\xAB\xCD\xEF\x01", *b"\x45\x67\x89\xAB\xCD\xEF\x01\x23"];
+    let run = |variant: Variant| -> f64 {
+        let mut passes: Vec<SimDes> = keys
+            .iter()
+            .map(|k| SimDes::new(config.clone(), variant, *k))
+            .collect();
+        let mut x = 0x0123_4567_89ab_cdefu64;
+        // Warm all three key schedules' cache footprints.
+        for (i, p) in passes.iter_mut().enumerate() {
+            let (out, _) = p.crypt_block(x, i == 1);
+            x = out;
+        }
+        let mut total = 0u64;
+        for _ in 0..blocks - 1 {
+            for (i, p) in passes.iter_mut().enumerate() {
+                let (out, cycles) = p.crypt_block(x, i == 1);
+                x = out;
+                total += cycles;
+            }
+        }
+        total as f64 / ((blocks - 1) as f64 * 8.0)
+    };
+    SymmetricRow {
+        name: "3DES enc./dec.",
+        base_cpb: run(Variant::Base),
+        opt_cpb: run(Variant::Accelerated),
+    }
+}
+
+/// Measures the AES-128 row.
+pub fn measure_aes(config: &CpuConfig, blocks: usize) -> SymmetricRow {
+    let key: [u8; 16] = *b"paper-aes-key128";
+    let mut base = SimAes::new(config.clone(), Variant::Base, &key);
+    let mut fast = SimAes::new(config.clone(), Variant::Accelerated, &key);
+    SymmetricRow {
+        name: "AES enc./dec.",
+        base_cpb: base.cycles_per_byte(blocks),
+        opt_cpb: fast.cycles_per_byte(blocks),
+    }
+}
+
+/// Measures the RSA rows by full ISS co-simulation: baseline =
+/// schoolbook multiply/divide, binary scanning, no CRT, on the base
+/// kernels; optimized = the explored configuration (Montgomery, 5-bit
+/// windows, Garner CRT, cached contexts) on the accelerated kernels.
+///
+/// Returns `(encrypt_row, decrypt_row)`. `bits` is the modulus size —
+/// use small sizes in tests (co-simulation executes every limb
+/// operation cycle-accurately).
+pub fn measure_rsa(config: &CpuConfig, bits: usize) -> (RsaRow, RsaRow) {
+    let mut rng = StdRng::seed_from_u64(0x45A);
+    let kp = KeyPair::generate(bits, &mut rng);
+    let msg = Natural::random_below(&mut rng, &kp.public.n);
+
+    let run = |variant: KernelVariant, cfg: &ModExpConfig| -> (f64, f64) {
+        let mut iss = IssMpn::with_variant(config.clone(), variant);
+        iss.set_verify(false);
+        let mut cache = ExpCache::new();
+        // Prime the cache (CacheMode::None configs ignore it), then
+        // measure one encrypt and one decrypt.
+        let ct = kp
+            .public
+            .encrypt_raw(&mut iss, &msg, cfg, &mut cache)
+            .expect("encrypt runs");
+        MpnOps::<u32>::reset(&mut iss);
+        let ct2 = kp
+            .public
+            .encrypt_raw(&mut iss, &msg, cfg, &mut cache)
+            .expect("encrypt runs");
+        assert_eq!(ct, ct2);
+        let enc = MpnOps::<u32>::cycles(&iss);
+
+        let pt = kp
+            .private
+            .decrypt_raw(&mut iss, &ct, cfg, &mut cache)
+            .expect("decrypt runs");
+        assert_eq!(pt, msg, "RSA roundtrip on the simulator");
+        MpnOps::<u32>::reset(&mut iss);
+        kp.private
+            .decrypt_raw(&mut iss, &ct, cfg, &mut cache)
+            .expect("decrypt runs");
+        let dec = MpnOps::<u32>::cycles(&iss);
+        (enc, dec)
+    };
+
+    let (enc_base, dec_base) = run(KernelVariant::Base, &ModExpConfig::baseline());
+    let (enc_opt, dec_opt) = run(
+        KernelVariant::Accelerated {
+            add_lanes: 16,
+            mac_lanes: 4,
+        },
+        &ModExpConfig::optimized(),
+    );
+    (
+        RsaRow {
+            name: "RSA enc.",
+            base_cycles: enc_base,
+            opt_cycles: enc_opt,
+        },
+        RsaRow {
+            name: "RSA dec.",
+            base_cycles: dec_base,
+            opt_cycles: dec_opt,
+        },
+    )
+}
+
+/// The full Table 1: symmetric rows plus RSA rows, with a text
+/// renderer.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// DES / 3DES / AES rows.
+    pub symmetric: Vec<SymmetricRow>,
+    /// RSA encrypt/decrypt rows.
+    pub rsa: Vec<RsaRow>,
+    /// RSA modulus size measured.
+    pub rsa_bits: usize,
+}
+
+impl Table1 {
+    /// Measures everything. `blocks` controls symmetric averaging;
+    /// `rsa_bits` the modulus size.
+    pub fn measure(config: &CpuConfig, blocks: usize, rsa_bits: usize) -> Self {
+        let symmetric = vec![
+            measure_des(config, blocks),
+            measure_tdes(config, blocks),
+            measure_aes(config, blocks),
+        ];
+        let (enc, dec) = measure_rsa(config, rsa_bits);
+        Table1 {
+            symmetric,
+            rsa: vec![enc, dec],
+            rsa_bits,
+        }
+    }
+
+    /// Renders the table in the paper's format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("algorithm        | original (cyc/B) | final (cyc/B) | speedup\n");
+        out.push_str("-----------------+------------------+---------------+--------\n");
+        for row in &self.symmetric {
+            out.push_str(&format!(
+                "{:<16} | {:>16.1} | {:>13.1} | {:>6.1}X\n",
+                row.name,
+                row.base_cpb,
+                row.opt_cpb,
+                row.speedup()
+            ));
+        }
+        out.push_str(&format!(
+            "-- RSA-{} (cycles/op) --\n",
+            self.rsa_bits
+        ));
+        for row in &self.rsa {
+            out.push_str(&format!(
+                "{:<16} | {:>16.3e} | {:>13.3e} | {:>6.1}X\n",
+                row.name,
+                row.base_cycles,
+                row.opt_cycles,
+                row.speedup()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn des_row_shape_matches_paper() {
+        let row = measure_des(&CpuConfig::default(), 5);
+        // Paper: 476.8 -> 15.4 (31.0X). Our shape: hundreds of c/B base,
+        // tens optimized, speedup in the tens.
+        assert!(row.base_cpb > 150.0, "base {:.1}", row.base_cpb);
+        assert!(row.opt_cpb < 60.0, "opt {:.1}", row.opt_cpb);
+        assert!(
+            row.speedup() > 8.0 && row.speedup() < 80.0,
+            "speedup {:.1}",
+            row.speedup()
+        );
+    }
+
+    #[test]
+    fn tdes_costs_about_three_des() {
+        let des = measure_des(&CpuConfig::default(), 4);
+        let tdes = measure_tdes(&CpuConfig::default(), 4);
+        let ratio = tdes.base_cpb / des.base_cpb;
+        assert!(ratio > 2.5 && ratio < 3.5, "3DES/DES ratio {ratio:.2}");
+        assert!(tdes.speedup() > 8.0);
+    }
+
+    #[test]
+    fn aes_row_shape_matches_paper() {
+        let row = measure_aes(&CpuConfig::default(), 4);
+        assert!(row.base_cpb > 100.0, "base {:.1}", row.base_cpb);
+        assert!(
+            row.speedup() > 5.0 && row.speedup() < 60.0,
+            "speedup {:.1}",
+            row.speedup()
+        );
+    }
+
+    #[test]
+    fn rsa_rows_decrypt_gains_more_than_encrypt() {
+        // Small modulus keeps co-simulation fast in tests.
+        let (enc, dec) = measure_rsa(&CpuConfig::default(), 128);
+        assert!(enc.speedup() > 2.0, "enc speedup {:.1}", enc.speedup());
+        assert!(dec.speedup() > 5.0, "dec speedup {:.1}", dec.speedup());
+        assert!(
+            dec.speedup() > enc.speedup(),
+            "CRT + windowing favor decryption: dec {:.1} vs enc {:.1}",
+            dec.speedup(),
+            enc.speedup()
+        );
+    }
+
+    #[test]
+    fn render_includes_all_rows() {
+        let t = Table1 {
+            symmetric: vec![SymmetricRow {
+                name: "DES enc./dec.",
+                base_cpb: 476.8,
+                opt_cpb: 15.4,
+            }],
+            rsa: vec![RsaRow {
+                name: "RSA dec.",
+                base_cycles: 1.2658e10,
+                opt_cycles: 1.9078e8,
+            }],
+            rsa_bits: 1024,
+        };
+        let text = t.render();
+        assert!(text.contains("DES enc./dec."));
+        assert!(text.contains("31.0X"));
+        assert!(text.contains("66.3X") || text.contains("66.4X"));
+    }
+}

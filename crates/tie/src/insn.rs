@@ -1,0 +1,249 @@
+//! Candidate custom-instruction identities and the dominance relation.
+//!
+//! Custom instructions come in *families* parameterized by a resource
+//! level: `add_2`, `add_4`, `add_8`, `add_16` all belong to family
+//! `add`, with 2–16 adder resources. A higher level of the same family
+//! can perform everything a lower level can at equal or better
+//! performance, so when two design points are combined, `add_2` next to
+//! `add_4` **reduces** to just `add_4` — the mechanism behind the
+//! paper's 25 → 9 reduction in Fig. 6.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One candidate custom instruction: a family name, a resource level,
+/// and its structural area in gate equivalents.
+///
+/// # Examples
+///
+/// ```
+/// use tie::insn::CustomInsn;
+///
+/// let a4 = CustomInsn::new("add", 4, 1800);
+/// let a2 = CustomInsn::new("add", 2, 1000);
+/// assert!(a4.dominates(&a2));
+/// assert!(!a2.dominates(&a4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CustomInsn {
+    family: String,
+    level: u32,
+    area: u64,
+}
+
+impl CustomInsn {
+    /// Creates an instruction identity.
+    pub fn new(family: impl Into<String>, level: u32, area: u64) -> Self {
+        CustomInsn {
+            family: family.into(),
+            level,
+            area,
+        }
+    }
+
+    /// The family name (e.g. `"add"`).
+    pub fn family(&self) -> &str {
+        &self.family
+    }
+
+    /// The resource level within the family (e.g. number of adders).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Structural area in gate equivalents.
+    pub fn area(&self) -> u64 {
+        self.area
+    }
+
+    /// True if `self` can substitute for `other` with equal or better
+    /// performance: same family, same or higher resource level.
+    pub fn dominates(&self, other: &CustomInsn) -> bool {
+        self.family == other.family && self.level >= other.level
+    }
+}
+
+impl fmt::Display for CustomInsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}_{}", self.family, self.level)
+    }
+}
+
+/// A dominance-reduced set of custom instructions (at most one level per
+/// family — always the highest seen).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct InsnSet {
+    // family -> instruction; keeping the map keyed by family enforces
+    // the one-per-family invariant structurally.
+    by_family: BTreeMap<String, CustomInsn>,
+}
+
+impl InsnSet {
+    /// The empty set (the base processor, zero area overhead).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a reduced set from any iterator of instructions.
+    pub fn from_insns<I: IntoIterator<Item = CustomInsn>>(insns: I) -> Self {
+        let mut set = Self::empty();
+        for i in insns {
+            set.insert(i);
+        }
+        set
+    }
+
+    /// Inserts an instruction, keeping only the dominant level of its
+    /// family.
+    pub fn insert(&mut self, insn: CustomInsn) {
+        match self.by_family.get(insn.family()) {
+            Some(existing) if existing.dominates(&insn) => {}
+            _ => {
+                self.by_family.insert(insn.family().to_owned(), insn);
+            }
+        }
+    }
+
+    /// The union of two sets, dominance-reduced. Shared instructions are
+    /// counted once — the "instruction sharing" of the paper's Fig. 6.
+    pub fn union(&self, other: &InsnSet) -> InsnSet {
+        let mut out = self.clone();
+        for insn in other.iter() {
+            out.insert(insn.clone());
+        }
+        out
+    }
+
+    /// Total area of the set in gate equivalents.
+    pub fn area(&self) -> u64 {
+        self.by_family.values().map(CustomInsn::area).sum()
+    }
+
+    /// Number of instructions in the set.
+    pub fn len(&self) -> usize {
+        self.by_family.len()
+    }
+
+    /// True for the empty set.
+    pub fn is_empty(&self) -> bool {
+        self.by_family.is_empty()
+    }
+
+    /// Iterates over member instructions (sorted by family).
+    pub fn iter(&self) -> impl Iterator<Item = &CustomInsn> {
+        self.by_family.values()
+    }
+
+    /// True if this set contains an instruction dominating `insn`.
+    pub fn covers(&self, insn: &CustomInsn) -> bool {
+        self.by_family
+            .get(insn.family())
+            .is_some_and(|have| have.dominates(insn))
+    }
+}
+
+impl fmt::Display for InsnSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "{{∅}}");
+        }
+        write!(f, "{{")?;
+        for (i, insn) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{insn}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<CustomInsn> for InsnSet {
+    fn from_iter<T: IntoIterator<Item = CustomInsn>>(iter: T) -> Self {
+        Self::from_insns(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add(level: u32) -> CustomInsn {
+        CustomInsn::new("add", level, 500 * level as u64)
+    }
+
+    fn mul(level: u32) -> CustomInsn {
+        CustomInsn::new("mul", level, 7000 * level as u64)
+    }
+
+    #[test]
+    fn dominance_within_family_only() {
+        assert!(add(8).dominates(&add(2)));
+        assert!(add(2).dominates(&add(2)));
+        assert!(!add(2).dominates(&add(8)));
+        assert!(!add(16).dominates(&mul(1)));
+    }
+
+    #[test]
+    fn insert_keeps_dominant_level() {
+        let mut s = InsnSet::empty();
+        s.insert(add(2));
+        s.insert(add(8));
+        s.insert(add(4)); // dominated; ignored
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().next().unwrap().level(), 8);
+    }
+
+    #[test]
+    fn union_shares_and_reduces() {
+        // The shaded example from Fig. 6: {add_2, mul_1} ∪ {add_4}
+        // reduces to {add_4, mul_1}.
+        let a = InsnSet::from_insns([add(2), mul(1)]);
+        let b = InsnSet::from_insns([add(4)]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        assert!(u.covers(&add(4)));
+        assert!(u.covers(&add(2)));
+        assert!(u.covers(&mul(1)));
+        assert_eq!(u.area(), add(4).area() + mul(1).area());
+    }
+
+    #[test]
+    fn shared_instruction_counted_once() {
+        let a = InsnSet::from_insns([add(4)]);
+        let b = InsnSet::from_insns([add(4)]);
+        assert_eq!(a.union(&b).area(), add(4).area());
+    }
+
+    #[test]
+    fn area_sums_across_families() {
+        let s = InsnSet::from_insns([add(2), mul(1)]);
+        assert_eq!(s.area(), add(2).area() + mul(1).area());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(InsnSet::empty().to_string(), "{∅}");
+        let s = InsnSet::from_insns([add(4), mul(1)]);
+        assert_eq!(s.to_string(), "{add_4, mul_1}");
+    }
+
+    #[test]
+    fn cartesian_of_fig6_reduces_25_to_9() {
+        // addmul_1 curve points: ∅ plus {add_k, mul_1} for k=2,4,8,16.
+        // add_n curve points: ∅ plus {add_k}.
+        let addmul: Vec<InsnSet> = std::iter::once(InsnSet::empty())
+            .chain([2u32, 4, 8, 16].iter().map(|&k| InsnSet::from_insns([add(k), mul(1)])))
+            .collect();
+        let addn: Vec<InsnSet> = std::iter::once(InsnSet::empty())
+            .chain([2u32, 4, 8, 16].iter().map(|&k| InsnSet::from_insns([add(k)])))
+            .collect();
+        let mut distinct = std::collections::BTreeSet::new();
+        for x in &addmul {
+            for y in &addn {
+                distinct.insert(x.union(y));
+            }
+        }
+        assert_eq!(distinct.len(), 9, "paper's Fig. 6 reduction");
+    }
+}

@@ -1,0 +1,49 @@
+//! Custom-instruction formulation and global selection (the paper's
+//! Sections 3.3 and 3.4).
+//!
+//! The DAC 2002 methodology accelerates a security algorithm by adding
+//! custom instructions to an extensible processor. Because each library
+//! routine admits *several alternative* custom instructions (varying the
+//! number of adders, multipliers, lookup tables…), every routine carries
+//! an **area–delay (A-D) curve** rather than one number. This crate
+//! implements:
+//!
+//! - [`insn`]: candidate custom-instruction identities with the
+//!   *dominance* relation (`add_4` subsumes `add_2`) used to reduce
+//!   combined design points;
+//! - [`adcurve`]: A-D points/curves, instruction-sharing-aware
+//!   combination (the Cartesian product of Fig. 6, reduced 25 → 9), and
+//!   Pareto pruning (Fig. 5(c));
+//! - [`callgraph`]: the annotated call graph (`local_cycles`, per-edge
+//!   call counts) of Fig. 4;
+//! - [`select`]: bottom-up propagation of A-D curves through the call
+//!   graph per Equation (1) and area-constrained selection at the root.
+//!
+//! # Examples
+//!
+//! ```
+//! use tie::adcurve::{AdCurve, AdPoint};
+//! use tie::insn::CustomInsn;
+//!
+//! // A routine with a base implementation and one accelerated variant.
+//! let curve = AdCurve::from_points(vec![
+//!     AdPoint::base(202.0),
+//!     AdPoint::new(vec![CustomInsn::new("add", 2, 1000)], 109.0),
+//! ]);
+//! assert_eq!(curve.len(), 2);
+//! assert_eq!(curve.best_under_area(500).unwrap().cycles, 202.0);
+//! assert_eq!(curve.best_under_area(2000).unwrap().cycles, 109.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adcurve;
+pub mod callgraph;
+pub mod insn;
+pub mod select;
+
+pub use adcurve::{AdCurve, AdPoint};
+pub use callgraph::CallGraph;
+pub use insn::{CustomInsn, InsnSet};
+pub use select::Selector;

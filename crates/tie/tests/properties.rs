@@ -1,0 +1,161 @@
+//! Property-based tests for the A-D-curve machinery: dominance
+//! soundness, combination invariants, and selection optimality.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tie::adcurve::{AdCurve, AdPoint};
+use tie::callgraph::CallGraph;
+use tie::insn::{CustomInsn, InsnSet};
+use tie::select::Selector;
+
+/// Strategy: a random A-D curve over up to three instruction families.
+fn curve(seed: u64, families: u32) -> AdCurve {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = vec![AdPoint::base(rng.random_range(100.0..1000.0))];
+    for f in 0..families {
+        let fam = format!("f{f}");
+        let mut cycles = points[0].cycles;
+        for level in 1..=rng.random_range(1..4u32) {
+            cycles *= rng.random_range(0.4..0.95);
+            points.push(AdPoint::new(
+                [CustomInsn::new(fam.clone(), level, 200 * level as u64)],
+                cycles,
+            ));
+        }
+    }
+    AdCurve::from_points(points)
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative_associative_idempotent(
+        s1 in prop::collection::vec((0u8..3, 1u32..5), 0..4),
+        s2 in prop::collection::vec((0u8..3, 1u32..5), 0..4),
+        s3 in prop::collection::vec((0u8..3, 1u32..5), 0..4),
+    ) {
+        let build = |v: &[(u8, u32)]| {
+            InsnSet::from_insns(
+                v.iter()
+                    .map(|&(f, l)| CustomInsn::new(format!("fam{f}"), l, 100 * l as u64)),
+            )
+        };
+        let a = build(&s1);
+        let b = build(&s2);
+        let c = build(&s3);
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&a), a.clone());
+    }
+
+    #[test]
+    fn union_area_never_exceeds_sum(
+        s1 in prop::collection::vec((0u8..3, 1u32..5), 0..4),
+        s2 in prop::collection::vec((0u8..3, 1u32..5), 0..4),
+    ) {
+        let build = |v: &[(u8, u32)]| {
+            InsnSet::from_insns(
+                v.iter()
+                    .map(|&(f, l)| CustomInsn::new(format!("fam{f}"), l, 100 * l as u64)),
+            )
+        };
+        let a = build(&s1);
+        let b = build(&s2);
+        let u = a.union(&b);
+        prop_assert!(u.area() <= a.area() + b.area(), "sharing/dominance can only save area");
+        prop_assert!(u.area() >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn pareto_is_subset_and_undominated(seed in any::<u64>()) {
+        let c = curve(seed, 3);
+        let p = c.pareto();
+        prop_assert!(p.len() <= c.len());
+        for (i, a) in p.points().iter().enumerate() {
+            for (j, b) in p.points().iter().enumerate() {
+                if i != j {
+                    let dominated = b.area() <= a.area() && b.cycles <= a.cycles;
+                    prop_assert!(!dominated, "point {i} dominated by {j}");
+                }
+            }
+        }
+        // Best point under an infinite budget is preserved.
+        let best_c = c.best_under_area(u64::MAX).expect("nonempty").cycles;
+        let best_p = p.best_under_area(u64::MAX).expect("nonempty").cycles;
+        prop_assert_eq!(best_c, best_p);
+    }
+
+    #[test]
+    fn combine_cycles_are_sums(seed1 in any::<u64>(), seed2 in any::<u64>()) {
+        let a = curve(seed1, 2);
+        let b = curve(seed2, 2);
+        let comb = a.combine(&b);
+        // Base points sum exactly.
+        let base_a = a.points()[0].cycles;
+        let base_b = b.points()[0].cycles;
+        let base = comb
+            .points()
+            .iter()
+            .find(|p| p.area() == 0)
+            .expect("base survives combination");
+        prop_assert!((base.cycles - (base_a + base_b)).abs() < 1e-9);
+        // Every combined point's cycles is at least the sum of both minima.
+        let min_a = a.points().iter().map(|p| p.cycles).fold(f64::MAX, f64::min);
+        let min_b = b.points().iter().map(|p| p.cycles).fold(f64::MAX, f64::min);
+        for p in comb.points() {
+            prop_assert!(p.cycles + 1e-9 >= min_a + min_b);
+        }
+    }
+
+    #[test]
+    fn selection_is_optimal_under_budget(seed in any::<u64>(), budget in 0u64..3000) {
+        let c = curve(seed, 3);
+        if let Some(best) = c.best_under_area(budget) {
+            for p in c.points() {
+                if p.area() <= budget {
+                    prop_assert!(best.cycles <= p.cycles + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn propagation_base_matches_equation_1(
+        local in 0.0f64..100.0,
+        calls1 in 1.0f64..10.0,
+        calls2 in 1.0f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        let c1 = curve(seed, 1);
+        let c2 = curve(seed.wrapping_add(1), 1);
+        let mut g = CallGraph::new();
+        g.add_node("root", local);
+        g.add_node("a", 0.0);
+        g.add_node("b", 0.0);
+        g.add_call("root", "a", calls1).expect("nodes exist");
+        g.add_call("root", "b", calls2).expect("nodes exist");
+        let mut sel = Selector::new(g);
+        sel.set_leaf_curve("a", c1.clone());
+        sel.set_leaf_curve("b", c2.clone());
+        let curves = sel.propagate().expect("DAG");
+        let base = curves["root"]
+            .points()
+            .iter()
+            .find(|p| p.area() == 0)
+            .expect("base point");
+        let expect = local + calls1 * c1.points()[0].cycles + calls2 * c2.points()[0].cycles;
+        prop_assert!((base.cycles - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bigger_budget_never_hurts(seed in any::<u64>()) {
+        let c = curve(seed, 3);
+        let mut last = f64::MAX;
+        for budget in [0u64, 200, 400, 800, 1600, u64::MAX] {
+            if let Some(p) = c.best_under_area(budget) {
+                prop_assert!(p.cycles <= last + 1e-9);
+                last = p.cycles;
+            }
+        }
+    }
+}

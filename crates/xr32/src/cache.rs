@@ -1,0 +1,257 @@
+//! Set-associative cache model with LRU replacement.
+//!
+//! Both the instruction and data side of the XR32 timing model use this
+//! cache. Only timing is modeled (hit/miss); data always comes from the
+//! backing [`crate::mem::Memory`].
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Associativity (1 = direct mapped).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (zero sizes, non-power-of-
+    /// two line size, or capacity not divisible by `line_bytes * ways`).
+    pub fn sets(&self) -> usize {
+        assert!(self.line_bytes.is_power_of_two() && self.line_bytes >= 4);
+        assert!(self.ways >= 1);
+        let lines = self.size_bytes / self.line_bytes;
+        assert!(
+            lines >= self.ways && lines % self.ways == 0,
+            "cache capacity must be a whole number of ways"
+        );
+        lines / self.ways
+    }
+}
+
+/// Hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (1.0 for an untouched cache).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    lru: u64,
+}
+
+/// A set-associative LRU cache (timing model only).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: usize,
+    lines: Vec<Line>, // sets * ways
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see
+    /// [`CacheConfig::sets`]).
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        Cache {
+            config,
+            sets,
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    lru: 0,
+                };
+                sets * config.ways
+            ],
+            stats: CacheStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets contents and statistics.
+    pub fn reset(&mut self) {
+        for line in &mut self.lines {
+            line.valid = false;
+        }
+        self.stats = CacheStats::default();
+        self.tick = 0;
+    }
+
+    /// Performs one access; returns `true` on hit. A miss fills the line
+    /// (allocate-on-miss for both reads and writes).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let line_addr = addr / self.config.line_bytes as u64;
+        let set = (line_addr % self.sets as u64) as usize;
+        let tag = line_addr / self.sets as u64;
+        let ways = self.config.ways;
+        let base = set * ways;
+
+        for i in 0..ways {
+            let line = &mut self.lines[base + i];
+            if line.valid && line.tag == tag {
+                line.lru = self.tick;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        // Miss: replace the LRU (or first invalid) way.
+        let victim = (0..ways)
+            .min_by_key(|&i| {
+                let l = &self.lines[base + i];
+                if l.valid {
+                    l.lru
+                } else {
+                    0
+                }
+            })
+            .expect("ways >= 1");
+        self.lines[base + victim] = Line {
+            tag,
+            valid: true,
+            lru: self.tick,
+        };
+        self.stats.misses += 1;
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 lines of 16 bytes, direct mapped.
+        Cache::new(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 16,
+            ways: 1,
+        })
+    }
+
+    #[test]
+    fn geometry_computed() {
+        let c = CacheConfig {
+            size_bytes: 16 * 1024,
+            line_bytes: 32,
+            ways: 2,
+        };
+        assert_eq!(c.sets(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of ways")]
+    fn inconsistent_geometry_panics() {
+        let _ = CacheConfig {
+            size_bytes: 48,
+            line_bytes: 16,
+            ways: 2,
+        }
+        .sets();
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x10c)); // same 16-byte line
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = tiny();
+        // 4 sets of 16B: addresses 0x000 and 0x040 map to set 0.
+        assert!(!c.access(0x000));
+        assert!(!c.access(0x040));
+        assert!(!c.access(0x000), "conflict should have evicted");
+    }
+
+    #[test]
+    fn two_way_avoids_simple_conflict() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 16,
+            ways: 2,
+        });
+        assert!(!c.access(0x000));
+        assert!(!c.access(0x040)); // same set, other way
+        assert!(c.access(0x000));
+        assert!(c.access(0x040));
+    }
+
+    #[test]
+    fn lru_replacement_order() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 32,
+            line_bytes: 16,
+            ways: 2,
+        });
+        // One set, two ways.
+        c.access(0x00); // A
+        c.access(0x10); // B
+        c.access(0x00); // A again (B becomes LRU)
+        c.access(0x20); // C evicts B
+        assert!(c.access(0x00), "A should still be resident");
+        assert!(!c.access(0x10), "B was evicted");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = tiny();
+        c.access(0x0);
+        c.reset();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(!c.access(0x0));
+    }
+
+    #[test]
+    fn hit_rate_of_fresh_cache_is_one() {
+        assert_eq!(tiny().stats().hit_rate(), 1.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Processor configuration.
+//!
+//! Mirrors the configurability of the Xtensa base processor the paper
+//! customizes: optional hardware multiplier, cache geometry, memory
+//! latency, and the number/width of extension user registers.
+
+pub use crate::cache::CacheConfig;
+
+/// Configuration of an XR32 core.
+///
+/// The default corresponds to the paper's baseline platform: a 188 MHz
+/// embedded core with 16 KiB 2-way I/D caches and a hardware multiplier,
+/// before any custom-instruction extension.
+///
+/// # Examples
+///
+/// ```
+/// use xr32::config::CpuConfig;
+///
+/// let cfg = CpuConfig {
+///     has_mul: false, // smallest configuration: software multiply only
+///     ..CpuConfig::default()
+/// };
+/// assert!(!cfg.has_mul);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// Hardware 32×32 multiplier option (`mul`/`mulhu` legal only when
+    /// set).
+    pub has_mul: bool,
+    /// Multiplier result latency in cycles.
+    pub mul_latency: u32,
+    /// Instruction-cache geometry.
+    pub icache: CacheConfig,
+    /// Data-cache geometry.
+    pub dcache: CacheConfig,
+    /// Cycles added by a cache miss (main-memory access time).
+    pub mem_latency: u32,
+    /// Cycles added by a taken branch (pipeline refill).
+    pub branch_penalty: u32,
+    /// Data-memory size in bytes.
+    pub mem_size: usize,
+    /// Number of wide user registers available to custom instructions.
+    pub user_regs: usize,
+    /// Width of each user register in 32-bit words.
+    pub user_reg_words: usize,
+    /// Core clock frequency in Hz (used to convert cycles to time and
+    /// throughput; the paper's prototype ran at 188 MHz).
+    pub clock_hz: u64,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            has_mul: true,
+            mul_latency: 2,
+            icache: CacheConfig {
+                size_bytes: 16 * 1024,
+                line_bytes: 32,
+                ways: 2,
+            },
+            dcache: CacheConfig {
+                size_bytes: 16 * 1024,
+                line_bytes: 32,
+                ways: 2,
+            },
+            mem_latency: 20,
+            branch_penalty: 2,
+            mem_size: 1 << 20,
+            user_regs: 8,
+            user_reg_words: 16, // up to 512-bit extension state
+            clock_hz: 188_000_000,
+        }
+    }
+}
+
+impl CpuConfig {
+    /// The baseline platform of the paper's Table 1 measurements
+    /// (identical to `default()`).
+    pub fn baseline() -> Self {
+        Self::default()
+    }
+
+    /// A minimal configuration without the multiplier option, for
+    /// exploring the cheapest possible core.
+    pub fn minimal() -> Self {
+        CpuConfig {
+            has_mul: false,
+            icache: CacheConfig {
+                size_bytes: 4 * 1024,
+                line_bytes: 16,
+                ways: 1,
+            },
+            dcache: CacheConfig {
+                size_bytes: 4 * 1024,
+                line_bytes: 16,
+                ways: 1,
+            },
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_baseline() {
+        assert_eq!(CpuConfig::default(), CpuConfig::baseline());
+    }
+
+    #[test]
+    fn minimal_is_smaller() {
+        let min = CpuConfig::minimal();
+        assert!(!min.has_mul);
+        assert!(min.icache.size_bytes < CpuConfig::default().icache.size_bytes);
+    }
+}

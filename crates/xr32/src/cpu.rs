@@ -1,0 +1,839 @@
+//! The cycle-accurate XR32 executor.
+//!
+//! Timing model (single-issue, in-order, 5-stage pipeline abstraction):
+//!
+//! - every instruction costs one issue cycle;
+//! - instruction fetch goes through the I-cache: a miss adds
+//!   `mem_latency` cycles;
+//! - loads and stores go through the D-cache: a miss adds `mem_latency`;
+//!   a load's result is available one cycle late (load-use interlock);
+//! - taken branches, jumps, calls and returns add `branch_penalty`
+//!   refill cycles;
+//! - `mul`/`mulhu` results are available after `mul_latency` cycles and
+//!   are only legal when the hardware-multiplier option is configured;
+//! - custom instructions cost their registered latency.
+//!
+//! Dependent-result delays are modeled with per-register ready times: an
+//! instruction that reads a register before its ready cycle stalls until
+//! it is ready.
+
+use crate::asm::Program;
+use crate::cache::{Cache, CacheStats};
+use crate::config::CpuConfig;
+use crate::ext::{CustomInsnError, ExecCtx, ExtensionSet, UserRegFile};
+use crate::isa::{Insn, Reg};
+use crate::mem::{AccessError, Memory};
+use crate::profile::{Profile, Profiler};
+use std::fmt;
+
+/// PC value that terminates a [`Cpu::call`]-style run when returned to.
+pub const RETURN_SENTINEL: u32 = u32::MAX;
+
+/// Errors terminating a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A data-memory access failed.
+    Mem {
+        /// Instruction index of the faulting access.
+        pc: usize,
+        /// The underlying access error.
+        source: AccessError,
+    },
+    /// An instruction illegal under the current configuration
+    /// (e.g. `mul` without the multiplier option, unknown custom
+    /// instruction).
+    Illegal {
+        /// Instruction index.
+        pc: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// A custom instruction's semantics failed.
+    Custom {
+        /// Instruction index.
+        pc: usize,
+        /// The underlying error.
+        source: CustomInsnError,
+    },
+    /// The program counter left the program.
+    PcOutOfRange {
+        /// Offending instruction index.
+        pc: usize,
+    },
+    /// The fuel (maximum instruction) budget was exhausted — the usual
+    /// sign of an infinite loop in a kernel under test.
+    OutOfFuel {
+        /// Instructions executed before giving up.
+        executed: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Mem { pc, source } => write!(f, "at insn {pc}: {source}"),
+            SimError::Illegal { pc, reason } => {
+                write!(f, "illegal instruction at insn {pc}: {reason}")
+            }
+            SimError::Custom { pc, source } => write!(f, "at insn {pc}: {source}"),
+            SimError::PcOutOfRange { pc } => write!(f, "pc {pc} outside program"),
+            SimError::OutOfFuel { executed } => {
+                write!(f, "out of fuel after {executed} instructions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Mem { source, .. } => Some(source),
+            SimError::Custom { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Executed-instruction counts by class (for the energy model and
+/// workload analysis).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// ALU and move instructions.
+    pub alu: u64,
+    /// Loads and stores.
+    pub mem: u64,
+    /// Branches, jumps, calls, returns.
+    pub control: u64,
+    /// Hardware multiplies.
+    pub mul: u64,
+    /// Custom (TIE) instructions.
+    pub custom: u64,
+}
+
+impl ClassCounts {
+    /// Total classified instructions.
+    pub fn total(&self) -> u64 {
+        self.alu + self.mem + self.control + self.mul + self.custom
+    }
+}
+
+/// Result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Total cycles elapsed.
+    pub cycles: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Executed instructions by class.
+    pub classes: ClassCounts,
+    /// Instruction-cache statistics.
+    pub icache: CacheStats,
+    /// Data-cache statistics.
+    pub dcache: CacheStats,
+    /// Per-function profile and call graph.
+    pub profile: Profile,
+}
+
+impl RunSummary {
+    /// Cycles per instruction for the run.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// A simulated XR32 core.
+pub struct Cpu {
+    config: CpuConfig,
+    regs: [u32; 16],
+    carry: bool,
+    mem: Memory,
+    uregs: UserRegFile,
+    ext: ExtensionSet,
+    icache: Cache,
+    dcache: Cache,
+    cycles: u64,
+    reg_ready: [u64; 16],
+    fuel: u64,
+}
+
+impl fmt::Debug for Cpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cpu")
+            .field("cycles", &self.cycles)
+            .field("regs", &self.regs)
+            .field("carry", &self.carry)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cpu {
+    /// Creates a core with the given configuration and no custom
+    /// instructions.
+    pub fn new(config: CpuConfig) -> Self {
+        Self::with_extensions(config, ExtensionSet::new())
+    }
+
+    /// Creates a core with custom-instruction extensions. The stack
+    /// pointer (`sp`) starts at the top of data memory.
+    pub fn with_extensions(config: CpuConfig, ext: ExtensionSet) -> Self {
+        let mut regs = [0; 16];
+        regs[Reg::SP.index()] = config.mem_size as u32;
+        Cpu {
+            regs,
+            carry: false,
+            mem: Memory::new(config.mem_size),
+            uregs: UserRegFile::new(config.user_regs, config.user_reg_words),
+            ext,
+            icache: Cache::new(config.icache),
+            dcache: Cache::new(config.dcache),
+            cycles: 0,
+            reg_ready: [0; 16],
+            fuel: 200_000_000,
+            config,
+        }
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.config
+    }
+
+    /// The configured extension set.
+    pub fn extensions(&self) -> &ExtensionSet {
+        &self.ext
+    }
+
+    /// Reads general register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 15`.
+    pub fn reg(&self, i: usize) -> u32 {
+        self.regs[i]
+    }
+
+    /// Writes general register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 15`.
+    pub fn set_reg(&mut self, i: usize, v: u32) {
+        self.regs[i] = v;
+    }
+
+    /// The data memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to data memory (for setting up kernel inputs).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// The user (wide) register file.
+    pub fn uregs(&self) -> &UserRegFile {
+        &self.uregs
+    }
+
+    /// Cycles elapsed since construction or [`Cpu::reset_timing`].
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Sets the maximum number of instructions a run may execute before
+    /// failing with [`SimError::OutOfFuel`].
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Clears cycles, caches, registers and the carry flag (memory is
+    /// preserved).
+    pub fn reset_timing(&mut self) {
+        self.cycles = 0;
+        self.reg_ready = [0; 16];
+        self.regs = [0; 16];
+        self.regs[Reg::SP.index()] = self.config.mem_size as u32;
+        self.carry = false;
+        self.icache.reset();
+        self.dcache.reset();
+        self.uregs.clear();
+    }
+
+    /// Runs `program` from its `main` label (or instruction 0 when no
+    /// `main` exists) until `halt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on faults or fuel exhaustion.
+    pub fn run(&mut self, program: &Program) -> Result<RunSummary, SimError> {
+        let entry = program.label("main").unwrap_or(0);
+        self.run_from(program, entry)
+    }
+
+    /// Runs `program` starting at instruction index `entry` until `halt`
+    /// or a return to [`RETURN_SENTINEL`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on faults or fuel exhaustion.
+    pub fn run_from(&mut self, program: &Program, entry: usize) -> Result<RunSummary, SimError> {
+        let entry_name = program.label_at(entry).unwrap_or("<entry>").to_owned();
+        self.execute(program, entry, &entry_name)
+    }
+
+    /// Calls a labeled routine: loads `args` into `a0…`, runs until the
+    /// routine returns (or halts), and returns the summary. The routine's
+    /// return value convention is `a0` (read it with [`Cpu::reg`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Illegal`] if the label is undefined, and any
+    /// simulation error from the run itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than six arguments are supplied (a0–a5 is the
+    /// argument convention).
+    pub fn call(
+        &mut self,
+        program: &Program,
+        label: &str,
+        args: &[u32],
+    ) -> Result<RunSummary, SimError> {
+        assert!(args.len() <= 6, "at most 6 register arguments (a0-a5)");
+        let entry = program.label(label).ok_or_else(|| SimError::Illegal {
+            pc: 0,
+            reason: format!("undefined entry label {label:?}"),
+        })?;
+        for (i, &a) in args.iter().enumerate() {
+            self.regs[i] = a;
+        }
+        self.regs[Reg::RA.index()] = RETURN_SENTINEL;
+        self.execute(program, entry, label)
+    }
+
+    fn execute(
+        &mut self,
+        program: &Program,
+        entry: usize,
+        entry_name: &str,
+    ) -> Result<RunSummary, SimError> {
+        let start_cycles = self.cycles;
+        let icache_before = self.icache.stats();
+        let dcache_before = self.dcache.stats();
+        let mut profiler = Profiler::new(entry_name);
+        let mut executed: u64 = 0;
+        let mut classes = ClassCounts::default();
+        let mut pc = entry;
+
+        loop {
+            if pc == RETURN_SENTINEL as usize {
+                break; // clean return from a `call`
+            }
+            let insn = match program.insns().get(pc) {
+                Some(i) => i,
+                None => return Err(SimError::PcOutOfRange { pc }),
+            };
+            if executed >= self.fuel {
+                return Err(SimError::OutOfFuel { executed });
+            }
+            executed += 1;
+            match insn {
+                Insn::Lw(..) | Insn::Sw(..) | Insn::Lbu(..) | Insn::Sb(..) | Insn::Lhu(..)
+                | Insn::Sh(..) => classes.mem += 1,
+                Insn::Beq(..) | Insn::Bne(..) | Insn::Bltu(..) | Insn::Bgeu(..)
+                | Insn::Blt(..) | Insn::Bge(..) | Insn::J(_) | Insn::Call(_) | Insn::Ret
+                | Insn::Jr(_) => classes.control += 1,
+                Insn::Mul(..) | Insn::Mulhu(..) => classes.mul += 1,
+                Insn::Custom(_) => classes.custom += 1,
+                _ => classes.alu += 1,
+            }
+
+            // Source-operand interlock: stall until inputs are ready.
+            for src in insn.sources() {
+                let ready = self.reg_ready[src.index()];
+                if ready > self.cycles {
+                    self.cycles = ready;
+                }
+            }
+
+            // Instruction fetch.
+            if !self.icache.access(pc as u64 * 4) {
+                self.cycles += self.config.mem_latency as u64;
+            }
+            // Issue.
+            self.cycles += 1;
+
+            let mut next_pc = pc + 1;
+            let mut taken = false;
+
+            macro_rules! rd {
+                ($r:expr) => {
+                    self.regs[$r.index()]
+                };
+            }
+
+            match insn {
+                Insn::Add(d, a, b) => self.regs[d.index()] = rd!(a).wrapping_add(rd!(b)),
+                Insn::Addc(d, a, b) => {
+                    let t = rd!(a) as u64 + rd!(b) as u64 + self.carry as u64;
+                    self.regs[d.index()] = t as u32;
+                    self.carry = t >> 32 != 0;
+                }
+                Insn::Sub(d, a, b) => self.regs[d.index()] = rd!(a).wrapping_sub(rd!(b)),
+                Insn::Subc(d, a, b) => {
+                    let t = (rd!(a) as u64)
+                        .wrapping_sub(rd!(b) as u64)
+                        .wrapping_sub(self.carry as u64);
+                    self.regs[d.index()] = t as u32;
+                    self.carry = t >> 32 != 0;
+                }
+                Insn::And(d, a, b) => self.regs[d.index()] = rd!(a) & rd!(b),
+                Insn::Or(d, a, b) => self.regs[d.index()] = rd!(a) | rd!(b),
+                Insn::Xor(d, a, b) => self.regs[d.index()] = rd!(a) ^ rd!(b),
+                Insn::Sll(d, a, b) => self.regs[d.index()] = rd!(a) << (rd!(b) & 31),
+                Insn::Srl(d, a, b) => self.regs[d.index()] = rd!(a) >> (rd!(b) & 31),
+                Insn::Sra(d, a, b) => {
+                    self.regs[d.index()] = ((rd!(a) as i32) >> (rd!(b) & 31)) as u32
+                }
+                Insn::Sltu(d, a, b) => self.regs[d.index()] = (rd!(a) < rd!(b)) as u32,
+                Insn::Slt(d, a, b) => {
+                    self.regs[d.index()] = ((rd!(a) as i32) < (rd!(b) as i32)) as u32
+                }
+                Insn::Mul(d, a, b) | Insn::Mulhu(d, a, b) => {
+                    if !self.config.has_mul {
+                        return Err(SimError::Illegal {
+                            pc,
+                            reason: "mul requires the hardware-multiplier option".into(),
+                        });
+                    }
+                    let t = rd!(a) as u64 * rd!(b) as u64;
+                    self.regs[d.index()] = if matches!(insn, Insn::Mul(..)) {
+                        t as u32
+                    } else {
+                        (t >> 32) as u32
+                    };
+                    self.reg_ready[d.index()] =
+                        self.cycles + self.config.mul_latency.saturating_sub(1) as u64;
+                }
+                Insn::Addi(d, a, imm) => {
+                    self.regs[d.index()] = rd!(a).wrapping_add(*imm as u32)
+                }
+                Insn::Andi(d, a, imm) => self.regs[d.index()] = rd!(a) & imm,
+                Insn::Ori(d, a, imm) => self.regs[d.index()] = rd!(a) | imm,
+                Insn::Xori(d, a, imm) => self.regs[d.index()] = rd!(a) ^ imm,
+                Insn::Slli(d, a, sh) => self.regs[d.index()] = rd!(a) << sh,
+                Insn::Srli(d, a, sh) => self.regs[d.index()] = rd!(a) >> sh,
+                Insn::Srai(d, a, sh) => {
+                    self.regs[d.index()] = ((rd!(a) as i32) >> sh) as u32
+                }
+                Insn::Movi(d, imm) => self.regs[d.index()] = *imm as u32,
+                Insn::Mov(d, a) => self.regs[d.index()] = rd!(a),
+                Insn::Lw(d, base, off) | Insn::Lbu(d, base, off) | Insn::Lhu(d, base, off) => {
+                    let addr = rd!(base).wrapping_add(*off as u32);
+                    if !self.dcache.access(addr as u64) {
+                        self.cycles += self.config.mem_latency as u64;
+                    }
+                    let v = match insn {
+                        Insn::Lw(..) => self.mem.load_u32(addr),
+                        Insn::Lbu(..) => self.mem.load_u8(addr).map(u32::from),
+                        _ => self.mem.load_u16(addr).map(u32::from),
+                    }
+                    .map_err(|source| SimError::Mem { pc, source })?;
+                    self.regs[d.index()] = v;
+                    // Load-use delay: result arrives one cycle late.
+                    self.reg_ready[d.index()] = self.cycles + 1;
+                }
+                Insn::Sw(v, base, off) | Insn::Sb(v, base, off) | Insn::Sh(v, base, off) => {
+                    let addr = rd!(base).wrapping_add(*off as u32);
+                    if !self.dcache.access(addr as u64) {
+                        self.cycles += self.config.mem_latency as u64;
+                    }
+                    let val = rd!(v);
+                    match insn {
+                        Insn::Sw(..) => self.mem.store_u32(addr, val),
+                        Insn::Sb(..) => self.mem.store_u8(addr, val as u8),
+                        _ => self.mem.store_u16(addr, val as u16),
+                    }
+                    .map_err(|source| SimError::Mem { pc, source })?;
+                }
+                Insn::Beq(a, b, t) => {
+                    if rd!(a) == rd!(b) {
+                        next_pc = *t;
+                        taken = true;
+                    }
+                }
+                Insn::Bne(a, b, t) => {
+                    if rd!(a) != rd!(b) {
+                        next_pc = *t;
+                        taken = true;
+                    }
+                }
+                Insn::Bltu(a, b, t) => {
+                    if rd!(a) < rd!(b) {
+                        next_pc = *t;
+                        taken = true;
+                    }
+                }
+                Insn::Bgeu(a, b, t) => {
+                    if rd!(a) >= rd!(b) {
+                        next_pc = *t;
+                        taken = true;
+                    }
+                }
+                Insn::Blt(a, b, t) => {
+                    if (rd!(a) as i32) < (rd!(b) as i32) {
+                        next_pc = *t;
+                        taken = true;
+                    }
+                }
+                Insn::Bge(a, b, t) => {
+                    if (rd!(a) as i32) >= (rd!(b) as i32) {
+                        next_pc = *t;
+                        taken = true;
+                    }
+                }
+                Insn::J(t) => {
+                    next_pc = *t;
+                    taken = true;
+                }
+                Insn::Call(t) => {
+                    self.regs[Reg::RA.index()] = (pc + 1) as u32;
+                    let callee = program.label_at(*t).unwrap_or("<anon>");
+                    profiler.on_call(callee, self.cycles);
+                    next_pc = *t;
+                    taken = true;
+                }
+                Insn::Ret => {
+                    profiler.on_ret(self.cycles);
+                    next_pc = self.regs[Reg::RA.index()] as usize;
+                    taken = true;
+                }
+                Insn::Jr(r) => {
+                    next_pc = rd!(r) as usize;
+                    taken = true;
+                }
+                Insn::Clc => self.carry = false,
+                Insn::Nop => {}
+                Insn::Halt => {
+                    let summary = self.summarize(
+                        start_cycles,
+                        icache_before,
+                        dcache_before,
+                        executed,
+                        classes,
+                        profiler,
+                    );
+                    return Ok(summary);
+                }
+                Insn::Custom(op) => {
+                    let def = self.ext.get(&op.name).ok_or_else(|| SimError::Illegal {
+                        pc,
+                        reason: format!("unknown custom instruction `{}`", op.name),
+                    })?;
+                    let exec = def.exec.clone();
+                    let latency = def.latency;
+                    let mut ctx = ExecCtx {
+                        regs: &mut self.regs,
+                        uregs: &mut self.uregs,
+                        mem: &mut self.mem,
+                        carry: &mut self.carry,
+                    };
+                    exec(&mut ctx, op).map_err(|source| SimError::Custom { pc, source })?;
+                    self.cycles += latency.saturating_sub(1) as u64;
+                }
+            }
+
+            if taken {
+                self.cycles += self.config.branch_penalty as u64;
+            }
+            pc = next_pc;
+        }
+
+        Ok(self.summarize(
+            start_cycles,
+            icache_before,
+            dcache_before,
+            executed,
+            classes,
+            profiler,
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn summarize(
+        &self,
+        start_cycles: u64,
+        icache_before: CacheStats,
+        dcache_before: CacheStats,
+        executed: u64,
+        classes: ClassCounts,
+        profiler: Profiler,
+    ) -> RunSummary {
+        let cycles = self.cycles - start_cycles;
+        let ic = self.icache.stats();
+        let dc = self.dcache.stats();
+        RunSummary {
+            cycles,
+            instructions: executed,
+            classes,
+            icache: CacheStats {
+                hits: ic.hits - icache_before.hits,
+                misses: ic.misses - icache_before.misses,
+            },
+            dcache: CacheStats {
+                hits: dc.hits - dcache_before.hits,
+                misses: dc.misses - dcache_before.misses,
+            },
+            profile: profiler.finish(cycles),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::ext::CustomInsnDef;
+
+    fn cpu() -> Cpu {
+        Cpu::new(CpuConfig::default())
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let p = assemble("movi a2, 20\n movi a3, 22\n add a4, a2, a3\n halt").unwrap();
+        let mut c = cpu();
+        let s = c.run(&p).unwrap();
+        assert_eq!(c.reg(4), 42);
+        assert_eq!(s.instructions, 4);
+        assert!(s.cycles >= 4);
+    }
+
+    #[test]
+    fn carry_chain_addc() {
+        // 0xffffffff + 1 with carry into the next word.
+        let p = assemble(
+            "movi a2, 0xffffffff
+             movi a3, 1
+             movi a4, 0
+             movi a5, 0
+             add  a6, a2, a2   ; does not touch carry
+             addc a6, a2, a3   ; sets carry
+             addc a7, a4, a5   ; consumes carry
+             halt",
+        )
+        .unwrap();
+        let mut c = cpu();
+        c.run(&p).unwrap();
+        // addc a6, a2, a3 -> a6 = 0, carry = 1; addc a7 consumes the carry.
+        assert_eq!(c.reg(6), 0);
+        assert_eq!(c.reg(7), 1);
+    }
+
+    #[test]
+    fn loop_sums_memory() {
+        // Sum four words written by the host.
+        let p = assemble(
+            "main:
+                movi a0, 0x100   ; ptr
+                movi a1, 4       ; count
+                movi a2, 0       ; acc
+            loop:
+                lw   a3, a0, 0
+                add  a2, a2, a3
+                addi a0, a0, 4
+                addi a1, a1, -1
+                movi a4, 0
+                bne  a1, a4, loop
+                halt",
+        )
+        .unwrap();
+        let mut c = cpu();
+        c.mem_mut().write_words(0x100, &[10, 20, 30, 40]).unwrap();
+        c.run(&p).unwrap();
+        assert_eq!(c.reg(2), 100);
+    }
+
+    #[test]
+    fn call_convention_and_sentinel_return() {
+        let p = assemble(
+            "double:
+                add a0, a0, a0
+                ret",
+        )
+        .unwrap();
+        let mut c = cpu();
+        let s = c.call(&p, "double", &[21]).unwrap();
+        assert_eq!(c.reg(0), 42);
+        assert_eq!(s.instructions, 2);
+    }
+
+    #[test]
+    fn nested_calls_profile_edges() {
+        let p = assemble(
+            "main:
+                call outer
+                halt
+             outer:
+                addi sp, sp, -4
+                sw   ra, sp, 0
+                call inner
+                call inner
+                lw   ra, sp, 0
+                addi sp, sp, 4
+                ret
+             inner:
+                nop
+                ret",
+        )
+        .unwrap();
+        let mut c = cpu();
+        let s = c.run(&p).unwrap();
+        assert_eq!(s.profile.edge("main", "outer"), 1);
+        assert_eq!(s.profile.edge("outer", "inner"), 2);
+        assert_eq!(s.profile.function("inner").unwrap().calls, 2);
+    }
+
+    #[test]
+    fn mul_requires_option() {
+        let p = assemble("movi a0, 6\n movi a1, 7\n mul a2, a0, a1\n halt").unwrap();
+        let mut soft = Cpu::new(CpuConfig {
+            has_mul: false,
+            ..CpuConfig::default()
+        });
+        assert!(matches!(soft.run(&p), Err(SimError::Illegal { pc: 2, .. })));
+        let mut hard = cpu();
+        hard.run(&p).unwrap();
+        assert_eq!(hard.reg(2), 42);
+    }
+
+    #[test]
+    fn mulhu_computes_high_word() {
+        let p = assemble("movi a0, 0x80000000\n movi a1, 4\n mulhu a2, a0, a1\n halt").unwrap();
+        let mut c = cpu();
+        c.run(&p).unwrap();
+        assert_eq!(c.reg(2), 2);
+    }
+
+    #[test]
+    fn out_of_fuel_detected() {
+        let p = assemble("spin: j spin").unwrap();
+        let mut c = cpu();
+        c.set_fuel(1000);
+        assert!(matches!(c.run(&p), Err(SimError::OutOfFuel { .. })));
+    }
+
+    #[test]
+    fn pc_out_of_range_detected() {
+        let p = assemble("nop").unwrap(); // falls off the end
+        let mut c = cpu();
+        assert!(matches!(c.run(&p), Err(SimError::PcOutOfRange { pc: 1 })));
+    }
+
+    #[test]
+    fn memory_fault_reported_with_pc() {
+        let p = assemble("movi a0, 0xfffffff0\n lw a1, a0, 0\n halt").unwrap();
+        let mut c = cpu();
+        match c.run(&p) {
+            Err(SimError::Mem { pc: 1, .. }) => {}
+            other => panic!("expected memory fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_instruction_executes_with_latency() {
+        let mut ext = ExtensionSet::new();
+        ext.register(CustomInsnDef::new("addimm", 5, 100, |ctx, op| {
+            let d = op.regs[0].index();
+            ctx.regs[d] = ctx.regs[d].wrapping_add(op.imm as u32);
+            Ok(())
+        }));
+        let p = assemble("movi a3, 40\n cust addimm a3, 2\n halt").unwrap();
+        let mut fast = Cpu::with_extensions(CpuConfig::default(), ext);
+        let s = fast.run(&p).unwrap();
+        assert_eq!(fast.reg(3), 42);
+        // movi(1) + custom(5) + halt(1) + fetch misses.
+        assert!(s.cycles >= 7);
+    }
+
+    #[test]
+    fn unknown_custom_instruction_is_illegal() {
+        let p = assemble("cust nosuch a0\n halt").unwrap();
+        let mut c = cpu();
+        assert!(matches!(c.run(&p), Err(SimError::Illegal { pc: 0, .. })));
+    }
+
+    #[test]
+    fn taken_branch_costs_more_than_fallthrough() {
+        let taken = assemble("movi a0, 1\n movi a1, 1\n beq a0, a1, t\n t: halt").unwrap();
+        let fall = assemble("movi a0, 1\n movi a1, 2\n beq a0, a1, t\n t: halt").unwrap();
+        let mut c1 = cpu();
+        let s1 = c1.run(&taken).unwrap();
+        let mut c2 = cpu();
+        let s2 = c2.run(&fall).unwrap();
+        assert!(
+            s1.cycles > s2.cycles,
+            "taken {} vs fallthrough {}",
+            s1.cycles,
+            s2.cycles
+        );
+    }
+
+    #[test]
+    fn load_use_stall_costs_a_cycle() {
+        // Using a load result immediately should be slower than spacing
+        // it with an independent instruction.
+        let tight = assemble(
+            "movi a0, 0x100
+             lw   a1, a0, 0
+             add  a2, a1, a1
+             movi a3, 7
+             halt",
+        )
+        .unwrap();
+        let spaced = assemble(
+            "movi a0, 0x100
+             lw   a1, a0, 0
+             movi a3, 7
+             add  a2, a1, a1
+             halt",
+        )
+        .unwrap();
+        let mut c1 = cpu();
+        let s1 = c1.run(&tight).unwrap();
+        let mut c2 = cpu();
+        let s2 = c2.run(&spaced).unwrap();
+        assert_eq!(s1.instructions, s2.instructions);
+        assert!(s1.cycles > s2.cycles, "{} vs {}", s1.cycles, s2.cycles);
+    }
+
+    #[test]
+    fn dcache_misses_cost_mem_latency() {
+        // Two loads to the same line: second hits.
+        let p = assemble(
+            "movi a0, 0x100
+             lw a1, a0, 0
+             lw a2, a0, 4
+             halt",
+        )
+        .unwrap();
+        let mut c = cpu();
+        let s = c.run(&p).unwrap();
+        assert_eq!(s.dcache.misses, 1);
+        assert_eq!(s.dcache.hits, 1);
+    }
+
+    #[test]
+    fn cpi_reported() {
+        let p = assemble("nop\n nop\n nop\n halt").unwrap();
+        let mut c = cpu();
+        let s = c.run(&p).unwrap();
+        assert!(s.cpi() >= 1.0);
+    }
+}

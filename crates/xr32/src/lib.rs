@@ -1,0 +1,59 @@
+//! XR32: a configurable, extensible 32-bit embedded RISC processor with a
+//! cycle-accurate instruction-set simulator.
+//!
+//! XR32 is this repository's stand-in for the Tensilica Xtensa T1040 used
+//! by the DAC 2002 wireless security processing platform paper. It mirrors
+//! the properties the paper's methodology depends on:
+//!
+//! - a **32-bit RISC base ISA** (16 general registers, load/store,
+//!   single-cycle ALU, optional hardware multiplier) — see [`isa`];
+//! - a **two-pass assembler** for writing library kernels — see [`asm`];
+//! - a **cycle-accurate timing model** (in-order pipeline with load-use
+//!   interlocks, branch penalty, I/D caches with configurable geometry) —
+//!   see [`cpu`] and [`cache`];
+//! - a **TIE-like extension interface**: designer-specified custom
+//!   instructions with semantics, latency, and a structural gate-count
+//!   area model, plus wide *user registers* and custom load/stores — see
+//!   [`ext`] and [`area`];
+//! - **per-function profiling** that produces the annotated call graphs
+//!   the paper's global custom-instruction selection consumes — see
+//!   [`profile`].
+//!
+//! # Examples
+//!
+//! ```
+//! use xr32::asm::assemble;
+//! use xr32::cpu::Cpu;
+//! use xr32::config::CpuConfig;
+//!
+//! let program = assemble(
+//!     "        movi a2, 20
+//!             movi a3, 22
+//!             add  a2, a2, a3
+//!             halt",
+//! )?;
+//! let mut cpu = Cpu::new(CpuConfig::default());
+//! cpu.run(&program)?;
+//! assert_eq!(cpu.reg(2), 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod energy;
+pub mod asm;
+pub mod cache;
+pub mod config;
+pub mod cpu;
+pub mod ext;
+pub mod isa;
+pub mod mem;
+pub mod profile;
+
+pub use asm::{assemble, AssembleError, Program};
+pub use config::{CacheConfig, CpuConfig};
+pub use cpu::{Cpu, RunSummary, SimError};
+pub use ext::{CustomInsnDef, ExtensionSet};
+pub use isa::{Insn, Reg};

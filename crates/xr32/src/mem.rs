@@ -1,0 +1,254 @@
+//! Byte-addressed data memory (little endian).
+
+use core::fmt;
+
+/// Error produced by an out-of-range or misaligned access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessError {
+    /// Offending address.
+    pub addr: u32,
+    /// Access width in bytes.
+    pub width: u8,
+    /// Whether the failure is a misalignment (else: out of range).
+    pub misaligned: bool,
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.misaligned {
+            write!(
+                f,
+                "misaligned {}-byte access at address {:#x}",
+                self.width, self.addr
+            )
+        } else {
+            write!(
+                f,
+                "out-of-range {}-byte access at address {:#x}",
+                self.width, self.addr
+            )
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+/// Flat little-endian memory for the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use xr32::mem::Memory;
+///
+/// let mut m = Memory::new(1024);
+/// m.store_u32(0x10, 0xdeadbeef)?;
+/// assert_eq!(m.load_u32(0x10)?, 0xdeadbeef);
+/// assert_eq!(m.load_u8(0x10)?, 0xef); // little endian
+/// # Ok::<(), xr32::mem::AccessError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Allocates `size` bytes of zeroed memory.
+    pub fn new(size: usize) -> Self {
+        Memory {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Memory size in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn check(&self, addr: u32, width: u8) -> Result<usize, AccessError> {
+        let a = addr as usize;
+        if a % width as usize != 0 {
+            return Err(AccessError {
+                addr,
+                width,
+                misaligned: true,
+            });
+        }
+        if a + width as usize > self.bytes.len() {
+            return Err(AccessError {
+                addr,
+                width,
+                misaligned: false,
+            });
+        }
+        Ok(a)
+    }
+
+    /// Loads a byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] when the address is out of range.
+    pub fn load_u8(&self, addr: u32) -> Result<u8, AccessError> {
+        let a = self.check(addr, 1)?;
+        Ok(self.bytes[a])
+    }
+
+    /// Stores a byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] when the address is out of range.
+    pub fn store_u8(&mut self, addr: u32, v: u8) -> Result<(), AccessError> {
+        let a = self.check(addr, 1)?;
+        self.bytes[a] = v;
+        Ok(())
+    }
+
+    /// Loads a halfword (16-bit aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] on misalignment or out-of-range.
+    pub fn load_u16(&self, addr: u32) -> Result<u16, AccessError> {
+        let a = self.check(addr, 2)?;
+        Ok(u16::from_le_bytes([self.bytes[a], self.bytes[a + 1]]))
+    }
+
+    /// Stores a halfword (16-bit aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] on misalignment or out-of-range.
+    pub fn store_u16(&mut self, addr: u32, v: u16) -> Result<(), AccessError> {
+        let a = self.check(addr, 2)?;
+        self.bytes[a..a + 2].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Loads a word (32-bit aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] on misalignment or out-of-range.
+    pub fn load_u32(&self, addr: u32) -> Result<u32, AccessError> {
+        let a = self.check(addr, 4)?;
+        Ok(u32::from_le_bytes(
+            self.bytes[a..a + 4].try_into().expect("width checked"),
+        ))
+    }
+
+    /// Stores a word (32-bit aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] on misalignment or out-of-range.
+    pub fn store_u32(&mut self, addr: u32, v: u32) -> Result<(), AccessError> {
+        let a = self.check(addr, 4)?;
+        self.bytes[a..a + 4].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Copies a byte slice into memory at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] if the region exceeds memory.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), AccessError> {
+        let a = addr as usize;
+        if a + data.len() > self.bytes.len() {
+            return Err(AccessError {
+                addr,
+                width: 1,
+                misaligned: false,
+            });
+        }
+        self.bytes[a..a + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] if the region exceeds memory.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Result<Vec<u8>, AccessError> {
+        let a = addr as usize;
+        if a + len > self.bytes.len() {
+            return Err(AccessError {
+                addr,
+                width: 1,
+                misaligned: false,
+            });
+        }
+        Ok(self.bytes[a..a + len].to_vec())
+    }
+
+    /// Writes a slice of `u32` words (little-endian) starting at `addr`
+    /// (must be 4-byte aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] on misalignment or overflow.
+    pub fn write_words(&mut self, addr: u32, words: &[u32]) -> Result<(), AccessError> {
+        for (i, &w) in words.iter().enumerate() {
+            self.store_u32(addr + 4 * i as u32, w)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `n` `u32` words starting at `addr` (4-byte aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] on misalignment or overflow.
+    pub fn read_words(&self, addr: u32, n: usize) -> Result<Vec<u32>, AccessError> {
+        (0..n).map(|i| self.load_u32(addr + 4 * i as u32)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new(64);
+        m.store_u32(0, 0x0102_0304).unwrap();
+        assert_eq!(m.load_u8(0).unwrap(), 0x04);
+        assert_eq!(m.load_u8(3).unwrap(), 0x01);
+        assert_eq!(m.load_u16(0).unwrap(), 0x0304);
+        assert_eq!(m.load_u16(2).unwrap(), 0x0102);
+    }
+
+    #[test]
+    fn misaligned_accesses_rejected() {
+        let mut m = Memory::new(64);
+        assert!(m.load_u32(2).unwrap_err().misaligned);
+        assert!(m.store_u16(1, 0).unwrap_err().misaligned);
+        assert!(m.load_u8(1).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut m = Memory::new(16);
+        assert!(!m.load_u32(16).unwrap_err().misaligned);
+        assert!(m.store_u8(15, 1).is_ok());
+        assert!(m.store_u8(16, 1).is_err());
+        assert!(m.write_bytes(10, &[0; 7]).is_err());
+    }
+
+    #[test]
+    fn bulk_words_roundtrip() {
+        let mut m = Memory::new(256);
+        let words = [1u32, 2, 3, 0xffff_ffff];
+        m.write_words(0x40, &words).unwrap();
+        assert_eq!(m.read_words(0x40, 4).unwrap(), words);
+    }
+
+    #[test]
+    fn bulk_bytes_roundtrip() {
+        let mut m = Memory::new(64);
+        m.write_bytes(5, b"hello").unwrap();
+        assert_eq!(m.read_bytes(5, 5).unwrap(), b"hello");
+    }
+}

@@ -1,0 +1,249 @@
+//! Per-function cycle profiling and call-graph extraction.
+//!
+//! The paper's custom-instruction formulation phase "profiles the routine
+//! using traces derived from simulation of the entire algorithm" and its
+//! global selection phase consumes a call graph with per-edge call counts
+//! (Fig. 4). The [`Profiler`] builds exactly that while the simulator
+//! runs: `call`/`ret` instructions open and close frames, and cycles are
+//! attributed to the innermost active function.
+
+use std::collections::BTreeMap;
+
+/// Statistics for one function observed during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FunctionStats {
+    /// Number of completed invocations.
+    pub calls: u64,
+    /// Cycles spent in the function excluding its callees
+    /// (the paper's `local_cycles(f)`).
+    pub self_cycles: u64,
+    /// Cycles spent in the function including its callees, summed over
+    /// invocations. For recursive functions inner invocations are also
+    /// counted by their enclosing invocation.
+    pub total_cycles: u64,
+}
+
+/// A profile: per-function statistics plus the annotated call graph.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    functions: BTreeMap<String, FunctionStats>,
+    edges: BTreeMap<(String, String), u64>,
+}
+
+impl Profile {
+    /// Per-function statistics, keyed by function label.
+    pub fn functions(&self) -> &BTreeMap<String, FunctionStats> {
+        &self.functions
+    }
+
+    /// Stats for one function, if it was observed.
+    pub fn function(&self, name: &str) -> Option<&FunctionStats> {
+        self.functions.get(name)
+    }
+
+    /// Call-graph edges `(caller, callee) → call count`.
+    pub fn edges(&self) -> &BTreeMap<(String, String), u64> {
+        &self.edges
+    }
+
+    /// Call count on a specific edge (0 if absent).
+    pub fn edge(&self, caller: &str, callee: &str) -> u64 {
+        self.edges
+            .get(&(caller.to_owned(), callee.to_owned()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Renders the call graph in a compact text form for reports
+    /// (one `caller -> callee xN` line per edge, sorted).
+    pub fn render_call_graph(&self) -> String {
+        let mut out = String::new();
+        for ((caller, callee), count) in &self.edges {
+            out.push_str(&format!("{caller} -> {callee} x{count}\n"));
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    name: String,
+    entered_at: u64,
+    callee_cycles: u64,
+}
+
+/// Builds a [`Profile`] from call/return events emitted by the
+/// simulator.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    stack: Vec<Frame>,
+    profile: Profile,
+    enabled: bool,
+}
+
+impl Profiler {
+    /// Creates a profiler with an implicit root frame named `root`.
+    pub fn new(root: impl Into<String>) -> Self {
+        Profiler {
+            stack: vec![Frame {
+                name: root.into(),
+                entered_at: 0,
+                callee_cycles: 0,
+            }],
+            profile: Profile::default(),
+            enabled: true,
+        }
+    }
+
+    /// Disables event processing (zero overhead accounting for runs that
+    /// do not need profiles).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Records entry into `callee` at cycle `now`.
+    pub fn on_call(&mut self, callee: &str, now: u64) {
+        if !self.enabled {
+            return;
+        }
+        let caller = self
+            .stack
+            .last()
+            .map(|f| f.name.clone())
+            .unwrap_or_else(|| "<orphan>".to_owned());
+        *self
+            .profile
+            .edges
+            .entry((caller, callee.to_owned()))
+            .or_insert(0) += 1;
+        self.stack.push(Frame {
+            name: callee.to_owned(),
+            entered_at: now,
+            callee_cycles: 0,
+        });
+    }
+
+    /// Records a return at cycle `now`, closing the innermost frame.
+    /// A return with only the root frame open is ignored (the root is
+    /// closed by [`Profiler::finish`]).
+    pub fn on_ret(&mut self, now: u64) {
+        if !self.enabled || self.stack.len() <= 1 {
+            return;
+        }
+        let frame = self.stack.pop().expect("stack nonempty");
+        let total = now - frame.entered_at;
+        let stats = self.profile.functions.entry(frame.name).or_default();
+        stats.calls += 1;
+        stats.total_cycles += total;
+        stats.self_cycles += total - frame.callee_cycles;
+        if let Some(parent) = self.stack.last_mut() {
+            parent.callee_cycles += total;
+        }
+    }
+
+    /// Closes all open frames at cycle `now` and returns the profile.
+    pub fn finish(mut self, now: u64) -> Profile {
+        while self.stack.len() > 1 {
+            self.on_ret(now);
+        }
+        if let Some(root) = self.stack.pop() {
+            let total = now - root.entered_at;
+            let stats = self.profile.functions.entry(root.name).or_default();
+            stats.calls += 1;
+            stats.total_cycles += total;
+            stats.self_cycles += total - root.callee_cycles;
+        }
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_call_attributes_self_and_total() {
+        let mut p = Profiler::new("main");
+        p.on_call("f", 10);
+        p.on_ret(30);
+        let profile = p.finish(50);
+        let f = profile.function("f").unwrap();
+        assert_eq!(f.calls, 1);
+        assert_eq!(f.total_cycles, 20);
+        assert_eq!(f.self_cycles, 20);
+        let main = profile.function("main").unwrap();
+        assert_eq!(main.total_cycles, 50);
+        assert_eq!(main.self_cycles, 30);
+        assert_eq!(profile.edge("main", "f"), 1);
+    }
+
+    #[test]
+    fn nested_calls_split_self_cycles() {
+        let mut p = Profiler::new("main");
+        p.on_call("outer", 0);
+        p.on_call("inner", 5);
+        p.on_ret(15); // inner: 10
+        p.on_ret(20); // outer: 20 total, 10 self
+        let profile = p.finish(20);
+        assert_eq!(profile.function("inner").unwrap().self_cycles, 10);
+        let outer = profile.function("outer").unwrap();
+        assert_eq!(outer.total_cycles, 20);
+        assert_eq!(outer.self_cycles, 10);
+        assert_eq!(profile.edge("outer", "inner"), 1);
+        assert_eq!(profile.edge("main", "outer"), 1);
+    }
+
+    #[test]
+    fn repeated_calls_accumulate_counts() {
+        let mut p = Profiler::new("main");
+        for i in 0..4u64 {
+            p.on_call("g", i * 10);
+            p.on_ret(i * 10 + 3);
+        }
+        let profile = p.finish(100);
+        assert_eq!(profile.function("g").unwrap().calls, 4);
+        assert_eq!(profile.function("g").unwrap().total_cycles, 12);
+        assert_eq!(profile.edge("main", "g"), 4);
+    }
+
+    #[test]
+    fn unbalanced_frames_closed_by_finish() {
+        let mut p = Profiler::new("main");
+        p.on_call("f", 2);
+        // Missing ret (e.g. simulation halted inside f).
+        let profile = p.finish(10);
+        assert_eq!(profile.function("f").unwrap().total_cycles, 8);
+        assert_eq!(profile.function("main").unwrap().total_cycles, 10);
+    }
+
+    #[test]
+    fn stray_ret_is_ignored() {
+        let mut p = Profiler::new("main");
+        p.on_ret(5);
+        let profile = p.finish(10);
+        assert_eq!(profile.function("main").unwrap().total_cycles, 10);
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let mut p = Profiler::new("main");
+        p.set_enabled(false);
+        p.on_call("f", 1);
+        p.on_ret(2);
+        let profile = p.finish(10);
+        assert!(profile.function("f").is_none());
+        assert!(profile.edges().is_empty());
+    }
+
+    #[test]
+    fn render_call_graph_lists_edges() {
+        let mut p = Profiler::new("main");
+        p.on_call("a", 0);
+        p.on_ret(1);
+        p.on_call("b", 2);
+        p.on_ret(3);
+        let text = p.finish(4).render_call_graph();
+        assert!(text.contains("main -> a x1"));
+        assert!(text.contains("main -> b x1"));
+    }
+}

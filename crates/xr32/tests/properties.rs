@@ -1,0 +1,147 @@
+//! Property-based tests for the XR32 simulator: assembler round trips,
+//! ALU semantics against host arithmetic, and timing-model invariants.
+
+use proptest::prelude::*;
+use xr32::asm::assemble;
+use xr32::config::CpuConfig;
+use xr32::cpu::Cpu;
+
+fn run_binop(op: &str, a: u32, b: u32) -> u32 {
+    let src = format!(
+        "main:
+            movi a1, {a}
+            movi a2, {b}
+            {op}  a3, a1, a2
+            halt",
+        a = a as i64,
+        b = b as i64,
+    );
+    let p = assemble(&src).expect("valid program");
+    let mut cpu = Cpu::new(CpuConfig::default());
+    cpu.run(&p).expect("halts");
+    cpu.reg(3)
+}
+
+proptest! {
+    #[test]
+    fn alu_ops_match_host_semantics(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(run_binop("add", a, b), a.wrapping_add(b));
+        prop_assert_eq!(run_binop("sub", a, b), a.wrapping_sub(b));
+        prop_assert_eq!(run_binop("and", a, b), a & b);
+        prop_assert_eq!(run_binop("or", a, b), a | b);
+        prop_assert_eq!(run_binop("xor", a, b), a ^ b);
+        prop_assert_eq!(run_binop("sll", a, b), a << (b & 31));
+        prop_assert_eq!(run_binop("srl", a, b), a >> (b & 31));
+        prop_assert_eq!(run_binop("sra", a, b), ((a as i32) >> (b & 31)) as u32);
+        prop_assert_eq!(run_binop("sltu", a, b), (a < b) as u32);
+        prop_assert_eq!(run_binop("slt", a, b), ((a as i32) < (b as i32)) as u32);
+        prop_assert_eq!(run_binop("mul", a, b), a.wrapping_mul(b));
+        prop_assert_eq!(
+            run_binop("mulhu", a, b),
+            ((a as u64 * b as u64) >> 32) as u32
+        );
+    }
+
+    #[test]
+    fn addc_subc_chain_works_like_u64(a in any::<u64>(), b in any::<u64>()) {
+        // Two-limb add with carry must equal 64-bit addition.
+        let src = format!(
+            "main:
+                movi a1, {al}
+                movi a2, {ah}
+                movi a3, {bl}
+                movi a4, {bh}
+                clc
+                addc a5, a1, a3
+                addc a6, a2, a4
+                halt",
+            al = (a as u32) as i64,
+            ah = ((a >> 32) as u32) as i64,
+            bl = (b as u32) as i64,
+            bh = ((b >> 32) as u32) as i64,
+        );
+        let p = assemble(&src).expect("valid");
+        let mut cpu = Cpu::new(CpuConfig::default());
+        cpu.run(&p).expect("halts");
+        let sum = a.wrapping_add(b);
+        prop_assert_eq!(cpu.reg(5), sum as u32);
+        prop_assert_eq!(cpu.reg(6), (sum >> 32) as u32);
+    }
+
+    #[test]
+    fn memory_roundtrip_through_cpu(values in prop::collection::vec(any::<u32>(), 1..16)) {
+        // Store then load each word through simulated instructions.
+        let mut src = String::from("main:\n movi a1, 0x100\n");
+        for (i, v) in values.iter().enumerate() {
+            src.push_str(&format!(" movi a2, {}\n sw a2, a1, {}\n", *v as i64, 4 * i));
+        }
+        for (i, _) in values.iter().enumerate() {
+            src.push_str(&format!(" lw a3, a1, {}\n sw a3, a1, {}\n", 4 * i, 0x100 + 4 * i));
+        }
+        src.push_str(" halt\n");
+        let p = assemble(&src).expect("valid");
+        let mut cpu = Cpu::new(CpuConfig::default());
+        cpu.run(&p).expect("halts");
+        let out = cpu.mem().read_words(0x200, values.len()).expect("in range");
+        prop_assert_eq!(out, values);
+    }
+
+    #[test]
+    fn cycles_monotone_in_loop_count(n in 1u32..200) {
+        let src = format!(
+            "main:
+                movi a0, {n}
+                movi a1, 0
+            loop:
+                addi a0, a0, -1
+                bne  a0, a1, loop
+                halt"
+        );
+        let p = assemble(&src).expect("valid");
+        let mut c1 = Cpu::new(CpuConfig::default());
+        let s1 = c1.run(&p).expect("halts");
+        // Double the count must cost strictly more cycles.
+        let src2 = src.replace(&format!("movi a0, {n}"), &format!("movi a0, {}", 2 * n));
+        let p2 = assemble(&src2).expect("valid");
+        let mut c2 = Cpu::new(CpuConfig::default());
+        let s2 = c2.run(&p2).expect("halts");
+        prop_assert!(s2.cycles > s1.cycles);
+        prop_assert_eq!(s2.instructions, s1.instructions + 2 * n as u64);
+    }
+
+    #[test]
+    fn cache_miss_penalty_visible(stride in 1u32..6) {
+        // Strided loads across lines must not be faster than repeated
+        // loads of one address.
+        let hot = "main:
+            movi a1, 0x100
+            movi a0, 64
+            movi a2, 0
+        loop:
+            lw a3, a1, 0
+            addi a0, a0, -1
+            bne a0, a2, loop
+            halt";
+        let cold_src = format!(
+            "main:
+                movi a1, 0x100
+                movi a0, 64
+                movi a2, 0
+            loop:
+                lw a3, a1, 0
+                addi a1, a1, {}
+                addi a0, a0, -1
+                bne a0, a2, loop
+                halt",
+            stride * 64
+        );
+        let ph = assemble(hot).expect("valid");
+        let pc = assemble(&cold_src).expect("valid");
+        let mut ch = Cpu::new(CpuConfig::default());
+        let sh = ch.run(&ph).expect("halts");
+        let mut cc = Cpu::new(CpuConfig::default());
+        let sc = cc.run(&pc).expect("halts");
+        prop_assert!(sc.cycles > sh.cycles, "cold {} vs hot {}", sc.cycles, sh.cycles);
+        prop_assert!(sc.dcache.misses > sh.dcache.misses);
+    }
+}

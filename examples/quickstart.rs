@@ -1,0 +1,56 @@
+//! Quickstart: the security processing platform's layered API.
+//!
+//! Creates the baseline and optimized platforms, runs bulk encryption
+//! and an RSA exchange through the security-primitive API, and compares
+//! the two platforms' measured performance — the paper's headline in
+//! thirty lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rand::SeedableRng;
+use wsp::mpint::Natural;
+use wsp::secproc::platform::{Algorithm, PlatformKind, SecurityProcessor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut baseline = SecurityProcessor::new(PlatformKind::Baseline);
+    let mut optimized = SecurityProcessor::new(PlatformKind::Optimized);
+
+    // --- bulk data through the symmetric API ---
+    let key = *b"sixteen byte key";
+    let iv = [0x24u8; 16];
+    let message = b"Wireless clients are, and will always be, much more resource \
+                    constrained than their wired counterparts.";
+    let ciphertext = optimized.encrypt_cbc(Algorithm::Aes128, &key, &iv, message)?;
+    let plaintext = optimized.decrypt_cbc(Algorithm::Aes128, &key, &iv, &ciphertext)?;
+    assert_eq!(plaintext, message);
+    println!("AES-128-CBC roundtrip: {} bytes ok", message.len());
+
+    // --- an RSA exchange through the public-key API ---
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let kp = optimized.rsa_generate(512, &mut rng);
+    let secret = Natural::from_u64(0x5EC2E7);
+    let ct = optimized.rsa_encrypt(&kp, &secret)?;
+    assert_eq!(optimized.rsa_decrypt(&kp, &ct)?, secret);
+    println!("RSA-512 roundtrip ok (optimized algorithm configuration)");
+
+    // --- what the custom instructions buy, measured on the ISS ---
+    println!("\nmeasured platform performance (cycles/byte on the XR32 ISS):");
+    println!("algorithm |  baseline | optimized | speedup | optimized throughput");
+    for algo in [Algorithm::Des, Algorithm::Aes128] {
+        let b = baseline.symmetric_cycles_per_byte(algo);
+        let o = optimized.symmetric_cycles_per_byte(algo);
+        println!(
+            "{:<9?} | {:>9.1} | {:>9.1} | {:>6.1}X | {:>7.1} Mbps",
+            algo,
+            b,
+            o,
+            b / o,
+            optimized.throughput_mbps(algo)
+        );
+    }
+    println!(
+        "\nThe optimized platform sustains 3G-class data rates (0.1–2 Mbps) \
+         with plenty of headroom — the paper's design goal."
+    );
+    Ok(())
+}

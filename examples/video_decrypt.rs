@@ -1,0 +1,72 @@
+//! Real-time video decryption — the scenario the paper's board-level
+//! prototype demonstrated (Xtensa XT-2000 + LCD panel showing decrypted
+//! video).
+//!
+//! A "video stream" of CBC-encrypted frames is decrypted through the
+//! platform API while the measured per-byte cycle costs decide whether
+//! each platform sustains the frame rate in real time at the core's
+//! 188 MHz clock.
+//!
+//! Run with: `cargo run --release --example video_decrypt`
+
+use wsp::secproc::platform::{Algorithm, PlatformKind, SecurityProcessor};
+
+const FRAME_W: usize = 320;
+const FRAME_H: usize = 240;
+const BYTES_PER_PIXEL: usize = 2; // RGB565, as the prototype's LCD
+const FPS: f64 = 15.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let frame_bytes = FRAME_W * FRAME_H * BYTES_PER_PIXEL;
+    let key = *b"video-session-k!"; // AES-128 session key
+    let iv = [0u8; 16];
+
+    // Produce a few encrypted "frames" (synthetic pattern payload).
+    let encoder = SecurityProcessor::new(PlatformKind::Optimized);
+    let mut frames = Vec::new();
+    for f in 0..3u8 {
+        let frame: Vec<u8> = (0..frame_bytes).map(|i| (i as u8).wrapping_mul(f + 1)).collect();
+        frames.push((frame.clone(), encoder.encrypt_cbc(Algorithm::Aes128, &key, &iv, &frame)?));
+    }
+
+    // Decrypt and verify.
+    let decoder = SecurityProcessor::new(PlatformKind::Optimized);
+    for (i, (plain, ct)) in frames.iter().enumerate() {
+        let out = decoder.decrypt_cbc(Algorithm::Aes128, &key, &iv, ct)?;
+        assert_eq!(&out, plain, "frame {i} corrupted");
+    }
+    println!(
+        "decrypted {} QVGA frames ({} KiB each) correctly\n",
+        frames.len(),
+        frame_bytes / 1024
+    );
+
+    // Can each platform sustain the stream in real time?
+    println!(
+        "real-time budget: {FRAME_W}x{FRAME_H}x16bpp @ {FPS} fps = {:.2} MB/s",
+        frame_bytes as f64 * FPS / 1.0e6
+    );
+    println!("\nplatform  | AES c/B | decrypt throughput | {FPS} fps feasible?");
+    for kind in [PlatformKind::Baseline, PlatformKind::Optimized] {
+        let mut proc = SecurityProcessor::with_config(kind, decoder.config().clone());
+        let cpb = proc.symmetric_cycles_per_byte(Algorithm::Aes128);
+        let bytes_per_sec = proc.config().clock_hz as f64 / cpb;
+        let needed = frame_bytes as f64 * FPS;
+        println!(
+            "{:<9?} | {:>7.1} | {:>12.2} MB/s | {}",
+            kind,
+            cpb,
+            bytes_per_sec / 1.0e6,
+            if bytes_per_sec >= needed {
+                "yes"
+            } else {
+                "no — drops frames"
+            }
+        );
+    }
+    println!(
+        "\nThe custom AES round instruction is what turns the handset into a\n\
+         real-time video decryption device — the paper's closing demo."
+    );
+    Ok(())
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Fills EXPERIMENTS.md placeholders from captured harness outputs.
+
+Usage: run each bench harness with its output captured under
+/tmp/exp/<name>.txt, then execute this script from the repository root.
+"""
+import pathlib
+
+MAP = {
+    "<<TABLE1_OUTPUT>>": "/tmp/exp/table1.txt",
+    "<<FIG1_OUTPUT>>": "/tmp/exp/fig1.txt",
+    "<<FIG4_OUTPUT>>": "/tmp/exp/fig4.txt",
+    "<<FIG5_OUTPUT>>": "/tmp/exp/fig5.txt",
+    "<<FIG6_OUTPUT>>": "/tmp/exp/fig6.txt",
+    "<<FIG8_OUTPUT>>": "/tmp/exp/fig8.txt",
+    "<<SEC43_OUTPUT>>": "/tmp/exp/sec43.txt",
+}
+
+path = pathlib.Path("EXPERIMENTS.md")
+text = path.read_text()
+for placeholder, source in MAP.items():
+    src = pathlib.Path(source)
+    if placeholder in text and src.exists():
+        text = text.replace(placeholder, src.read_text().strip())
+        print(f"filled {placeholder} from {source}")
+    elif placeholder in text:
+        print(f"MISSING {source}; placeholder left in place")
+path.write_text(text)

@@ -1,0 +1,94 @@
+//! Integration test: the full four-phase co-design methodology, end to
+//! end across crates — characterize on the ISS (xr32 + secproc), fit
+//! macro-models (macromodel), explore the algorithm space (pubkey),
+//! formulate A-D curves and select custom instructions (tie).
+
+use wsp::macromodel::charact::CharactOptions;
+use wsp::mpint::Natural;
+use wsp::pubkey::modexp::{mod_exp, ExpCache};
+use wsp::pubkey::ops::NativeMpn;
+use wsp::pubkey::space::{CacheMode, ModExpConfig, MulAlgo};
+use wsp::secproc::flow;
+use wsp::secproc::issops::KernelVariant;
+use wsp::xr32::config::CpuConfig;
+
+fn quick_options() -> CharactOptions {
+    CharactOptions {
+        train_samples: 12,
+        validation_points: 5,
+    }
+}
+
+#[test]
+fn methodology_end_to_end() {
+    let config = CpuConfig::default();
+
+    // Phase 1: characterization.
+    let models = flow::characterize_kernels(&config, KernelVariant::Base, 8, &quick_options());
+    assert!(
+        models.mean_abs_error_pct() < 20.0,
+        "macro-models should be accurate: {:.1}%",
+        models.mean_abs_error_pct()
+    );
+
+    // Phase 2: exploration of the full 450-candidate lattice.
+    let exploration = flow::explore_modexp(&models, 128, 4.0).expect("lattice runs");
+    assert_eq!(exploration.evaluated, 450);
+    let best = exploration.best().clone();
+    assert_ne!(
+        best.config.mul,
+        MulAlgo::MulDiv,
+        "exploration should discard division-based reduction"
+    );
+    assert_ne!(best.config.cache, CacheMode::None);
+
+    // The explored winner must be functionally correct.
+    let mut ops = NativeMpn::new();
+    let mut cache = ExpCache::new();
+    let m = Natural::from_hex_str("f0000000000000000000000000000461").unwrap();
+    let b = Natural::from_u64(0x1234_5678);
+    let e = Natural::from_u64(0xfedc_ba98);
+    let got = mod_exp(&mut ops, &b, &e, &m, &best.config, &mut cache).unwrap();
+    assert_eq!(got, b.pow_mod(&e, &m));
+
+    // Phases 3 + 4: formulate curves, select under a budget.
+    let selector = flow::build_selector(&config, 16);
+    let unconstrained = selector
+        .select("decrypt", u64::MAX)
+        .expect("DAG")
+        .expect("nonempty curve");
+    let zero_budget = selector
+        .select("decrypt", 0)
+        .expect("DAG")
+        .expect("base point exists");
+    assert!(zero_budget.cycles > unconstrained.cycles * 2.0);
+    assert_eq!(zero_budget.area(), 0);
+    assert!(unconstrained.area() > 0);
+
+    // The unconstrained selection should use both instruction families.
+    let families: Vec<&str> = unconstrained.insns.iter().map(|i| i.family()).collect();
+    assert!(families.contains(&"add"));
+    assert!(families.contains(&"mac"));
+}
+
+#[test]
+fn macro_model_estimate_tracks_cosimulation() {
+    // §4.3's accuracy claim, as a regression test: the native estimate
+    // must stay within a loose error band of full co-simulation.
+    let config = CpuConfig::default();
+    let models = flow::characterize_kernels(&config, KernelVariant::Base, 8, &quick_options());
+    for candidate in [
+        ModExpConfig::baseline(),
+        ModExpConfig::optimized(),
+    ] {
+        let est = flow::explore_single(&models, &candidate, 96, 4.0).expect("estimate runs");
+        let cosim =
+            flow::cosimulate_candidate(&config, KernelVariant::Base, &candidate, 96, 4.0)
+                .expect("cosim runs");
+        let err = ((est - cosim) / cosim).abs() * 100.0;
+        assert!(
+            err < 35.0,
+            "{candidate}: estimate {est:.0} vs cosim {cosim:.0} ({err:.1}% off)"
+        );
+    }
+}
