@@ -23,7 +23,10 @@ fn ablation_datapath_width(c: &mut Criterion) {
         let mut base = IssMpn::base(CpuConfig::default());
         base.set_verify(false);
         base.measure32(opname::ADD_N, 32, 1);
-        println!("add_n  base: {:>7.0} cycles", base.measure32(opname::ADD_N, 32, 2));
+        println!(
+            "add_n  base: {:>7.0} cycles",
+            base.measure32(opname::ADD_N, 32, 2)
+        );
         for lanes in [2u32, 4, 8, 16] {
             let mut iss = IssMpn::accelerated(CpuConfig::default(), lanes, 1);
             iss.set_verify(false);
@@ -113,7 +116,7 @@ fn ablation_energy(c: &mut Criterion) {
             let mut sim = SimDes::new(CpuConfig::default(), variant, *b"ablation");
             sim.set_verify(false);
             sim.crypt_block(1, false); // warm
-            // Re-run one block through the raw engine to get a summary.
+                                       // Re-run one block through the raw engine to get a summary.
             let (_, cycles) = sim.crypt_block(2, false);
             // The SimDes API reports cycles; rebuild class counts via a
             // dedicated run on the underlying harness is out of scope

@@ -38,10 +38,18 @@ fn bench_fig6_cartesian(c: &mut Criterion) {
     let add = |k: u32| CustomInsn::new("add", k, 400 * k as u64);
     let mul = |k: u32| CustomInsn::new("mul", k, 6000 * k as u64);
     let rows: Vec<InsnSet> = std::iter::once(InsnSet::empty())
-        .chain([2u32, 4, 8, 16].iter().map(|&k| InsnSet::from_insns([add(k), mul(1)])))
+        .chain(
+            [2u32, 4, 8, 16]
+                .iter()
+                .map(|&k| InsnSet::from_insns([add(k), mul(1)])),
+        )
         .collect();
     let cols: Vec<InsnSet> = std::iter::once(InsnSet::empty())
-        .chain([2u32, 4, 8, 16].iter().map(|&k| InsnSet::from_insns([add(k)])))
+        .chain(
+            [2u32, 4, 8, 16]
+                .iter()
+                .map(|&k| InsnSet::from_insns([add(k)])),
+        )
         .collect();
     c.bench_function("fig6/cartesian_reduce_25_to_9", |b| {
         b.iter(|| {
@@ -125,13 +133,8 @@ fn bench_sec43_exploration(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("macro_model_candidate_128b", |b| {
         b.iter(|| {
-            flow::explore_single(
-                black_box(&models),
-                &ModExpConfig::optimized(),
-                128,
-                4.0,
-            )
-            .expect("candidate runs")
+            flow::explore_single(black_box(&models), &ModExpConfig::optimized(), 128, 4.0)
+                .expect("candidate runs")
         });
     });
     group.bench_function("cosim_candidate_128b", |b| {

@@ -73,5 +73,10 @@ fn bench_iss_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_native_mpn, bench_iss_throughput, bench_iss_kernels);
+criterion_group!(
+    benches,
+    bench_native_mpn,
+    bench_iss_throughput,
+    bench_iss_kernels
+);
 criterion_main!(benches);

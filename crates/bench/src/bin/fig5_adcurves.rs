@@ -27,15 +27,14 @@ fn main() {
     g.add_node("mpn_add_n", 0.0);
     g.add_node("mpn_addmul_1", 0.0);
     g.add_call("root", "mpn_add_n", 2.0).expect("nodes exist");
-    g.add_call("root", "mpn_addmul_1", 1.0).expect("nodes exist");
+    g.add_call("root", "mpn_addmul_1", 1.0)
+        .expect("nodes exist");
     let mut sel = Selector::new(g);
     for (name, curve) in &curves {
         sel.set_leaf_curve(name.clone(), curve.clone());
     }
     let combined: AdCurve = sel.propagate().expect("DAG")["root"].clone();
-    println!(
-        "\n(c) root = 2 x mpn_add_n + 1 x mpn_addmul_1 + 10 local cycles"
-    );
+    println!("\n(c) root = 2 x mpn_add_n + 1 x mpn_addmul_1 + 10 local cycles");
     println!(
         "    combined: {} points (instruction sharing + dominance reduced)",
         combined.len()

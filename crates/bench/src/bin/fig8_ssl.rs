@@ -39,7 +39,10 @@ fn main() {
     let handshake = |cfg: &ModExpConfig| -> f64 {
         let mut ops = models.modeled_ops(4.0);
         let mut cache = ExpCache::new();
-        let ct = kp.public.encrypt_raw(&mut ops, &msg, cfg, &mut cache).expect("encrypt");
+        let ct = kp
+            .public
+            .encrypt_raw(&mut ops, &msg, cfg, &mut cache)
+            .expect("encrypt");
         MpnOps::<u32>::reset(&mut ops);
         kp.private
             .decrypt_raw(&mut ops, &ct, cfg, &mut cache)
@@ -63,8 +66,16 @@ fn main() {
     let hs_opt = handshake(&ModExpConfig::optimized()) / accel_gain;
 
     println!("measured components:");
-    println!("  handshake (RSA): base {hs_base:.3e} -> opt {hs_opt:.3e} cycles ({:.1}X)", hs_base / hs_opt);
-    println!("  3DES bulk: base {:.1} -> opt {:.1} c/B ({:.1}X)", tdes.base_cpb, tdes.opt_cpb, tdes.speedup());
+    println!(
+        "  handshake (RSA): base {hs_base:.3e} -> opt {hs_opt:.3e} cycles ({:.1}X)",
+        hs_base / hs_opt
+    );
+    println!(
+        "  3DES bulk: base {:.1} -> opt {:.1} c/B ({:.1}X)",
+        tdes.base_cpb,
+        tdes.opt_cpb,
+        tdes.speedup()
+    );
     println!("  SHA-1 misc: {sha_cpb:.1} c/B (unaccelerated)\n");
 
     let base = SslCostModel {

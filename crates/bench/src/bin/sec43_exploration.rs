@@ -68,14 +68,9 @@ fn main() {
     for i in 0..cosim_samples {
         let cand = &result.ranked[i * step];
         let t = Instant::now();
-        let cosim = flow::cosimulate_candidate(
-            &config,
-            KernelVariant::Base,
-            &cand.config,
-            bits,
-            4.0,
-        )
-        .expect("candidate co-simulates");
+        let cosim =
+            flow::cosimulate_candidate(&config, KernelVariant::Base, &cand.config, bits, 4.0)
+                .expect("candidate co-simulates");
         let cosim_time = t.elapsed();
         let t = Instant::now();
         // Re-run the macro-model estimate to time it fairly.

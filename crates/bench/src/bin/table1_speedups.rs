@@ -19,7 +19,10 @@ fn main() {
     let config = CpuConfig::default();
 
     println!("Table 1 — performance speedups for popular security algorithms");
-    println!("(XR32 @ {} MHz; RSA-{rsa_bits})\n", config.clock_hz / 1_000_000);
+    println!(
+        "(XR32 @ {} MHz; RSA-{rsa_bits})\n",
+        config.clock_hz / 1_000_000
+    );
 
     let table = Table1::measure(&config, 8, rsa_bits);
     print!("{}", table.render());

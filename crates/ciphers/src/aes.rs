@@ -105,7 +105,12 @@ pub fn inv_shift_rows(state: &mut [u8; 16]) {
 /// Applies MixColumns.
 pub fn mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
-        let col = [state[4 * c], state[1 + 4 * c], state[2 + 4 * c], state[3 + 4 * c]];
+        let col = [
+            state[4 * c],
+            state[1 + 4 * c],
+            state[2 + 4 * c],
+            state[3 + 4 * c],
+        ];
         state[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
         state[1 + 4 * c] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
         state[2 + 4 * c] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
@@ -116,14 +121,16 @@ pub fn mix_columns(state: &mut [u8; 16]) {
 /// Applies InvMixColumns.
 pub fn inv_mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
-        let col = [state[4 * c], state[1 + 4 * c], state[2 + 4 * c], state[3 + 4 * c]];
+        let col = [
+            state[4 * c],
+            state[1 + 4 * c],
+            state[2 + 4 * c],
+            state[3 + 4 * c],
+        ];
         state[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
-        state[1 + 4 * c] =
-            gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
-        state[2 + 4 * c] =
-            gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
-        state[3 + 4 * c] =
-            gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+        state[1 + 4 * c] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+        state[2 + 4 * c] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+        state[3 + 4 * c] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
     }
 }
 

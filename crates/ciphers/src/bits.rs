@@ -33,7 +33,10 @@ pub fn permute(input: u64, in_width: u32, table: &[u8]) -> u64 {
     assert!(table.len() <= 64);
     let mut out = 0u64;
     for &src in table {
-        assert!(src >= 1 && (src as u32) <= in_width, "bad permutation entry");
+        assert!(
+            src >= 1 && (src as u32) <= in_width,
+            "bad permutation entry"
+        );
         let bit = (input >> (in_width - src as u32)) & 1;
         out = (out << 1) | bit;
     }
@@ -47,7 +50,7 @@ pub fn permute(input: u64, in_width: u32, table: &[u8]) -> u64 {
 ///
 /// Panics if `width` is 0 or exceeds 63, or if `n >= width`.
 pub fn rotl(v: u64, width: u32, n: u32) -> u64 {
-    assert!(width >= 1 && width <= 63);
+    assert!((1..=63).contains(&width));
     assert!(n < width);
     let mask = (1u64 << width) - 1;
     ((v << n) | (v >> (width - n))) & mask
@@ -59,9 +62,13 @@ pub fn rotl(v: u64, width: u32, n: u32) -> u64 {
 ///
 /// Panics if `width` is odd or exceeds 64.
 pub fn split(v: u64, width: u32) -> (u64, u64) {
-    assert!(width % 2 == 0 && width <= 64);
+    assert!(width.is_multiple_of(2) && width <= 64);
     let half = width / 2;
-    let mask = if half == 64 { u64::MAX } else { (1u64 << half) - 1 };
+    let mask = if half == 64 {
+        u64::MAX
+    } else {
+        (1u64 << half) - 1
+    };
     ((v >> half) & mask, v & mask)
 }
 
@@ -71,9 +78,13 @@ pub fn split(v: u64, width: u32) -> (u64, u64) {
 ///
 /// Panics if `width` is odd or exceeds 64.
 pub fn join(hi: u64, lo: u64, width: u32) -> u64 {
-    assert!(width % 2 == 0 && width <= 64);
+    assert!(width.is_multiple_of(2) && width <= 64);
     let half = width / 2;
-    let mask = if half == 64 { u64::MAX } else { (1u64 << half) - 1 };
+    let mask = if half == 64 {
+        u64::MAX
+    } else {
+        (1u64 << half) - 1
+    };
     ((hi & mask) << half) | (lo & mask)
 }
 

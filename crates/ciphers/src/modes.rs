@@ -48,7 +48,7 @@ impl std::error::Error for CipherError {}
 /// Applies PKCS#7 padding, returning a buffer whose length is a multiple
 /// of `block`.
 pub fn pad_pkcs7(data: &[u8], block: usize) -> Vec<u8> {
-    assert!(block >= 1 && block <= 255);
+    assert!((1..=255).contains(&block));
     let pad = block - data.len() % block;
     let mut out = data.to_vec();
     out.extend(std::iter::repeat_n(pad as u8, pad));
@@ -62,7 +62,7 @@ pub fn pad_pkcs7(data: &[u8], block: usize) -> Vec<u8> {
 /// Returns [`CipherError::BadPadding`] if the final bytes are not valid
 /// padding.
 pub fn unpad_pkcs7(data: &[u8], block: usize) -> Result<Vec<u8>, CipherError> {
-    if data.is_empty() || data.len() % block != 0 {
+    if data.is_empty() || !data.len().is_multiple_of(block) {
         return Err(CipherError::BadPadding);
     }
     let pad = *data.last().expect("nonempty") as usize;
@@ -95,7 +95,7 @@ pub fn ecb_decrypt<C: BlockCipher + ?Sized>(
     data: &[u8],
 ) -> Result<Vec<u8>, CipherError> {
     let bs = cipher.block_size();
-    if data.is_empty() || data.len() % bs != 0 {
+    if data.is_empty() || !data.len().is_multiple_of(bs) {
         return Err(CipherError::BadLength {
             len: data.len(),
             block: bs,
@@ -155,7 +155,7 @@ pub fn cbc_decrypt<C: BlockCipher + ?Sized>(
             block: bs,
         });
     }
-    if data.is_empty() || data.len() % bs != 0 {
+    if data.is_empty() || !data.len().is_multiple_of(bs) {
         return Err(CipherError::BadLength {
             len: data.len(),
             block: bs,

@@ -75,7 +75,13 @@ impl Sha1 {
     /// Creates a hasher in the FIPS 180-1 initial state.
     pub fn new() -> Self {
         Sha1 {
-            state: [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0],
+            state: [
+                0x6745_2301,
+                0xefcd_ab89,
+                0x98ba_dcfe,
+                0x1032_5476,
+                0xc3d2_e1f0,
+            ],
             buffer: [0u8; 64],
             buffer_len: 0,
             total_len: 0,

@@ -1,0 +1,254 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the API subset its benches use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistics are intentionally simple: each benchmark runs a short
+//! calibration pass, then a fixed number of timed samples, and prints
+//! the median time per iteration. When the harness detects it is being
+//! run by `cargo test` (no `--bench` argument), every closure executes
+//! exactly once as a smoke test so the workspace test suite stays fast.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (benches may import either
+/// this or `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// An identifier naming one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Drives iteration of one benchmark body.
+pub struct Bencher {
+    smoke_only: bool,
+    samples: usize,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_only {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: find an iteration count that runs ≥ ~1 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            times.push(t0.elapsed() / iters as u32);
+        }
+        times.sort();
+        self.result = Some(times[times.len() / 2]);
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, smoke_only: bool, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        smoke_only,
+        samples: sample_size.max(3),
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some(t) => println!("bench {name:<40} {t:>12.2?}/iter"),
+        None if smoke_only => {}
+        None => println!("bench {name:<40} (no iter call)"),
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.criterion.smoke_only,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.criterion.smoke_only,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench` to harness=false targets;
+        // `cargo test` does not. Without it, run in fast smoke mode.
+        let smoke_only = !std::env::args().any(|a| a == "--bench");
+        Criterion { smoke_only }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.to_string(), 10, self.smoke_only, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident; $($rest:tt)*) => {
+        $crate::criterion_group!($name, $($rest)*);
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_smoke_mode_runs_once() {
+        let mut count = 0;
+        let mut b = Bencher {
+            smoke_only: true,
+            samples: 10,
+            result: None,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(b.result.is_none());
+    }
+
+    #[test]
+    fn bencher_timed_mode_records_median() {
+        let mut b = Bencher {
+            smoke_only: false,
+            samples: 3,
+            result: None,
+        };
+        b.iter(|| std::hint::black_box(17u64.wrapping_mul(31)));
+        assert!(b.result.is_some());
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("add_n", 8).to_string(), "add_n/8");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion { smoke_only: true };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("f", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("w", 3), &3, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+}

@@ -120,9 +120,13 @@ mod tests {
     fn linear_routine_recovered_exactly() {
         let space = ParamSpace::new(vec![(1, 64)]);
         let basis = vec![Monomial::constant(1), Monomial::linear(1, 0)];
-        let ch = characterize(&space, &basis, &CharactOptions::default(), &mut rng(), |p| {
-            12.0 + 6.25 * p[0] as f64
-        })
+        let ch = characterize(
+            &space,
+            &basis,
+            &CharactOptions::default(),
+            &mut rng(),
+            |p| 12.0 + 6.25 * p[0] as f64,
+        )
         .unwrap();
         assert!((ch.model.predict(&[32]) - 212.0).abs() < 1e-6);
         assert!(ch.quality.r_squared > 0.9999);
@@ -183,9 +187,13 @@ mod tests {
         // Schoolbook multiply: cycles ~ c0 + c1*(an*bn).
         let space = ParamSpace::new(vec![(1, 32), (1, 32)]);
         let basis = vec![Monomial::constant(2), Monomial::cross(2, 0, 1)];
-        let ch = characterize(&space, &basis, &CharactOptions::default(), &mut rng(), |p| {
-            40.0 + 3.0 * (p[0] * p[1]) as f64
-        })
+        let ch = characterize(
+            &space,
+            &basis,
+            &CharactOptions::default(),
+            &mut rng(),
+            |p| 40.0 + 3.0 * (p[0] * p[1]) as f64,
+        )
         .unwrap();
         assert!((ch.model.predict(&[16, 16]) - (40.0 + 3.0 * 256.0)).abs() < 1e-6);
     }

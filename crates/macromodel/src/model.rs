@@ -249,7 +249,11 @@ impl ModelQuality {
             }
         }
         ModelQuality {
-            r_squared: if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot },
+            r_squared: if ss_tot == 0.0 {
+                1.0
+            } else {
+                1.0 - ss_res / ss_tot
+            },
             mae: abs_err_sum / n,
             mae_pct: pct_sum / n,
             max_err_pct: pct_max,
@@ -281,10 +285,7 @@ mod tests {
     fn model_predicts_polynomial() {
         let m = MacroModel::new(
             "mul",
-            vec![
-                Monomial::constant(2),
-                Monomial::cross(2, 0, 1),
-            ],
+            vec![Monomial::constant(2), Monomial::cross(2, 0, 1)],
             vec![30.0, 2.5],
         );
         assert_eq!(m.predict(&[8, 8]), 30.0 + 2.5 * 64.0);
@@ -297,8 +298,7 @@ mod tests {
             vec![Monomial::constant(1), Monomial::linear(1, 0)],
             vec![5.0, 2.0],
         );
-        let obs: Vec<(Vec<u64>, f64)> =
-            (1..20).map(|n| (vec![n], 5.0 + 2.0 * n as f64)).collect();
+        let obs: Vec<(Vec<u64>, f64)> = (1..20).map(|n| (vec![n], 5.0 + 2.0 * n as f64)).collect();
         let q = ModelQuality::evaluate(&m, &obs);
         assert!((q.r_squared - 1.0).abs() < 1e-12);
         assert!(q.mae < 1e-9);

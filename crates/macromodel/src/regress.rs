@@ -31,7 +31,10 @@ impl fmt::Display for RegressError {
             RegressError::Empty => write!(f, "no observations"),
             RegressError::Shape => write!(f, "inconsistent design-matrix shape"),
             RegressError::Underdetermined { rows, cols } => {
-                write!(f, "underdetermined fit: {rows} observations, {cols} coefficients")
+                write!(
+                    f,
+                    "underdetermined fit: {rows} observations, {cols} coefficients"
+                )
             }
             RegressError::Singular => write!(f, "singular normal equations (collinear features)"),
         }
@@ -87,9 +90,10 @@ pub fn fit(rows: &[Vec<f64>], y: &[f64]) -> Result<Vec<f64>, RegressError> {
             }
         }
     }
-    for i in 0..k {
-        for j in 0..i {
-            a[i][j] = a[j][i];
+    for i in 1..k {
+        let (upper, lower) = a.split_at_mut(i);
+        for (j, urow) in upper.iter().enumerate() {
+            lower[0][j] = urow[i];
         }
     }
     solve(a, b)
@@ -111,12 +115,15 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, RegressError
         b.swap(col, pivot);
         // Eliminate below.
         for row in col + 1..k {
-            let f = a[row][col] / a[col][col];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            let target = &mut rest[0];
+            let f = target[col] / pivot_row[col];
             if f == 0.0 {
                 continue;
             }
-            for j in col..k {
-                a[row][j] -= f * a[col][j];
+            for (t, &p) in target[col..].iter_mut().zip(&pivot_row[col..]) {
+                *t -= f * p;
             }
             b[row] -= f * b[col];
         }
@@ -190,8 +197,10 @@ mod tests {
             fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]),
             Err(RegressError::Shape)
         );
-        assert_eq!(fit(&[vec![1.0, 2.0]], &[3.0]).unwrap_err(),
-            RegressError::Underdetermined { rows: 1, cols: 2 });
+        assert_eq!(
+            fit(&[vec![1.0, 2.0]], &[3.0]).unwrap_err(),
+            RegressError::Underdetermined { rows: 1, cols: 2 }
+        );
     }
 
     #[test]

@@ -389,16 +389,9 @@ pub fn divrem_knuth<L: Limb>(q: &mut [L], n: &mut [L], d: &[L]) {
         // Knuth D3: decrease qhat while it does not fit a limb or while
         // the two-limb test shows it is too large. The product test is
         // only meaningful (and only evaluated) while rhat fits a limb.
-        loop {
-            if qhat >= b {
-                qhat -= 1;
-                rhat += d1;
-            } else if rhat < b && qhat * d0 > ((rhat << L::BITS) | n0) {
-                qhat -= 1;
-                rhat += d1;
-            } else {
-                break;
-            }
+        while qhat >= b || (rhat < b && qhat * d0 > ((rhat << L::BITS) | n0)) {
+            qhat -= 1;
+            rhat += d1;
         }
         let borrow = submul_1(&mut n[j..j + dn], d, L::from_u64(qhat));
         let (t, under) = n[j + dn].sub_borrow(borrow, false);
@@ -459,10 +452,7 @@ pub fn divrem<L: Limb>(n: &[L], d: &[L]) -> (Vec<L>, Vec<L>) {
         let tmp = rem.clone();
         rshift(&mut rem, &tmp, shift);
     }
-    (
-        normalized(&q).to_vec(),
-        normalized(&rem).to_vec(),
-    )
+    (normalized(&q).to_vec(), normalized(&rem).to_vec())
 }
 
 #[cfg(test)]

@@ -272,7 +272,7 @@ impl Natural {
 
     /// True if the value is even (zero is even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |&l| l & 1 == 0)
+        self.limbs.first().is_none_or(|&l| l & 1 == 0)
     }
 
     /// True if the value is odd.
@@ -297,7 +297,7 @@ impl Natural {
     ///
     /// Panics if `width` is zero or greater than 32.
     pub fn bits(&self, lo: usize, width: u32) -> u32 {
-        assert!(width >= 1 && width <= 32);
+        assert!((1..=32).contains(&width));
         let mut v = 0u32;
         for k in (0..width as usize).rev() {
             v = (v << 1) | self.bit(lo + k) as u32;

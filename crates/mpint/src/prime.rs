@@ -10,9 +10,9 @@ use rand::Rng;
 
 /// Small primes used for trial division before Miller–Rabin.
 const SMALL_PRIMES: [u32; 54] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
 ];
 
 /// Number of Miller–Rabin rounds used by the convenience functions; gives
@@ -52,7 +52,13 @@ fn trial_division(n: &Natural) -> Option<bool> {
 
 /// A single Miller–Rabin round with witness `a` (`2 <= a <= n-2`).
 /// Returns `false` if `a` proves `n` composite.
-fn miller_rabin_round(ctx: &MontyCtx, n_minus_1: &Natural, d: &Natural, s: usize, a: &Natural) -> bool {
+fn miller_rabin_round(
+    ctx: &MontyCtx,
+    n_minus_1: &Natural,
+    d: &Natural,
+    s: usize,
+    a: &Natural,
+) -> bool {
     let mut x = ctx.pow_mod(a, d);
     if x.is_one() || &x == n_minus_1 {
         return true;
@@ -216,7 +222,10 @@ mod tests {
         let mut r = rng();
         assert_eq!(next_prime(&Natural::zero(), &mut r).to_u64(), Some(2));
         assert_eq!(next_prime(&Natural::from_u64(2), &mut r).to_u64(), Some(3));
-        assert_eq!(next_prime(&Natural::from_u64(13), &mut r).to_u64(), Some(17));
+        assert_eq!(
+            next_prime(&Natural::from_u64(13), &mut r).to_u64(),
+            Some(17)
+        );
         assert_eq!(
             next_prime(&Natural::from_u64(65536), &mut r).to_u64(),
             Some(65537)

@@ -188,7 +188,11 @@ pub fn divrem<L: Limb, O: MpnOps<L> + ?Sized>(ops: &mut O, n: &[L], d: &[L]) -> 
             q[i] = qi;
         }
         let rem = rem >> shift;
-        let rv = if rem == L::ZERO { Vec::new() } else { vec![rem] };
+        let rv = if rem == L::ZERO {
+            Vec::new()
+        } else {
+            vec![rem]
+        };
         return (mpn::normalized(&q).to_vec(), rv);
     }
 
@@ -232,10 +236,7 @@ pub fn divrem<L: Limb, O: MpnOps<L> + ?Sized>(ops: &mut O, n: &[L], d: &[L]) -> 
         let tmp = rem.clone();
         ops.rshift(&mut rem, &tmp, shift);
     }
-    (
-        mpn::normalized(&q).to_vec(),
-        mpn::normalized(&rem).to_vec(),
-    )
+    (mpn::normalized(&q).to_vec(), mpn::normalized(&rem).to_vec())
 }
 
 /// Computes the negated inverse of the odd limb `n0` modulo the limb
@@ -444,7 +445,9 @@ mod tests {
         );
         let mut models = std::collections::BTreeMap::new();
         models.insert(opname::ADDMUL_1, model);
-        let a: Vec<u32> = (0u32..128).map(|i| i.wrapping_mul(0x9e3779b9) | 1).collect();
+        let a: Vec<u32> = (0u32..128)
+            .map(|i| i.wrapping_mul(0x9e3779b9) | 1)
+            .collect();
         let mut s_ops = ModeledMpn::new(models.clone(), 0.0);
         mul_schoolbook(&mut s_ops, &a, &a);
         let mut k_ops = ModeledMpn::new(models, 0.0);

@@ -189,7 +189,9 @@ mod tests {
         let kp = KeyPair::generate(params, &mut rng, &mut ops, &cfg, &mut cache).unwrap();
         for m in [1u64, 2, 12345, 0xffff_ffff] {
             let m = Natural::from_u64(m);
-            let ct = kp.encrypt(&m, &mut rng, &mut ops, &cfg, &mut cache).unwrap();
+            let ct = kp
+                .encrypt(&m, &mut rng, &mut ops, &cfg, &mut cache)
+                .unwrap();
             assert_ne!(ct.c2, m);
             let back = kp.decrypt(&ct, &mut ops, &cfg, &mut cache).unwrap();
             assert_eq!(back, m);
@@ -205,8 +207,12 @@ mod tests {
         let cfg = ModExpConfig::baseline();
         let kp = KeyPair::generate(params, &mut rng, &mut ops, &cfg, &mut cache).unwrap();
         let m = Natural::from_u64(777);
-        let a = kp.encrypt(&m, &mut rng, &mut ops, &cfg, &mut cache).unwrap();
-        let b = kp.encrypt(&m, &mut rng, &mut ops, &cfg, &mut cache).unwrap();
+        let a = kp
+            .encrypt(&m, &mut rng, &mut ops, &cfg, &mut cache)
+            .unwrap();
+        let b = kp
+            .encrypt(&m, &mut rng, &mut ops, &cfg, &mut cache)
+            .unwrap();
         assert_ne!(a, b, "fresh ephemeral key per encryption");
     }
 

@@ -38,12 +38,15 @@ impl fmt::Display for ModExpError {
 
 impl std::error::Error for ModExpError {}
 
+/// Window-table cache key: `(modulus, base, window bits, mul algo)`.
+type TableKey<L> = (Vec<L>, Vec<L>, u32, MulAlgo);
+
 /// Per-radix cache of reduction contexts and window tables.
 #[derive(Debug, Clone, Default)]
 struct RadixCache<L: Limb> {
     monty: BTreeMap<Vec<L>, MontyState<L>>,
     barrett: BTreeMap<Vec<L>, BarrettState<L>>,
-    tables: BTreeMap<(Vec<L>, Vec<L>, u32, MulAlgo), Vec<Vec<L>>>,
+    tables: BTreeMap<TableKey<L>, Vec<Vec<L>>>,
 }
 
 /// Cross-call cache implementing the design space's software caching
@@ -62,7 +65,10 @@ impl ExpCache {
 
     /// Number of cached reduction contexts (both radices).
     pub fn context_entries(&self) -> usize {
-        self.r16.monty.len() + self.r16.barrett.len() + self.r32.monty.len() + self.r32.barrett.len()
+        self.r16.monty.len()
+            + self.r16.barrett.len()
+            + self.r32.monty.len()
+            + self.r32.barrett.len()
     }
 
     /// Number of cached window tables (both radices).
@@ -350,7 +356,7 @@ where
     O: MpnOps<u32> + ?Sized,
 {
     let p = algo::mul_schoolbook::<u32, O>(ops, a.limbs(), b.limbs());
-    Natural::from_limbs(p.iter().copied().collect())
+    Natural::from_limbs(p.to_vec())
 }
 
 /// `a*b mod m`, metered.
@@ -431,8 +437,15 @@ mod tests {
             b
         );
         assert_eq!(
-            mod_exp(&mut ops, &b, &Natural::from_u64(2), &Natural::one(), &cfg, &mut cache)
-                .unwrap(),
+            mod_exp(
+                &mut ops,
+                &b,
+                &Natural::from_u64(2),
+                &Natural::one(),
+                &cfg,
+                &mut cache
+            )
+            .unwrap(),
             Natural::zero()
         );
         assert!(matches!(

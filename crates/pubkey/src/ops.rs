@@ -88,16 +88,9 @@ pub fn div_qhat_reference<L: Limb>(n2: L, n1: L, n0: L, d1: L, d0: L) -> L {
     // Knuth D3: decrease qhat while it does not fit a limb or while the
     // two-limb test shows it is too large; the product test is only
     // evaluated while rhat fits a limb. Exits with qhat < b.
-    loop {
-        if qhat >= b {
-            qhat -= 1;
-            rhat += d1.to_u64();
-        } else if rhat < b && qhat * d0.to_u64() > ((rhat << L::BITS) | n0.to_u64()) {
-            qhat -= 1;
-            rhat += d1.to_u64();
-        } else {
-            break;
-        }
+    while qhat >= b || (rhat < b && qhat * d0.to_u64() > ((rhat << L::BITS) | n0.to_u64())) {
+        qhat -= 1;
+        rhat += d1.to_u64();
     }
     L::from_u64(qhat)
 }
@@ -230,7 +223,11 @@ impl ModeledMpn {
 
     fn charge(&mut self, width: u32, name: &'static str, len: usize) {
         *self.counts.entry(name).or_insert(0) += 1;
-        let models = if width == 16 { &self.models16 } else { &self.models32 };
+        let models = if width == 16 {
+            &self.models16
+        } else {
+            &self.models32
+        };
         if let Some(m) = models.get(name) {
             self.cycles += m.predict(&[len as u64]);
         }
@@ -343,7 +340,7 @@ mod tests {
     fn div_qhat_reference_matches_division() {
         // Random-ish normalized divisors; compare against u128 division.
         for seed in 1u64..200 {
-            let d1 = (0x8000_0000u32 | (seed as u32).wrapping_mul(2654435761)) as u32;
+            let d1 = 0x8000_0000u32 | (seed as u32).wrapping_mul(2654435761);
             let d0 = (seed as u32).wrapping_mul(0x9e3779b9);
             let n2 = d1 - 1 - (seed as u32 % 7).min(d1 - 1);
             let n1 = (seed as u32).wrapping_mul(123456789);
@@ -367,8 +364,12 @@ mod tests {
     fn results_identical_across_providers() {
         let mut native = NativeMpn::new();
         let mut modeled = ModeledMpn::new(BTreeMap::new(), 1.0);
-        let a: Vec<u32> = (0u32..16).map(|i| i.wrapping_mul(0x0101_0101) + 7).collect();
-        let b: Vec<u32> = (0u32..16).map(|i| i.wrapping_mul(0x2020_2020) + 3).collect();
+        let a: Vec<u32> = (0u32..16)
+            .map(|i| i.wrapping_mul(0x0101_0101) + 7)
+            .collect();
+        let b: Vec<u32> = (0u32..16)
+            .map(|i| i.wrapping_mul(0x2020_2020) + 3)
+            .collect();
         let mut r1 = vec![0u32; 16];
         let mut r2 = vec![0u32; 16];
         let c1 = MpnOps::add_n(&mut native, &mut r1, &a, &b);

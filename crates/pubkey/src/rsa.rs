@@ -72,7 +72,10 @@ impl fmt::Display for RsaError {
             RsaError::MessageTooLarge => write!(f, "message representative exceeds the modulus"),
             RsaError::ModExp(e) => write!(f, "modular exponentiation failed: {e}"),
             RsaError::DataTooLong { data, max } => {
-                write!(f, "data of {data} bytes exceeds the {max}-byte payload limit")
+                write!(
+                    f,
+                    "data of {data} bytes exceeds the {max}-byte payload limit"
+                )
             }
             RsaError::BadPadding => write!(f, "invalid pkcs#1 v1.5 padding"),
         }
@@ -318,7 +321,10 @@ mod tests {
         for crt in CrtMode::ALL {
             let mut cfg = ModExpConfig::optimized();
             cfg.crt = crt;
-            let m = kp.private.decrypt_raw(&mut ops, &c, &cfg, &mut cache).unwrap();
+            let m = kp
+                .private
+                .decrypt_raw(&mut ops, &c, &cfg, &mut cache)
+                .unwrap();
             assert_eq!(m, msg, "crt {crt}");
         }
     }
@@ -330,8 +336,14 @@ mod tests {
         let mut ops = NativeMpn::new();
         let mut cache = ExpCache::new();
         let cfg = ModExpConfig::baseline();
-        let c = kp.public.encrypt_raw(&mut ops, &msg, &cfg, &mut cache).unwrap();
-        let m = kp.private.decrypt_raw(&mut ops, &c, &cfg, &mut cache).unwrap();
+        let c = kp
+            .public
+            .encrypt_raw(&mut ops, &msg, &cfg, &mut cache)
+            .unwrap();
+        let m = kp
+            .private
+            .decrypt_raw(&mut ops, &c, &cfg, &mut cache)
+            .unwrap();
         assert_eq!(m, msg);
     }
 
@@ -361,7 +373,10 @@ mod tests {
             .encrypt_pkcs1(&mut ops, &mut r, data, &cfg, &mut cache)
             .unwrap();
         assert_eq!(ct.len(), 32); // 256-bit modulus
-        let pt = kp.private.decrypt_pkcs1(&mut ops, &ct, &cfg, &mut cache).unwrap();
+        let pt = kp
+            .private
+            .decrypt_pkcs1(&mut ops, &ct, &cfg, &mut cache)
+            .unwrap();
         assert_eq!(pt, data);
     }
 

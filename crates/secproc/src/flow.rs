@@ -94,12 +94,8 @@ pub fn characterize_kernels(
                 vec![Monomial::constant(1), Monomial::linear(1, 0)]
             };
             let mut seed = 1u64;
-            let ch: Characterization = characterize(
-                &space,
-                &basis,
-                options,
-                &mut rng,
-                |params: &[u64]| {
+            let ch: Characterization =
+                characterize(&space, &basis, options, &mut rng, |params: &[u64]| {
                     seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
                     let n = params[0] as usize;
                     if width == 32 {
@@ -107,9 +103,8 @@ pub fn characterize_kernels(
                     } else {
                         iss.measure16(op, n, seed)
                     }
-                },
-            )
-            .unwrap_or_else(|e| panic!("characterization of {op} (r{width}) failed: {e}"));
+                })
+                .unwrap_or_else(|e| panic!("characterization of {op} (r{width}) failed: {e}"));
             let ch = with_name(ch, op);
             quality.insert((op, width), ch.quality);
             if width == 32 {

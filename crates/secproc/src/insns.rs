@@ -37,7 +37,10 @@ pub fn ldur() -> CustomInsnDef {
         AreaModel::new().register_bits(64).fixed(300).gates(),
         |ctx: &mut ExecCtx<'_>, op: &CustomOp| {
             let k = op.imm as usize;
-            let ur = *op.uregs.first().ok_or_else(|| fail("ldur", "needs a user register"))?;
+            let ur = *op
+                .uregs
+                .first()
+                .ok_or_else(|| fail("ldur", "needs a user register"))?;
             let base = ctx.regs[op
                 .regs
                 .first()
@@ -66,7 +69,10 @@ pub fn stur() -> CustomInsnDef {
         AreaModel::new().fixed(300).gates(),
         |ctx: &mut ExecCtx<'_>, op: &CustomOp| {
             let k = op.imm as usize;
-            let ur = *op.uregs.first().ok_or_else(|| fail("stur", "needs a user register"))?;
+            let ur = *op
+                .uregs
+                .first()
+                .ok_or_else(|| fail("stur", "needs a user register"))?;
             let base = ctx.regs[op
                 .regs
                 .first()
@@ -159,7 +165,10 @@ pub fn mac_k(k: u32) -> CustomInsnDef {
             return Err(fail(&format!("mac{k}"), "needs ur_r, ur_a"));
         };
         let [b_reg, c_reg] = op.regs[..] else {
-            return Err(fail(&format!("mac{k}"), "needs multiplier and carry registers"));
+            return Err(fail(
+                &format!("mac{k}"),
+                "needs multiplier and carry registers",
+            ));
         };
         let b = ctx.regs[b_reg.index()] as u64;
         let mut carry = ctx.regs[c_reg.index()] as u64;
@@ -186,7 +195,10 @@ pub fn msub_k(k: u32) -> CustomInsnDef {
             return Err(fail(&format!("msub{k}"), "needs ur_r, ur_a"));
         };
         let [b_reg, c_reg] = op.regs[..] else {
-            return Err(fail(&format!("msub{k}"), "needs multiplier and borrow registers"));
+            return Err(fail(
+                &format!("msub{k}"),
+                "needs multiplier and borrow registers",
+            ));
         };
         let b = ctx.regs[b_reg.index()] as u64;
         let mut carry = ctx.regs[c_reg.index()] as u64;
@@ -319,7 +331,6 @@ pub fn aesround() -> CustomInsnDef {
     })
 }
 
-
 /// Builds `xorur`: 128-bit XOR of two user registers
 /// (`ur_d ^= ur_s`) — the AddRoundKey datapath.
 pub fn xorur() -> CustomInsnDef {
@@ -446,7 +457,9 @@ mod tests {
         .unwrap();
         let mut c = cpu_with(mpn_extension_set(4, 2));
         c.mem_mut().write_words(0x100, &[5, 6]).unwrap();
-        c.mem_mut().write_words(0x110, &[0x12345678, 0x9abcdef0]).unwrap();
+        c.mem_mut()
+            .write_words(0x110, &[0x12345678, 0x9abcdef0])
+            .unwrap();
         c.run(&p).unwrap();
         // Native reference.
         let mut r = [5u32, 6];

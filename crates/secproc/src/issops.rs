@@ -90,7 +90,8 @@ impl IssMpn {
             ),
         };
         let prog32 = assemble(&src32).expect("bundled 32-bit kernels must assemble");
-        let prog16 = assemble(&kmpn::base16_source()).expect("bundled 16-bit kernels must assemble");
+        let prog16 =
+            assemble(&kmpn::base16_source()).expect("bundled 16-bit kernels must assemble");
         let mut cpu32 = Cpu::with_extensions(config.clone(), ext);
         cpu32.set_fuel(u64::MAX);
         let mut cpu16 = Cpu::new(config);
@@ -125,7 +126,9 @@ impl IssMpn {
     pub fn measure32(&mut self, op: &'static str, n: usize, seed: u64) -> f64 {
         let mut x = seed;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 32) as u32
         };
         let before = self.cycles;
@@ -181,7 +184,9 @@ impl IssMpn {
     pub fn measure16(&mut self, op: &'static str, n: usize, seed: u64) -> f64 {
         let mut x = seed;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 48) as u16
         };
         let before = self.cycles;
@@ -282,14 +287,10 @@ fn write_limbs<L: Limb>(cpu: &mut Cpu, addr: u32, data: &[L]) {
 fn read_limbs<L: Limb>(cpu: &Cpu, addr: u32, n: usize) -> Vec<L> {
     match L::BITS {
         32 => (0..n)
-            .map(|i| {
-                L::from_u64(cpu.mem().load_u32(addr + 4 * i as u32).expect("in range") as u64)
-            })
+            .map(|i| L::from_u64(cpu.mem().load_u32(addr + 4 * i as u32).expect("in range") as u64))
             .collect(),
         16 => (0..n)
-            .map(|i| {
-                L::from_u64(cpu.mem().load_u16(addr + 2 * i as u32).expect("in range") as u64)
-            })
+            .map(|i| L::from_u64(cpu.mem().load_u16(addr + 2 * i as u32).expect("in range") as u64))
             .collect(),
         other => panic!("unsupported limb width {other}"),
     }
@@ -300,11 +301,19 @@ macro_rules! impl_iss_mpnops {
         impl MpnOps<$limb> for IssMpn {
             fn add_n(&mut self, r: &mut [$limb], a: &[$limb], b: &[$limb]) -> bool {
                 self.bump(opname::ADD_N);
-                let cpu = if <$limb>::BITS == 32 { &mut self.cpu32 } else { &mut self.cpu16 };
+                let cpu = if <$limb>::BITS == 32 {
+                    &mut self.cpu32
+                } else {
+                    &mut self.cpu16
+                };
                 write_limbs(cpu, AP_ADDR, a);
                 write_limbs(cpu, BP_ADDR, b);
                 let carry = self.$call("mpn_add_n", &[RP_ADDR, AP_ADDR, BP_ADDR, a.len() as u32]);
-                let cpu = if <$limb>::BITS == 32 { &self.cpu32 } else { &self.cpu16 };
+                let cpu = if <$limb>::BITS == 32 {
+                    &self.cpu32
+                } else {
+                    &self.cpu16
+                };
                 let out: Vec<$limb> = read_limbs(cpu, RP_ADDR, a.len());
                 r.copy_from_slice(&out);
                 if self.verify {
@@ -318,11 +327,19 @@ macro_rules! impl_iss_mpnops {
 
             fn sub_n(&mut self, r: &mut [$limb], a: &[$limb], b: &[$limb]) -> bool {
                 self.bump(opname::SUB_N);
-                let cpu = if <$limb>::BITS == 32 { &mut self.cpu32 } else { &mut self.cpu16 };
+                let cpu = if <$limb>::BITS == 32 {
+                    &mut self.cpu32
+                } else {
+                    &mut self.cpu16
+                };
                 write_limbs(cpu, AP_ADDR, a);
                 write_limbs(cpu, BP_ADDR, b);
                 let borrow = self.$call("mpn_sub_n", &[RP_ADDR, AP_ADDR, BP_ADDR, a.len() as u32]);
-                let cpu = if <$limb>::BITS == 32 { &self.cpu32 } else { &self.cpu16 };
+                let cpu = if <$limb>::BITS == 32 {
+                    &self.cpu32
+                } else {
+                    &self.cpu16
+                };
                 let out: Vec<$limb> = read_limbs(cpu, RP_ADDR, a.len());
                 r.copy_from_slice(&out);
                 if self.verify {
@@ -336,11 +353,21 @@ macro_rules! impl_iss_mpnops {
 
             fn mul_1(&mut self, r: &mut [$limb], a: &[$limb], b: $limb) -> $limb {
                 self.bump(opname::MUL_1);
-                let cpu = if <$limb>::BITS == 32 { &mut self.cpu32 } else { &mut self.cpu16 };
+                let cpu = if <$limb>::BITS == 32 {
+                    &mut self.cpu32
+                } else {
+                    &mut self.cpu16
+                };
                 write_limbs(cpu, AP_ADDR, a);
-                let carry =
-                    self.$call("mpn_mul_1", &[RP_ADDR, AP_ADDR, a.len() as u32, b.to_u64() as u32]);
-                let cpu = if <$limb>::BITS == 32 { &self.cpu32 } else { &self.cpu16 };
+                let carry = self.$call(
+                    "mpn_mul_1",
+                    &[RP_ADDR, AP_ADDR, a.len() as u32, b.to_u64() as u32],
+                );
+                let cpu = if <$limb>::BITS == 32 {
+                    &self.cpu32
+                } else {
+                    &self.cpu16
+                };
                 let out: Vec<$limb> = read_limbs(cpu, RP_ADDR, a.len());
                 r.copy_from_slice(&out);
                 if self.verify {
@@ -361,14 +388,22 @@ macro_rules! impl_iss_mpnops {
                 } else {
                     None
                 };
-                let cpu = if <$limb>::BITS == 32 { &mut self.cpu32 } else { &mut self.cpu16 };
+                let cpu = if <$limb>::BITS == 32 {
+                    &mut self.cpu32
+                } else {
+                    &mut self.cpu16
+                };
                 write_limbs(cpu, AP_ADDR, a);
                 write_limbs(cpu, RP_ADDR, &r[..a.len()]);
                 let carry = self.$call(
                     "mpn_addmul_1",
                     &[RP_ADDR, AP_ADDR, a.len() as u32, b.to_u64() as u32],
                 );
-                let cpu = if <$limb>::BITS == 32 { &self.cpu32 } else { &self.cpu16 };
+                let cpu = if <$limb>::BITS == 32 {
+                    &self.cpu32
+                } else {
+                    &self.cpu16
+                };
                 let out: Vec<$limb> = read_limbs(cpu, RP_ADDR, a.len());
                 r[..a.len()].copy_from_slice(&out);
                 if let Some((expect, ec)) = expect_pair {
@@ -387,14 +422,22 @@ macro_rules! impl_iss_mpnops {
                 } else {
                     None
                 };
-                let cpu = if <$limb>::BITS == 32 { &mut self.cpu32 } else { &mut self.cpu16 };
+                let cpu = if <$limb>::BITS == 32 {
+                    &mut self.cpu32
+                } else {
+                    &mut self.cpu16
+                };
                 write_limbs(cpu, AP_ADDR, a);
                 write_limbs(cpu, RP_ADDR, &r[..a.len()]);
                 let borrow = self.$call(
                     "mpn_submul_1",
                     &[RP_ADDR, AP_ADDR, a.len() as u32, b.to_u64() as u32],
                 );
-                let cpu = if <$limb>::BITS == 32 { &self.cpu32 } else { &self.cpu16 };
+                let cpu = if <$limb>::BITS == 32 {
+                    &self.cpu32
+                } else {
+                    &self.cpu16
+                };
                 let out: Vec<$limb> = read_limbs(cpu, RP_ADDR, a.len());
                 r[..a.len()].copy_from_slice(&out);
                 if let Some((expect, ec)) = expect_pair {
@@ -406,11 +449,18 @@ macro_rules! impl_iss_mpnops {
 
             fn lshift(&mut self, r: &mut [$limb], a: &[$limb], cnt: u32) -> $limb {
                 self.bump(opname::LSHIFT);
-                let cpu = if <$limb>::BITS == 32 { &mut self.cpu32 } else { &mut self.cpu16 };
+                let cpu = if <$limb>::BITS == 32 {
+                    &mut self.cpu32
+                } else {
+                    &mut self.cpu16
+                };
                 write_limbs(cpu, AP_ADDR, a);
-                let out_bits =
-                    self.$call("mpn_lshift", &[RP_ADDR, AP_ADDR, a.len() as u32, cnt]);
-                let cpu = if <$limb>::BITS == 32 { &self.cpu32 } else { &self.cpu16 };
+                let out_bits = self.$call("mpn_lshift", &[RP_ADDR, AP_ADDR, a.len() as u32, cnt]);
+                let cpu = if <$limb>::BITS == 32 {
+                    &self.cpu32
+                } else {
+                    &self.cpu16
+                };
                 let out: Vec<$limb> = read_limbs(cpu, RP_ADDR, a.len());
                 r.copy_from_slice(&out);
                 if self.verify {
@@ -424,11 +474,18 @@ macro_rules! impl_iss_mpnops {
 
             fn rshift(&mut self, r: &mut [$limb], a: &[$limb], cnt: u32) -> $limb {
                 self.bump(opname::RSHIFT);
-                let cpu = if <$limb>::BITS == 32 { &mut self.cpu32 } else { &mut self.cpu16 };
+                let cpu = if <$limb>::BITS == 32 {
+                    &mut self.cpu32
+                } else {
+                    &mut self.cpu16
+                };
                 write_limbs(cpu, AP_ADDR, a);
-                let out_bits =
-                    self.$call("mpn_rshift", &[RP_ADDR, AP_ADDR, a.len() as u32, cnt]);
-                let cpu = if <$limb>::BITS == 32 { &self.cpu32 } else { &self.cpu16 };
+                let out_bits = self.$call("mpn_rshift", &[RP_ADDR, AP_ADDR, a.len() as u32, cnt]);
+                let cpu = if <$limb>::BITS == 32 {
+                    &self.cpu32
+                } else {
+                    &self.cpu16
+                };
                 let out: Vec<$limb> = read_limbs(cpu, RP_ADDR, a.len());
                 r.copy_from_slice(&out);
                 if self.verify {
@@ -440,14 +497,7 @@ macro_rules! impl_iss_mpnops {
                 <$limb as Limb>::from_u64(out_bits as u64)
             }
 
-            fn div_qhat(
-                &mut self,
-                n2: $limb,
-                n1: $limb,
-                n0: $limb,
-                d1: $limb,
-                d0: $limb,
-            ) -> $limb {
+            fn div_qhat(&mut self, n2: $limb, n1: $limb, n0: $limb, d1: $limb, d0: $limb) -> $limb {
                 self.bump(opname::DIV_QHAT);
                 let q = self.$call(
                     "div_qhat",

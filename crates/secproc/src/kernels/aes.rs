@@ -75,8 +75,8 @@ pub fn install(cpu: &mut Cpu, map: &MemoryMap, key: &aes::Aes) {
     let mut key_words = Vec::with_capacity(44);
     for rk in key.round_keys() {
         // state-packed bytes: kb[r + 4c] = rk[c].to_be_bytes()[r]
-        for c in 0..4usize {
-            key_bytes.extend_from_slice(&rk[c].to_be_bytes());
+        for w in rk {
+            key_bytes.extend_from_slice(&w.to_be_bytes());
         }
         key_words.extend_from_slice(rk);
     }
@@ -88,10 +88,7 @@ pub fn install(cpu: &mut Cpu, map: &MemoryMap, key: &aes::Aes) {
         .expect("key words");
     // Round-0 key with bytes in state order, for the word-wise
     // AddRoundKey(0) XOR of the accelerated kernel.
-    let key0: Vec<u32> = key.round_keys()[0]
-        .iter()
-        .map(|w| w.swap_bytes())
-        .collect();
+    let key0: Vec<u32> = key.round_keys()[0].iter().map(|w| w.swap_bytes()).collect();
     cpu.mem_mut()
         .write_words(map.key0_words, &key0)
         .expect("key0 words");
@@ -117,8 +114,17 @@ pub fn read_state(cpu: &Cpu, map: &MemoryMap) -> [u8; 16] {
 pub fn base_source(map: &MemoryMap) -> String {
     format!(
         "
+;! entry aes_block inputs=none
+;! secret-mem {keyb} 176
+;! secret-mem {state} 16
+;! secret-mem {scratch} 16
+
 ; --- subshift: SubBytes + ShiftRows from state into scratch.
 ;     Clobbers a4-a9.
+;     The S-box lookup is secret-indexed by construction: the software
+;     variant accepts this classic table-lookup leak (allow-listed,
+;     like the xtime lookups in mixcols); the accelerated variant
+;     removes it.
 subshift:
     movi a4, 0             ; i
     movi a9, 16
@@ -132,7 +138,7 @@ subshift:
     lbu  a5, a5, 0         ; state[src]
     movi a6, {sbox}
     add  a5, a5, a6
-    lbu  a5, a5, 0         ; sbox[...]
+    lbu  a5, a5, 0         ; sbox[...] ;! allow(secret-load)
     movi a6, {scratch}
     add  a6, a6, a4
     sb   a5, a6, 0
@@ -159,7 +165,7 @@ mixcols:
     xor  a9, a4, a5
     movi a10, {xtime}
     add  a9, a9, a10
-    lbu  a9, a9, 0
+    lbu  a9, a9, 0         ;! allow(secret-load)
     xor  a9, a9, a8
     xor  a9, a9, a4
     slli a11, a2, 2
@@ -169,21 +175,21 @@ mixcols:
     ; out1 = b1 ^ u ^ xtime[b1^b2]
     xor  a9, a5, a6
     add  a9, a9, a10
-    lbu  a9, a9, 0
+    lbu  a9, a9, 0         ;! allow(secret-load)
     xor  a9, a9, a8
     xor  a9, a9, a5
     sb   a9, a11, 1
     ; out2 = b2 ^ u ^ xtime[b2^b3]
     xor  a9, a6, a7
     add  a9, a9, a10
-    lbu  a9, a9, 0
+    lbu  a9, a9, 0         ;! allow(secret-load)
     xor  a9, a9, a8
     xor  a9, a9, a6
     sb   a9, a11, 2
     ; out3 = b3 ^ u ^ xtime[b3^b0]
     xor  a9, a7, a4
     add  a9, a9, a10
-    lbu  a9, a9, 0
+    lbu  a9, a9, 0         ;! allow(secret-load)
     xor  a9, a9, a8
     xor  a9, a9, a7
     sb   a9, a11, 3
@@ -262,6 +268,14 @@ aes_block:
 pub fn accel_source(map: &MemoryMap) -> String {
     format!(
         "
+;! cust ldur regs=1 uregs=1 kind=load
+;! cust stur regs=1 uregs=1 kind=store
+;! cust xorur regs=0 uregs=2 kind=compute
+;! cust aesround regs=0 uregs=2 kind=compute
+;! entry aes_block inputs=none
+;! secret-mem {keyw} 176
+;! secret-mem {key0w} 16
+;! secret-mem {state} 16
 aes_block:
     movi a0, {state}
     movi a1, {keyw}

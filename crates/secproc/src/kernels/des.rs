@@ -151,6 +151,9 @@ permute64:
 
 ; --- feistel: a0 = R, a1 = key schedule entry address;
 ;     returns f(R, K) in a0. Clobbers a2, a8-a13.
+;     The eight SP-table lookups are secret-indexed by construction:
+;     the software variant accepts this classic table-lookup leak
+;     (allow-listed below); the accelerated variant removes it.
 feistel:
     lw   a12, a1, 0        ; key hi (bits 47..32)
     lw   a13, a1, 4        ; key lo (bits 31..0)
@@ -167,7 +170,7 @@ feistel:
     slli a8, a8, 2
     movi a9, {sp}
     add  a9, a9, a8
-    lw   a10, a9, 0
+    lw   a10, a9, 0        ;! allow(secret-load)
     xor  a2, a2, a10
     ; chunks 1..6 (rows 2..7): ((R >> (31 - 4i)) & 0x3f) ^ keychunk_i
     ;   unrolled with key chunk extraction from the 48-bit pair.
@@ -180,7 +183,7 @@ feistel:
     slli a8, a8, 2
     movi a9, {sp1}
     add  a9, a9, a8
-    lw   a10, a9, 0
+    lw   a10, a9, 0        ;! allow(secret-load)
     xor  a2, a2, a10
     ; i = 2: R >> 19, key bits 35..30 -> (khi << 2 | klo >> 30) & 63
     srli a8, a0, 19
@@ -193,7 +196,7 @@ feistel:
     slli a8, a8, 2
     movi a9, {sp2}
     add  a9, a9, a8
-    lw   a10, a9, 0
+    lw   a10, a9, 0        ;! allow(secret-load)
     xor  a2, a2, a10
     ; i = 3: R >> 15, key bits 29..24 -> klo >> 24
     srli a8, a0, 15
@@ -204,7 +207,7 @@ feistel:
     slli a8, a8, 2
     movi a9, {sp3}
     add  a9, a9, a8
-    lw   a10, a9, 0
+    lw   a10, a9, 0        ;! allow(secret-load)
     xor  a2, a2, a10
     ; i = 4: R >> 11, key bits 23..18 -> klo >> 18
     srli a8, a0, 11
@@ -215,7 +218,7 @@ feistel:
     slli a8, a8, 2
     movi a9, {sp4}
     add  a9, a9, a8
-    lw   a10, a9, 0
+    lw   a10, a9, 0        ;! allow(secret-load)
     xor  a2, a2, a10
     ; i = 5: R >> 7, key bits 17..12 -> klo >> 12
     srli a8, a0, 7
@@ -226,7 +229,7 @@ feistel:
     slli a8, a8, 2
     movi a9, {sp5}
     add  a9, a9, a8
-    lw   a10, a9, 0
+    lw   a10, a9, 0        ;! allow(secret-load)
     xor  a2, a2, a10
     ; i = 6: R >> 3, key bits 11..6 -> klo >> 6
     srli a8, a0, 3
@@ -237,7 +240,7 @@ feistel:
     slli a8, a8, 2
     movi a9, {sp6}
     add  a9, a9, a8
-    lw   a10, a9, 0
+    lw   a10, a9, 0        ;! allow(secret-load)
     xor  a2, a2, a10
     ; chunk 7 (row 8): ((R & 0x1f) << 1) | (R >> 31), key bits 5..0
     andi a8, a0, 31
@@ -249,12 +252,13 @@ feistel:
     slli a8, a8, 2
     movi a9, {sp7}
     add  a9, a9, a8
-    lw   a10, a9, 0
+    lw   a10, a9, 0        ;! allow(secret-load)
     xor  a2, a2, a10
     mov  a0, a2
     ret
 
 ; --- des_block: a0 = block addr, a1 = key schedule addr, a2 = direction
+;! entry des_block inputs=a0-a2 secret-ptr=a0,a1
 des_block:
     addi sp, sp, -28
     sw   ra, sp, 0
@@ -323,7 +327,12 @@ des_block:
 /// Accelerated DES kernel using `desperm` + `desround`.
 pub fn accel_source(_map: &MemoryMap) -> String {
     "
+;! cust ldur regs=1 uregs=1 kind=load
+;! cust stur regs=1 uregs=1 kind=store
+;! cust desperm regs=0 uregs=1 kind=compute
+;! cust desround regs=2 uregs=1 kind=compute
 ; --- des_block: a0 = block addr, a1 = key schedule addr, a2 = direction
+;! entry des_block inputs=a0-a2 secret-ptr=a0,a1
 des_block:
     cust ldur ur0, a0, 2   ; [lo, hi]
     cust desperm ur0, 0    ; IP

@@ -34,10 +34,11 @@ pub fn base32_source() -> String {
     s.push_str(ADDMUL_32);
     s.push_str(SHIFT_32);
     s.push_str(DIV_QHAT_32);
-    s.into()
+    s
 }
 
 const ADD_SUB_32: &str = "
+;! entry mpn_add_n inputs=a0-a3 secret-ptr=a1,a2
 mpn_add_n:                 ; a0=rp a1=ap a2=bp a3=n -> a0=carry
     movi a6, 0
     clc
@@ -56,6 +57,7 @@ mpn_add_n:                 ; a0=rp a1=ap a2=bp a3=n -> a0=carry
     addc a0, a0, a5
     ret
 
+;! entry mpn_sub_n inputs=a0-a3 secret-ptr=a1,a2
 mpn_sub_n:                 ; a0=rp a1=ap a2=bp a3=n -> a0=borrow
     movi a6, 0
     clc
@@ -77,6 +79,7 @@ mpn_sub_n:                 ; a0=rp a1=ap a2=bp a3=n -> a0=borrow
 ";
 
 const MUL1_32: &str = "
+;! entry mpn_mul_1 inputs=a0-a3 secret=a3 secret-ptr=a1
 mpn_mul_1:                 ; a0=rp a1=ap a2=n a3=b -> a0=carry limb
     movi a6, 0
     movi a7, 0             ; carry
@@ -97,6 +100,7 @@ mpn_mul_1:                 ; a0=rp a1=ap a2=n a3=b -> a0=carry limb
 ";
 
 const ADDMUL_32: &str = "
+;! entry mpn_addmul_1 inputs=a0-a3 secret=a3 secret-ptr=a0,a1
 mpn_addmul_1:              ; a0=rp a1=ap a2=n a3=b -> a0=carry limb
     movi a6, 0
     movi a7, 0             ; carry
@@ -120,6 +124,7 @@ mpn_addmul_1:              ; a0=rp a1=ap a2=n a3=b -> a0=carry limb
     mov   a0, a7
     ret
 
+;! entry mpn_submul_1 inputs=a0-a3 secret=a3 secret-ptr=a0,a1
 mpn_submul_1:              ; a0=rp a1=ap a2=n a3=b -> a0=borrow limb
     movi a6, 0
     movi a7, 0             ; borrow
@@ -144,6 +149,7 @@ mpn_submul_1:              ; a0=rp a1=ap a2=n a3=b -> a0=borrow limb
 ";
 
 const SHIFT_32: &str = "
+;! entry mpn_lshift inputs=a0-a3 secret-ptr=a1
 mpn_lshift:                ; a0=rp a1=ap a2=n a3=cnt -> a0=bits out
     movi a6, 0
     movi a7, 0
@@ -162,6 +168,7 @@ mpn_lshift:                ; a0=rp a1=ap a2=n a3=cnt -> a0=bits out
     mov  a0, a7
     ret
 
+;! entry mpn_rshift inputs=a0-a3 secret-ptr=a1
 mpn_rshift:                ; a0=rp a1=ap a2=n a3=cnt -> a0=bits out
     movi a6, 0
     movi a7, 0
@@ -185,6 +192,10 @@ mpn_rshift:                ; a0=rp a1=ap a2=n a3=cnt -> a0=bits out
 ";
 
 const DIV_QHAT_32: &str = "
+; div_qhat is bit-serial restoring division: variable-time by
+; algorithm, so it is exempt from the constant-time policy (declared
+; `public`); see DESIGN.md for the rationale.
+;! entry div_qhat inputs=a0-a4 public
 div_qhat:                  ; a0=n2 a1=n1 a2=n0 a3=d1 a4=d0 -> a0=qhat
     movi a11, 0
     sltu a5, a0, a3        ; a5 = n2 < d1
@@ -254,6 +265,13 @@ pub fn accel32_source(add_lanes: u32, mac_lanes: u32) -> String {
     let mb = 4 * mac_lanes;
     format!(
         "
+;! cust ldur regs=1 uregs=1 kind=load
+;! cust stur regs=1 uregs=1 kind=store
+;! cust add{al} regs=0 uregs=3 kind=compute reads-carry writes-carry
+;! cust sub{al} regs=0 uregs=3 kind=compute reads-carry writes-carry
+;! cust mac{ml} regs=2 uregs=2 kind=compute writes-reg=1
+;! cust msub{ml} regs=2 uregs=2 kind=compute writes-reg=1
+;! entry mpn_add_n inputs=a0-a3 secret-ptr=a1,a2
 mpn_add_n:                 ; accelerated: {al}-lane adder
     movi a6, 0
     movi a7, {al}
@@ -286,6 +304,7 @@ mpn_add_n:                 ; accelerated: {al}-lane adder
     addc a0, a0, a4
     ret
 
+;! entry mpn_sub_n inputs=a0-a3 secret-ptr=a1,a2
 mpn_sub_n:                 ; accelerated: {al}-lane subtractor
     movi a6, 0
     movi a7, {al}
@@ -319,6 +338,7 @@ mpn_sub_n:                 ; accelerated: {al}-lane subtractor
     sub  a0, a0, a9
     ret
 
+;! entry mpn_addmul_1 inputs=a0-a3 secret=a3 secret-ptr=a0,a1
 mpn_addmul_1:              ; accelerated: {ml}-lane MAC
     movi a6, 0
     movi a4, 0             ; carry limb in GPR
@@ -355,6 +375,7 @@ mpn_addmul_1:              ; accelerated: {ml}-lane MAC
     mov a0, a4
     ret
 
+;! entry mpn_submul_1 inputs=a0-a3 secret=a3 secret-ptr=a0,a1
 mpn_submul_1:              ; accelerated: {ml}-lane multiply-subtract
     movi a6, 0
     movi a4, 0
@@ -405,6 +426,7 @@ mpn_submul_1:              ; accelerated: {ml}-lane multiply-subtract
 /// narrow cores.
 pub fn base16_source() -> String {
     "
+;! entry mpn_add_n inputs=a0-a3 secret-ptr=a1,a2
 mpn_add_n:                 ; a0=rp a1=ap a2=bp a3=n -> a0=carry
     movi a6, 0
     movi a7, 0             ; carry
@@ -423,6 +445,7 @@ mpn_add_n:                 ; a0=rp a1=ap a2=bp a3=n -> a0=carry
     mov  a0, a7
     ret
 
+;! entry mpn_sub_n inputs=a0-a3 secret-ptr=a1,a2
 mpn_sub_n:                 ; a0=rp a1=ap a2=bp a3=n -> a0=borrow
     movi a6, 0
     movi a7, 0             ; borrow
@@ -444,6 +467,7 @@ mpn_sub_n:                 ; a0=rp a1=ap a2=bp a3=n -> a0=borrow
     mov  a0, a7
     ret
 
+;! entry mpn_mul_1 inputs=a0-a3 secret=a3 secret-ptr=a1
 mpn_mul_1:                 ; a0=rp a1=ap a2=n a3=b -> a0=carry limb
     movi a6, 0
     movi a7, 0
@@ -462,6 +486,7 @@ mpn_mul_1:                 ; a0=rp a1=ap a2=n a3=b -> a0=carry limb
     mov  a0, a7
     ret
 
+;! entry mpn_addmul_1 inputs=a0-a3 secret=a3 secret-ptr=a0,a1
 mpn_addmul_1:              ; a0=rp a1=ap a2=n a3=b -> a0=carry limb
     movi a6, 0
     movi a7, 0
@@ -482,6 +507,7 @@ mpn_addmul_1:              ; a0=rp a1=ap a2=n a3=b -> a0=carry limb
     mov  a0, a7
     ret
 
+;! entry mpn_submul_1 inputs=a0-a3 secret=a3 secret-ptr=a0,a1
 mpn_submul_1:              ; a0=rp a1=ap a2=n a3=b -> a0=borrow limb
     movi a6, 0
     movi a7, 0
@@ -506,6 +532,7 @@ mpn_submul_1:              ; a0=rp a1=ap a2=n a3=b -> a0=borrow limb
     mov  a0, a7
     ret
 
+;! entry mpn_lshift inputs=a0-a3 secret-ptr=a1
 mpn_lshift:                ; a0=rp a1=ap a2=n a3=cnt(1..15) -> a0=bits out
     movi a6, 0
     movi a7, 0
@@ -526,6 +553,7 @@ mpn_lshift:                ; a0=rp a1=ap a2=n a3=cnt(1..15) -> a0=bits out
     mov  a0, a7
     ret
 
+;! entry mpn_rshift inputs=a0-a3 secret-ptr=a1
 mpn_rshift:                ; a0=rp a1=ap a2=n a3=cnt(1..15) -> a0=bits out
     movi a6, 0
     movi a7, 0
@@ -549,6 +577,9 @@ mpn_rshift:                ; a0=rp a1=ap a2=n a3=cnt(1..15) -> a0=bits out
     mov  a0, a7
     ret
 
+; Variable-time by algorithm (restoring division), exempt from the
+; constant-time policy; see DESIGN.md.
+;! entry div_qhat inputs=a0-a4 public
 div_qhat:                  ; a0=n2 a1=n1 a2=n0 a3=d1 a4=d0 -> a0=qhat (16-bit values)
     movi a11, 0
     sltu a5, a0, a3

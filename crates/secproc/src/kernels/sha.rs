@@ -60,6 +60,10 @@ pub fn write_block(cpu: &mut Cpu, map: &MemoryMap, block: &[u8; 64]) {
 pub fn source(map: &MemoryMap) -> String {
     format!(
         "
+;! entry sha1_compress inputs=none
+;! secret-mem {state} 20
+;! secret-mem {block} 64
+;! secret-mem {sched} 320
 sha1_compress:
     ; copy block words into the schedule area
     movi a0, {block}

@@ -62,7 +62,11 @@ pub fn measure_des(config: &CpuConfig, blocks: usize) -> SymmetricRow {
 
 /// Measures the 3DES row: three chained DES passes (EDE) per block.
 pub fn measure_tdes(config: &CpuConfig, blocks: usize) -> SymmetricRow {
-    let keys = [*b"\x01\x23\x45\x67\x89\xAB\xCD\xEF", *b"\x23\x45\x67\x89\xAB\xCD\xEF\x01", *b"\x45\x67\x89\xAB\xCD\xEF\x01\x23"];
+    let keys = [
+        *b"\x01\x23\x45\x67\x89\xAB\xCD\xEF",
+        *b"\x23\x45\x67\x89\xAB\xCD\xEF\x01",
+        *b"\x45\x67\x89\xAB\xCD\xEF\x01\x23",
+    ];
     let run = |variant: Variant| -> f64 {
         let mut passes: Vec<SimDes> = keys
             .iter()
@@ -212,10 +216,7 @@ impl Table1 {
                 row.speedup()
             ));
         }
-        out.push_str(&format!(
-            "-- RSA-{} (cycles/op) --\n",
-            self.rsa_bits
-        ));
+        out.push_str(&format!("-- RSA-{} (cycles/op) --\n", self.rsa_bits));
         for row in &self.rsa {
             out.push_str(&format!(
                 "{:<16} | {:>16.3e} | {:>13.3e} | {:>6.1}X\n",

@@ -108,13 +108,9 @@ impl SecurityProcessor {
         }
         let blocks = 6;
         let cpb = match algorithm {
-            Algorithm::Des => {
-                SimDes::new(self.config.clone(), self.variant(), *b"platform")
-                    .cycles_per_byte(blocks)
-            }
-            Algorithm::TripleDes => {
-                measure::measure_tdes(&self.config, blocks).pick(self.kind)
-            }
+            Algorithm::Des => SimDes::new(self.config.clone(), self.variant(), *b"platform")
+                .cycles_per_byte(blocks),
+            Algorithm::TripleDes => measure::measure_tdes(&self.config, blocks).pick(self.kind),
             Algorithm::Aes128 => {
                 SimAes::new(self.config.clone(), self.variant(), b"platform-aes-key")
                     .cycles_per_byte(blocks)
@@ -162,7 +158,8 @@ impl SecurityProcessor {
                 modes::cbc_encrypt(&des, iv, data)
             }
             Algorithm::TripleDes => {
-                let tdes = TripleDes::from_key_bytes(key.try_into().expect("3DES keys are 24 bytes"));
+                let tdes =
+                    TripleDes::from_key_bytes(key.try_into().expect("3DES keys are 24 bytes"));
                 modes::cbc_encrypt(&tdes, iv, data)
             }
             Algorithm::Aes128 => {
@@ -195,7 +192,8 @@ impl SecurityProcessor {
                 modes::cbc_decrypt(&des, iv, data)
             }
             Algorithm::TripleDes => {
-                let tdes = TripleDes::from_key_bytes(key.try_into().expect("3DES keys are 24 bytes"));
+                let tdes =
+                    TripleDes::from_key_bytes(key.try_into().expect("3DES keys are 24 bytes"));
                 modes::cbc_decrypt(&tdes, iv, data)
             }
             Algorithm::Aes128 => {
@@ -287,9 +285,7 @@ mod tests {
         let key = [7u8; 16];
         let iv = [9u8; 16];
         let msg = b"the platform API moves bulk data";
-        let ct = proc
-            .encrypt_cbc(Algorithm::Aes128, &key, &iv, msg)
-            .unwrap();
+        let ct = proc.encrypt_cbc(Algorithm::Aes128, &key, &iv, msg).unwrap();
         let pt = proc.decrypt_cbc(Algorithm::Aes128, &key, &iv, &ct).unwrap();
         assert_eq!(pt, msg);
     }
@@ -307,9 +303,6 @@ mod tests {
     #[test]
     fn sha1_via_api() {
         let proc = SecurityProcessor::new(PlatformKind::Baseline);
-        assert_eq!(
-            proc.sha1(b"abc")[..4],
-            [0xa9, 0x99, 0x3e, 0x36],
-        );
+        assert_eq!(proc.sha1(b"abc")[..4], [0xa9, 0x99, 0x3e, 0x36],);
     }
 }

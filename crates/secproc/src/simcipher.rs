@@ -217,7 +217,13 @@ impl SimSha1 {
     /// Average cycles per byte over `count` compressions.
     pub fn cycles_per_byte(&mut self, count: usize) -> f64 {
         assert!(count >= 2);
-        let mut state = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+        let mut state = [
+            0x6745_2301,
+            0xefcd_ab89,
+            0x98ba_dcfe,
+            0x1032_5476,
+            0xc3d2_e1f0,
+        ];
         let block = [0x61u8; 64];
         self.compress(state, &block); // warm
         let mut total = 0u64;
@@ -260,7 +266,10 @@ mod tests {
         let (ct, _) = sim.crypt_block(0x0123_4567_89AB_CDEF, false); // cold caches
         assert_eq!(ct, 0x85E8_1354_0F0A_B405);
         let (_, cycles) = sim.crypt_block(0x0123_4567_89AB_CDEF, false); // warm
-        assert!(cycles < 400, "accelerated DES should be fast when warm: {cycles}");
+        assert!(
+            cycles < 400,
+            "accelerated DES should be fast when warm: {cycles}"
+        );
         let (pt, _) = sim.crypt_block(ct, true);
         assert_eq!(pt, 0x0123_4567_89AB_CDEF);
     }
@@ -304,7 +313,10 @@ mod tests {
         let (ct, _) = sim.encrypt_block(&block); // cold caches
         assert_eq!(ct[0], 0x69);
         let (_, cycles) = sim.encrypt_block(&block); // warm
-        assert!(cycles < 300, "accelerated AES should be fast when warm: {cycles}");
+        assert!(
+            cycles < 300,
+            "accelerated AES should be fast when warm: {cycles}"
+        );
     }
 
     #[test]
@@ -317,7 +329,13 @@ mod tests {
         block[2] = b'c';
         block[3] = 0x80;
         block[63] = 24; // bit length
-        let init = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+        let init = [
+            0x6745_2301,
+            0xefcd_ab89,
+            0x98ba_dcfe,
+            0x1032_5476,
+            0xc3d2_e1f0,
+        ];
         let (state, cycles) = sim.compress(init, &block);
         assert_eq!(state[0], 0xa999_3e36, "SHA-1(abc) first word");
         assert!(cycles > 800);

@@ -170,7 +170,10 @@ mod tests {
         // Monotone decreasing after the handshake stops dominating.
         let first = series.first().unwrap().speedup();
         let last = series.last().unwrap().speedup();
-        assert!(first > 20.0, "small transactions near the pk speedup: {first:.1}");
+        assert!(
+            first > 20.0,
+            "small transactions near the pk speedup: {first:.1}"
+        );
         assert!(last < 10.0, "large transactions Amdahl-limited: {last:.1}");
         assert!(first > last);
         // The limit is bounded by the unaccelerated misc share.

@@ -47,7 +47,13 @@ impl AdPoint {
 
 impl fmt::Display for AdPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} area={} cycles={:.1}", self.insns, self.area(), self.cycles)
+        write!(
+            f,
+            "{} area={} cycles={:.1}",
+            self.insns,
+            self.area(),
+            self.cycles
+        )
     }
 }
 
@@ -78,11 +84,7 @@ impl AdCurve {
             .into_iter()
             .map(|(insns, cycles)| AdPoint { insns, cycles })
             .collect();
-        points.sort_by(|a, b| {
-            a.area()
-                .cmp(&b.area())
-                .then(a.cycles.total_cmp(&b.cycles))
-        });
+        points.sort_by(|a, b| a.area().cmp(&b.area()).then(a.cycles.total_cmp(&b.cycles)));
         AdCurve { points }
     }
 
@@ -164,7 +166,12 @@ impl AdCurve {
     pub fn render(&self) -> String {
         let mut out = String::from("area(GE)   cycles      instructions\n");
         for p in &self.points {
-            out.push_str(&format!("{:>8}   {:>9.1}   {}\n", p.area(), p.cycles, p.insns));
+            out.push_str(&format!(
+                "{:>8}   {:>9.1}   {}\n",
+                p.area(),
+                p.cycles,
+                p.insns
+            ));
         }
         out
     }
@@ -245,9 +252,9 @@ mod tests {
         // P1: expensive and slow; dominated by P2.
         let c = AdCurve::from_points(vec![
             AdPoint::base(100.0),
-            AdPoint::new([add(2)], 90.0),          // P2
-            AdPoint::new([add(2), mul(1)], 95.0),  // P1: more area, more cycles
-            AdPoint::new([add(4), mul(1)], 40.0),  // P3
+            AdPoint::new([add(2)], 90.0),         // P2
+            AdPoint::new([add(2), mul(1)], 95.0), // P1: more area, more cycles
+            AdPoint::new([add(4), mul(1)], 40.0), // P3
         ]);
         let p = c.pareto();
         assert_eq!(p.len(), 3);

@@ -61,6 +61,23 @@ impl CustomInsn {
     pub fn dominates(&self, other: &CustomInsn) -> bool {
         self.family == other.family && self.level >= other.level
     }
+
+    /// The assembler mnemonic of this candidate: family and level fused
+    /// without a separator (`add_4` the design point is the `add4`
+    /// instruction). This is the name used by `cust` operands in kernel
+    /// sources and by `;! cust` signature annotations for the `xlint`
+    /// custom-instruction operand checks.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tie::insn::CustomInsn;
+    ///
+    /// assert_eq!(CustomInsn::new("add", 4, 1800).mnemonic(), "add4");
+    /// ```
+    pub fn mnemonic(&self) -> String {
+        format!("{}{}", self.family, self.level)
+    }
 }
 
 impl fmt::Display for CustomInsn {
@@ -222,6 +239,12 @@ mod tests {
     }
 
     #[test]
+    fn mnemonic_matches_assembler_naming() {
+        assert_eq!(add(2).mnemonic(), "add2");
+        assert_eq!(CustomInsn::new("mac", 1, 9000).mnemonic(), "mac1");
+    }
+
+    #[test]
     fn display_is_compact() {
         assert_eq!(InsnSet::empty().to_string(), "{∅}");
         let s = InsnSet::from_insns([add(4), mul(1)]);
@@ -233,10 +256,18 @@ mod tests {
         // addmul_1 curve points: ∅ plus {add_k, mul_1} for k=2,4,8,16.
         // add_n curve points: ∅ plus {add_k}.
         let addmul: Vec<InsnSet> = std::iter::once(InsnSet::empty())
-            .chain([2u32, 4, 8, 16].iter().map(|&k| InsnSet::from_insns([add(k), mul(1)])))
+            .chain(
+                [2u32, 4, 8, 16]
+                    .iter()
+                    .map(|&k| InsnSet::from_insns([add(k), mul(1)])),
+            )
             .collect();
         let addn: Vec<InsnSet> = std::iter::once(InsnSet::empty())
-            .chain([2u32, 4, 8, 16].iter().map(|&k| InsnSet::from_insns([add(k)])))
+            .chain(
+                [2u32, 4, 8, 16]
+                    .iter()
+                    .map(|&k| InsnSet::from_insns([add(k)])),
+            )
             .collect();
         let mut distinct = std::collections::BTreeSet::new();
         for x in &addmul {

@@ -148,15 +148,8 @@ impl Selector {
     ///
     /// Returns [`CallGraphError`] if `root` is unknown or the graph has a
     /// cycle.
-    pub fn select(
-        &self,
-        root: &str,
-        area_budget: u64,
-    ) -> Result<Option<AdPoint>, CallGraphError> {
-        Ok(self
-            .root_curve(root)?
-            .best_under_area(area_budget)
-            .cloned())
+    pub fn select(&self, root: &str, area_budget: u64) -> Result<Option<AdPoint>, CallGraphError> {
+        Ok(self.root_curve(root)?.best_under_area(area_budget).cloned())
     }
 }
 

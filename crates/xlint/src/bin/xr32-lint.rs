@@ -1,0 +1,66 @@
+//! Command-line front end: `cargo run -p xlint --bin xr32-lint -- <file.s>...`
+//!
+//! Assembles each file, picks up its `;!` annotations (entries,
+//! secrets, custom-instruction signatures, allowlists), runs the full
+//! analysis, and prints the findings. Exits non-zero when any file
+//! fails to parse or produces an error-severity finding.
+
+use std::io::{ErrorKind, Write};
+use std::process::ExitCode;
+
+/// Prints one line to stdout; a closed pipe (`xr32-lint ... | head`)
+/// ends the program quietly with the current verdict.
+fn emit(failed: bool, line: std::fmt::Arguments<'_>) {
+    let mut out = std::io::stdout().lock();
+    if let Err(e) = writeln!(out, "{line}") {
+        if e.kind() == ErrorKind::BrokenPipe {
+            std::process::exit(if failed { 1 } else { 0 });
+        }
+        eprintln!("xr32-lint: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: xr32-lint <file.s>...");
+        eprintln!();
+        eprintln!("Lints XR32 assembly: dataflow checks (read-before-write, dead");
+        eprintln!("stores, unreachable code, stack discipline, alignment) plus a");
+        eprintln!("constant-time secret-taint checker driven by `;!` annotations.");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match xlint::analyze_source(&src) {
+            Ok(report) => {
+                if report.is_clean() {
+                    emit(failed, format_args!("{path}: clean"));
+                } else {
+                    failed |= !report.no_errors();
+                    for f in report.findings() {
+                        emit(failed, format_args!("{path}:{f}"));
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,281 @@
+//! Property tests for the dataflow core.
+//!
+//! Random programs are generated in two shapes — straight-line, and
+//! forward-branching (a DAG) — and the solvers are checked against
+//! independent ground-truth computations:
+//!
+//! - straight-line: liveness/dead-stores, reaching definitions and
+//!   must-defined have *exact* closed forms (a linear scan);
+//! - forward-branching: the CFG is acyclic, so a single reverse
+//!   (resp. forward) topological sweep with the textbook equations is
+//!   exact, and the distributive frameworks make the fixpoint solution
+//!   coincide with it.
+
+use proptest::prelude::*;
+
+use xlint::cfg::Cfg;
+use xlint::dataflow::{Liveness, MustDefined, ReachingDefs, RegSet, ENTRY_DEF};
+use xlint::{analyze, Rule, SecretSpec};
+use xr32::asm::{assemble, Program};
+use xr32::isa::Reg;
+
+/// One generated instruction: `(kind, rd, rs1, rs2, imm)` over
+/// registers `a0..a9`. Kind 5 becomes a forward conditional branch
+/// when branches are enabled, a `mov` otherwise.
+type RawOp = (u8, u8, u8, u8, i32);
+
+const KINDS: u8 = 6;
+
+fn op_strategy() -> impl Strategy<Value = Vec<RawOp>> {
+    prop::collection::vec((0u8..KINDS, 0u8..10, 0u8..10, 0u8..10, -8i32..8), 1..24)
+}
+
+/// Renders ops to assembly. With `branches`, kind-5 ops become
+/// `beq rs1, rs2, .l<target>` with a strictly forward target; every
+/// instruction gets a local label so targets always resolve.
+fn render(ops: &[RawOp], branches: bool) -> String {
+    let n = ops.len();
+    let mut out = String::from("main:\n");
+    for (i, &(kind, rd, rs1, rs2, imm)) in ops.iter().enumerate() {
+        let (d, s1, s2) = (rd % 10, rs1 % 10, rs2 % 10);
+        out.push_str(&format!(".l{i}:\n"));
+        let line = match kind {
+            0 => format!("movi a{d}, {imm}"),
+            1 => format!("add a{d}, a{s1}, a{s2}"),
+            2 => format!("xor a{d}, a{s1}, a{s2}"),
+            3 => format!("addi a{d}, a{s1}, {imm}"),
+            4 => format!("sltu a{d}, a{s1}, a{s2}"),
+            _ if branches => {
+                let span = (n - i) as i32;
+                let target = i + 1 + (imm.rem_euclid(span)) as usize;
+                format!("beq a{s1}, a{s2}, .l{target}")
+            }
+            _ => format!("mov a{d}, a{s1}"),
+        };
+        out.push_str("    ");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str(&format!(".l{n}:\n    halt\n"));
+    out
+}
+
+/// `(reads, write)` of the instruction at `pc`, mirroring the
+/// generator (not the analyzer) so the ground truth is independent.
+fn sem(ops: &[RawOp], pc: usize, branches: bool) -> (Vec<u8>, Option<u8>) {
+    if pc == ops.len() {
+        return (Vec::new(), None); // halt
+    }
+    let (kind, rd, rs1, rs2, _) = ops[pc];
+    let (d, s1, s2) = (rd % 10, rs1 % 10, rs2 % 10);
+    match kind {
+        0 => (vec![], Some(d)),
+        1 | 2 | 4 => (vec![s1, s2], Some(d)),
+        3 => (vec![s1], Some(d)),
+        _ if branches => (vec![s1, s2], None),
+        _ => (vec![s1], Some(d)),
+    }
+}
+
+/// Successors of `pc`, mirroring the generator's branch encoding.
+fn succs(ops: &[RawOp], pc: usize, branches: bool) -> Vec<usize> {
+    if pc == ops.len() {
+        return Vec::new(); // halt
+    }
+    let (kind, _, _, _, imm) = ops[pc];
+    let mut out = vec![pc + 1];
+    if branches && kind == 5 {
+        let span = (ops.len() - pc) as i32;
+        let target = pc + 1 + (imm.rem_euclid(span)) as usize;
+        if target != pc + 1 {
+            out.push(target);
+        }
+    }
+    out
+}
+
+fn reg(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// Exit-live assumption matching `xlint`'s lint engine: `a0`/`a1`
+/// carry return values, `sp` must balance.
+fn exit_live() -> RegSet {
+    let mut s = RegSet::of(reg(0));
+    s.insert(reg(1));
+    s.insert(Reg::SP);
+    s
+}
+
+fn build(src: &str) -> (Program, Cfg, SecretSpec) {
+    let program = assemble(src).expect("generated program assembles");
+    let cfg = Cfg::build(&program);
+    (program, cfg, SecretSpec::default())
+}
+
+/// Ground-truth per-pc live-out for an acyclic program, by a reverse
+/// sweep (exact: forward branches make reverse pc order topological).
+fn dag_live_out(ops: &[RawOp], branches: bool) -> Vec<RegSet> {
+    let n = ops.len() + 1; // + halt
+    let mut live_in = vec![RegSet::EMPTY; n];
+    let mut live_out = vec![RegSet::EMPTY; n];
+    for pc in (0..n).rev() {
+        let mut out = if pc == n - 1 {
+            exit_live()
+        } else {
+            RegSet::EMPTY
+        };
+        for s in succs(ops, pc, branches) {
+            out = out.union(live_in[s]);
+        }
+        live_out[pc] = out;
+        let (reads, write) = sem(ops, pc, branches);
+        let mut inn = out;
+        if let Some(d) = write {
+            inn.remove(reg(d));
+        }
+        for r in reads {
+            inn.insert(reg(r));
+        }
+        live_in[pc] = inn;
+    }
+    live_out
+}
+
+fn config() -> ProptestConfig {
+    ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(config())]
+
+    /// A register never read after its last definition must be
+    /// reported as a dead store — and nothing live may be. Exact
+    /// equivalence against a linear scan, straight-line programs.
+    #[test]
+    fn dead_stores_are_exact_on_straight_lines(ops in op_strategy()) {
+        let src = render(&ops, false);
+        let (program, _, spec) = build(&src);
+        let report = analyze(&program, &spec);
+        let flagged: Vec<usize> = report
+            .findings()
+            .iter()
+            .filter(|f| f.rule == Rule::DeadStore)
+            .map(|f| f.pc)
+            .collect();
+
+        let mut expected = Vec::new();
+        'defs: for (i, _) in ops.iter().enumerate() {
+            let (_, write) = sem(&ops, i, false);
+            let Some(d) = write else { continue };
+            for j in i + 1..ops.len() {
+                let (reads, w) = sem(&ops, j, false);
+                if reads.contains(&d) {
+                    continue 'defs; // read before any redefinition
+                }
+                if w == Some(d) {
+                    expected.push(i); // overwritten unread
+                    continue 'defs;
+                }
+            }
+            if !exit_live().contains(reg(d)) {
+                expected.push(i); // falls off the end unread
+            }
+        }
+        prop_assert_eq!(flagged, expected, "src:\n{}", src);
+    }
+
+    /// Reaching definitions on a straight line: exactly the nearest
+    /// preceding def, or the entry definition.
+    #[test]
+    fn reaching_defs_are_exact_on_straight_lines(ops in op_strategy()) {
+        let src = render(&ops, false);
+        let (program, cfg, spec) = build(&src);
+        let rd = ReachingDefs::solve(&cfg, program.insns(), &spec, 0);
+        for pc in 0..program.len() {
+            for r in 0..10u8 {
+                let last = (0..pc)
+                    .rev()
+                    .find(|&i| sem(&ops, i, false).1 == Some(r));
+                let got = rd.defs_at(pc, reg(r));
+                prop_assert_eq!(got.len(), 1, "src:\n{}", src);
+                let expect = last.unwrap_or(ENTRY_DEF);
+                prop_assert!(got.contains(&expect), "pc {} a{}: src:\n{}", pc, r, src);
+            }
+        }
+    }
+
+    /// Must-defined on a straight line: the entry set plus everything
+    /// written earlier.
+    #[test]
+    fn must_defined_is_exact_on_straight_lines(ops in op_strategy()) {
+        let src = render(&ops, false);
+        let (program, cfg, spec) = build(&src);
+        let entry = exit_live();
+        let md = MustDefined::solve(&cfg, program.insns(), &spec, 0, entry);
+        let mut defined = entry;
+        for (pc, _) in ops.iter().enumerate() {
+            prop_assert_eq!(md.defined_at(pc), defined, "pc {}: src:\n{}", pc, src);
+            if let (_, Some(d)) = sem(&ops, pc, false) {
+                defined.insert(reg(d));
+            }
+        }
+    }
+
+    /// On forward-branching (acyclic) programs the worklist solution
+    /// must coincide with the exact topological-sweep solution.
+    #[test]
+    fn liveness_matches_topological_sweep_on_dags(ops in op_strategy()) {
+        let src = render(&ops, true);
+        let (program, cfg, spec) = build(&src);
+        let halt = program.len() - 1;
+        let lv = Liveness::solve(&cfg, program.insns(), &spec, exit_live(), &[halt]);
+        let truth = dag_live_out(&ops, true);
+        for (pc, &expect) in truth.iter().enumerate().take(program.len()) {
+            prop_assert_eq!(
+                lv.live_out(pc),
+                expect,
+                "pc {}: src:\n{}",
+                pc,
+                src
+            );
+        }
+    }
+
+    /// Must-defined on DAGs: intersection over all paths, by forward
+    /// topological sweep.
+    #[test]
+    fn must_defined_matches_topological_sweep_on_dags(ops in op_strategy()) {
+        let src = render(&ops, true);
+        let (program, cfg, spec) = build(&src);
+        let entry = exit_live();
+        let md = MustDefined::solve(&cfg, program.insns(), &spec, 0, entry);
+
+        let n = program.len();
+        let mut preds = vec![Vec::new(); n];
+        for pc in 0..n {
+            for s in succs(&ops, pc, true) {
+                preds[s].push(pc);
+            }
+        }
+        let mut out = vec![RegSet::EMPTY; n];
+        for pc in 0..n {
+            let inn = if pc == 0 {
+                entry
+            } else {
+                preds[pc]
+                    .iter()
+                    .fold(RegSet::ALL, |acc, &p| acc.intersect(out[p]))
+            };
+            prop_assert_eq!(md.defined_at(pc), inn, "pc {}: src:\n{}", pc, src);
+            let mut o = inn;
+            if let (_, Some(d)) = sem(&ops, pc, true) {
+                o.insert(reg(d));
+            }
+            out[pc] = o;
+        }
+    }
+}

@@ -74,6 +74,16 @@ impl Program {
     pub fn line_of(&self, pc: usize) -> Option<usize> {
         self.lines.get(pc).copied()
     }
+
+    /// Global labels — those not starting with `.`. By the kernel
+    /// libraries' convention these are the host-callable entry points,
+    /// while `.name` labels are function-local branch targets.
+    pub fn global_labels(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.labels
+            .iter()
+            .filter(|(name, _)| !name.starts_with('.'))
+            .map(|(name, &at)| (name.as_str(), at))
+    }
 }
 
 /// Error produced when assembly fails, with the 1-based source line.
@@ -170,7 +180,9 @@ pub fn assemble(src: &str) -> Result<Program, AssembleError> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
         && s.chars()
             .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
 }
@@ -192,9 +204,11 @@ fn parse_stmt(
     };
 
     let reg = |i: usize| -> Result<Reg, AssembleError> {
-        parse_reg(ops.get(i).copied().ok_or_else(|| {
-            err(line, format!("`{mnemonic}` missing operand {}", i + 1))
-        })?)
+        parse_reg(
+            ops.get(i)
+                .copied()
+                .ok_or_else(|| err(line, format!("`{mnemonic}` missing operand {}", i + 1)))?,
+        )
         .ok_or_else(|| err(line, format!("expected register, found {:?}", ops[i])))
     };
     let imm = |i: usize, lo: i64, hi: i64| -> Result<i32, AssembleError> {

@@ -27,7 +27,7 @@ impl CacheConfig {
         assert!(self.ways >= 1);
         let lines = self.size_bytes / self.line_bytes;
         assert!(
-            lines >= self.ways && lines % self.ways == 0,
+            lines >= self.ways && lines.is_multiple_of(self.ways),
             "cache capacity must be a whole number of ways"
         );
         lines / self.ways

@@ -344,10 +344,21 @@ impl Cpu {
             }
             executed += 1;
             match insn {
-                Insn::Lw(..) | Insn::Sw(..) | Insn::Lbu(..) | Insn::Sb(..) | Insn::Lhu(..)
+                Insn::Lw(..)
+                | Insn::Sw(..)
+                | Insn::Lbu(..)
+                | Insn::Sb(..)
+                | Insn::Lhu(..)
                 | Insn::Sh(..) => classes.mem += 1,
-                Insn::Beq(..) | Insn::Bne(..) | Insn::Bltu(..) | Insn::Bgeu(..)
-                | Insn::Blt(..) | Insn::Bge(..) | Insn::J(_) | Insn::Call(_) | Insn::Ret
+                Insn::Beq(..)
+                | Insn::Bne(..)
+                | Insn::Bltu(..)
+                | Insn::Bgeu(..)
+                | Insn::Blt(..)
+                | Insn::Bge(..)
+                | Insn::J(_)
+                | Insn::Call(_)
+                | Insn::Ret
                 | Insn::Jr(_) => classes.control += 1,
                 Insn::Mul(..) | Insn::Mulhu(..) => classes.mul += 1,
                 Insn::Custom(_) => classes.custom += 1,
@@ -421,17 +432,13 @@ impl Cpu {
                     self.reg_ready[d.index()] =
                         self.cycles + self.config.mul_latency.saturating_sub(1) as u64;
                 }
-                Insn::Addi(d, a, imm) => {
-                    self.regs[d.index()] = rd!(a).wrapping_add(*imm as u32)
-                }
+                Insn::Addi(d, a, imm) => self.regs[d.index()] = rd!(a).wrapping_add(*imm as u32),
                 Insn::Andi(d, a, imm) => self.regs[d.index()] = rd!(a) & imm,
                 Insn::Ori(d, a, imm) => self.regs[d.index()] = rd!(a) | imm,
                 Insn::Xori(d, a, imm) => self.regs[d.index()] = rd!(a) ^ imm,
                 Insn::Slli(d, a, sh) => self.regs[d.index()] = rd!(a) << sh,
                 Insn::Srli(d, a, sh) => self.regs[d.index()] = rd!(a) >> sh,
-                Insn::Srai(d, a, sh) => {
-                    self.regs[d.index()] = ((rd!(a) as i32) >> sh) as u32
-                }
+                Insn::Srai(d, a, sh) => self.regs[d.index()] = ((rd!(a) as i32) >> sh) as u32,
                 Insn::Movi(d, imm) => self.regs[d.index()] = *imm as u32,
                 Insn::Mov(d, a) => self.regs[d.index()] = rd!(a),
                 Insn::Lw(d, base, off) | Insn::Lbu(d, base, off) | Insn::Lhu(d, base, off) => {

@@ -86,8 +86,7 @@ impl EnergyModel {
             + c.control as f64 * self.control_pj
             + c.mul as f64 * self.mul_pj
             + c.custom as f64 * self.custom_pj;
-        let memory_pj =
-            (summary.icache.misses + summary.dcache.misses) as f64 * self.cache_miss_pj;
+        let memory_pj = (summary.icache.misses + summary.dcache.misses) as f64 * self.cache_miss_pj;
         let static_pj = summary.cycles as f64 * self.leakage_pj_per_cycle;
         EnergyEstimate {
             instructions_pj,
@@ -122,16 +121,14 @@ mod tests {
 
     #[test]
     fn classes_are_counted() {
-        let s = run(
-            "main:
+        let s = run("main:
                 movi a0, 0x100
                 lw   a1, a0, 0
                 sw   a1, a0, 4
                 mul  a2, a1, a1
                 j    end
              end:
-                halt",
-        );
+                halt");
         assert_eq!(s.classes.mem, 2);
         assert_eq!(s.classes.mul, 1);
         assert_eq!(s.classes.control, 1);
@@ -142,23 +139,20 @@ mod tests {
     #[test]
     fn more_work_costs_more_energy() {
         let short = run("main:\n movi a0, 1\n halt");
-        let long = run(
-            "main:
+        let long = run("main:
                 movi a0, 200
                 movi a1, 0
             loop:
                 addi a0, a0, -1
                 bne  a0, a1, loop
-                halt",
-        );
+                halt");
         let m = EnergyModel::default();
         assert!(m.estimate(&long).total_pj() > m.estimate(&short).total_pj());
     }
 
     #[test]
     fn memory_misses_dominate_when_striding() {
-        let stride = run(
-            "main:
+        let stride = run("main:
                 movi a0, 64
                 movi a1, 0x100
                 movi a2, 0
@@ -167,8 +161,7 @@ mod tests {
                 addi a1, a1, 256
                 addi a0, a0, -1
                 bne  a0, a2, loop
-                halt",
-        );
+                halt");
         let m = EnergyModel::default();
         let e = m.estimate(&stride);
         assert!(

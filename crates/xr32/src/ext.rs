@@ -96,7 +96,11 @@ pub struct CustomInsnError {
 
 impl fmt::Display for CustomInsnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "custom instruction `{}` failed: {}", self.name, self.message)
+        write!(
+            f,
+            "custom instruction `{}` failed: {}",
+            self.name, self.message
+        )
     }
 }
 
@@ -139,7 +143,10 @@ impl CustomInsnDef {
         name: impl Into<String>,
         latency: u32,
         area: u64,
-        exec: impl Fn(&mut ExecCtx<'_>, &CustomOp) -> Result<(), CustomInsnError> + Send + Sync + 'static,
+        exec: impl Fn(&mut ExecCtx<'_>, &CustomOp) -> Result<(), CustomInsnError>
+            + Send
+            + Sync
+            + 'static,
     ) -> Self {
         assert!(latency >= 1, "latency must be at least one cycle");
         CustomInsnDef {

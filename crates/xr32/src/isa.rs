@@ -210,15 +210,36 @@ impl Insn {
     pub fn sources(&self) -> Vec<Reg> {
         use Insn::*;
         match self {
-            Add(_, a, b) | Addc(_, a, b) | Sub(_, a, b) | Subc(_, a, b) | And(_, a, b)
-            | Or(_, a, b) | Xor(_, a, b) | Sll(_, a, b) | Srl(_, a, b) | Sra(_, a, b)
-            | Sltu(_, a, b) | Slt(_, a, b) | Mul(_, a, b) | Mulhu(_, a, b) => vec![*a, *b],
-            Addi(_, a, _) | Andi(_, a, _) | Ori(_, a, _) | Xori(_, a, _) | Slli(_, a, _)
-            | Srli(_, a, _) | Srai(_, a, _) | Mov(_, a) => vec![*a],
+            Add(_, a, b)
+            | Addc(_, a, b)
+            | Sub(_, a, b)
+            | Subc(_, a, b)
+            | And(_, a, b)
+            | Or(_, a, b)
+            | Xor(_, a, b)
+            | Sll(_, a, b)
+            | Srl(_, a, b)
+            | Sra(_, a, b)
+            | Sltu(_, a, b)
+            | Slt(_, a, b)
+            | Mul(_, a, b)
+            | Mulhu(_, a, b) => vec![*a, *b],
+            Addi(_, a, _)
+            | Andi(_, a, _)
+            | Ori(_, a, _)
+            | Xori(_, a, _)
+            | Slli(_, a, _)
+            | Srli(_, a, _)
+            | Srai(_, a, _)
+            | Mov(_, a) => vec![*a],
             Movi(..) => vec![],
             Lw(_, base, _) | Lbu(_, base, _) | Lhu(_, base, _) => vec![*base],
             Sw(v, base, _) | Sb(v, base, _) | Sh(v, base, _) => vec![*v, *base],
-            Beq(a, b, _) | Bne(a, b, _) | Bltu(a, b, _) | Bgeu(a, b, _) | Blt(a, b, _)
+            Beq(a, b, _)
+            | Bne(a, b, _)
+            | Bltu(a, b, _)
+            | Bgeu(a, b, _)
+            | Blt(a, b, _)
             | Bge(a, b, _) => vec![*a, *b],
             J(_) | Call(_) | Clc | Nop | Halt => vec![],
             Ret => vec![Reg::RA],
@@ -231,11 +252,32 @@ impl Insn {
     pub fn dest(&self) -> Option<Reg> {
         use Insn::*;
         match self {
-            Add(d, ..) | Addc(d, ..) | Sub(d, ..) | Subc(d, ..) | And(d, ..) | Or(d, ..)
-            | Xor(d, ..) | Sll(d, ..) | Srl(d, ..) | Sra(d, ..) | Sltu(d, ..) | Slt(d, ..)
-            | Mul(d, ..) | Mulhu(d, ..) | Addi(d, ..) | Andi(d, ..) | Ori(d, ..)
-            | Xori(d, ..) | Slli(d, ..) | Srli(d, ..) | Srai(d, ..) | Movi(d, _)
-            | Mov(d, _) | Lw(d, ..) | Lbu(d, ..) | Lhu(d, ..) => Some(*d),
+            Add(d, ..)
+            | Addc(d, ..)
+            | Sub(d, ..)
+            | Subc(d, ..)
+            | And(d, ..)
+            | Or(d, ..)
+            | Xor(d, ..)
+            | Sll(d, ..)
+            | Srl(d, ..)
+            | Sra(d, ..)
+            | Sltu(d, ..)
+            | Slt(d, ..)
+            | Mul(d, ..)
+            | Mulhu(d, ..)
+            | Addi(d, ..)
+            | Andi(d, ..)
+            | Ori(d, ..)
+            | Xori(d, ..)
+            | Slli(d, ..)
+            | Srli(d, ..)
+            | Srai(d, ..)
+            | Movi(d, _)
+            | Mov(d, _)
+            | Lw(d, ..)
+            | Lbu(d, ..)
+            | Lhu(d, ..) => Some(*d),
             Call(_) => Some(Reg::RA),
             _ => None,
         }
@@ -244,6 +286,78 @@ impl Insn {
     /// True for loads (which incur the load-use delay).
     pub fn is_load(&self) -> bool {
         matches!(self, Insn::Lw(..) | Insn::Lbu(..) | Insn::Lhu(..))
+    }
+
+    /// True for stores.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Insn::Sw(..) | Insn::Sb(..) | Insn::Sh(..))
+    }
+
+    /// The access width in bytes for loads and stores, else `None`.
+    pub fn mem_width(&self) -> Option<u32> {
+        use Insn::*;
+        match self {
+            Lw(..) | Sw(..) => Some(4),
+            Lhu(..) | Sh(..) => Some(2),
+            Lbu(..) | Sb(..) => Some(1),
+            _ => None,
+        }
+    }
+
+    /// The `(base, offset)` addressing pair for loads and stores.
+    pub fn mem_addr(&self) -> Option<(Reg, i32)> {
+        use Insn::*;
+        match self {
+            Lw(_, b, off)
+            | Sw(_, b, off)
+            | Lbu(_, b, off)
+            | Sb(_, b, off)
+            | Lhu(_, b, off)
+            | Sh(_, b, off) => Some((*b, *off)),
+            _ => None,
+        }
+    }
+
+    /// The static target of a direct control transfer (conditional
+    /// branch, jump, or call), as an instruction index.
+    pub fn branch_target(&self) -> Option<usize> {
+        use Insn::*;
+        match self {
+            Beq(_, _, t)
+            | Bne(_, _, t)
+            | Bltu(_, _, t)
+            | Bgeu(_, _, t)
+            | Blt(_, _, t)
+            | Bge(_, _, t)
+            | J(t)
+            | Call(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// True for the six conditional branches.
+    pub fn is_cond_branch(&self) -> bool {
+        use Insn::*;
+        matches!(
+            self,
+            Beq(..) | Bne(..) | Bltu(..) | Bgeu(..) | Blt(..) | Bge(..)
+        )
+    }
+
+    /// True when execution may continue at `pc + 1` after this
+    /// instruction (calls return, conditional branches may not be
+    /// taken).
+    pub fn falls_through(&self) -> bool {
+        use Insn::*;
+        !matches!(self, J(_) | Jr(_) | Ret | Halt)
+    }
+
+    /// True when this instruction ends a basic block: any control
+    /// transfer (including calls, which are block-ending for dataflow
+    /// because the callee may clobber state) and simulation stops.
+    pub fn ends_block(&self) -> bool {
+        use Insn::*;
+        self.is_cond_branch() || matches!(self, J(_) | Call(_) | Jr(_) | Ret | Halt)
     }
 }
 

@@ -42,11 +42,11 @@
 #![warn(missing_docs)]
 
 pub mod area;
-pub mod energy;
 pub mod asm;
 pub mod cache;
 pub mod config;
 pub mod cpu;
+pub mod energy;
 pub mod ext;
 pub mod isa;
 pub mod mem;

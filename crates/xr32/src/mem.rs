@@ -66,7 +66,7 @@ impl Memory {
 
     fn check(&self, addr: u32, width: u8) -> Result<usize, AccessError> {
         let a = addr as usize;
-        if a % width as usize != 0 {
+        if !a.is_multiple_of(width as usize) {
             return Err(AccessError {
                 addr,
                 width,

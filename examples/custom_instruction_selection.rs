@@ -25,7 +25,9 @@ fn main() {
 
     println!("phase 4: global selection over the modular-exponentiation call graph\n");
     let sel = flow::build_selector(&config, limbs);
-    let root = sel.root_curve("decrypt").expect("the example graph is a DAG");
+    let root = sel
+        .root_curve("decrypt")
+        .expect("the example graph is a DAG");
     println!("Pareto-optimal root curve ({} points):", root.len());
     print!("{}", root.render());
 

@@ -21,7 +21,10 @@ fn main() {
     let config = CpuConfig::default();
 
     // Phase 1: characterize the library kernels on the ISS.
-    println!("characterizing kernels on the XR32 ISS (operands up to {} limbs)...", bits / 32);
+    println!(
+        "characterizing kernels on the XR32 ISS (operands up to {} limbs)...",
+        bits / 32
+    );
     let models = flow::characterize_kernels(
         &config,
         KernelVariant::Base,
@@ -43,7 +46,9 @@ fn main() {
     }
 
     // Phase 2: explore the full 450-candidate lattice natively.
-    println!("\nexploring 5 mul-algos x 5 windows x 3 CRT x 2 radices x 3 caches = 450 candidates...");
+    println!(
+        "\nexploring 5 mul-algos x 5 windows x 3 CRT x 2 radices x 3 caches = 450 candidates..."
+    );
     let result = flow::explore_modexp(&models, bits, 4.0).expect("the whole lattice runs");
     println!(
         "evaluated {} candidates in {:.2?}\n",

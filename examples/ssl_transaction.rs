@@ -22,15 +22,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ct = server.rsa_encrypt(&kp, &premaster)?;
     assert_eq!(server.rsa_decrypt(&kp, &ct)?, premaster);
     // Session keys derive from the premaster; bulk data flows under 3DES.
-    let session_key: Vec<u8> = premaster.to_bytes_be().iter().cycle().take(24).copied().collect();
+    let session_key: Vec<u8> = premaster
+        .to_bytes_be()
+        .iter()
+        .cycle()
+        .take(24)
+        .copied()
+        .collect();
     let iv = [3u8; 8];
     let record = vec![0x42u8; 4096];
-    let protected = server.encrypt_cbc(
-        Algorithm::TripleDes,
-        &session_key,
-        &iv,
-        &record,
-    )?;
+    let protected = server.encrypt_cbc(Algorithm::TripleDes, &session_key, &iv, &record)?;
     let mac = server.sha1(&protected);
     println!(
         "functional exchange ok: handshake + {}B record + MAC {:02x}{:02x}..",

@@ -25,8 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let encoder = SecurityProcessor::new(PlatformKind::Optimized);
     let mut frames = Vec::new();
     for f in 0..3u8 {
-        let frame: Vec<u8> = (0..frame_bytes).map(|i| (i as u8).wrapping_mul(f + 1)).collect();
-        frames.push((frame.clone(), encoder.encrypt_cbc(Algorithm::Aes128, &key, &iv, &frame)?));
+        let frame: Vec<u8> = (0..frame_bytes)
+            .map(|i| (i as u8).wrapping_mul(f + 1))
+            .collect();
+        frames.push((
+            frame.clone(),
+            encoder.encrypt_cbc(Algorithm::Aes128, &key, &iv, &frame)?,
+        ));
     }
 
     // Decrypt and verify.

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full local CI: build, tests, formatting, lints. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo test -q --workspace
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings

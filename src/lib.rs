@@ -16,6 +16,8 @@
 //! - [`tie`]: custom-instruction A-D curves and global selection.
 //! - [`secproc`]: the security processing platform itself and the
 //!   four-phase co-design methodology.
+//! - [`xlint`]: dataflow static analysis and the constant-time
+//!   (secret-taint) checker for XR32 kernels.
 //!
 //! # Examples
 //!
@@ -32,4 +34,5 @@ pub use mpint;
 pub use pubkey;
 pub use secproc;
 pub use tie;
+pub use xlint;
 pub use xr32;

@@ -77,14 +77,10 @@ fn macro_model_estimate_tracks_cosimulation() {
     // must stay within a loose error band of full co-simulation.
     let config = CpuConfig::default();
     let models = flow::characterize_kernels(&config, KernelVariant::Base, 8, &quick_options());
-    for candidate in [
-        ModExpConfig::baseline(),
-        ModExpConfig::optimized(),
-    ] {
+    for candidate in [ModExpConfig::baseline(), ModExpConfig::optimized()] {
         let est = flow::explore_single(&models, &candidate, 96, 4.0).expect("estimate runs");
-        let cosim =
-            flow::cosimulate_candidate(&config, KernelVariant::Base, &candidate, 96, 4.0)
-                .expect("cosim runs");
+        let cosim = flow::cosimulate_candidate(&config, KernelVariant::Base, &candidate, 96, 4.0)
+            .expect("cosim runs");
         let err = ((est - cosim) / cosim).abs() * 100.0;
         assert!(
             err < 35.0,

@@ -13,14 +13,14 @@ use wsp::xr32::config::CpuConfig;
 fn platform_speedups_match_paper_shape() {
     let mut base = SecurityProcessor::new(PlatformKind::Baseline);
     let mut opt = SecurityProcessor::new(PlatformKind::Optimized);
-    for (algo, lo, hi) in [
-        (Algorithm::Des, 8.0, 80.0),
-        (Algorithm::Aes128, 5.0, 60.0),
-    ] {
+    for (algo, lo, hi) in [(Algorithm::Des, 8.0, 80.0), (Algorithm::Aes128, 5.0, 60.0)] {
         let b = base.symmetric_cycles_per_byte(algo);
         let o = opt.symmetric_cycles_per_byte(algo);
         let s = b / o;
-        assert!(s > lo && s < hi, "{algo:?} speedup {s:.1} outside [{lo},{hi}]");
+        assert!(
+            s > lo && s < hi,
+            "{algo:?} speedup {s:.1} outside [{lo},{hi}]"
+        );
     }
     // SHA-1 is unaccelerated: both platforms cost the same.
     let bs = base.symmetric_cycles_per_byte(Algorithm::Sha1);
@@ -72,7 +72,12 @@ fn ssl_series_from_measured_components_has_paper_shape() {
     // Speedup > 1 everywhere, declining with transaction size once the
     // handshake is amortized.
     for p in &series {
-        assert!(p.speedup() > 1.0, "at {} bytes: {:.2}", p.bytes, p.speedup());
+        assert!(
+            p.speedup() > 1.0,
+            "at {} bytes: {:.2}",
+            p.bytes,
+            p.speedup()
+        );
     }
     let first = series.first().unwrap();
     let last = series.last().unwrap();
