@@ -4,27 +4,56 @@
 //!
 //! The required-MIPS curve uses this platform's *measured* baseline
 //! protocol cost: 3DES bulk encryption plus SHA-1 MACs, the dominant
-//! per-byte work of an SSL-protected stream.
+//! per-byte work of an SSL-protected stream. With `--json`, stdout
+//! carries a single structured run report instead of prose.
 
+use bench::Cli;
 use secproc::gap;
 use secproc::simcipher::SimSha1;
 use secproc::{measure, platform::PlatformKind};
+use xobs::{Json, RunReport};
 use xr32::config::CpuConfig;
 
 fn main() {
+    let cli = Cli::parse();
     let config = CpuConfig::default();
-    println!("Fig. 1 — the security processing gap");
-    println!("(required MIPS = data rate x measured baseline security cycles/byte)\n");
+    if !cli.json {
+        println!("Fig. 1 — the security processing gap");
+        println!("(required MIPS = data rate x measured baseline security cycles/byte)\n");
+    }
 
     let tdes = measure::measure_tdes(&config, 4);
     let sha_cpb = SimSha1::new(config.clone()).cycles_per_byte(4);
     let cpb = tdes.base_cpb + sha_cpb;
+    let rows = gap::trend(cpb);
+
+    if cli.json {
+        let mut out = Vec::with_capacity(rows.len());
+        for r in &rows {
+            out.push(
+                Json::obj()
+                    .set("generation", r.point.generation)
+                    .set("node_um", r.point.node_um)
+                    .set("data_rate_kbps", r.point.data_rate_kbps)
+                    .set("processor_mips", r.point.processor_mips)
+                    .set("required_mips", r.required_mips)
+                    .set("gap_factor", r.gap_factor()),
+            );
+        }
+        let report = RunReport::new("fig1_gap")
+            .with_fingerprint(config.fingerprint())
+            .result("tdes_base_cpb", tdes.base_cpb)
+            .result("sha1_cpb", sha_cpb)
+            .result("security_cpb", cpb)
+            .result("trend", out);
+        bench::emit_report(&report);
+        return;
+    }
+
     println!(
         "measured baseline cost: 3DES {:.1} c/B + SHA-1 {:.1} c/B = {:.1} c/B\n",
         tdes.base_cpb, sha_cpb, cpb
     );
-
-    let rows = gap::trend(cpb);
     print!("{}", gap::render(&rows));
 
     println!(

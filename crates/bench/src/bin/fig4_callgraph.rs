@@ -1,21 +1,42 @@
 //! Regenerates **Fig. 4**: the annotated call graph of an optimized
 //! modular exponentiation, with per-edge call counts and measured leaf
-//! cycles.
+//! cycles. With `--json`, stdout carries a single structured run report
+//! instead of prose.
 
+use bench::Cli;
 use secproc::flow;
+use xobs::{Json, RunReport};
 use xr32::config::CpuConfig;
 
 fn main() {
+    let cli = Cli::parse();
     let config = CpuConfig::default();
-    println!("Fig. 4 — call graph for an optimized modular exponentiation");
-    println!("(leaf cycles measured on the XR32 ISS at 32 limbs = 1024 bits)\n");
+    let limbs = cli.pos_usize(0, 32);
+    if !cli.json {
+        println!("Fig. 4 — call graph for an optimized modular exponentiation");
+        println!(
+            "(leaf cycles measured on the XR32 ISS at {limbs} limbs = {} bits)\n",
+            limbs * 32
+        );
+    }
 
-    let graph = flow::fig4_call_graph(&config, 32);
-    print!("{}", graph.render());
-
+    let graph = flow::fig4_call_graph(&config, limbs);
     let total = graph
         .total_cycles("decrypt")
         .expect("decrypt is the root of the example graph");
+    let leaves: Vec<Json> = graph.leaves().map(Json::from).collect();
+
+    if cli.json {
+        let report = RunReport::new("fig4_callgraph")
+            .with_fingerprint(config.fingerprint())
+            .result("limbs", limbs as u64)
+            .result("total_cycles_decrypt", total)
+            .result("leaves", leaves);
+        bench::emit_report(&report);
+        return;
+    }
+
+    print!("{}", graph.render());
     println!("\ntotal cycles(decrypt) by Equation (1): {total:.0}");
     println!(
         "leaves for custom-instruction formulation: {:?}",

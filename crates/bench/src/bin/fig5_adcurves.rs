@@ -1,25 +1,38 @@
 //! Regenerates **Fig. 5**: (a) the A-D curve for `mpn_add_n`, (b) the
 //! A-D curve for `mpn_addmul_1`, and (c) their propagation through an
-//! example call graph with Pareto pruning.
+//! example call graph with Pareto pruning. With `--json`, stdout
+//! carries a single structured run report instead of prose.
 
+use bench::Cli;
 use secproc::flow;
 use tie::adcurve::AdCurve;
 use tie::callgraph::CallGraph;
 use tie::select::Selector;
+use xobs::{Json, RunReport};
 use xr32::config::CpuConfig;
 
+fn curve_to_json(curve: &AdCurve) -> Json {
+    let mut points = Vec::with_capacity(curve.len());
+    for p in curve.points() {
+        points.push(
+            Json::obj()
+                .set("insns", p.insns.to_string())
+                .set("area", p.area())
+                .set("cycles", p.cycles),
+        );
+    }
+    Json::from(points)
+}
+
 fn main() {
+    let cli = Cli::parse();
     let config = CpuConfig::default();
-    let n = 32; // 1024-bit operands, as in the paper's RSA context
-    println!("Fig. 5 — A-D curves for library routines (n = {n} limbs)\n");
+    let n = cli.pos_usize(0, 32); // 1024-bit operands, as in the paper's RSA context
+    if !cli.json {
+        println!("Fig. 5 — A-D curves for library routines (n = {n} limbs)\n");
+    }
 
     let curves = flow::formulate_mpn_curves(&config, n);
-
-    println!("(a) mpn_add_n (paper: 202 cycles base, add_2..add_16 points)");
-    print!("{}", curves["mpn_add_n"].render());
-
-    println!("\n(b) mpn_addmul_1 (mac_1..mac_4 points)");
-    print!("{}", curves["mpn_addmul_1"].render());
 
     // (c) combine through a root with both children, then Pareto-prune.
     let mut g = CallGraph::new();
@@ -34,12 +47,32 @@ fn main() {
         sel.set_leaf_curve(name.clone(), curve.clone());
     }
     let combined: AdCurve = sel.propagate().expect("DAG")["root"].clone();
+    let pruned = combined.pareto();
+
+    if cli.json {
+        let report = RunReport::new("fig5_adcurves")
+            .with_fingerprint(config.fingerprint())
+            .result("limbs", n as u64)
+            .result("mpn_add_n", curve_to_json(&curves["mpn_add_n"]))
+            .result("mpn_addmul_1", curve_to_json(&curves["mpn_addmul_1"]))
+            .result("combined_points", combined.len() as u64)
+            .result("pareto_points", pruned.len() as u64)
+            .result("combined_pareto", curve_to_json(&pruned));
+        bench::emit_report(&report);
+        return;
+    }
+
+    println!("(a) mpn_add_n (paper: 202 cycles base, add_2..add_16 points)");
+    print!("{}", curves["mpn_add_n"].render());
+
+    println!("\n(b) mpn_addmul_1 (mac_1..mac_4 points)");
+    print!("{}", curves["mpn_addmul_1"].render());
+
     println!("\n(c) root = 2 x mpn_add_n + 1 x mpn_addmul_1 + 10 local cycles");
     println!(
         "    combined: {} points (instruction sharing + dominance reduced)",
         combined.len()
     );
-    let pruned = combined.pareto();
     println!(
         "    after Pareto pruning: {} points (inferior points like the paper's P1 removed)",
         pruned.len()

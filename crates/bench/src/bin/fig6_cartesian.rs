@@ -1,13 +1,19 @@
 //! Regenerates **Fig. 6**: combining the design spaces of two A-D
 //! curves — the 5 × 5 Cartesian product of `mpn_add_n` and
 //! `mpn_addmul_1` design points collapsing to 9 distinct reduced
-//! instruction sets through sharing and dominance.
+//! instruction sets through sharing and dominance. With `--json`,
+//! stdout carries a single structured run report instead of prose.
 
+use bench::Cli;
 use std::collections::BTreeSet;
 use tie::insn::{CustomInsn, InsnSet};
+use xobs::{Json, RunReport};
 
 fn main() {
-    println!("Fig. 6 — combining the design spaces of two A-D curves\n");
+    let cli = Cli::parse();
+    if !cli.json {
+        println!("Fig. 6 — combining the design spaces of two A-D curves\n");
+    }
 
     let add = |k: u32| CustomInsn::new("add", k, 400 * k as u64);
     let mul = |k: u32| CustomInsn::new("mul", k, 6000 * k as u64);
@@ -29,6 +35,31 @@ fn main() {
         )
         .collect();
 
+    let mut distinct: BTreeSet<InsnSet> = BTreeSet::new();
+    for (_, rset) in &rows {
+        for (_, cset) in &cols {
+            distinct.insert(rset.union(cset));
+        }
+    }
+    assert_eq!(distinct.len(), 9, "the reduction must match the paper");
+
+    if cli.json {
+        let mut reduced = Vec::with_capacity(distinct.len());
+        for s in &distinct {
+            reduced.push(
+                Json::obj()
+                    .set("insns", s.to_string())
+                    .set("area", s.area()),
+            );
+        }
+        let report = RunReport::new("fig6_cartesian")
+            .result("candidates", (rows.len() * cols.len()) as u64)
+            .result("distinct", distinct.len() as u64)
+            .result("reduced_set", reduced);
+        bench::emit_report(&report);
+        return;
+    }
+
     // Header.
     print!("{:<16}", "");
     for (cn, _) in &cols {
@@ -37,13 +68,10 @@ fn main() {
     println!();
     println!("{}", "-".repeat(16 + cols.len() * 16));
 
-    let mut distinct: BTreeSet<InsnSet> = BTreeSet::new();
     for (rn, rset) in &rows {
         print!("{rn:<16}");
         for (_, cset) in &cols {
-            let u = rset.union(cset);
-            print!("| {:<14}", u.to_string());
-            distinct.insert(u);
+            print!("| {:<14}", rset.union(cset).to_string());
         }
         println!();
     }
@@ -54,7 +82,6 @@ fn main() {
         rows.len() * cols.len(),
         distinct.len()
     );
-    assert_eq!(distinct.len(), 9, "the reduction must match the paper");
     println!("\nreduced set:");
     for s in &distinct {
         println!("  {s}  area={}", s.area());

@@ -5,8 +5,10 @@
 //! Component costs are measured on the XR32 ISS: 3DES bulk cycles/byte
 //! and SHA-1 MAC cycles/byte directly; the RSA-1024 handshake via
 //! macro-model-metered execution (calibrated against co-simulation by
-//! the §4.3 harness).
+//! the §4.3 harness). With `--json`, stdout carries a single structured
+//! run report instead of prose.
 
+use bench::Cli;
 use pubkey::modexp::ExpCache;
 use pubkey::ops::MpnOps;
 use pubkey::rsa::KeyPair;
@@ -16,16 +18,17 @@ use rand::SeedableRng;
 use secproc::measure;
 use secproc::simcipher::SimSha1;
 use secproc::ssl::{self, SslCostModel};
+use xobs::{Json, RunReport};
 use xr32::config::CpuConfig;
 
 fn main() {
+    let cli = Cli::parse();
     let config = CpuConfig::default();
-    let rsa_bits: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1024);
+    let rsa_bits = cli.pos_usize(0, 1024);
 
-    println!("Fig. 8 — estimated speedups for SSL transactions (RSA-{rsa_bits} handshake)\n");
+    if !cli.json {
+        println!("Fig. 8 — estimated speedups for SSL transactions (RSA-{rsa_bits} handshake)\n");
+    }
 
     // Bulk and MAC costs from the ISS.
     let tdes = measure::measure_tdes(&config, 6);
@@ -65,19 +68,6 @@ fn main() {
     };
     let hs_opt = handshake(&ModExpConfig::optimized()) / accel_gain;
 
-    println!("measured components:");
-    println!(
-        "  handshake (RSA): base {hs_base:.3e} -> opt {hs_opt:.3e} cycles ({:.1}X)",
-        hs_base / hs_opt
-    );
-    println!(
-        "  3DES bulk: base {:.1} -> opt {:.1} c/B ({:.1}X)",
-        tdes.base_cpb,
-        tdes.opt_cpb,
-        tdes.speedup()
-    );
-    println!("  SHA-1 misc: {sha_cpb:.1} c/B (unaccelerated)\n");
-
     let base = SslCostModel {
         handshake_cycles: hs_base,
         bulk_cycles_per_byte: tdes.base_cpb,
@@ -93,6 +83,35 @@ fn main() {
 
     let sizes: Vec<u64> = (0..=10).map(|i| 1024u64 << i).collect();
     let series = ssl::speedup_series(&base, &opt, &sizes);
+
+    if cli.json {
+        let components = Json::obj()
+            .set("handshake_base_cycles", hs_base)
+            .set("handshake_opt_cycles", hs_opt)
+            .set("tdes_base_cpb", tdes.base_cpb)
+            .set("tdes_opt_cpb", tdes.opt_cpb)
+            .set("sha1_cpb", sha_cpb);
+        let report = RunReport::new("fig8_ssl")
+            .with_fingerprint(config.fingerprint())
+            .result("rsa_bits", rsa_bits as u64)
+            .result("components", components)
+            .result("series", ssl::series_to_json(&series));
+        bench::emit_report(&report);
+        return;
+    }
+
+    println!("measured components:");
+    println!(
+        "  handshake (RSA): base {hs_base:.3e} -> opt {hs_opt:.3e} cycles ({:.1}X)",
+        hs_base / hs_opt
+    );
+    println!(
+        "  3DES bulk: base {:.1} -> opt {:.1} c/B ({:.1}X)",
+        tdes.base_cpb,
+        tdes.opt_cpb,
+        tdes.speedup()
+    );
+    println!("  SHA-1 misc: {sha_cpb:.1} c/B (unaccelerated)\n");
     print!("{}", ssl::render_series(&series));
 
     println!(

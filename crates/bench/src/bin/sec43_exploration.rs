@@ -2,69 +2,90 @@
 //! modular-exponentiation candidates evaluated with macro-models, a
 //! sample re-evaluated by full ISS co-simulation, and the resulting
 //! efficiency/accuracy numbers (paper: 1407× faster on average, 11.8 %
-//! mean absolute error).
+//! mean absolute error). With `--json`, stdout carries a single
+//! structured run report — including the `flow.*`/`charact.*`/`space.*`
+//! metrics of the metered methodology phases — instead of prose.
 
+use bench::Cli;
 use pubkey::space::ModExpConfig;
 use secproc::flow;
 use secproc::issops::KernelVariant;
 use std::time::Instant;
+use xobs::{Json, Registry, RunReport};
 use xr32::config::CpuConfig;
 
 fn main() {
-    let bits: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(512);
-    let cosim_samples: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(6);
+    let cli = Cli::parse();
+    let bits = cli.pos_usize(0, 512);
+    let cosim_samples = cli.pos_usize(1, 6);
     let config = CpuConfig::default();
+    let metrics = Registry::new();
 
-    println!("§4.3 — algorithm design space exploration ({bits}-bit modular exponentiation)\n");
+    if !cli.json {
+        println!("§4.3 — algorithm design space exploration ({bits}-bit modular exponentiation)\n");
+    }
 
     // Phase 1: characterization (one-time cost).
     let t0 = Instant::now();
-    let models = bench::default_models((bits / 32).max(8));
-    let charact_time = t0.elapsed();
-    println!(
-        "characterization: {} models fitted in {:.2?}; mean |err| {:.1}% \
-         (paper: 11.8%)",
-        models.quality.len(),
-        charact_time,
-        models.mean_abs_error_pct()
+    let models = flow::characterize_kernels_metered(
+        &config,
+        KernelVariant::Base,
+        (bits / 32).max(8),
+        &macromodel::charact::CharactOptions {
+            train_samples: 24,
+            validation_points: 8,
+        },
+        Some(&metrics),
     );
+    let charact_time = t0.elapsed();
+    if !cli.json {
+        println!(
+            "characterization: {} models fitted in {:.2?}; mean |err| {:.1}% \
+             (paper: 11.8%)",
+            models.quality.len(),
+            charact_time,
+            models.mean_abs_error_pct()
+        );
+    }
 
     // Phase 2: macro-model exploration of the full lattice.
-    let result = flow::explore_modexp(&models, bits, 4.0).expect("all 450 configs run");
-    println!(
-        "\nexplored {} candidates in {:.2?} ({:.2?} per candidate)",
-        result.evaluated,
-        result.elapsed,
-        result.elapsed / result.evaluated as u32
-    );
-    println!("\ntop 5 candidates (estimated cycles):");
-    for c in result.ranked.iter().take(5) {
-        println!("  {:>14.3e}  {}", c.cycles, c.config);
+    let result = flow::explore_modexp_metered(&models, bits, 4.0, Some(&metrics))
+        .expect("all 450 configs run");
+    if !cli.json {
+        println!(
+            "\nexplored {} candidates in {:.2?} ({:.2?} per candidate)",
+            result.evaluated,
+            result.elapsed,
+            result.elapsed / result.evaluated as u32
+        );
+        println!("\ntop 5 candidates (estimated cycles):");
+        for c in result.ranked.iter().take(5) {
+            println!("  {:>14.3e}  {}", c.cycles, c.config);
+        }
     }
     let baseline = result
         .ranked
         .iter()
         .find(|c| c.config == ModExpConfig::baseline())
         .expect("baseline is in the lattice");
-    println!(
-        "\nbaseline {} at {:.3e} cycles — best is {:.1}X faster algorithmically",
-        baseline.config,
-        baseline.cycles,
-        baseline.cycles / result.best().cycles
-    );
+    if !cli.json {
+        println!(
+            "\nbaseline {} at {:.3e} cycles — best is {:.1}X faster algorithmically",
+            baseline.config,
+            baseline.cycles,
+            baseline.cycles / result.best().cycles
+        );
+    }
 
     // The slow reference: co-simulate a handful of candidates (the
     // paper could only afford six in 66 CPU-hours).
-    println!("\nISS co-simulation of {cosim_samples} sampled candidates:");
+    if !cli.json {
+        println!("\nISS co-simulation of {cosim_samples} sampled candidates:");
+    }
     let step = result.ranked.len() / cosim_samples.max(1);
     let mut errors = Vec::new();
     let mut speedups = Vec::new();
+    let mut samples = Vec::new();
     for i in 0..cosim_samples {
         let cand = &result.ranked[i * step];
         let t = Instant::now();
@@ -78,19 +99,51 @@ fn main() {
         let est_time = t.elapsed().max(std::time::Duration::from_nanos(1));
         let err = ((cand.cycles - cosim) / cosim).abs() * 100.0;
         let speedup = cosim_time.as_secs_f64() / est_time.as_secs_f64();
-        println!(
-            "  {:<40} est {:>12.3e}  cosim {:>12.3e}  err {:>5.1}%  est {:.0}x faster",
-            cand.config.to_string(),
-            cand.cycles,
-            cosim,
-            err,
-            speedup
+        metrics.histogram("flow.model_error_pct").observe(err);
+        if !cli.json {
+            println!(
+                "  {:<40} est {:>12.3e}  cosim {:>12.3e}  err {:>5.1}%  est {:.0}x faster",
+                cand.config.to_string(),
+                cand.cycles,
+                cosim,
+                err,
+                speedup
+            );
+        }
+        samples.push(
+            Json::obj()
+                .set("config", cand.config.to_string())
+                .set("estimated_cycles", cand.cycles)
+                .set("cosim_cycles", cosim)
+                .set("error_pct", err)
+                .set("estimation_speedup", speedup),
         );
         errors.push(err);
         speedups.push(speedup);
     }
     let mae = errors.iter().sum::<f64>() / errors.len() as f64;
     let mean_speedup = speedups.iter().sum::<f64>() / speedups.len() as f64;
+
+    if cli.json {
+        let report = RunReport::new("sec43_exploration")
+            .with_fingerprint(config.fingerprint())
+            .result("bits", bits as u64)
+            .result("candidates_evaluated", result.evaluated as u64)
+            .result("best_config", result.best().config.to_string())
+            .result("best_cycles", result.best().cycles)
+            .result("baseline_cycles", baseline.cycles)
+            .result(
+                "algorithmic_speedup",
+                baseline.cycles / result.best().cycles,
+            )
+            .result("cosim_samples", samples)
+            .result("mean_abs_error_pct", mae)
+            .result("mean_estimation_speedup", mean_speedup)
+            .with_metrics(metrics.snapshot());
+        bench::emit_report(&report);
+        return;
+    }
+
     println!(
         "\nmean |error| {mae:.1}% (paper: 11.8%); mean estimation speedup {mean_speedup:.0}x \
          (paper: 1407x)"

@@ -6,25 +6,39 @@
 //! cycle-accurate XR32 ISS; RSA rows are full co-simulations (every limb
 //! operation executes on the ISS). Pass an RSA modulus size as the first
 //! argument (default 1024; co-simulation at 1024 bits takes a few
-//! minutes — use 256 for a quick pass).
+//! minutes — use 256 for a quick pass). With `--json`, stdout carries a
+//! single structured run report instead of prose.
 
+use bench::Cli;
 use secproc::measure::Table1;
+use xobs::RunReport;
 use xr32::config::CpuConfig;
 
 fn main() {
-    let rsa_bits: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1024);
+    let cli = Cli::parse();
+    let rsa_bits = cli.pos_usize(0, 1024);
+    let blocks = 8;
     let config = CpuConfig::default();
 
-    println!("Table 1 — performance speedups for popular security algorithms");
-    println!(
-        "(XR32 @ {} MHz; RSA-{rsa_bits})\n",
-        config.clock_hz / 1_000_000
-    );
+    if !cli.json {
+        println!("Table 1 — performance speedups for popular security algorithms");
+        println!(
+            "(XR32 @ {} MHz; RSA-{rsa_bits})\n",
+            config.clock_hz / 1_000_000
+        );
+    }
 
-    let table = Table1::measure(&config, 8, rsa_bits);
+    let table = Table1::measure(&config, blocks, rsa_bits);
+
+    if cli.json {
+        let report = RunReport::new("table1_speedups")
+            .with_fingerprint(config.fingerprint())
+            .result("blocks", blocks as u64)
+            .result("table", table.to_json());
+        bench::emit_report(&report);
+        return;
+    }
+
     print!("{}", table.render());
 
     println!("\nPaper reference (Xtensa T1040, RSA-1024):");

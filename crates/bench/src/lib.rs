@@ -3,6 +3,7 @@
 
 use secproc::flow::{self, KernelModels};
 use secproc::issops::KernelVariant;
+use xobs::RunReport;
 use xr32::config::CpuConfig;
 
 /// Characterizes the base kernels with harness-default options.
@@ -16,6 +17,46 @@ pub fn default_models(max_limbs: usize) -> KernelModels {
             validation_points: 8,
         },
     )
+}
+
+/// Command-line options shared by every harness binary: `--json`
+/// switches stdout from the human-readable report to a single
+/// structured [`RunReport`] document; remaining arguments are
+/// positional.
+pub struct Cli {
+    /// Emit a machine-readable run report instead of prose.
+    pub json: bool,
+    positional: Vec<String>,
+}
+
+impl Cli {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        let mut json = false;
+        let mut positional = Vec::new();
+        for arg in std::env::args().skip(1) {
+            if arg == "--json" {
+                json = true;
+            } else {
+                positional.push(arg);
+            }
+        }
+        Cli { json, positional }
+    }
+
+    /// The `i`-th positional argument parsed as `usize`, or `default`.
+    pub fn pos_usize(&self, i: usize, default: usize) -> usize {
+        self.positional
+            .get(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+/// Prints the finished run report as a compact single-document JSON on
+/// stdout (the `--json` contract every harness binary honors).
+pub fn emit_report(report: &RunReport) {
+    println!("{}", report.to_json().to_string_compact());
 }
 
 /// Prints a section header in the harness output.

@@ -7,7 +7,9 @@
 //!
 //! Statistics are intentionally simple: each benchmark runs a short
 //! calibration pass, then a fixed number of timed samples, and prints
-//! the median time per iteration. When the harness detects it is being
+//! the median time per iteration — both human-readable and as a stable
+//! machine line `BENCH,<name>,<median_ns>` that `scripts/bench_report.sh`
+//! collects into `BENCH_2.json`. When the harness detects it is being
 //! run by `cargo test` (no `--bench` argument), every closure executes
 //! exactly once as a smoke test so the workspace test suite stays fast.
 
@@ -86,6 +88,13 @@ impl Bencher {
     }
 }
 
+/// The stable machine-readable result line: `BENCH,<name>,<median_ns>`.
+/// `scripts/bench_report.sh` greps for this exact prefix, so the format
+/// is a compatibility contract — change it only with the script.
+fn machine_line(name: &str, median: Duration) -> String {
+    format!("BENCH,{name},{}", median.as_nanos())
+}
+
 fn run_one(name: &str, sample_size: usize, smoke_only: bool, f: impl FnOnce(&mut Bencher)) {
     let mut b = Bencher {
         smoke_only,
@@ -94,7 +103,10 @@ fn run_one(name: &str, sample_size: usize, smoke_only: bool, f: impl FnOnce(&mut
     };
     f(&mut b);
     match b.result {
-        Some(t) => println!("bench {name:<40} {t:>12.2?}/iter"),
+        Some(t) => {
+            println!("bench {name:<40} {t:>12.2?}/iter");
+            println!("{}", machine_line(name, t));
+        }
         None if smoke_only => {}
         None => println!("bench {name:<40} (no iter call)"),
     }
@@ -234,6 +246,12 @@ mod tests {
         };
         b.iter(|| std::hint::black_box(17u64.wrapping_mul(31)));
         assert!(b.result.is_some());
+    }
+
+    #[test]
+    fn machine_line_is_stable() {
+        let line = machine_line("kernels/addmul_1/32", Duration::from_micros(12));
+        assert_eq!(line, "BENCH,kernels/addmul_1/32,12000");
     }
 
     #[test]

@@ -205,6 +205,44 @@ impl ModExpConfig {
     }
 }
 
+impl ModExpConfig {
+    /// Estimated persistent memory footprint in bytes of this
+    /// configuration's software caches for a `bits`-bit modulus: the
+    /// per-modulus reduction constants (Barrett `mu`, Montgomery `R²`
+    /// and `n0'`) plus, under [`CacheMode::ContextAndTable`], the
+    /// `2^(window-1)`-entry odd-power window table. CRT splits the work
+    /// over two half-size moduli. Returns 0 when nothing is cached —
+    /// the memory axis of the speed/space trade-off a [`ParetoFront`]
+    /// ranks.
+    pub fn table_bytes(&self, bits: usize) -> usize {
+        if self.cache == CacheMode::None {
+            return 0;
+        }
+        let moduli = match self.crt {
+            CrtMode::None => 1,
+            CrtMode::Recompute | CrtMode::Garner => 2,
+        };
+        let operand_bytes = match self.crt {
+            CrtMode::None => bits.div_ceil(8),
+            CrtMode::Recompute | CrtMode::Garner => (bits / 2).div_ceil(8),
+        };
+        let context = match self.mul {
+            // Division-based reduction derives nothing reusable.
+            MulAlgo::MulDiv | MulAlgo::KaratsubaDiv => 0,
+            // Barrett caches mu (one word wider than the modulus).
+            MulAlgo::Barrett | MulAlgo::KaratsubaBarrett => operand_bytes + 4,
+            // Montgomery caches R² and the word-inverse n0'.
+            MulAlgo::Montgomery => operand_bytes + 4,
+        };
+        let mut total = moduli * context;
+        if self.cache == CacheMode::ContextAndTable {
+            let entries = 1usize << (self.window.saturating_sub(1));
+            total += moduli * entries * operand_bytes;
+        }
+        total
+    }
+}
+
 impl fmt::Display for ModExpConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -212,6 +250,95 @@ impl fmt::Display for ModExpConfig {
             "{}/w{}/{}/{}/{}",
             self.mul, self.window, self.crt, self.radix, self.cache
         )
+    }
+}
+
+/// One candidate surviving on the speed/space Pareto front.
+#[derive(Debug, Clone)]
+pub struct ParetoEntry {
+    /// The configuration.
+    pub config: ModExpConfig,
+    /// Estimated workload cycles.
+    pub cycles: f64,
+    /// Persistent cache footprint in bytes
+    /// ([`ModExpConfig::table_bytes`]).
+    pub memory_bytes: usize,
+}
+
+/// The two-objective (cycles, memory) Pareto front over explored
+/// design-space candidates: an entry survives iff no other offered
+/// entry is at least as good on both axes and strictly better on one.
+#[derive(Debug, Clone, Default)]
+pub struct ParetoFront {
+    entries: Vec<ParetoEntry>,
+    offered: u64,
+}
+
+impl ParetoFront {
+    /// An empty front.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers a candidate; returns `true` if it survives (is not
+    /// dominated by any current survivor). Dominated incumbents are
+    /// evicted.
+    pub fn offer(&mut self, config: ModExpConfig, cycles: f64, memory_bytes: usize) -> bool {
+        self.offered += 1;
+        let dominated = self.entries.iter().any(|e| {
+            e.cycles <= cycles
+                && e.memory_bytes <= memory_bytes
+                && (e.cycles < cycles || e.memory_bytes < memory_bytes)
+        });
+        if dominated {
+            return false;
+        }
+        self.entries
+            .retain(|e| e.cycles < cycles || e.memory_bytes < memory_bytes);
+        self.entries.push(ParetoEntry {
+            config,
+            cycles,
+            memory_bytes,
+        });
+        true
+    }
+
+    /// The surviving entries, sorted fastest-first.
+    pub fn survivors(&self) -> Vec<ParetoEntry> {
+        let mut out = self.entries.clone();
+        out.sort_by(|a, b| a.cycles.total_cmp(&b.cycles));
+        out
+    }
+
+    /// Number of survivors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Candidates offered so far (exploration progress).
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Publishes exploration progress into a metrics registry:
+    /// `space.candidates_offered` and `space.pareto_survivors` gauges,
+    /// plus a `space.pareto_memory_bytes` histogram over survivors.
+    pub fn record_metrics(&self, metrics: &xobs::Registry) {
+        metrics
+            .gauge("space.candidates_offered")
+            .set(self.offered as f64);
+        metrics
+            .gauge("space.pareto_survivors")
+            .set(self.entries.len() as f64);
+        let hist = metrics.histogram("space.pareto_memory_bytes");
+        for e in &self.entries {
+            hist.observe(e.memory_bytes as f64);
+        }
     }
 }
 
@@ -240,6 +367,47 @@ mod tests {
         let all = ModExpConfig::enumerate();
         let names: BTreeSet<String> = all.iter().map(|c| c.to_string()).collect();
         assert_eq!(names.len(), 450);
+    }
+
+    #[test]
+    fn table_bytes_tracks_caching_aggressiveness() {
+        let none = ModExpConfig::baseline();
+        assert_eq!(none.table_bytes(1024), 0);
+        let ctx = ModExpConfig {
+            cache: CacheMode::Context,
+            mul: MulAlgo::Montgomery,
+            ..ModExpConfig::baseline()
+        };
+        let full = ModExpConfig {
+            cache: CacheMode::ContextAndTable,
+            ..ctx
+        };
+        assert!(ctx.table_bytes(1024) > 0);
+        assert!(full.table_bytes(1024) > ctx.table_bytes(1024));
+        // Wider windows cost exponentially more table memory.
+        let w5 = ModExpConfig { window: 5, ..full };
+        let w2 = ModExpConfig { window: 2, ..full };
+        assert!(w5.table_bytes(1024) > 4 * w2.table_bytes(1024) / 2);
+    }
+
+    #[test]
+    fn pareto_front_keeps_only_nondominated() {
+        let mut front = ParetoFront::new();
+        let cfg = ModExpConfig::baseline;
+        assert!(front.offer(cfg(), 100.0, 50));
+        assert!(front.offer(cfg(), 80.0, 80)); // trades memory for speed
+        assert!(!front.offer(cfg(), 120.0, 60)); // dominated by (100, 50)
+        assert!(front.offer(cfg(), 90.0, 40)); // evicts (100, 50)
+        assert_eq!(front.len(), 2);
+        assert_eq!(front.offered(), 4);
+        let s = front.survivors();
+        assert_eq!(s[0].cycles, 80.0);
+        assert_eq!(s[1].memory_bytes, 40);
+
+        let reg = xobs::Registry::new();
+        front.record_metrics(&reg);
+        let snap = reg.snapshot();
+        assert!(snap.get("space.pareto_survivors").is_some());
     }
 
     #[test]

@@ -15,13 +15,13 @@
 //!    budget.
 
 use crate::issops::{IssMpn, KernelVariant};
-use macromodel::charact::{characterize, with_name, CharactOptions, Characterization};
+use macromodel::charact::{characterize_metered, with_name, CharactOptions, Characterization};
 use macromodel::model::{MacroModel, ModelQuality, Monomial};
 use macromodel::stimulus::ParamSpace;
 use mpint::Natural;
 use pubkey::modexp::{mod_exp, ExpCache, ModExpError};
 use pubkey::ops::{opname, ModeledMpn, MpnOps};
-use pubkey::space::ModExpConfig;
+use pubkey::space::{ModExpConfig, ParetoFront};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -74,10 +74,39 @@ pub fn characterize_kernels(
     max_limbs: usize,
     options: &CharactOptions,
 ) -> KernelModels {
+    characterize_kernels_metered(config, variant, max_limbs, options, None)
+}
+
+/// As [`characterize_kernels`], additionally publishing phase-1
+/// progress into a metrics registry when one is supplied:
+/// `flow.phase1.iss_cycles` (simulated cycles consumed by stimuli),
+/// `flow.phase1.ops_characterized`, `flow.phase1.mean_abs_error_pct`,
+/// plus the `charact.*` metrics of every fit.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`characterize_kernels`].
+pub fn characterize_kernels_metered(
+    config: &CpuConfig,
+    variant: KernelVariant,
+    max_limbs: usize,
+    options: &CharactOptions,
+    metrics: Option<&xobs::Registry>,
+) -> KernelModels {
     let mut models32 = BTreeMap::new();
     let mut models16 = BTreeMap::new();
     let mut quality = BTreeMap::new();
     let mut rng = StdRng::seed_from_u64(0xC0DE_2002);
+    let scratch;
+    let reg = match metrics {
+        Some(reg) => reg,
+        None => {
+            scratch = xobs::Registry::new();
+            &scratch
+        }
+    };
+    let iss_cycles = reg.counter("flow.phase1.iss_cycles");
+    let ops_done = reg.counter("flow.phase1.ops_characterized");
 
     for width in [32u32, 16] {
         let mut iss = IssMpn::with_variant(config.clone(), variant);
@@ -94,17 +123,26 @@ pub fn characterize_kernels(
                 vec![Monomial::constant(1), Monomial::linear(1, 0)]
             };
             let mut seed = 1u64;
-            let ch: Characterization =
-                characterize(&space, &basis, options, &mut rng, |params: &[u64]| {
+            let ch: Characterization = characterize_metered(
+                &space,
+                &basis,
+                options,
+                &mut rng,
+                |params: &[u64]| {
                     seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
                     let n = params[0] as usize;
-                    if width == 32 {
+                    let cycles = if width == 32 {
                         iss.measure32(op, n, seed)
                     } else {
                         iss.measure16(op, n, seed)
-                    }
-                })
-                .unwrap_or_else(|e| panic!("characterization of {op} (r{width}) failed: {e}"));
+                    };
+                    iss_cycles.add(cycles as u64);
+                    cycles
+                },
+                metrics,
+            )
+            .unwrap_or_else(|e| panic!("characterization of {op} (r{width}) failed: {e}"));
+            ops_done.inc();
             let ch = with_name(ch, op);
             quality.insert((op, width), ch.quality);
             if width == 32 {
@@ -114,11 +152,14 @@ pub fn characterize_kernels(
             }
         }
     }
-    KernelModels {
+    let models = KernelModels {
         models32,
         models16,
         quality,
-    }
+    };
+    reg.gauge("flow.phase1.mean_abs_error_pct")
+        .set(models.mean_abs_error_pct());
+    models
 }
 
 /// One evaluated design-space candidate.
@@ -161,6 +202,37 @@ pub fn explore_modexp(
     bits: usize,
     glue_cost: f64,
 ) -> Result<ExplorationResult, ModExpError> {
+    explore_modexp_metered(models, bits, glue_cost, None)
+}
+
+/// As [`explore_modexp`], additionally publishing phase-2 progress into
+/// a metrics registry when one is supplied:
+/// `flow.phase2.candidates_evaluated`, a `flow.phase2.candidate_cycles`
+/// histogram over the whole space, `flow.phase2.best_cycles`, and the
+/// `space.*` gauges of the speed/space [`ParetoFront`] (memory axis =
+/// [`ModExpConfig::table_bytes`]).
+///
+/// # Errors
+///
+/// Returns [`ModExpError`] under the same conditions as
+/// [`explore_modexp`].
+pub fn explore_modexp_metered(
+    models: &KernelModels,
+    bits: usize,
+    glue_cost: f64,
+    metrics: Option<&xobs::Registry>,
+) -> Result<ExplorationResult, ModExpError> {
+    let scratch;
+    let reg = match metrics {
+        Some(reg) => reg,
+        None => {
+            scratch = xobs::Registry::new();
+            &scratch
+        }
+    };
+    let evaluated = reg.counter("flow.phase2.candidates_evaluated");
+    let cycles_hist = reg.histogram("flow.phase2.candidate_cycles");
+    let mut front = ParetoFront::new();
     let mut rng = StdRng::seed_from_u64(0xE4B0);
     let m = {
         // An odd modulus with the top bit set.
@@ -185,17 +257,50 @@ pub fn explore_modexp(
         MpnOps::<u32>::reset(&mut ops);
         let r2 = mod_exp(&mut ops, &base, &exp, &m, &config, &mut cache)?;
         assert_eq!(r2, expect, "config {config} computed a wrong result");
-        ranked.push(Candidate {
-            config,
-            cycles: MpnOps::<u32>::cycles(&ops),
-        });
+        let cycles = MpnOps::<u32>::cycles(&ops);
+        evaluated.inc();
+        cycles_hist.observe(cycles);
+        front.offer(config, cycles, config.table_bytes(bits));
+        ranked.push(Candidate { config, cycles });
     }
     ranked.sort_by(|a, b| a.cycles.total_cmp(&b.cycles));
+    reg.gauge("flow.phase2.best_cycles").set(ranked[0].cycles);
+    front.record_metrics(reg);
     Ok(ExplorationResult {
         evaluated: ranked.len(),
         elapsed: start.elapsed(),
         ranked,
     })
+}
+
+/// Validates the macro-models against full ISS co-simulation on a
+/// handful of candidates (the paper could afford six), returning the
+/// absolute percentage error per candidate and — when a registry is
+/// supplied — observing each into the `flow.model_error_pct` histogram.
+///
+/// # Errors
+///
+/// Returns [`ModExpError`] if a candidate fails to execute.
+pub fn validate_models_metered(
+    models: &KernelModels,
+    config: &CpuConfig,
+    variant: KernelVariant,
+    candidates: &[ModExpConfig],
+    bits: usize,
+    glue_cost: f64,
+    metrics: Option<&xobs::Registry>,
+) -> Result<Vec<f64>, ModExpError> {
+    let mut errors = Vec::with_capacity(candidates.len());
+    for candidate in candidates {
+        let modeled = explore_single(models, candidate, bits, glue_cost)?;
+        let cosim = cosimulate_candidate(config, variant, candidate, bits, glue_cost)?;
+        let err_pct = ((modeled - cosim) / cosim).abs() * 100.0;
+        if let Some(reg) = metrics {
+            reg.histogram("flow.model_error_pct").observe(err_pct);
+        }
+        errors.push(err_pct);
+    }
+    Ok(errors)
 }
 
 /// Evaluates a single candidate with macro-model metering on the same

@@ -17,6 +17,7 @@ use mpint::limb::Limb;
 use mpint::mpn;
 use pubkey::ops::{div_qhat_reference, opname, MpnOps};
 use std::collections::BTreeMap;
+use xobs::trace::TraceSink;
 use xr32::asm::{assemble, Program};
 use xr32::config::CpuConfig;
 use xr32::cpu::Cpu;
@@ -51,6 +52,7 @@ pub struct IssMpn {
     counts: BTreeMap<&'static str, u64>,
     glue_cost: f64,
     verify: bool,
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 impl IssMpn {
@@ -105,7 +107,30 @@ impl IssMpn {
             counts: BTreeMap::new(),
             glue_cost: 4.0,
             verify: true,
+            sink: None,
         }
+    }
+
+    /// Attaches (or detaches, with `None`) a trace sink observing every
+    /// kernel invocation on both radix cores. Each `cpu.call` is
+    /// bracketed by synthetic entry Call/Ret events, so cycle
+    /// attribution over a whole co-simulation covers every simulated
+    /// cycle. Use [`xobs::trace::Shared`] to keep access to the sink's
+    /// accumulated state while the provider owns it.
+    pub fn set_trace_sink(&mut self, sink: Option<Box<dyn TraceSink>>) {
+        self.sink = sink;
+    }
+
+    /// Detaches and returns the current trace sink.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// Raw cycle counters of the two radix cores, `(cpu32, cpu16)`.
+    /// Their sum is the total simulated cycles an attached
+    /// [`xobs::Attribution`] sink must account for exactly.
+    pub fn core_cycles(&self) -> (u64, u64) {
+        (self.cpu32.cycles(), self.cpu16.cycles())
     }
 
     /// Enables/disables per-call verification against the native
@@ -247,7 +272,7 @@ impl IssMpn {
     fn call32(&mut self, label: &str, args: &[u32]) -> u32 {
         let summary = self
             .cpu32
-            .call(&self.prog32, label, args)
+            .call_traced(&self.prog32, label, args, self.sink.as_deref_mut())
             .unwrap_or_else(|e| panic!("kernel {label} faulted: {e}"));
         self.cycles += summary.cycles as f64;
         self.cpu32.reg(0)
@@ -256,7 +281,7 @@ impl IssMpn {
     fn call16(&mut self, label: &str, args: &[u32]) -> u32 {
         let summary = self
             .cpu16
-            .call(&self.prog16, label, args)
+            .call_traced(&self.prog16, label, args, self.sink.as_deref_mut())
             .unwrap_or_else(|e| panic!("kernel {label} faulted: {e}"));
         self.cycles += summary.cycles as f64;
         self.cpu16.reg(0)

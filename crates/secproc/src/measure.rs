@@ -202,6 +202,35 @@ impl Table1 {
         }
     }
 
+    /// Serializes the table for a structured run report: one object per
+    /// row with base/optimized costs and the speedup factor.
+    pub fn to_json(&self) -> xobs::Json {
+        let mut symmetric = Vec::new();
+        for row in &self.symmetric {
+            symmetric.push(
+                xobs::Json::obj()
+                    .set("name", row.name)
+                    .set("base_cycles_per_byte", row.base_cpb)
+                    .set("opt_cycles_per_byte", row.opt_cpb)
+                    .set("speedup", row.speedup()),
+            );
+        }
+        let mut rsa = Vec::new();
+        for row in &self.rsa {
+            rsa.push(
+                xobs::Json::obj()
+                    .set("name", row.name)
+                    .set("base_cycles", row.base_cycles)
+                    .set("opt_cycles", row.opt_cycles)
+                    .set("speedup", row.speedup()),
+            );
+        }
+        xobs::Json::obj()
+            .set("rsa_bits", self.rsa_bits as u64)
+            .set("symmetric", symmetric)
+            .set("rsa", rsa)
+    }
+
     /// Renders the table in the paper's format.
     pub fn render(&self) -> String {
         let mut out = String::new();

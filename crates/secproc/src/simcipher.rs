@@ -8,6 +8,7 @@
 use crate::insns;
 use crate::kernels::{aes as kaes, des as kdes, sha as ksha};
 use ciphers::{aes::Aes, des::Des, sha1};
+use xobs::trace::TraceSink;
 use xr32::asm::{assemble, Program};
 use xr32::config::CpuConfig;
 use xr32::cpu::Cpu;
@@ -61,13 +62,25 @@ impl SimDes {
     /// Encrypts (`decrypt = false`) or decrypts one 64-bit block on the
     /// simulator, returning `(output, cycles)`.
     pub fn crypt_block(&mut self, block: u64, decrypt: bool) -> (u64, u64) {
+        self.crypt_block_traced(block, decrypt, None)
+    }
+
+    /// As [`Self::crypt_block`], streaming trace events into `sink` when
+    /// one is attached (timing is identical either way).
+    pub fn crypt_block_traced(
+        &mut self,
+        block: u64,
+        decrypt: bool,
+        sink: Option<&mut dyn TraceSink>,
+    ) -> (u64, u64) {
         kdes::write_block(&mut self.cpu, &self.map, block);
         let summary = self
             .cpu
-            .call(
+            .call_traced(
                 &self.program,
                 "des_block",
                 &[self.map.block, self.map.key_schedule, decrypt as u32],
+                sink,
             )
             .expect("des kernel runs");
         let out = kdes::read_block(&self.cpu, &self.map);
@@ -137,10 +150,20 @@ impl SimAes {
     /// Encrypts one block on the simulator, returning
     /// `(ciphertext, cycles)`.
     pub fn encrypt_block(&mut self, block: &[u8; 16]) -> ([u8; 16], u64) {
+        self.encrypt_block_traced(block, None)
+    }
+
+    /// As [`Self::encrypt_block`], streaming trace events into `sink`
+    /// when one is attached (timing is identical either way).
+    pub fn encrypt_block_traced(
+        &mut self,
+        block: &[u8; 16],
+        sink: Option<&mut dyn TraceSink>,
+    ) -> ([u8; 16], u64) {
         kaes::write_state(&mut self.cpu, &self.map, block);
         let summary = self
             .cpu
-            .call(&self.program, "aes_block", &[])
+            .call_traced(&self.program, "aes_block", &[], sink)
             .expect("aes kernel runs");
         let out = kaes::read_state(&self.cpu, &self.map);
         if self.verify {
@@ -199,11 +222,22 @@ impl SimSha1 {
     /// Runs one compression on the simulator, returning
     /// `(new_state, cycles)`.
     pub fn compress(&mut self, state: [u32; 5], block: &[u8; 64]) -> ([u32; 5], u64) {
+        self.compress_traced(state, block, None)
+    }
+
+    /// As [`Self::compress`], streaming trace events into `sink` when
+    /// one is attached.
+    pub fn compress_traced(
+        &mut self,
+        state: [u32; 5],
+        block: &[u8; 64],
+        sink: Option<&mut dyn TraceSink>,
+    ) -> ([u32; 5], u64) {
         ksha::write_state(&mut self.cpu, &self.map, &state);
         ksha::write_block(&mut self.cpu, &self.map, block);
         let summary = self
             .cpu
-            .call(&self.program, "sha1_compress", &[])
+            .call_traced(&self.program, "sha1_compress", &[], sink)
             .expect("sha1 kernel runs");
         let out = ksha::read_state(&self.cpu, &self.map);
         if self.verify {

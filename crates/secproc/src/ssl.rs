@@ -104,6 +104,26 @@ pub fn speedup_series(base: &SslCostModel, opt: &SslCostModel, sizes: &[u64]) ->
         .collect()
 }
 
+/// Serializes the series for a structured run report: one object per
+/// size with cycles, speedup, and the baseline workload breakup.
+pub fn series_to_json(points: &[SslPoint]) -> xobs::Json {
+    let mut rows = Vec::with_capacity(points.len());
+    for p in points {
+        let (pk, sym, misc) = p.base_breakdown.percentages();
+        rows.push(
+            xobs::Json::obj()
+                .set("bytes", p.bytes)
+                .set("base_cycles", p.base_cycles)
+                .set("opt_cycles", p.opt_cycles)
+                .set("speedup", p.speedup())
+                .set("base_pk_pct", pk)
+                .set("base_symmetric_pct", sym)
+                .set("base_misc_pct", misc),
+        );
+    }
+    xobs::Json::from(rows)
+}
+
 /// Renders the series as the Fig. 8 table: size, breakdown, speedup.
 pub fn render_series(points: &[SslPoint]) -> String {
     let mut out = String::from(
@@ -189,6 +209,18 @@ mod tests {
         let text = render_series(&series);
         assert_eq!(text.lines().count(), 2 + 3);
         assert!(text.contains("speedup"));
+    }
+
+    #[test]
+    fn json_series_round_trips() {
+        let (base, opt) = paper_shaped_models();
+        let series = speedup_series(&base, &opt, &[1024, 4096]);
+        let json = series_to_json(&series);
+        let parsed = xobs::json::parse(&json.to_string_compact()).unwrap();
+        let rows = parsed.as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("bytes").unwrap().as_f64(), Some(1024.0));
+        assert!(rows[1].get("speedup").unwrap().as_f64().unwrap() > 1.0);
     }
 
     #[test]

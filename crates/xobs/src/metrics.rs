@@ -1,0 +1,361 @@
+//! Lightweight metrics: counters, gauges, histograms, and a registry.
+//!
+//! Instrumented components (`secproc::flow`, `macromodel::charact`,
+//! `pubkey::space`) hold `Arc` handles obtained from a [`Registry`];
+//! incrementing a [`Counter`] is one relaxed atomic add, so metered and
+//! un-metered code paths share the same source. A [`Registry`] is
+//! snapshot into a [`MetricsSnapshot`] for inclusion in a run report
+//! ([`crate::report`]).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding the latest `f64` sample (bit-cast into an atomic).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// Replaces the stored value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Summary statistics of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples observed.
+    pub count: u64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// 50th percentile by nearest-rank over the recorded samples.
+    pub p50: f64,
+    /// 90th percentile by nearest-rank.
+    pub p90: f64,
+    /// 99th percentile by nearest-rank.
+    pub p99: f64,
+}
+
+/// A histogram that keeps its samples (sample counts here are small —
+/// hundreds of candidates, dozens of stimuli — so exact percentiles are
+/// affordable).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    samples: Mutex<Vec<f64>>,
+}
+
+impl Histogram {
+    /// Records one sample. Non-finite samples are dropped.
+    pub fn observe(&self, v: f64) {
+        if v.is_finite() {
+            self.samples.lock().expect("histogram poisoned").push(v);
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.samples.lock().expect("histogram poisoned").len() as u64
+    }
+
+    /// Computes summary statistics over the samples so far.
+    pub fn summary(&self) -> HistogramSummary {
+        let mut s = self.samples.lock().expect("histogram poisoned").clone();
+        if s.is_empty() {
+            return HistogramSummary {
+                count: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+            };
+        }
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let count = s.len() as u64;
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let pct = |q: f64| -> f64 {
+            let rank = ((q * s.len() as f64).ceil() as usize).clamp(1, s.len());
+            s[rank - 1]
+        };
+        HistogramSummary {
+            count,
+            min: s[0],
+            max: *s.last().expect("non-empty"),
+            mean,
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p99: pct(0.99),
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics. Handles are created on first use and
+/// shared thereafter; names are dotted paths (`flow.explore.candidates`).
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it if
+    /// needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it if
+    /// needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it if
+    /// needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Captures the current value of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.metrics.lock().expect("registry poisoned");
+        let mut entries = Vec::with_capacity(m.len());
+        for (name, metric) in m.iter() {
+            let value = match metric {
+                Metric::Counter(c) => MetricValue::Counter(c.get()),
+                Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                Metric::Histogram(h) => MetricValue::Histogram(h.summary()),
+            };
+            entries.push((name.clone(), value));
+        }
+        MetricsSnapshot { entries }
+    }
+}
+
+/// The captured value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram summary.
+    Histogram(HistogramSummary),
+}
+
+/// A point-in-time capture of a [`Registry`], sorted by metric name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs in name order.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Convenience: the value of a counter metric.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Serializes the snapshot as a JSON object keyed by metric name.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        for (name, value) in &self.entries {
+            let v = match value {
+                MetricValue::Counter(c) => Json::obj().set("type", "counter").set("value", *c),
+                MetricValue::Gauge(g) => Json::obj().set("type", "gauge").set("value", *g),
+                MetricValue::Histogram(h) => Json::obj()
+                    .set("type", "histogram")
+                    .set("count", h.count)
+                    .set("min", h.min)
+                    .set("max", h.max)
+                    .set("mean", h.mean)
+                    .set("p50", h.p50)
+                    .set("p90", h.p90)
+                    .set("p99", h.p99),
+            };
+            obj = obj.set(name, v);
+        }
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_shares() {
+        let reg = Registry::new();
+        let a = reg.counter("flow.candidates");
+        let b = reg.counter("flow.candidates");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(reg.snapshot().counter("flow.candidates"), Some(5));
+    }
+
+    #[test]
+    fn gauge_holds_latest() {
+        let g = Gauge::default();
+        g.set(0.995);
+        assert_eq!(g.get(), 0.995);
+        g.set(-3.5);
+        assert_eq!(g.get(), -3.5);
+    }
+
+    #[test]
+    fn histogram_summary_percentiles() {
+        let h = Histogram::default();
+        for i in 1..=100 {
+            h.observe(i as f64);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p90, 90.0);
+        assert_eq!(s.p99, 99.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_drops_non_finite() {
+        let h = Histogram::default();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(2.0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zero() {
+        let s = Histogram::default().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("x");
+        let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_serializes_sorted() {
+        let reg = Registry::new();
+        reg.counter("b.count").add(2);
+        reg.gauge("a.r2").set(0.75);
+        let snap = reg.snapshot();
+        assert_eq!(snap.entries[0].0, "a.r2");
+        let json = snap.to_json();
+        assert_eq!(
+            json.get("b.count")
+                .and_then(|v| v.get("value"))
+                .and_then(Json::as_f64),
+            Some(2.0)
+        );
+    }
+}

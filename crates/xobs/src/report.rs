@@ -1,0 +1,182 @@
+//! Versioned structured run reports.
+//!
+//! Every bench harness emits a [`RunReport`] under `--json`: the
+//! harness's headline results, a metrics snapshot, and the simulated
+//! core's configuration fingerprint, wrapped in a schema-versioned
+//! envelope so downstream tooling (`scripts/bench_report.sh`, trend
+//! dashboards) can reject reports it does not understand instead of
+//! mis-parsing them.
+//!
+//! Versioning policy: `schema_version` bumps only on breaking changes
+//! (removing or re-typing a field). Adding fields is backward
+//! compatible and does not bump the version; consumers must ignore
+//! fields they do not know.
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+
+/// Current report schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A structured record of one harness run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    name: String,
+    config_fingerprint: Option<u64>,
+    results: Json,
+    metrics: Option<MetricsSnapshot>,
+}
+
+impl RunReport {
+    /// Starts a report for the named harness.
+    pub fn new(name: &str) -> Self {
+        RunReport {
+            name: name.to_owned(),
+            config_fingerprint: None,
+            results: Json::obj(),
+            metrics: None,
+        }
+    }
+
+    /// Records the simulated core's configuration fingerprint.
+    pub fn with_fingerprint(mut self, fingerprint: u64) -> Self {
+        self.config_fingerprint = Some(fingerprint);
+        self
+    }
+
+    /// Adds (or replaces) one headline result.
+    pub fn result(mut self, key: &str, value: impl Into<Json>) -> Self {
+        self.results = self.results.set(key, value);
+        self
+    }
+
+    /// Attaches a metrics snapshot.
+    pub fn with_metrics(mut self, snapshot: MetricsSnapshot) -> Self {
+        self.metrics = Some(snapshot);
+        self
+    }
+
+    /// Serializes the report envelope.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj()
+            .set("schema_version", SCHEMA_VERSION)
+            .set("report", self.name.as_str());
+        if let Some(fp) = self.config_fingerprint {
+            obj = obj.set("config_fingerprint", format!("{fp:016x}"));
+        }
+        obj = obj.set("results", self.results.clone());
+        if let Some(m) = &self.metrics {
+            obj = obj.set("metrics", m.to_json());
+        }
+        obj
+    }
+
+    /// The report rendered as pretty-printed JSON text.
+    pub fn render(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+}
+
+/// Checks that a parsed JSON value is a well-formed current-version
+/// report envelope. Returns a human-readable description of the first
+/// violation.
+pub fn validate(json: &Json) -> Result<(), String> {
+    let version = json
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or("missing numeric schema_version")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "schema_version {version} unsupported (validator supports {SCHEMA_VERSION})"
+        ));
+    }
+    let name = json
+        .get("report")
+        .and_then(Json::as_str)
+        .ok_or("missing string field: report")?;
+    if name.is_empty() {
+        return Err("empty report name".into());
+    }
+    let results = json.get("results").ok_or("missing field: results")?;
+    if results.as_str().is_some() || results.as_f64().is_some() || results.as_arr().is_some() {
+        return Err("results must be an object".into());
+    }
+    if let Some(fp) = json.get("config_fingerprint") {
+        let s = fp.as_str().ok_or("config_fingerprint must be a string")?;
+        if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!("config_fingerprint {s:?} is not 16 hex digits"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn report_round_trips_and_validates() {
+        let reg = Registry::new();
+        reg.counter("flow.candidates").add(450);
+        let report = RunReport::new("table1_speedups")
+            .with_fingerprint(0xdead_beef_cafe_f00d)
+            .result("rsa_bits", 1024u64)
+            .result("speedup_des", 5.2)
+            .with_metrics(reg.snapshot());
+        let text = report.render();
+        let parsed = json::parse(&text).unwrap();
+        validate(&parsed).unwrap();
+        assert_eq!(
+            parsed.get("report").and_then(Json::as_str),
+            Some("table1_speedups")
+        );
+        assert_eq!(
+            parsed.get("config_fingerprint").and_then(Json::as_str),
+            Some("deadbeefcafef00d")
+        );
+        assert_eq!(
+            parsed
+                .get("results")
+                .and_then(|r| r.get("speedup_des"))
+                .and_then(Json::as_f64),
+            Some(5.2)
+        );
+        assert_eq!(
+            parsed
+                .get("metrics")
+                .and_then(|m| m.get("flow.candidates"))
+                .and_then(|c| c.get("value"))
+                .and_then(Json::as_f64),
+            Some(450.0)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_missing_version() {
+        let j = json::parse(r#"{"report":"x","results":{}}"#).unwrap();
+        assert!(validate(&j).unwrap_err().contains("schema_version"));
+    }
+
+    #[test]
+    fn validate_rejects_future_version() {
+        let j = json::parse(r#"{"schema_version":99,"report":"x","results":{}}"#).unwrap();
+        assert!(validate(&j).unwrap_err().contains("unsupported"));
+    }
+
+    #[test]
+    fn validate_rejects_non_object_results() {
+        let j = json::parse(r#"{"schema_version":1,"report":"x","results":[1]}"#).unwrap();
+        assert!(validate(&j).unwrap_err().contains("object"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_fingerprint() {
+        let j = json::parse(
+            r#"{"schema_version":1,"report":"x","config_fingerprint":"xyz","results":{}}"#,
+        )
+        .unwrap();
+        assert!(validate(&j).unwrap_err().contains("hex"));
+    }
+}

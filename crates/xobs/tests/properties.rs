@@ -1,0 +1,157 @@
+//! Property tests for the observability primitives: JSON round-trips,
+//! binary-trace round-trips, and attribution conservation laws.
+
+use proptest::prelude::*;
+
+use xobs::attrib::Attribution;
+use xobs::bintrace::{decode_trace, BinaryTraceWriter};
+use xobs::json::{self, Json};
+use xobs::trace::{CacheSide, OwnedEvent, TraceSink};
+
+/// A strategy producing arbitrary JSON trees of bounded depth.
+fn arb_json() -> impl Strategy<Value = Json> {
+    // Leaf pool; containers are built by wrapping random leaves so the
+    // tree stays shallow but exercises every writer branch.
+    let leaf = (any::<u8>(), any::<i64>(), any::<bool>()).prop_map(|(kind, n, b)| match kind % 5 {
+        0 => Json::Null,
+        1 => Json::from(b),
+        2 => Json::from((n % 1_000_000) as f64 / 8.0),
+        3 => Json::from(n % 1_000_000_000),
+        _ => Json::from(format!("s{n}\"\\\u{1}ü€")),
+    });
+    prop::collection::vec(leaf, 0..8).prop_map(|leaves| {
+        let mut obj = Json::obj();
+        let mut arr = Vec::new();
+        for (i, l) in leaves.into_iter().enumerate() {
+            if i % 2 == 0 {
+                obj = obj.set(format!("k{i}"), l);
+            } else {
+                arr.push(l);
+            }
+        }
+        Json::obj().set("o", obj).set("a", arr)
+    })
+}
+
+/// A strategy for well-nested Call/Ret sequences with monotone cycles.
+/// Returns the events plus the final cycle stamp.
+fn arb_callret() -> impl Strategy<Value = (Vec<OwnedEvent>, u64)> {
+    prop::collection::vec((any::<u8>(), 1u64..50), 1..60).prop_map(|ops| {
+        let names = ["modexp", "mul", "redc", "sq", "helper"];
+        let mut events = Vec::new();
+        let mut depth = 0usize;
+        let mut cycle = 0u64;
+        for (sel, dt) in ops {
+            cycle += dt;
+            // Bias toward call at shallow depth, ret at deep depth, so
+            // both trees and towers occur.
+            let do_call = depth == 0 || (!(sel as usize).is_multiple_of(3) && depth < 12);
+            if do_call {
+                events.push(OwnedEvent::Call {
+                    pc: depth as u32,
+                    callee: names[sel as usize % names.len()].to_owned(),
+                    cycle,
+                });
+                depth += 1;
+            } else {
+                events.push(OwnedEvent::Ret {
+                    pc: depth as u32,
+                    cycle,
+                });
+                depth -= 1;
+            }
+        }
+        // Close every open frame.
+        while depth > 0 {
+            cycle += 1;
+            events.push(OwnedEvent::Ret {
+                pc: depth as u32,
+                cycle,
+            });
+            depth -= 1;
+        }
+        (events, cycle)
+    })
+}
+
+proptest! {
+    #[test]
+    fn json_round_trips(j in arb_json()) {
+        let compact = j.to_string_compact();
+        let pretty = j.to_string_pretty();
+        prop_assert_eq!(&json::parse(&compact).unwrap(), &j);
+        prop_assert_eq!(&json::parse(&pretty).unwrap(), &j);
+    }
+
+    #[test]
+    fn binary_trace_round_trips(events in arb_callret()) {
+        let (events, _) = events;
+        let mut w = BinaryTraceWriter::new(Vec::new()).unwrap();
+        for ev in &events {
+            w.on_event(&ev.as_event());
+        }
+        // Mix in non-call events to cover every record tag.
+        w.on_event(&xobs::trace::TraceEvent::Cache {
+            side: CacheSide::Data,
+            addr: 0x40,
+            hit: false,
+            cycle: 1,
+        });
+        let bytes = w.finish().unwrap();
+        let decoded = decode_trace(&bytes).unwrap();
+        prop_assert_eq!(decoded.len(), events.len() + 1);
+        for (d, e) in decoded.iter().zip(&events) {
+            prop_assert_eq!(&d.as_event(), &e.as_event());
+        }
+    }
+
+    /// Conservation: for any well-nested trace, top-level inclusive
+    /// cycles sum to the final cycle stamp minus the first frame's
+    /// start, exclusive cycles across ALL functions sum to the same
+    /// total, and the folded-stack line values sum to it too.
+    #[test]
+    fn attribution_conserves_cycles(gen in arb_callret()) {
+        let (events, _final_cycle) = gen;
+        let mut attr = Attribution::new();
+        let mut expected_total = 0u64;
+        let mut depth = 0usize;
+        let mut start = 0u64;
+        for ev in &events {
+            match ev {
+                OwnedEvent::Call { cycle, .. } => {
+                    if depth == 0 {
+                        start = *cycle;
+                    }
+                    depth += 1;
+                }
+                OwnedEvent::Ret { cycle, .. } => {
+                    depth -= 1;
+                    if depth == 0 {
+                        expected_total += cycle - start;
+                    }
+                }
+                _ => {}
+            }
+            attr.on_event(&ev.as_event());
+        }
+        prop_assert_eq!(attr.open_frames(), 0);
+        prop_assert_eq!(attr.unmatched_rets(), 0);
+        prop_assert_eq!(attr.total_cycles(), expected_total);
+
+        let excl_sum: u64 = attr.flat().iter().map(|e| e.exclusive).sum();
+        prop_assert_eq!(excl_sum, expected_total);
+
+        let folded_sum: u64 = attr
+            .folded()
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        prop_assert_eq!(folded_sum, expected_total);
+
+        // Topmost-only inclusive: no function's inclusive cycles can
+        // exceed the total.
+        for e in attr.flat() {
+            prop_assert!(e.inclusive <= expected_total);
+        }
+    }
+}

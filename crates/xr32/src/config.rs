@@ -81,6 +81,35 @@ impl CpuConfig {
         Self::default()
     }
 
+    /// An FNV-1a fingerprint over every configuration field, stamped
+    /// into structured run reports so results from different core
+    /// configurations are never silently compared.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.has_mul as u64);
+        mix(self.mul_latency as u64);
+        for c in [self.icache, self.dcache] {
+            mix(c.size_bytes as u64);
+            mix(c.line_bytes as u64);
+            mix(c.ways as u64);
+        }
+        mix(self.mem_latency as u64);
+        mix(self.branch_penalty as u64);
+        mix(self.mem_size as u64);
+        mix(self.user_regs as u64);
+        mix(self.user_reg_words as u64);
+        mix(self.clock_hz);
+        h
+    }
+
     /// A minimal configuration without the multiplier option, for
     /// exploring the cheapest possible core.
     pub fn minimal() -> Self {
@@ -108,6 +137,18 @@ mod tests {
     #[test]
     fn default_matches_baseline() {
         assert_eq!(CpuConfig::default(), CpuConfig::baseline());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let base = CpuConfig::default();
+        assert_eq!(base.fingerprint(), CpuConfig::baseline().fingerprint());
+        assert_ne!(base.fingerprint(), CpuConfig::minimal().fingerprint());
+        let tweaked = CpuConfig {
+            branch_penalty: 3,
+            ..CpuConfig::default()
+        };
+        assert_ne!(base.fingerprint(), tweaked.fingerprint());
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::isa::{Insn, Reg};
 use crate::mem::{AccessError, Memory};
 use crate::profile::{Profile, Profiler};
 use std::fmt;
+use xobs::trace::{CacheSide, TraceEvent, TraceSink};
 
 /// PC value that terminates a [`Cpu::call`]-style run when returned to.
 pub const RETURN_SENTINEL: u32 = u32::MAX;
@@ -170,6 +171,34 @@ impl fmt::Debug for Cpu {
     }
 }
 
+/// One cache access on the hot path: the untraced branch is the
+/// original two-line hit test, the traced branch delegates to
+/// [`Cache::access_traced`]. Takes fields, not `&mut Cpu`, so callers
+/// can hold disjoint borrows.
+fn cache_access(
+    cache: &mut Cache,
+    addr: u64,
+    side: CacheSide,
+    cycles: &mut u64,
+    miss_latency: u32,
+    sink: &mut Option<&mut (dyn TraceSink + '_)>,
+) -> bool {
+    match sink {
+        None => {
+            let hit = cache.access(addr);
+            if !hit {
+                *cycles += miss_latency as u64;
+            }
+            hit
+        }
+        Some(s) => {
+            let (hit, after) = cache.access_traced(addr, side, *cycles, miss_latency, &mut **s);
+            *cycles = after;
+            hit
+        }
+    }
+}
+
 impl Cpu {
     /// Creates a core with the given configuration and no custom
     /// instructions.
@@ -271,8 +300,24 @@ impl Cpu {
     ///
     /// Returns [`SimError`] on faults or fuel exhaustion.
     pub fn run(&mut self, program: &Program) -> Result<RunSummary, SimError> {
+        self.run_traced(program, None)
+    }
+
+    /// Like [`Cpu::run`], with an optional [`TraceSink`] observing the
+    /// execution. The run is bracketed by a synthetic Call/Ret pair for
+    /// the entry point, so cycle attribution over the event stream
+    /// accounts for every simulated cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on faults or fuel exhaustion.
+    pub fn run_traced(
+        &mut self,
+        program: &Program,
+        sink: Option<&mut (dyn TraceSink + '_)>,
+    ) -> Result<RunSummary, SimError> {
         let entry = program.label("main").unwrap_or(0);
-        self.run_from(program, entry)
+        self.run_from_traced(program, entry, sink)
     }
 
     /// Runs `program` starting at instruction index `entry` until `halt`
@@ -282,8 +327,22 @@ impl Cpu {
     ///
     /// Returns [`SimError`] on faults or fuel exhaustion.
     pub fn run_from(&mut self, program: &Program, entry: usize) -> Result<RunSummary, SimError> {
+        self.run_from_traced(program, entry, None)
+    }
+
+    /// Like [`Cpu::run_from`], with an optional [`TraceSink`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on faults or fuel exhaustion.
+    pub fn run_from_traced(
+        &mut self,
+        program: &Program,
+        entry: usize,
+        sink: Option<&mut (dyn TraceSink + '_)>,
+    ) -> Result<RunSummary, SimError> {
         let entry_name = program.label_at(entry).unwrap_or("<entry>").to_owned();
-        self.execute(program, entry, &entry_name)
+        self.execute(program, entry, &entry_name, sink)
     }
 
     /// Calls a labeled routine: loads `args` into `a0…`, runs until the
@@ -305,6 +364,27 @@ impl Cpu {
         label: &str,
         args: &[u32],
     ) -> Result<RunSummary, SimError> {
+        self.call_traced(program, label, args, None)
+    }
+
+    /// Like [`Cpu::call`], with an optional [`TraceSink`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Illegal`] if the label is undefined, and any
+    /// simulation error from the run itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than six arguments are supplied (a0–a5 is the
+    /// argument convention).
+    pub fn call_traced(
+        &mut self,
+        program: &Program,
+        label: &str,
+        args: &[u32],
+        sink: Option<&mut (dyn TraceSink + '_)>,
+    ) -> Result<RunSummary, SimError> {
         assert!(args.len() <= 6, "at most 6 register arguments (a0-a5)");
         let entry = program.label(label).ok_or_else(|| SimError::Illegal {
             pc: 0,
@@ -314,7 +394,7 @@ impl Cpu {
             self.regs[i] = a;
         }
         self.regs[Reg::RA.index()] = RETURN_SENTINEL;
-        self.execute(program, entry, label)
+        self.execute(program, entry, label, sink)
     }
 
     fn execute(
@@ -322,6 +402,7 @@ impl Cpu {
         program: &Program,
         entry: usize,
         entry_name: &str,
+        mut sink: Option<&mut (dyn TraceSink + '_)>,
     ) -> Result<RunSummary, SimError> {
         let start_cycles = self.cycles;
         let icache_before = self.icache.stats();
@@ -330,6 +411,20 @@ impl Cpu {
         let mut executed: u64 = 0;
         let mut classes = ClassCounts::default();
         let mut pc = entry;
+        // Depth of trace frames currently open: the synthetic entry
+        // frame plus executed calls minus executed returns. Frames left
+        // open at halt are closed synthetically so attribution always
+        // balances (root inclusive == total cycles).
+        let mut trace_depth: u64 = 0;
+        if let Some(s) = sink.as_deref_mut() {
+            s.on_event(&TraceEvent::Call {
+                pc: entry as u32,
+                callee: entry_name,
+                cycle: start_cycles,
+            });
+            trace_depth = 1;
+        }
+        let mut halted = false;
 
         loop {
             if pc == RETURN_SENTINEL as usize {
@@ -366,22 +461,39 @@ impl Cpu {
             }
 
             // Source-operand interlock: stall until inputs are ready.
+            let before_stall = self.cycles;
             for src in insn.sources() {
                 let ready = self.reg_ready[src.index()];
                 if ready > self.cycles {
                     self.cycles = ready;
                 }
             }
+            if let Some(s) = sink.as_deref_mut() {
+                let stall = self.cycles - before_stall;
+                if stall > 0 {
+                    s.on_event(&TraceEvent::Stall {
+                        pc: pc as u32,
+                        cycles: stall as u32,
+                        cycle: self.cycles,
+                    });
+                }
+            }
 
             // Instruction fetch.
-            if !self.icache.access(pc as u64 * 4) {
-                self.cycles += self.config.mem_latency as u64;
-            }
+            cache_access(
+                &mut self.icache,
+                pc as u64 * 4,
+                CacheSide::Instruction,
+                &mut self.cycles,
+                self.config.mem_latency,
+                &mut sink,
+            );
             // Issue.
             self.cycles += 1;
 
             let mut next_pc = pc + 1;
             let mut taken = false;
+            let mut returned = false;
 
             macro_rules! rd {
                 ($r:expr) => {
@@ -443,9 +555,14 @@ impl Cpu {
                 Insn::Mov(d, a) => self.regs[d.index()] = rd!(a),
                 Insn::Lw(d, base, off) | Insn::Lbu(d, base, off) | Insn::Lhu(d, base, off) => {
                     let addr = rd!(base).wrapping_add(*off as u32);
-                    if !self.dcache.access(addr as u64) {
-                        self.cycles += self.config.mem_latency as u64;
-                    }
+                    cache_access(
+                        &mut self.dcache,
+                        addr as u64,
+                        CacheSide::Data,
+                        &mut self.cycles,
+                        self.config.mem_latency,
+                        &mut sink,
+                    );
                     let v = match insn {
                         Insn::Lw(..) => self.mem.load_u32(addr),
                         Insn::Lbu(..) => self.mem.load_u8(addr).map(u32::from),
@@ -458,9 +575,14 @@ impl Cpu {
                 }
                 Insn::Sw(v, base, off) | Insn::Sb(v, base, off) | Insn::Sh(v, base, off) => {
                     let addr = rd!(base).wrapping_add(*off as u32);
-                    if !self.dcache.access(addr as u64) {
-                        self.cycles += self.config.mem_latency as u64;
-                    }
+                    cache_access(
+                        &mut self.dcache,
+                        addr as u64,
+                        CacheSide::Data,
+                        &mut self.cycles,
+                        self.config.mem_latency,
+                        &mut sink,
+                    );
                     let val = rd!(v);
                     match insn {
                         Insn::Sw(..) => self.mem.store_u32(addr, val),
@@ -513,13 +635,25 @@ impl Cpu {
                     self.regs[Reg::RA.index()] = (pc + 1) as u32;
                     let callee = program.label_at(*t).unwrap_or("<anon>");
                     profiler.on_call(callee, self.cycles);
+                    if let Some(s) = sink.as_deref_mut() {
+                        s.on_event(&TraceEvent::Call {
+                            pc: pc as u32,
+                            callee,
+                            cycle: self.cycles,
+                        });
+                        trace_depth += 1;
+                    }
                     next_pc = *t;
                     taken = true;
                 }
                 Insn::Ret => {
-                    profiler.on_ret(self.cycles);
                     next_pc = self.regs[Reg::RA.index()] as usize;
                     taken = true;
+                    // Frame close is recorded after the branch penalty
+                    // is charged (below), so a return's refill cycles
+                    // stay inside the returning frame and attribution
+                    // accounts for every cycle.
+                    returned = true;
                 }
                 Insn::Jr(r) => {
                     next_pc = rd!(r) as usize;
@@ -527,17 +661,7 @@ impl Cpu {
                 }
                 Insn::Clc => self.carry = false,
                 Insn::Nop => {}
-                Insn::Halt => {
-                    let summary = self.summarize(
-                        start_cycles,
-                        icache_before,
-                        dcache_before,
-                        executed,
-                        classes,
-                        profiler,
-                    );
-                    return Ok(summary);
-                }
+                Insn::Halt => halted = true,
                 Insn::Custom(op) => {
                     let def = self.ext.get(&op.name).ok_or_else(|| SimError::Illegal {
                         pc,
@@ -553,13 +677,61 @@ impl Cpu {
                     };
                     exec(&mut ctx, op).map_err(|source| SimError::Custom { pc, source })?;
                     self.cycles += latency.saturating_sub(1) as u64;
+                    if let Some(s) = sink.as_deref_mut() {
+                        s.on_event(&TraceEvent::Custom {
+                            pc: pc as u32,
+                            name: &op.name,
+                            latency,
+                            cycle: self.cycles,
+                        });
+                    }
                 }
             }
 
             if taken {
                 self.cycles += self.config.branch_penalty as u64;
+                if let Some(s) = sink.as_deref_mut() {
+                    s.on_event(&TraceEvent::TakenBranch {
+                        pc: pc as u32,
+                        target: next_pc as u32,
+                        penalty: self.config.branch_penalty,
+                        cycle: self.cycles,
+                    });
+                }
+            }
+            if returned {
+                profiler.on_ret(self.cycles);
+            }
+            if let Some(s) = sink.as_deref_mut() {
+                if returned && trace_depth > 0 {
+                    s.on_event(&TraceEvent::Ret {
+                        pc: pc as u32,
+                        cycle: self.cycles,
+                    });
+                    trace_depth -= 1;
+                }
+                s.on_event(&TraceEvent::Retire {
+                    pc: pc as u32,
+                    cycle: self.cycles,
+                });
+            }
+            if halted {
+                break;
             }
             pc = next_pc;
+        }
+
+        if let Some(s) = sink {
+            // Close frames left open (the synthetic entry frame, plus
+            // any callees a `halt` terminated from inside).
+            while trace_depth > 0 {
+                s.on_event(&TraceEvent::Ret {
+                    pc: pc as u32,
+                    cycle: self.cycles,
+                });
+                trace_depth -= 1;
+            }
+            s.flush();
         }
 
         Ok(self.summarize(
@@ -842,5 +1014,164 @@ mod tests {
         let mut c = cpu();
         let s = c.run(&p).unwrap();
         assert!(s.cpi() >= 1.0);
+    }
+
+    fn nested_program() -> crate::asm::Program {
+        assemble(
+            "main:
+                call outer
+                call outer
+                halt
+             outer:
+                addi sp, sp, -4
+                sw   ra, sp, 0
+                call inner
+                lw   ra, sp, 0
+                addi sp, sp, 4
+                ret
+             inner:
+                movi a0, 0x100
+                lw   a1, a0, 0
+                add  a2, a1, a1
+                ret",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tracing_has_zero_observer_effect() {
+        let p = nested_program();
+        let mut plain = cpu();
+        let s_plain = plain.run(&p).unwrap();
+        let mut traced = cpu();
+        let mut sink = xobs::VecSink::new();
+        let s_traced = traced.run_traced(&p, Some(&mut sink)).unwrap();
+        assert_eq!(s_plain.cycles, s_traced.cycles);
+        assert_eq!(s_plain.instructions, s_traced.instructions);
+        for i in 0..16 {
+            assert_eq!(plain.reg(i), traced.reg(i), "register a{i} diverged");
+        }
+        assert!(!sink.events().is_empty());
+    }
+
+    #[test]
+    fn attribution_root_equals_total_cycles_across_runs() {
+        // Two cpu.call invocations on one core: the cycle counter
+        // persists, and attribution over the combined stream must cover
+        // every cycle.
+        let p = assemble(
+            "double:
+                add a0, a0, a0
+                ret
+             triple:
+                add a1, a0, a0
+                add a0, a1, a0
+                ret",
+        )
+        .unwrap();
+        let mut c = cpu();
+        let mut attr = xobs::Attribution::new();
+        c.call_traced(&p, "double", &[21], Some(&mut attr)).unwrap();
+        c.call_traced(&p, "triple", &[5], Some(&mut attr)).unwrap();
+        assert_eq!(attr.open_frames(), 0);
+        assert_eq!(attr.unmatched_rets(), 0);
+        assert_eq!(attr.total_cycles(), c.cycles());
+    }
+
+    #[test]
+    fn attribution_matches_profiler_on_nested_calls() {
+        let p = nested_program();
+        let mut c = cpu();
+        let mut attr = xobs::Attribution::new();
+        let s = c.run_traced(&p, Some(&mut attr)).unwrap();
+        assert_eq!(attr.total_cycles(), s.cycles);
+        let flat = attr.flat();
+        for name in ["outer", "inner"] {
+            let prof = s.profile.function(name).unwrap();
+            let traced = flat.iter().find(|e| e.name == name).unwrap();
+            assert_eq!(traced.calls, prof.calls, "{name} calls");
+            assert_eq!(traced.inclusive, prof.total_cycles, "{name} inclusive");
+            assert_eq!(traced.exclusive, prof.self_cycles, "{name} exclusive");
+        }
+    }
+
+    #[test]
+    fn recursion_profile_agrees_with_attribution() {
+        // count(n): if n == 0 return else count(n - 1). Pins the
+        // profiler's topmost-only recursion fix against the
+        // reconstruction from raw call/ret events.
+        let p = assemble(
+            "main:
+                movi a0, 5
+                call count
+                halt
+             count:
+                movi a7, 0
+                beq  a0, a7, done
+                addi a0, a0, -1
+                addi sp, sp, -4
+                sw   ra, sp, 0
+                call count
+                lw   ra, sp, 0
+                addi sp, sp, 4
+             done:
+                ret",
+        )
+        .unwrap();
+        let mut c = cpu();
+        let mut attr = xobs::Attribution::new();
+        let s = c.run_traced(&p, Some(&mut attr)).unwrap();
+        let prof = s.profile.function("count").unwrap();
+        let traced = attr.flat().into_iter().find(|e| e.name == "count").unwrap();
+        assert_eq!(prof.calls, 6);
+        assert_eq!(traced.calls, 6);
+        assert_eq!(prof.total_cycles, traced.inclusive);
+        assert_eq!(prof.self_cycles, traced.exclusive);
+        assert!(
+            prof.total_cycles <= s.cycles,
+            "inclusive {} must not exceed run total {}",
+            prof.total_cycles,
+            s.cycles
+        );
+        assert_eq!(attr.total_cycles(), s.cycles);
+    }
+
+    #[test]
+    fn trace_events_cover_all_hook_points() {
+        let mut ext = ExtensionSet::new();
+        ext.register(CustomInsnDef::new("addimm", 3, 50, |ctx, op| {
+            let d = op.regs[0].index();
+            ctx.regs[d] = ctx.regs[d].wrapping_add(op.imm as u32);
+            Ok(())
+        }));
+        let p = assemble(
+            "main:
+                movi a0, 0x100
+                lw   a1, a0, 0
+                add  a2, a1, a1    ; load-use stall
+                cust addimm a2, 1
+                movi a3, 1
+                movi a4, 1
+                beq  a3, a4, end   ; taken branch
+             end:
+                halt",
+        )
+        .unwrap();
+        let mut c = Cpu::with_extensions(CpuConfig::default(), ext);
+        let mut stats = xobs::EventStats::new();
+        let s = c.run_traced(&p, Some(&mut stats)).unwrap();
+        assert_eq!(stats.retires, s.instructions);
+        assert!(stats.stalls >= 1, "expected a load-use stall event");
+        assert!(stats.taken_branches >= 1);
+        assert_eq!(stats.custom.get("addimm"), Some(&1));
+        assert_eq!(
+            stats.icache.hits + stats.icache.misses,
+            s.icache.hits + s.icache.misses
+        );
+        assert_eq!(
+            stats.dcache.hits + stats.dcache.misses,
+            s.dcache.hits + s.dcache.misses
+        );
+        assert_eq!(stats.last_cycle, c.cycles());
     }
 }

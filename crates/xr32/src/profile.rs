@@ -18,8 +18,10 @@ pub struct FunctionStats {
     /// (the paper's `local_cycles(f)`).
     pub self_cycles: u64,
     /// Cycles spent in the function including its callees, summed over
-    /// invocations. For recursive functions inner invocations are also
-    /// counted by their enclosing invocation.
+    /// invocations. Recursive re-entries are counted topmost-only (an
+    /// invocation whose function is already live deeper on the stack
+    /// contributes nothing here), so `total_cycles` never exceeds the
+    /// run's total cycles.
     pub total_cycles: u64,
 }
 
@@ -132,9 +134,16 @@ impl Profiler {
         }
         let frame = self.stack.pop().expect("stack nonempty");
         let total = now - frame.entered_at;
+        // Topmost-only inclusive accounting: if the same function is
+        // still live deeper on the stack (recursion, including mutual
+        // recursion through the fallthrough convention), its enclosing
+        // invocation already covers these cycles.
+        let reentered = self.stack.iter().any(|f| f.name == frame.name);
         let stats = self.profile.functions.entry(frame.name).or_default();
         stats.calls += 1;
-        stats.total_cycles += total;
+        if !reentered {
+            stats.total_cycles += total;
+        }
         stats.self_cycles += total - frame.callee_cycles;
         if let Some(parent) = self.stack.last_mut() {
             parent.callee_cycles += total;
@@ -233,6 +242,61 @@ mod tests {
         let profile = p.finish(10);
         assert!(profile.function("f").is_none());
         assert!(profile.edges().is_empty());
+    }
+
+    #[test]
+    fn recursion_total_counts_topmost_only() {
+        // Regression: direct recursion used to add every invocation's
+        // span to total_cycles, so a 3-deep recursion over 100 cycles
+        // reported total_cycles = 100 + 80 + 30.
+        let mut p = Profiler::new("main");
+        p.on_call("fib", 0);
+        p.on_call("fib", 10);
+        p.on_call("fib", 20);
+        p.on_ret(50);
+        p.on_ret(90);
+        p.on_ret(100);
+        let profile = p.finish(100);
+        let fib = profile.function("fib").unwrap();
+        assert_eq!(fib.calls, 3);
+        assert_eq!(fib.total_cycles, 100, "re-entries must not double-count");
+        assert_eq!(fib.self_cycles, 100);
+        assert_eq!(profile.function("main").unwrap().total_cycles, 100);
+    }
+
+    #[test]
+    fn mutual_recursion_counts_each_name_topmost_only() {
+        // even [0,100) -> odd [10,90) -> even [20,60).
+        let mut p = Profiler::new("main");
+        p.on_call("even", 0);
+        p.on_call("odd", 10);
+        p.on_call("even", 20);
+        p.on_ret(60);
+        p.on_ret(90);
+        p.on_ret(100);
+        let profile = p.finish(100);
+        assert_eq!(profile.function("even").unwrap().total_cycles, 100);
+        assert_eq!(profile.function("odd").unwrap().total_cycles, 80);
+    }
+
+    #[test]
+    fn multi_call_site_helper_totals_accumulate() {
+        // Non-recursive repeated calls (distinct call sites) must still
+        // sum their totals: only live-on-stack re-entry is suppressed.
+        let mut p = Profiler::new("main");
+        p.on_call("a", 0);
+        p.on_call("helper", 5);
+        p.on_ret(15);
+        p.on_ret(20);
+        p.on_call("b", 30);
+        p.on_call("helper", 35);
+        p.on_ret(55);
+        p.on_ret(60);
+        let profile = p.finish(70);
+        let h = profile.function("helper").unwrap();
+        assert_eq!(h.calls, 2);
+        assert_eq!(h.total_cycles, 30);
+        assert_eq!(h.self_cycles, 30);
     }
 
     #[test]

@@ -2,9 +2,42 @@
 //! ALU semantics against host arithmetic, and timing-model invariants.
 
 use proptest::prelude::*;
+use xobs::{Attribution, EventStats, VecSink};
 use xr32::asm::assemble;
 use xr32::config::CpuConfig;
 use xr32::cpu::Cpu;
+
+/// Assembles a random straight-line/loop/call program from a template:
+/// `main` stores `values`, loops `n` times accumulating loads, and calls
+/// a helper once per iteration. Exercises every trace hook point.
+fn random_program(values: &[u32], n: u32) -> xr32::asm::Program {
+    let mut src = String::from("main:\n movi a1, 0x100\n");
+    for (i, v) in values.iter().enumerate() {
+        src.push_str(&format!(" movi a2, {}\n sw a2, a1, {}\n", *v as i64, 4 * i));
+    }
+    src.push_str(&format!(
+        " movi a0, {n}
+          movi a4, 0
+        loop:
+          lw   a3, a1, 0
+          add  a4, a4, a3
+          addi sp, sp, -4
+          sw   ra, sp, 0
+          call helper
+          lw   ra, sp, 0
+          addi sp, sp, 4
+          movi a5, 0
+          addi a0, a0, -1
+          bne  a0, a5, loop
+          halt
+        helper:
+          mul  a6, a4, a4
+          add  a6, a6, a4
+          ret
+        "
+    ));
+    assemble(&src).expect("valid template program")
+}
 
 fn run_binop(op: &str, a: u32, b: u32) -> u32 {
     let src = format!(
@@ -144,4 +177,70 @@ proptest! {
         prop_assert!(sc.cycles > sh.cycles, "cold {} vs hot {}", sc.cycles, sh.cycles);
         prop_assert!(sc.dcache.misses > sh.dcache.misses);
     }
+
+    /// Observer effect = 0: attaching a trace sink must not change
+    /// architectural state, cycle counts, instruction counts, or cache
+    /// statistics on random programs.
+    #[test]
+    fn tracing_is_invisible_to_the_machine(
+        values in prop::collection::vec(any::<u32>(), 1..8),
+        n in 1u32..20,
+    ) {
+        let p = random_program(&values, n);
+        let mut plain = Cpu::new(CpuConfig::default());
+        let s_plain = plain.run(&p).expect("halts");
+        let mut traced = Cpu::new(CpuConfig::default());
+        let mut sink = VecSink::new();
+        let s_traced = traced.run_traced(&p, Some(&mut sink)).expect("halts");
+
+        prop_assert_eq!(s_plain.cycles, s_traced.cycles);
+        prop_assert_eq!(s_plain.instructions, s_traced.instructions);
+        prop_assert_eq!(s_plain.icache, s_traced.icache);
+        prop_assert_eq!(s_plain.dcache, s_traced.dcache);
+        for i in 0..16 {
+            prop_assert_eq!(plain.reg(i), traced.reg(i), "register a{} diverged", i);
+        }
+        prop_assert_eq!(
+            plain.mem().read_words(0x100, values.len()).expect("in range"),
+            traced.mem().read_words(0x100, values.len()).expect("in range")
+        );
+        prop_assert!(!sink.events().is_empty());
+    }
+
+    /// Conservation: folded-stack inclusive cycles reconstructed from
+    /// the event stream sum to the run's total simulated cycles, and
+    /// per-category event tallies agree with the run summary.
+    #[test]
+    fn attribution_accounts_for_every_cycle(
+        values in prop::collection::vec(any::<u32>(), 1..8),
+        n in 1u32..20,
+    ) {
+        let p = random_program(&values, n);
+        let mut cpu = Cpu::new(CpuConfig::default());
+        let mut attr = Attribution::new();
+        let mut stats = EventStats::new();
+        {
+            let mut tee = xobs::trace::TeeSink::new(vec![&mut attr, &mut stats]);
+            cpu.run_traced(&p, Some(&mut tee)).expect("halts");
+        }
+        let total = cpu.cycles();
+        prop_assert_eq!(attr.open_frames(), 0);
+        prop_assert_eq!(attr.unmatched_rets(), 0);
+        prop_assert_eq!(attr.total_cycles(), total);
+        let folded_sum: u64 = attr
+            .folded()
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        prop_assert_eq!(folded_sum, total);
+        prop_assert_eq!(stats.retires, cpu_instructions(&p));
+        prop_assert_eq!(stats.last_cycle, total);
+    }
+}
+
+/// Instruction count of an untraced reference run (helper for the
+/// conservation property).
+fn cpu_instructions(p: &xr32::asm::Program) -> u64 {
+    let mut cpu = Cpu::new(CpuConfig::default());
+    cpu.run(p).expect("halts").instructions
 }

@@ -8,3 +8,26 @@ cargo test -q
 cargo test -q --workspace
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Observability smoke: trace a couple of base-AES blocks and assert the
+# known kernel hot spots show up in the replayed attribution report.
+cargo build --release -q --package bench
+TRACE=$(mktemp /tmp/ci_aes.XXXXXX.xtrace)
+trap 'rm -f "$TRACE"' EXIT
+target/release/xr32-trace record aes "$TRACE" 2
+SUMMARY=$(target/release/xr32-trace summary "$TRACE")
+for hot in subshift mixcols addkey; do
+  if ! grep -q "$hot" <<<"$SUMMARY"; then
+    echo "ci: '$hot' missing from AES trace hot report" >&2
+    exit 1
+  fi
+done
+
+# Every bench binary's --json output must be a schema-valid run report.
+target/release/table1_speedups --json 128 | target/release/xr32-trace check-report -
+target/release/fig8_ssl --json 256 | target/release/xr32-trace check-report -
+target/release/fig1_gap --json | target/release/xr32-trace check-report -
+target/release/fig4_callgraph --json 8 | target/release/xr32-trace check-report -
+target/release/fig5_adcurves --json 8 | target/release/xr32-trace check-report -
+target/release/fig6_cartesian --json | target/release/xr32-trace check-report -
+target/release/sec43_exploration --json 128 2 | target/release/xr32-trace check-report -
