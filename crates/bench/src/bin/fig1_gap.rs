@@ -7,23 +7,28 @@
 //! per-byte work of an SSL-protected stream. With `--json`, stdout
 //! carries a single structured run report instead of prose.
 
-use bench::Cli;
+use bench::{Cli, Harness};
 use secproc::gap;
+use secproc::kcache;
 use secproc::simcipher::SimSha1;
 use secproc::{measure, platform::PlatformKind};
-use xobs::{Json, RunReport};
+use xobs::{Json, Registry, RunReport};
 use xr32::config::CpuConfig;
 
 fn main() {
     let cli = Cli::parse();
     let config = CpuConfig::default();
+    let harness = Harness::from_env();
     if !cli.json {
         println!("Fig. 1 — the security processing gap");
         println!("(required MIPS = data rate x measured baseline security cycles/byte)\n");
     }
 
-    let tdes = measure::measure_tdes(&config, 4);
-    let sha_cpb = SimSha1::new(config.clone()).cycles_per_byte(4);
+    let tdes = measure::measure_tdes_cached(&config, 4, harness.cache());
+    let sha_cpb = harness.kcache.scalar(
+        &kcache::key(config.fingerprint(), "sim", "fig1:sha1", 4, 0),
+        || SimSha1::new(config.clone()).cycles_per_byte(4),
+    );
     let cpb = tdes.base_cpb + sha_cpb;
     let rows = gap::trend(cpb);
 
@@ -40,15 +45,19 @@ fn main() {
                     .set("gap_factor", r.gap_factor()),
             );
         }
+        let metrics = Registry::new();
+        harness.record_metrics(&metrics);
         let report = RunReport::new("fig1_gap")
             .with_fingerprint(config.fingerprint())
             .result("tdes_base_cpb", tdes.base_cpb)
             .result("sha1_cpb", sha_cpb)
             .result("security_cpb", cpb)
-            .result("trend", out);
-        bench::emit_report(&report);
+            .result("trend", out)
+            .with_metrics(metrics.snapshot());
+        bench::emit_report(&harness.finish(report));
         return;
     }
+    let _ = harness.kcache.save();
 
     println!(
         "measured baseline cost: 3DES {:.1} c/B + SHA-1 {:.1} c/B = {:.1} c/B\n",

@@ -3,14 +3,15 @@
 //! cycles. With `--json`, stdout carries a single structured run report
 //! instead of prose.
 
-use bench::Cli;
+use bench::{Cli, Harness};
 use secproc::flow;
-use xobs::{Json, RunReport};
+use xobs::{Json, Registry, RunReport};
 use xr32::config::CpuConfig;
 
 fn main() {
     let cli = Cli::parse();
     let config = CpuConfig::default();
+    let harness = Harness::from_env();
     let limbs = cli.pos_usize(0, 32);
     if !cli.json {
         println!("Fig. 4 — call graph for an optimized modular exponentiation");
@@ -20,21 +21,25 @@ fn main() {
         );
     }
 
-    let graph = flow::fig4_call_graph(&config, limbs);
+    let graph = flow::fig4_call_graph_cached(&config, limbs, harness.cache());
     let total = graph
         .total_cycles("decrypt")
         .expect("decrypt is the root of the example graph");
     let leaves: Vec<Json> = graph.leaves().map(Json::from).collect();
 
     if cli.json {
+        let metrics = Registry::new();
+        harness.record_metrics(&metrics);
         let report = RunReport::new("fig4_callgraph")
             .with_fingerprint(config.fingerprint())
             .result("limbs", limbs as u64)
             .result("total_cycles_decrypt", total)
-            .result("leaves", leaves);
-        bench::emit_report(&report);
+            .result("leaves", leaves)
+            .with_metrics(metrics.snapshot());
+        bench::emit_report(&harness.finish(report));
         return;
     }
+    let _ = harness.kcache.save();
 
     print!("{}", graph.render());
     println!("\ntotal cycles(decrypt) by Equation (1): {total:.0}");

@@ -2,13 +2,17 @@
 //! A-D curve for `mpn_addmul_1`, and (c) their propagation through an
 //! example call graph with Pareto pruning. With `--json`, stdout
 //! carries a single structured run report instead of prose.
+//!
+//! The nine ISS measurement points run on the `WSP_THREADS`-sized
+//! worker pool and are served from the persistent kernel-cycle cache;
+//! the curves are identical for any thread count and cache state.
 
-use bench::Cli;
+use bench::{Cli, Harness};
 use secproc::flow;
 use tie::adcurve::AdCurve;
 use tie::callgraph::CallGraph;
 use tie::select::Selector;
-use xobs::{Json, RunReport};
+use xobs::{Json, Registry, RunReport};
 use xr32::config::CpuConfig;
 
 fn curve_to_json(curve: &AdCurve) -> Json {
@@ -27,12 +31,13 @@ fn curve_to_json(curve: &AdCurve) -> Json {
 fn main() {
     let cli = Cli::parse();
     let config = CpuConfig::default();
+    let harness = Harness::from_env();
     let n = cli.pos_usize(0, 32); // 1024-bit operands, as in the paper's RSA context
     if !cli.json {
         println!("Fig. 5 — A-D curves for library routines (n = {n} limbs)\n");
     }
 
-    let curves = flow::formulate_mpn_curves(&config, n);
+    let curves = flow::formulate_mpn_curves_pooled(&config, n, &harness.pool, harness.cache());
 
     // (c) combine through a root with both children, then Pareto-prune.
     let mut g = CallGraph::new();
@@ -50,6 +55,8 @@ fn main() {
     let pruned = combined.pareto();
 
     if cli.json {
+        let metrics = Registry::new();
+        harness.record_metrics(&metrics);
         let report = RunReport::new("fig5_adcurves")
             .with_fingerprint(config.fingerprint())
             .result("limbs", n as u64)
@@ -57,10 +64,12 @@ fn main() {
             .result("mpn_addmul_1", curve_to_json(&curves["mpn_addmul_1"]))
             .result("combined_points", combined.len() as u64)
             .result("pareto_points", pruned.len() as u64)
-            .result("combined_pareto", curve_to_json(&pruned));
-        bench::emit_report(&report);
+            .result("combined_pareto", curve_to_json(&pruned))
+            .with_metrics(metrics.snapshot());
+        bench::emit_report(&harness.finish(report));
         return;
     }
+    let _ = harness.kcache.save();
 
     println!("(a) mpn_add_n (paper: 202 cycles base, add_2..add_16 points)");
     print!("{}", curves["mpn_add_n"].render());

@@ -8,34 +8,41 @@
 //! the §4.3 harness). With `--json`, stdout carries a single structured
 //! run report instead of prose.
 
-use bench::Cli;
+use bench::{Cli, Harness};
 use pubkey::modexp::ExpCache;
 use pubkey::ops::MpnOps;
 use pubkey::rsa::KeyPair;
 use pubkey::space::ModExpConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use secproc::kcache;
 use secproc::measure;
 use secproc::simcipher::SimSha1;
 use secproc::ssl::{self, SslCostModel};
-use xobs::{Json, RunReport};
+use xobs::{Json, Registry, RunReport};
 use xr32::config::CpuConfig;
 
 fn main() {
     let cli = Cli::parse();
     let config = CpuConfig::default();
     let rsa_bits = cli.pos_usize(0, 1024);
+    let harness = Harness::from_env();
 
     if !cli.json {
         println!("Fig. 8 — estimated speedups for SSL transactions (RSA-{rsa_bits} handshake)\n");
     }
 
-    // Bulk and MAC costs from the ISS.
-    let tdes = measure::measure_tdes(&config, 6);
-    let sha_cpb = SimSha1::new(config.clone()).cycles_per_byte(6);
+    // Bulk and MAC costs from the ISS, served from the kernel-cycle
+    // cache on re-runs.
+    let tdes = measure::measure_tdes_cached(&config, 6, harness.cache());
+    let sha_cpb = harness.kcache.scalar(
+        &kcache::key(config.fingerprint(), "sim", "fig8:sha1", 6, 0),
+        || SimSha1::new(config.clone()).cycles_per_byte(6),
+    );
 
     // Handshake: RSA private-key op, macro-model metered.
-    let models = bench::default_models(rsa_bits.div_ceil(32).max(8));
+    let models =
+        bench::default_models_on(rsa_bits.div_ceil(32).max(8), &harness.pool, harness.cache());
     let mut rng = StdRng::seed_from_u64(0x55E);
     let kp = KeyPair::generate(rsa_bits, &mut rng);
     let msg = mpint::Natural::random_below(&mut rng, &kp.public.n);
@@ -56,15 +63,22 @@ fn main() {
     // Optimized handshake additionally benefits from the MAC/adder
     // datapaths; scale by the kernel-level gain measured for addmul.
     let accel_gain = {
-        let mut b = secproc::IssMpn::base(config.clone());
-        b.set_verify(false);
-        b.measure32(pubkey::ops::opname::ADDMUL_1, 32, 3);
-        let bc = b.measure32(pubkey::ops::opname::ADDMUL_1, 32, 4);
-        let mut f = secproc::IssMpn::accelerated(config.clone(), 16, 4);
-        f.set_verify(false);
-        f.measure32(pubkey::ops::opname::ADDMUL_1, 32, 3);
-        let fc = f.measure32(pubkey::ops::opname::ADDMUL_1, 32, 4);
-        bc / fc
+        let pair = harness.kcache.get_or_compute(
+            &kcache::key(config.fingerprint(), "iss", "fig8:addmul_gain", 32, 0x0304),
+            2,
+            || {
+                let mut b = secproc::IssMpn::base(config.clone());
+                b.set_verify(false);
+                b.measure32(pubkey::ops::opname::ADDMUL_1, 32, 3);
+                let bc = b.measure32(pubkey::ops::opname::ADDMUL_1, 32, 4);
+                let mut f = secproc::IssMpn::accelerated(config.clone(), 16, 4);
+                f.set_verify(false);
+                f.measure32(pubkey::ops::opname::ADDMUL_1, 32, 3);
+                let fc = f.measure32(pubkey::ops::opname::ADDMUL_1, 32, 4);
+                vec![bc, fc]
+            },
+        );
+        pair[0] / pair[1]
     };
     let hs_opt = handshake(&ModExpConfig::optimized()) / accel_gain;
 
@@ -91,14 +105,18 @@ fn main() {
             .set("tdes_base_cpb", tdes.base_cpb)
             .set("tdes_opt_cpb", tdes.opt_cpb)
             .set("sha1_cpb", sha_cpb);
+        let metrics = Registry::new();
+        harness.record_metrics(&metrics);
         let report = RunReport::new("fig8_ssl")
             .with_fingerprint(config.fingerprint())
             .result("rsa_bits", rsa_bits as u64)
             .result("components", components)
-            .result("series", ssl::series_to_json(&series));
-        bench::emit_report(&report);
+            .result("series", ssl::series_to_json(&series))
+            .with_metrics(metrics.snapshot());
+        bench::emit_report(&harness.finish(report));
         return;
     }
+    let _ = harness.kcache.save();
 
     println!("measured components:");
     println!(

@@ -5,8 +5,14 @@
 //! mean absolute error). With `--json`, stdout carries a single
 //! structured run report — including the `flow.*`/`charact.*`/`space.*`
 //! metrics of the metered methodology phases — instead of prose.
+//!
+//! Characterization, exploration and co-simulation run on the
+//! `WSP_THREADS`-sized worker pool, with ISS measurement units served
+//! from the persistent kernel-cycle cache (`$WSP_KCACHE`, default
+//! `target/kcache.json`). The simulated results are identical for any
+//! thread count and cache state; only `wall_ms` and friends vary.
 
-use bench::Cli;
+use bench::{Cli, Harness};
 use pubkey::space::ModExpConfig;
 use secproc::flow;
 use secproc::issops::KernelVariant;
@@ -20,6 +26,7 @@ fn main() {
     let cosim_samples = cli.pos_usize(1, 6);
     let config = CpuConfig::default();
     let metrics = Registry::new();
+    let harness = Harness::from_env();
 
     if !cli.json {
         println!("§4.3 — algorithm design space exploration ({bits}-bit modular exponentiation)\n");
@@ -27,7 +34,7 @@ fn main() {
 
     // Phase 1: characterization (one-time cost).
     let t0 = Instant::now();
-    let models = flow::characterize_kernels_metered(
+    let models = flow::characterize_kernels_pooled(
         &config,
         KernelVariant::Base,
         (bits / 32).max(8),
@@ -36,20 +43,23 @@ fn main() {
             validation_points: 8,
         },
         Some(&metrics),
+        &harness.pool,
+        harness.cache(),
     );
     let charact_time = t0.elapsed();
     if !cli.json {
         println!(
-            "characterization: {} models fitted in {:.2?}; mean |err| {:.1}% \
+            "characterization: {} models fitted in {:.2?} on {} worker(s); mean |err| {:.1}% \
              (paper: 11.8%)",
             models.quality.len(),
             charact_time,
+            harness.pool.threads(),
             models.mean_abs_error_pct()
         );
     }
 
     // Phase 2: macro-model exploration of the full lattice.
-    let result = flow::explore_modexp_metered(&models, bits, 4.0, Some(&metrics))
+    let result = flow::explore_modexp_pooled(&models, bits, 4.0, Some(&metrics), &harness.pool)
         .expect("all 450 configs run");
     if !cli.json {
         println!(
@@ -89,9 +99,15 @@ fn main() {
     for i in 0..cosim_samples {
         let cand = &result.ranked[i * step];
         let t = Instant::now();
-        let cosim =
-            flow::cosimulate_candidate(&config, KernelVariant::Base, &cand.config, bits, 4.0)
-                .expect("candidate co-simulates");
+        let cosim = flow::cosimulate_candidate_cached(
+            &config,
+            KernelVariant::Base,
+            &cand.config,
+            bits,
+            4.0,
+            harness.cache(),
+        )
+        .expect("candidate co-simulates");
         let cosim_time = t.elapsed();
         let t = Instant::now();
         // Re-run the macro-model estimate to time it fairly.
@@ -123,6 +139,7 @@ fn main() {
     }
     let mae = errors.iter().sum::<f64>() / errors.len() as f64;
     let mean_speedup = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    harness.record_metrics(&metrics);
 
     if cli.json {
         let report = RunReport::new("sec43_exploration")
@@ -140,12 +157,20 @@ fn main() {
             .result("mean_abs_error_pct", mae)
             .result("mean_estimation_speedup", mean_speedup)
             .with_metrics(metrics.snapshot());
-        bench::emit_report(&report);
+        bench::emit_report(&harness.finish(report));
         return;
     }
 
+    let _ = harness.kcache.save();
     println!(
         "\nmean |error| {mae:.1}% (paper: 11.8%); mean estimation speedup {mean_speedup:.0}x \
          (paper: 1407x)"
+    );
+    println!(
+        "wall {:.0} ms on {} worker(s); memo cache {:.0}% hits ({} entries)",
+        harness.wall_ms(),
+        harness.pool.threads(),
+        harness.kcache.hit_rate() * 100.0,
+        harness.kcache.len()
     );
 }

@@ -9,9 +9,9 @@
 //! minutes — use 256 for a quick pass). With `--json`, stdout carries a
 //! single structured run report instead of prose.
 
-use bench::Cli;
+use bench::{Cli, Harness};
 use secproc::measure::Table1;
-use xobs::RunReport;
+use xobs::{Registry, RunReport};
 use xr32::config::CpuConfig;
 
 fn main() {
@@ -19,6 +19,7 @@ fn main() {
     let rsa_bits = cli.pos_usize(0, 1024);
     let blocks = 8;
     let config = CpuConfig::default();
+    let harness = Harness::from_env();
 
     if !cli.json {
         println!("Table 1 — performance speedups for popular security algorithms");
@@ -28,16 +29,22 @@ fn main() {
         );
     }
 
-    let table = Table1::measure(&config, blocks, rsa_bits);
+    // The four measurement units (DES, 3DES, AES, RSA) run in parallel
+    // and re-runs are served whole from the kernel-cycle cache.
+    let table = Table1::measure_pooled(&config, blocks, rsa_bits, &harness.pool, harness.cache());
 
     if cli.json {
+        let metrics = Registry::new();
+        harness.record_metrics(&metrics);
         let report = RunReport::new("table1_speedups")
             .with_fingerprint(config.fingerprint())
             .result("blocks", blocks as u64)
-            .result("table", table.to_json());
-        bench::emit_report(&report);
+            .result("table", table.to_json())
+            .with_metrics(metrics.snapshot());
+        bench::emit_report(&harness.finish(report));
         return;
     }
+    let _ = harness.kcache.save();
 
     print!("{}", table.render());
 

@@ -18,6 +18,11 @@
 //!     root of the folded profile equals total ISS cycles exactly.
 //! xr32-trace check-report <file.json|->
 //!     Validate a `--json` run report against the xobs schema.
+//! xr32-trace normalize-report <file.json|->
+//!     Print the report with every host-timing-dependent field
+//!     (`wall_ms`, `threads`, `memo_hit_rate`, estimation speedups,
+//!     `xpar.*`/`kcache.*` metrics) stripped, so two runs of the same
+//!     workload diff byte-for-byte.
 //! ```
 
 use std::cell::RefCell;
@@ -46,7 +51,8 @@ fn usage() -> ExitCode {
          \x20 summary <in.xtrace> [top_n]\n\
          \x20 cache <in.xtrace>\n\
          \x20 rsa-attrib [bits]\n\
-         \x20 check-report <file.json|->"
+         \x20 check-report <file.json|->\n\
+         \x20 normalize-report <file.json|->"
     );
     ExitCode::from(2)
 }
@@ -104,6 +110,10 @@ fn main() -> ExitCode {
         }
         "check-report" => match args.get(1) {
             Some(path) => check_report(path),
+            None => usage(),
+        },
+        "normalize-report" => match args.get(1) {
+            Some(path) => normalize_report(path),
             None => usage(),
         },
         _ => usage(),
@@ -249,28 +259,33 @@ fn rsa_attrib(bits: usize) -> ExitCode {
     }
 }
 
-fn check_report(path: &str) -> ExitCode {
+/// Read a report from `path` (`-` for stdin) and parse it as JSON.
+fn read_report(path: &str) -> Result<xobs::Json, ExitCode> {
     let mut text = String::new();
     if path == "-" {
         if let Err(e) = std::io::stdin().read_to_string(&mut text) {
             eprintln!("xr32-trace: cannot read stdin: {e}");
-            return ExitCode::FAILURE;
+            return Err(ExitCode::FAILURE);
         }
     } else {
         match std::fs::read_to_string(path) {
             Ok(t) => text = t,
             Err(e) => {
                 eprintln!("xr32-trace: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
+                return Err(ExitCode::FAILURE);
             }
         }
     }
-    let json = match xobs::json::parse(&text) {
+    xobs::json::parse(&text).map_err(|e| {
+        eprintln!("xr32-trace: not valid JSON: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn check_report(path: &str) -> ExitCode {
+    let json = match read_report(path) {
         Ok(j) => j,
-        Err(e) => {
-            eprintln!("xr32-trace: not valid JSON: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
     match xobs::report::validate(&json) {
         Ok(()) => {
@@ -283,4 +298,17 @@ fn check_report(path: &str) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn normalize_report(path: &str) -> ExitCode {
+    let json = match read_report(path) {
+        Ok(j) => j,
+        Err(code) => return code,
+    };
+    if let Err(e) = xobs::report::validate(&json) {
+        eprintln!("xr32-trace: invalid run report: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{}", xobs::report::normalize(&json).to_string_compact());
+    ExitCode::SUCCESS
 }

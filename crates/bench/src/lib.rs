@@ -3,8 +3,67 @@
 
 use secproc::flow::{self, KernelModels};
 use secproc::issops::KernelVariant;
+use secproc::kcache::KCache;
+use std::time::Instant;
 use xobs::RunReport;
+use xpar::Pool;
 use xr32::config::CpuConfig;
+
+/// The per-run execution context shared by every harness binary: the
+/// worker pool (sized by `WSP_THREADS`, else the host's parallelism),
+/// the persistent kernel-cycle cache (`$WSP_KCACHE`, else
+/// `target/kcache.json`), and the run's wall-clock start.
+pub struct Harness {
+    /// The worker pool every pooled flow/measure call runs on.
+    pub pool: Pool,
+    /// The persistent kernel-cycle memo cache.
+    pub kcache: KCache,
+    start: Instant,
+}
+
+impl Harness {
+    /// Opens the environment-default pool and cache and starts the
+    /// wall clock.
+    pub fn from_env() -> Self {
+        Harness {
+            pool: Pool::from_env(),
+            kcache: KCache::open_default(),
+            start: Instant::now(),
+        }
+    }
+
+    /// The cache as the `Option` the pooled flow functions take.
+    pub fn cache(&self) -> Option<&KCache> {
+        Some(&self.kcache)
+    }
+
+    /// Milliseconds since the harness started.
+    pub fn wall_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Publishes the run's parallel-execution metrics: worker count and
+    /// utilization (`xpar.*`) and memo-cache traffic (`kcache.*`).
+    pub fn record_metrics(&self, reg: &xobs::Registry) {
+        reg.gauge("xpar.threads").set(self.pool.threads() as f64);
+        reg.gauge("xpar.utilization").set(self.pool.utilization());
+        reg.counter("kcache.hits").add(self.kcache.hits());
+        reg.counter("kcache.misses").add(self.kcache.misses());
+        reg.gauge("kcache.hit_rate").set(self.kcache.hit_rate());
+        reg.gauge("kcache.entries").set(self.kcache.len() as f64);
+    }
+
+    /// Stamps the schema-2 wall-clock fields onto the report and
+    /// persists the kernel-cycle cache (best-effort: an unwritable
+    /// cache path only costs future warm starts, never the run).
+    pub fn finish(&self, report: RunReport) -> RunReport {
+        let _ = self.kcache.save();
+        report
+            .with_wall_ms(self.wall_ms())
+            .with_threads(self.pool.threads())
+            .with_memo_hit_rate(self.kcache.hit_rate())
+    }
+}
 
 /// Characterizes the base kernels with harness-default options.
 pub fn default_models(max_limbs: usize) -> KernelModels {
@@ -16,6 +75,22 @@ pub fn default_models(max_limbs: usize) -> KernelModels {
             train_samples: 24,
             validation_points: 8,
         },
+    )
+}
+
+/// [`default_models`] on an explicit pool and cache (identical models).
+pub fn default_models_on(max_limbs: usize, pool: &Pool, cache: Option<&KCache>) -> KernelModels {
+    flow::characterize_kernels_pooled(
+        &CpuConfig::default(),
+        KernelVariant::Base,
+        max_limbs,
+        &macromodel::charact::CharactOptions {
+            train_samples: 24,
+            validation_points: 8,
+        },
+        None,
+        pool,
+        cache,
     )
 }
 

@@ -41,6 +41,109 @@ pub struct Characterization {
     pub observations: Vec<(Vec<u64>, f64)>,
 }
 
+/// A pre-drawn set of stimuli: the random training points (in draw
+/// order) followed by the deterministic validation sweep.
+///
+/// Splitting planning from measurement lets a driver consume the shared
+/// RNG serially (keeping the stimulus stream independent of scheduling)
+/// while the measurements themselves run on a worker pool or come from
+/// a memo cache — see [`plan_stimuli`] and [`fit_planned`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StimulusPlan {
+    /// Random training stimuli, in the order they were drawn.
+    pub train: Vec<Vec<u64>>,
+    /// Held-out validation stimuli (deterministic sweep).
+    pub validation: Vec<Vec<u64>>,
+}
+
+impl StimulusPlan {
+    /// Total number of stimuli (training + validation).
+    pub fn len(&self) -> usize {
+        self.train.len() + self.validation.len()
+    }
+
+    /// Whether the plan contains no stimuli.
+    pub fn is_empty(&self) -> bool {
+        self.train.is_empty() && self.validation.is_empty()
+    }
+
+    /// Every stimulus in measurement order: training first, then
+    /// validation.
+    pub fn points(&self) -> impl Iterator<Item = &[u64]> {
+        self.train
+            .iter()
+            .chain(self.validation.iter())
+            .map(Vec::as_slice)
+    }
+}
+
+/// Draws the full stimulus plan for one characterization: random
+/// training samples from `rng` plus the deterministic validation sweep.
+/// Consumes exactly `options.train_samples` draws from `rng`.
+pub fn plan_stimuli<R: Rng + ?Sized>(
+    space: &ParamSpace,
+    options: &CharactOptions,
+    rng: &mut R,
+) -> StimulusPlan {
+    let train = (0..options.train_samples)
+        .map(|_| space.sample(rng))
+        .collect();
+    let validation = space.sweep(options.validation_points.max(1));
+    StimulusPlan { train, validation }
+}
+
+/// Fits a characterization from a stimulus plan and the cycle counts
+/// measured for it, in plan order (training first, then validation) —
+/// the second half of [`characterize`].
+///
+/// # Errors
+///
+/// Returns [`RegressError`] if the fit is degenerate.
+///
+/// # Panics
+///
+/// Panics if `basis` is empty or `cycles.len() != plan.len()`.
+pub fn fit_planned(
+    basis: &[Monomial],
+    plan: &StimulusPlan,
+    cycles: &[f64],
+) -> Result<Characterization, RegressError> {
+    assert!(!basis.is_empty(), "empty basis");
+    assert_eq!(
+        cycles.len(),
+        plan.len(),
+        "one cycle count per planned stimulus"
+    );
+    let (train_cycles, validation_cycles) = cycles.split_at(plan.train.len());
+
+    let rows: Vec<Vec<f64>> = plan
+        .train
+        .iter()
+        .map(|p| basis.iter().map(|m| m.eval(p)).collect())
+        .collect();
+    let coeffs = fit(&rows, train_cycles)?;
+    let model = MacroModel::new("routine", basis.to_vec(), coeffs);
+
+    let validation: Vec<(Vec<u64>, f64)> = plan
+        .validation
+        .iter()
+        .cloned()
+        .zip(validation_cycles.iter().copied())
+        .collect();
+    let quality = ModelQuality::evaluate(&model, &validation);
+
+    Ok(Characterization {
+        model,
+        quality,
+        observations: plan
+            .train
+            .iter()
+            .cloned()
+            .zip(train_cycles.iter().copied())
+            .collect(),
+    })
+}
+
 /// Characterizes a routine: samples the space, measures cycles through
 /// `measure`, fits the basis, and validates on a sweep.
 ///
@@ -64,37 +167,9 @@ pub fn characterize<R: Rng + ?Sized>(
     for m in basis {
         assert_eq!(m.dims(), space.dims(), "basis/space dimension mismatch");
     }
-
-    // Training set: random stimuli.
-    let mut rows = Vec::with_capacity(options.train_samples);
-    let mut ys = Vec::with_capacity(options.train_samples);
-    let mut observations = Vec::with_capacity(options.train_samples);
-    for _ in 0..options.train_samples {
-        let params = space.sample(rng);
-        let cycles = measure(&params);
-        rows.push(basis.iter().map(|m| m.eval(&params)).collect());
-        ys.push(cycles);
-        observations.push((params, cycles));
-    }
-    let coeffs = fit(&rows, &ys)?;
-    let model = MacroModel::new("routine", basis.to_vec(), coeffs);
-
-    // Validation set: deterministic sweep, measured fresh.
-    let validation: Vec<(Vec<u64>, f64)> = space
-        .sweep(options.validation_points.max(1))
-        .into_iter()
-        .map(|p| {
-            let c = measure(&p);
-            (p, c)
-        })
-        .collect();
-    let quality = ModelQuality::evaluate(&model, &validation);
-
-    Ok(Characterization {
-        model,
-        quality,
-        observations,
-    })
+    let plan = plan_stimuli(space, options, rng);
+    let cycles: Vec<f64> = plan.points().map(&mut measure).collect();
+    fit_planned(basis, &plan, &cycles)
 }
 
 /// As [`characterize`], additionally publishing progress and fit
@@ -272,6 +347,33 @@ mod tests {
         assert_eq!(snap.counter("charact.stimuli_run"), Some(14));
         assert!(snap.get("charact.last_r_squared").is_some());
         assert!(snap.get("charact.last_mae_pct").is_some());
+    }
+
+    #[test]
+    fn planned_fit_matches_inline_characterization() {
+        let space = ParamSpace::new(vec![(1, 64)]);
+        let basis = vec![Monomial::constant(1), Monomial::linear(1, 0)];
+        let opts = CharactOptions {
+            train_samples: 16,
+            validation_points: 6,
+        };
+        let measure = |p: &[u64]| 9.0 + 3.5 * p[0] as f64;
+        let inline = characterize(&space, &basis, &opts, &mut rng(), measure).unwrap();
+        let plan = plan_stimuli(&space, &opts, &mut rng());
+        assert_eq!(plan.len(), 22);
+        let cycles: Vec<f64> = plan.points().map(measure).collect();
+        let planned = fit_planned(&basis, &plan, &cycles).unwrap();
+        assert_eq!(planned.model.coeffs(), inline.model.coeffs());
+        assert_eq!(planned.quality.mae_pct, inline.quality.mae_pct);
+        assert_eq!(planned.observations, inline.observations);
+    }
+
+    #[test]
+    #[should_panic(expected = "one cycle count per planned stimulus")]
+    fn fit_planned_rejects_arity_mismatch() {
+        let space = ParamSpace::new(vec![(1, 8)]);
+        let plan = plan_stimuli(&space, &CharactOptions::default(), &mut rng());
+        let _ = fit_planned(&[Monomial::constant(1)], &plan, &[1.0]);
     }
 
     #[test]

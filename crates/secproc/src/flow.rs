@@ -15,7 +15,8 @@
 //!    budget.
 
 use crate::issops::{IssMpn, KernelVariant};
-use macromodel::charact::{characterize_metered, with_name, CharactOptions, Characterization};
+use crate::kcache::{self, KCache};
+use macromodel::charact::{fit_planned, plan_stimuli, with_name, CharactOptions, StimulusPlan};
 use macromodel::model::{MacroModel, ModelQuality, Monomial};
 use macromodel::stimulus::ParamSpace;
 use mpint::Natural;
@@ -30,7 +31,12 @@ use tie::adcurve::{AdCurve, AdPoint};
 use tie::callgraph::CallGraph;
 use tie::insn::CustomInsn;
 use tie::select::Selector;
+use xpar::Pool;
 use xr32::config::CpuConfig;
+
+/// The stimulus-seed increment used between kernel measurements
+/// (golden-ratio stepping, as in the original serial driver).
+const SEED_STEP: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Fitted macro-models for every basic operation, with accuracy
 /// metadata.
@@ -81,7 +87,9 @@ pub fn characterize_kernels(
 /// progress into a metrics registry when one is supplied:
 /// `flow.phase1.iss_cycles` (simulated cycles consumed by stimuli),
 /// `flow.phase1.ops_characterized`, `flow.phase1.mean_abs_error_pct`,
-/// plus the `charact.*` metrics of every fit.
+/// `flow.phase1.wall_ms`, plus the `charact.*` metrics of every fit.
+/// Runs on an environment-sized [`Pool`] without a kernel-cycle cache;
+/// see [`characterize_kernels_pooled`].
 ///
 /// # Panics
 ///
@@ -93,10 +101,93 @@ pub fn characterize_kernels_metered(
     options: &CharactOptions,
     metrics: Option<&xobs::Registry>,
 ) -> KernelModels {
-    let mut models32 = BTreeMap::new();
-    let mut models16 = BTreeMap::new();
-    let mut quality = BTreeMap::new();
-    let mut rng = StdRng::seed_from_u64(0xC0DE_2002);
+    characterize_kernels_pooled(
+        config,
+        variant,
+        max_limbs,
+        options,
+        metrics,
+        &Pool::from_env(),
+        None,
+    )
+}
+
+/// One phase-1 measurement unit: a kernel characterized at one radix
+/// width against a pre-drawn stimulus plan.
+struct CharactTask {
+    width: u32,
+    op: &'static str,
+    basis: Vec<Monomial>,
+    plan: StimulusPlan,
+}
+
+/// Content digest of a stimulus plan (folded into the kernel-cycle
+/// cache key so changed characterization options cannot be served stale
+/// measurements).
+fn plan_digest(plan: &StimulusPlan) -> u64 {
+    let flat: Vec<f64> = plan
+        .points()
+        .flat_map(|p| p.iter().map(|&v| v as f64))
+        .collect();
+    xpar::memo::checksum(
+        &format!("plan:t{}v{}", plan.train.len(), plan.validation.len()),
+        &flat,
+    )
+}
+
+/// Runs one characterization task on a fresh ISS (each worker owns its
+/// `Cpu`), returning the cycle count of every planned stimulus in plan
+/// order.
+fn measure_charact_task(config: &CpuConfig, variant: KernelVariant, t: &CharactTask) -> Vec<f64> {
+    let mut iss = IssMpn::with_variant(config.clone(), variant);
+    // Characterization measures timing only, and one warm-up stimulus
+    // is discarded so every task starts from the same (warm) cache
+    // state regardless of which worker runs it.
+    iss.set_verify(false);
+    if t.width == 32 {
+        iss.measure32(t.op, 1, 0x5EED);
+    } else {
+        iss.measure16(t.op, 1, 0x5EED);
+    }
+    let mut seed = 1u64;
+    t.plan
+        .points()
+        .map(|params| {
+            seed = seed.wrapping_add(SEED_STEP);
+            let n = params[0] as usize;
+            if t.width == 32 {
+                iss.measure32(t.op, n, seed)
+            } else {
+                iss.measure16(t.op, n, seed)
+            }
+        })
+        .collect()
+}
+
+/// Phase 1 on a worker pool: stimulus plans are drawn serially from the
+/// shared RNG (so the stimulus stream is identical for any thread
+/// count), the 16 `(width, op)` measurement units run in parallel with
+/// one fresh ISS each, and fits are merged in submission order. When a
+/// [`KCache`] is supplied, each unit's cycle vector is served from the
+/// cache under `fingerprint × variant × op × max_limbs × plan-digest`.
+///
+/// The result — models, quality, and every published metric except
+/// `*wall_ms` — is bit-identical for any thread count and any cache
+/// state.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`characterize_kernels`].
+#[allow(clippy::too_many_arguments)]
+pub fn characterize_kernels_pooled(
+    config: &CpuConfig,
+    variant: KernelVariant,
+    max_limbs: usize,
+    options: &CharactOptions,
+    metrics: Option<&xobs::Registry>,
+    pool: &Pool,
+    cache: Option<&KCache>,
+) -> KernelModels {
     let scratch;
     let reg = match metrics {
         Some(reg) => reg,
@@ -107,10 +198,12 @@ pub fn characterize_kernels_metered(
     };
     let iss_cycles = reg.counter("flow.phase1.iss_cycles");
     let ops_done = reg.counter("flow.phase1.ops_characterized");
+    let t0 = Instant::now();
 
+    // Serial planning: the shared RNG is consumed in a fixed order.
+    let mut rng = StdRng::seed_from_u64(0xC0DE_2002);
+    let mut tasks = Vec::with_capacity(2 * opname::ALL.len());
     for width in [32u32, 16] {
-        let mut iss = IssMpn::with_variant(config.clone(), variant);
-        iss.set_verify(false); // characterization measures timing only
         for op in opname::ALL {
             let space = if op == opname::DIV_QHAT {
                 ParamSpace::new(vec![(1, 1)])
@@ -122,34 +215,61 @@ pub fn characterize_kernels_metered(
             } else {
                 vec![Monomial::constant(1), Monomial::linear(1, 0)]
             };
-            let mut seed = 1u64;
-            let ch: Characterization = characterize_metered(
-                &space,
-                &basis,
-                options,
-                &mut rng,
-                |params: &[u64]| {
-                    seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
-                    let n = params[0] as usize;
-                    let cycles = if width == 32 {
-                        iss.measure32(op, n, seed)
-                    } else {
-                        iss.measure16(op, n, seed)
-                    };
-                    iss_cycles.add(cycles as u64);
-                    cycles
-                },
-                metrics,
-            )
-            .unwrap_or_else(|e| panic!("characterization of {op} (r{width}) failed: {e}"));
-            ops_done.inc();
-            let ch = with_name(ch, op);
-            quality.insert((op, width), ch.quality);
-            if width == 32 {
-                models32.insert(op, ch.model);
-            } else {
-                models16.insert(op, ch.model);
-            }
+            let plan = plan_stimuli(&space, options, &mut rng);
+            tasks.push(CharactTask {
+                width,
+                op,
+                basis,
+                plan,
+            });
+        }
+    }
+
+    // Parallel measurement + fit; results return in submission order.
+    let fp = config.fingerprint();
+    let vtag = variant.tag();
+    let fitted = pool.par_map(&tasks, |_, t| {
+        let cycles = match cache {
+            Some(kc) => kc.get_or_compute(
+                &kcache::key(
+                    fp,
+                    &vtag,
+                    &format!("charact{}:{}", t.width, t.op),
+                    max_limbs as u64,
+                    plan_digest(&t.plan),
+                ),
+                t.plan.len(),
+                || measure_charact_task(config, variant, t),
+            ),
+            None => measure_charact_task(config, variant, t),
+        };
+        let ch = fit_planned(&t.basis, &t.plan, &cycles)
+            .unwrap_or_else(|e| panic!("characterization of {} (r{}) failed: {e}", t.op, t.width));
+        let sim_cycles: u64 = cycles.iter().map(|&c| c as u64).sum();
+        (with_name(ch, t.op), sim_cycles)
+    });
+
+    // Serial merge in submission order: metric streams stay
+    // deterministic, and memo hits count like fresh measurements so
+    // warm and cold runs report identical flow/charact metrics.
+    let mut models32 = BTreeMap::new();
+    let mut models16 = BTreeMap::new();
+    let mut quality = BTreeMap::new();
+    for (t, (ch, sim_cycles)) in tasks.iter().zip(fitted) {
+        iss_cycles.add(sim_cycles);
+        ops_done.inc();
+        if metrics.is_some() {
+            reg.counter("charact.stimuli_run").add(t.plan.len() as u64);
+            reg.gauge("charact.last_r_squared")
+                .set(ch.quality.r_squared);
+            reg.gauge("charact.last_mae_pct").set(ch.quality.mae_pct);
+            reg.histogram("charact.mae_pct").observe(ch.quality.mae_pct);
+        }
+        quality.insert((t.op, t.width), ch.quality);
+        if t.width == 32 {
+            models32.insert(t.op, ch.model);
+        } else {
+            models16.insert(t.op, ch.model);
         }
     }
     let models = KernelModels {
@@ -159,6 +279,8 @@ pub fn characterize_kernels_metered(
     };
     reg.gauge("flow.phase1.mean_abs_error_pct")
         .set(models.mean_abs_error_pct());
+    reg.gauge("flow.phase1.wall_ms")
+        .set(t0.elapsed().as_secs_f64() * 1e3);
     models
 }
 
@@ -222,6 +344,25 @@ pub fn explore_modexp_metered(
     glue_cost: f64,
     metrics: Option<&xobs::Registry>,
 ) -> Result<ExplorationResult, ModExpError> {
+    explore_modexp_pooled(models, bits, glue_cost, metrics, &Pool::from_env())
+}
+
+/// Phase 2 on a worker pool: the 450-candidate lattice is evaluated in
+/// parallel (each candidate owns its modeled-ops provider and cache),
+/// then ranked and offered to the Pareto front in enumeration order, so
+/// the result is bit-identical to the serial run for any thread count.
+///
+/// # Errors
+///
+/// Returns [`ModExpError`] under the same conditions as
+/// [`explore_modexp`].
+pub fn explore_modexp_pooled(
+    models: &KernelModels,
+    bits: usize,
+    glue_cost: f64,
+    metrics: Option<&xobs::Registry>,
+    pool: &Pool,
+) -> Result<ExplorationResult, ModExpError> {
     let scratch;
     let reg = match metrics {
         Some(reg) => reg,
@@ -247,17 +388,24 @@ pub fn explore_modexp_metered(
     let expect = base.pow_mod(&exp, &m);
 
     let start = Instant::now();
-    let mut ranked = Vec::with_capacity(450);
-    for config in ModExpConfig::enumerate() {
+    let configs = ModExpConfig::enumerate();
+    let estimates = pool.par_map(&configs, |_, config| {
         let mut ops = models.modeled_ops(glue_cost);
         let mut cache = ExpCache::new();
         // Caching benefits repeat calls: run twice, cost the second.
-        let r1 = mod_exp(&mut ops, &base, &exp, &m, &config, &mut cache)?;
+        let r1 = mod_exp(&mut ops, &base, &exp, &m, config, &mut cache)?;
         debug_assert_eq!(r1, expect);
         MpnOps::<u32>::reset(&mut ops);
-        let r2 = mod_exp(&mut ops, &base, &exp, &m, &config, &mut cache)?;
+        let r2 = mod_exp(&mut ops, &base, &exp, &m, config, &mut cache)?;
         assert_eq!(r2, expect, "config {config} computed a wrong result");
-        let cycles = MpnOps::<u32>::cycles(&ops);
+        Ok(MpnOps::<u32>::cycles(&ops))
+    });
+
+    // Serial merge in enumeration order: metric observation order and
+    // Pareto tie-breaking match the serial loop exactly.
+    let mut ranked = Vec::with_capacity(configs.len());
+    for (config, estimate) in configs.into_iter().zip(estimates) {
+        let cycles = estimate?;
         evaluated.inc();
         cycles_hist.observe(cycles);
         front.offer(config, cycles, config.table_bytes(bits));
@@ -265,6 +413,8 @@ pub fn explore_modexp_metered(
     }
     ranked.sort_by(|a, b| a.cycles.total_cmp(&b.cycles));
     reg.gauge("flow.phase2.best_cycles").set(ranked[0].cycles);
+    reg.gauge("flow.phase2.wall_ms")
+        .set(start.elapsed().as_secs_f64() * 1e3);
     front.record_metrics(reg);
     Ok(ExplorationResult {
         evaluated: ranked.len(),
@@ -361,6 +511,44 @@ pub fn cosimulate_candidate(
     Ok(MpnOps::<u32>::cycles(&iss))
 }
 
+/// As [`cosimulate_candidate`], serving the co-simulated cycle count
+/// from a kernel-cycle cache when possible. The memo key embeds the
+/// core fingerprint, the kernel variant, the candidate's display form,
+/// the operand size and the glue cost, so any changed determinant
+/// recomputes.
+///
+/// # Errors
+///
+/// Returns [`ModExpError`] on configuration failure (never on a cache
+/// hit — only successfully co-simulated candidates are cached).
+pub fn cosimulate_candidate_cached(
+    config: &CpuConfig,
+    variant: KernelVariant,
+    candidate: &ModExpConfig,
+    bits: usize,
+    glue_cost: f64,
+    cache: Option<&KCache>,
+) -> Result<f64, ModExpError> {
+    let Some(kc) = cache else {
+        return cosimulate_candidate(config, variant, candidate, bits, glue_cost);
+    };
+    let key = kcache::key(
+        config.fingerprint(),
+        &variant.tag(),
+        &format!("cosim:{candidate}"),
+        bits as u64,
+        glue_cost.to_bits(),
+    );
+    if let Some(v) = kc.get(&key) {
+        if let [cycles] = v[..] {
+            return Ok(cycles);
+        }
+    }
+    let cycles = cosimulate_candidate(config, variant, candidate, bits, glue_cost)?;
+    kc.insert(&key, vec![cycles]);
+    Ok(cycles)
+}
+
 /// The shared user-register load/store plumbing as a selection-level
 /// instruction (counted once however many datapaths share it).
 fn ur_ls_insn() -> CustomInsn {
@@ -372,50 +560,106 @@ fn ur_ls_insn() -> CustomInsn {
 /// `mpn_addmul_1` by measuring the base kernel and every accelerated
 /// resource level on the ISS at `n` limbs (the paper's Fig. 5(a)/(b)).
 pub fn formulate_mpn_curves(config: &CpuConfig, n: usize) -> BTreeMap<String, AdCurve> {
-    let mut curves = BTreeMap::new();
+    formulate_mpn_curves_pooled(config, n, &Pool::from_env(), None)
+}
 
+/// One phase-3 measurement unit: one op under one kernel variant (its
+/// resource level), warmed with seed 7 and measured with seed 8 on a
+/// private ISS — exactly the serial per-point procedure, so the curves
+/// are identical for any thread count.
+struct CurveTask {
+    op: &'static str,
+    variant: KernelVariant,
+    /// `Some((family, lanes))` for accelerated points; `None` = base.
+    insn: Option<(&'static str, u32)>,
+}
+
+/// Phase 3 on a worker pool: the nine `(op, resource level)` points are
+/// measured in parallel (one fresh ISS each) and assembled into curves
+/// in the fixed serial order. When a [`KCache`] is supplied, each
+/// point's cycle count is served from it under
+/// `fingerprint × variant × "curve:op" × n × seed`.
+pub fn formulate_mpn_curves_pooled(
+    config: &CpuConfig,
+    n: usize,
+    pool: &Pool,
+    cache: Option<&KCache>,
+) -> BTreeMap<String, AdCurve> {
+    let mut tasks = Vec::with_capacity(9);
     // mpn_add_n family: base point plus add2/4/8/16.
-    let mut points = Vec::new();
-    let mut base = IssMpn::base(config.clone());
-    base.set_verify(false);
-    base.measure32(opname::ADD_N, n, 7); // warm
-    points.push(AdPoint::base(base.measure32(opname::ADD_N, n, 8)));
+    tasks.push(CurveTask {
+        op: opname::ADD_N,
+        variant: KernelVariant::Base,
+        insn: None,
+    });
     for lanes in [2u32, 4, 8, 16] {
-        let mut iss = IssMpn::accelerated(config.clone(), lanes, 1);
-        iss.set_verify(false);
-        iss.measure32(opname::ADD_N, n, 7);
-        let cycles = iss.measure32(opname::ADD_N, n, 8);
-        points.push(AdPoint::new(
-            [
-                ur_ls_insn(),
-                CustomInsn::new("add", lanes, crate::insns::add_k(lanes).area),
-            ],
-            cycles,
-        ));
+        tasks.push(CurveTask {
+            op: opname::ADD_N,
+            variant: KernelVariant::Accelerated {
+                add_lanes: lanes,
+                mac_lanes: 1,
+            },
+            insn: Some(("add", lanes)),
+        });
     }
-    curves.insert("mpn_add_n".to_owned(), AdCurve::from_points(points));
-
     // mpn_addmul_1 family: base point plus mac1/2/4.
-    let mut points = Vec::new();
-    let mut base = IssMpn::base(config.clone());
-    base.set_verify(false);
-    base.measure32(opname::ADDMUL_1, n, 7);
-    points.push(AdPoint::base(base.measure32(opname::ADDMUL_1, n, 8)));
+    tasks.push(CurveTask {
+        op: opname::ADDMUL_1,
+        variant: KernelVariant::Base,
+        insn: None,
+    });
     for lanes in [1u32, 2, 4] {
-        let mut iss = IssMpn::accelerated(config.clone(), 2, lanes);
-        iss.set_verify(false);
-        iss.measure32(opname::ADDMUL_1, n, 7);
-        let cycles = iss.measure32(opname::ADDMUL_1, n, 8);
-        points.push(AdPoint::new(
-            [
-                ur_ls_insn(),
-                CustomInsn::new("mac", lanes, crate::insns::mac_k(lanes).area),
-            ],
-            cycles,
-        ));
+        tasks.push(CurveTask {
+            op: opname::ADDMUL_1,
+            variant: KernelVariant::Accelerated {
+                add_lanes: 2,
+                mac_lanes: lanes,
+            },
+            insn: Some(("mac", lanes)),
+        });
     }
-    curves.insert("mpn_addmul_1".to_owned(), AdCurve::from_points(points));
 
+    let fp = config.fingerprint();
+    let measured = pool.par_map(&tasks, |_, t| {
+        let measure = || {
+            let mut iss = IssMpn::with_variant(config.clone(), t.variant);
+            iss.set_verify(false);
+            iss.measure32(t.op, n, 7); // warm
+            iss.measure32(t.op, n, 8)
+        };
+        match cache {
+            Some(kc) => kc.scalar(
+                &kcache::key(
+                    fp,
+                    &t.variant.tag(),
+                    &format!("curve:{}", t.op),
+                    n as u64,
+                    0x0708,
+                ),
+                measure,
+            ),
+            None => measure(),
+        }
+    });
+
+    let mut curves = BTreeMap::new();
+    let mut points_by_op: BTreeMap<&str, Vec<AdPoint>> = BTreeMap::new();
+    for (t, cycles) in tasks.iter().zip(measured) {
+        let point = match t.insn {
+            None => AdPoint::base(cycles),
+            Some((family, lanes)) => {
+                let area = match family {
+                    "add" => crate::insns::add_k(lanes).area,
+                    _ => crate::insns::mac_k(lanes).area,
+                };
+                AdPoint::new([ur_ls_insn(), CustomInsn::new(family, lanes, area)], cycles)
+            }
+        };
+        points_by_op.entry(t.op).or_default().push(point);
+    }
+    for (op, points) in points_by_op {
+        curves.insert(op.to_owned(), AdCurve::from_points(points));
+    }
     curves
 }
 
@@ -423,12 +667,39 @@ pub fn formulate_mpn_curves(config: &CpuConfig, n: usize) -> BTreeMap<String, Ad
 /// exponentiation example — annotated with this platform's measured
 /// leaf cycles. `k` is the operand size in limbs.
 pub fn fig4_call_graph(config: &CpuConfig, k: usize) -> CallGraph {
-    let mut iss = IssMpn::base(config.clone());
-    iss.set_verify(false);
-    iss.measure32(opname::ADD_N, k, 3);
-    let addn = iss.measure32(opname::ADD_N, k, 4);
-    iss.measure32(opname::ADDMUL_1, k, 3);
-    let addmul = iss.measure32(opname::ADDMUL_1, k, 4);
+    fig4_call_graph_cached(config, k, None)
+}
+
+/// As [`fig4_call_graph`], optionally serving the two measured leaf
+/// cycle counts from a kernel-cycle cache. The two leaves are one
+/// measurement unit (they share one ISS sequentially, preserving the
+/// serial cache-warmth coupling), keyed
+/// `fingerprint × base × "fig4:leaves" × k`.
+pub fn fig4_call_graph_cached(config: &CpuConfig, k: usize, cache: Option<&KCache>) -> CallGraph {
+    let measure = || {
+        let mut iss = IssMpn::base(config.clone());
+        iss.set_verify(false);
+        iss.measure32(opname::ADD_N, k, 3);
+        let addn = iss.measure32(opname::ADD_N, k, 4);
+        iss.measure32(opname::ADDMUL_1, k, 3);
+        let addmul = iss.measure32(opname::ADDMUL_1, k, 4);
+        vec![addn, addmul]
+    };
+    let leaves = match cache {
+        Some(kc) => kc.get_or_compute(
+            &kcache::key(
+                config.fingerprint(),
+                &KernelVariant::Base.tag(),
+                "fig4:leaves",
+                k as u64,
+                0x0304,
+            ),
+            2,
+            measure,
+        ),
+        None => measure(),
+    };
+    let (addn, addmul) = (leaves[0], leaves[1]);
 
     let mut g = CallGraph::new();
     g.add_node("decrypt", 120.0);
@@ -463,8 +734,19 @@ pub fn fig4_call_graph(config: &CpuConfig, k: usize) -> CallGraph {
 /// Phase 4: assembles the global selector from the Fig. 4 call graph
 /// and the formulated curves.
 pub fn build_selector(config: &CpuConfig, k: usize) -> Selector {
-    let graph = fig4_call_graph(config, k);
-    let curves = formulate_mpn_curves(config, k);
+    build_selector_pooled(config, k, &Pool::from_env(), None)
+}
+
+/// Phase 4 on a worker pool with an optional kernel-cycle cache; see
+/// [`fig4_call_graph_cached`] and [`formulate_mpn_curves_pooled`].
+pub fn build_selector_pooled(
+    config: &CpuConfig,
+    k: usize,
+    pool: &Pool,
+    cache: Option<&KCache>,
+) -> Selector {
+    let graph = fig4_call_graph_cached(config, k, cache);
+    let curves = formulate_mpn_curves_pooled(config, k, pool, cache);
     let mut sel = Selector::new(graph);
     for (name, curve) in curves {
         sel.set_leaf_curve(name, curve);
@@ -553,6 +835,59 @@ mod tests {
         let big = sel.select("decrypt", 1_000_000).unwrap().unwrap();
         assert!(no_hw.cycles > big.cycles);
         assert_eq!(no_hw.area(), 0);
+    }
+
+    #[test]
+    fn pooled_flow_is_thread_count_and_cache_invariant() {
+        let cfg = CpuConfig::default();
+        let opts = quick_options();
+        let kc = KCache::new();
+        let p1 = Pool::new(1);
+        let p4 = Pool::new(4);
+
+        // Phase 1: serial/uncached vs pooled/cold-cache vs pooled/warm.
+        let a = characterize_kernels_pooled(&cfg, KernelVariant::Base, 8, &opts, None, &p1, None);
+        let b =
+            characterize_kernels_pooled(&cfg, KernelVariant::Base, 8, &opts, None, &p4, Some(&kc));
+        let c =
+            characterize_kernels_pooled(&cfg, KernelVariant::Base, 8, &opts, None, &p4, Some(&kc));
+        assert!(kc.hits() > 0, "second run must hit the memo cache");
+        for op in opname::ALL {
+            for n in [1u64, 4, 8] {
+                let pa = a.models32[op].predict(&[n]);
+                assert_eq!(pa, b.models32[op].predict(&[n]), "{op} n={n} threads");
+                assert_eq!(pa, c.models32[op].predict(&[n]), "{op} n={n} warm cache");
+                assert_eq!(
+                    a.models16[op].predict(&[n]),
+                    c.models16[op].predict(&[n]),
+                    "{op} n={n} r16"
+                );
+            }
+            let (qa, qc) = (a.quality[&(op, 32)], c.quality[&(op, 32)]);
+            assert_eq!(qa.mae_pct, qc.mae_pct, "{op} fit quality");
+        }
+
+        // Phase 2: identical ranking for any thread count.
+        let ea = explore_modexp_pooled(&a, 128, 4.0, None, &p1).unwrap();
+        let eb = explore_modexp_pooled(&b, 128, 4.0, None, &p4).unwrap();
+        assert_eq!(ea.ranked.len(), eb.ranked.len());
+        for (x, y) in ea.ranked.iter().zip(&eb.ranked) {
+            assert_eq!(x.config, y.config);
+            assert_eq!(x.cycles, y.cycles);
+        }
+
+        // Phase 3: identical curves, and the warm pass hits the cache.
+        let ca = formulate_mpn_curves_pooled(&cfg, 16, &p1, None);
+        let misses_before = kc.misses();
+        let cb = formulate_mpn_curves_pooled(&cfg, 16, &p4, Some(&kc));
+        let cc = formulate_mpn_curves_pooled(&cfg, 16, &p4, Some(&kc));
+        assert_eq!(kc.misses(), misses_before + 9, "nine cold curve points");
+        for (name, curve) in &ca {
+            for (i, p) in curve.points().iter().enumerate() {
+                assert_eq!(p.cycles, cb[name].points()[i].cycles, "{name}[{i}]");
+                assert_eq!(p.cycles, cc[name].points()[i].cycles, "{name}[{i}] warm");
+            }
+        }
     }
 
     #[test]

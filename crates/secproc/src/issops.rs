@@ -42,6 +42,20 @@ pub enum KernelVariant {
     },
 }
 
+impl KernelVariant {
+    /// A short stable tag naming this variant, used in kernel-cycle
+    /// cache keys ([`crate::kcache::key`]).
+    pub fn tag(&self) -> String {
+        match self {
+            KernelVariant::Base => "base".to_owned(),
+            KernelVariant::Accelerated {
+                add_lanes,
+                mac_lanes,
+            } => format!("accel-a{add_lanes}m{mac_lanes}"),
+        }
+    }
+}
+
 /// ISS-backed [`MpnOps`] provider (32-bit and 16-bit radix sides).
 pub struct IssMpn {
     cpu32: Cpu,

@@ -1,0 +1,322 @@
+//! The persistent kernel-cycle memo cache.
+//!
+//! ISS measurements are deterministic in `(configuration fingerprint,
+//! kernel variant, op, operand size, stimulus seed)`, and the bench
+//! binaries re-measure the same points both within a run (Table 1 rows
+//! reuse Fig. 8's 3DES sweep) and across runs. A [`KCache`] memoizes
+//! each such *measurement unit* as a `Vec<f64>` of cycle counts under a
+//! content-addressed key (see [`key`]) and persists the entries to
+//! `target/kcache.json` (override with the `WSP_KCACHE` environment
+//! variable) through `xobs::json`.
+//!
+//! Integrity: every persisted entry stores
+//! [`xpar::memo::checksum`]`(key, values)`. An entry whose checksum does
+//! not match on load — a poisoned cache — is dropped and recomputed,
+//! never served. A changed core configuration changes the fingerprint
+//! inside the key, so stale entries simply miss.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use xobs::Json;
+use xpar::memo::{checksum, Memo};
+
+/// Version of the on-disk cache file format.
+pub const KCACHE_SCHEMA_VERSION: u64 = 1;
+
+/// Builds the content key for one measurement unit: the core
+/// configuration fingerprint, the kernel-library variant tag (see
+/// [`crate::issops::KernelVariant::tag`]), the measured op (or a
+/// composite unit name such as `"table1:rsa"`), the operand size in
+/// limbs, and the stimulus seed (or a digest of the stimulus plan).
+pub fn key(config_fp: u64, variant: &str, op: &str, n: u64, seed: u64) -> String {
+    format!("{config_fp:016x}/{variant}/{op}/n{n}/s{seed:016x}")
+}
+
+/// A thread-safe kernel-cycle cache with optional file persistence.
+#[derive(Debug, Default)]
+pub struct KCache {
+    memo: Memo,
+    path: Option<PathBuf>,
+    poisoned_dropped: u64,
+}
+
+impl KCache {
+    /// An empty in-memory cache (no persistence).
+    pub fn new() -> Self {
+        KCache::default()
+    }
+
+    /// The default cache location: `$WSP_KCACHE` when set, else
+    /// `target/kcache.json`.
+    pub fn default_path() -> PathBuf {
+        match std::env::var_os("WSP_KCACHE") {
+            Some(p) => PathBuf::from(p),
+            None => PathBuf::from("target/kcache.json"),
+        }
+    }
+
+    /// Opens the default cache file (missing or unreadable files start
+    /// an empty cache at that path).
+    pub fn open_default() -> Self {
+        Self::open(Self::default_path())
+    }
+
+    /// Opens a cache bound to `path`, loading any valid persisted
+    /// entries. Malformed files, malformed entries, and entries whose
+    /// integrity checksum does not match are dropped (counted in
+    /// [`KCache::poisoned_dropped`] when the checksum is the reason).
+    pub fn open(path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        let mut cache = KCache {
+            memo: Memo::new(),
+            path: Some(path.clone()),
+            poisoned_dropped: 0,
+        };
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            cache.load_entries(&text);
+        }
+        cache
+    }
+
+    fn load_entries(&mut self, text: &str) {
+        let Ok(json) = xobs::json::parse(text) else {
+            return;
+        };
+        let Some(entries) = json.get("entries").and_then(Json::as_arr) else {
+            return;
+        };
+        for entry in entries {
+            let (Some(key), Some(values), Some(check)) = (
+                entry.get("key").and_then(Json::as_str),
+                entry.get("values").and_then(Json::as_arr),
+                entry.get("check").and_then(Json::as_str),
+            ) else {
+                continue;
+            };
+            let values: Vec<f64> = values.iter().filter_map(Json::as_f64).collect();
+            let Ok(stored_check) = u64::from_str_radix(check, 16) else {
+                continue;
+            };
+            if checksum(key, &values) != stored_check {
+                // Poisoned: the stored cycles do not match the entry's
+                // integrity fingerprint. Drop it so it is recomputed.
+                self.poisoned_dropped += 1;
+                continue;
+            }
+            self.memo.insert(key, values);
+        }
+    }
+
+    /// Entries dropped at load time because their integrity checksum
+    /// did not match (a poisoned cache file).
+    pub fn poisoned_dropped(&self) -> u64 {
+        self.poisoned_dropped
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.memo.hits()
+    }
+
+    /// Lookups that had to measure.
+    pub fn misses(&self) -> u64 {
+        self.memo.misses()
+    }
+
+    /// `hits / (hits + misses)`, or 0 before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        self.memo.hit_rate()
+    }
+
+    /// The cached cycle vector for `key`, if any, counting a hit or
+    /// miss. Use with [`KCache::insert`] when the computation is
+    /// fallible and only successes should be cached.
+    pub fn get(&self, key: &str) -> Option<Vec<f64>> {
+        self.memo.get(key)
+    }
+
+    /// Inserts an entry without touching the hit/miss counters.
+    pub fn insert(&self, key: &str, values: Vec<f64>) {
+        self.memo.insert(key, values);
+    }
+
+    /// Returns the cached cycle vector for `key`, measuring via
+    /// `compute` on a miss. Entries of the wrong arity are recomputed;
+    /// pass `expected_len == 0` to accept any arity.
+    pub fn get_or_compute(
+        &self,
+        key: &str,
+        expected_len: usize,
+        compute: impl FnOnce() -> Vec<f64>,
+    ) -> Vec<f64> {
+        self.memo.get_or_compute(key, expected_len, compute)
+    }
+
+    /// Scalar convenience over [`KCache::get_or_compute`].
+    pub fn scalar(&self, key: &str, compute: impl FnOnce() -> f64) -> f64 {
+        self.get_or_compute(key, 1, || vec![compute()])[0]
+    }
+
+    /// Serializes every entry (with integrity checksums) as the cache
+    /// file document.
+    pub fn to_json(&self) -> Json {
+        let entries: Vec<Json> = self
+            .memo
+            .entries()
+            .into_iter()
+            .map(|(key, values)| {
+                let check = format!("{:016x}", checksum(&key, &values));
+                let values: Vec<Json> = values.into_iter().map(Json::from).collect();
+                Json::obj()
+                    .set("key", key.as_str())
+                    .set("values", values)
+                    .set("check", check)
+            })
+            .collect();
+        Json::obj()
+            .set("schema_version", KCACHE_SCHEMA_VERSION)
+            .set("entries", entries)
+    }
+
+    /// Writes the cache to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error from the write.
+    pub fn save_to(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json().to_string_compact() + "\n")
+    }
+
+    /// Writes the cache back to the path it was opened from, if any.
+    /// In-memory caches ([`KCache::new`]) are a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error from the write.
+    pub fn save(&self) -> io::Result<()> {
+        match &self.path {
+            Some(path) => self.save_to(path),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("kcache_test_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn key_embeds_every_determinant() {
+        let base = key(0xA, "base", "mpn_add_n", 8, 1);
+        assert_ne!(base, key(0xB, "base", "mpn_add_n", 8, 1), "config fp");
+        assert_ne!(base, key(0xA, "accel-a16m4", "mpn_add_n", 8, 1), "variant");
+        assert_ne!(base, key(0xA, "base", "mpn_sub_n", 8, 1), "op");
+        assert_ne!(base, key(0xA, "base", "mpn_add_n", 9, 1), "size");
+        assert_ne!(base, key(0xA, "base", "mpn_add_n", 8, 2), "seed");
+    }
+
+    #[test]
+    fn cold_start_warm_hit_round_trip() {
+        let path = tmpfile("roundtrip");
+        let _ = std::fs::remove_file(&path);
+
+        // Cold: miss, compute, persist.
+        let cache = KCache::open(&path);
+        let k = key(0x1234, "base", "mpn_add_n", 8, 42);
+        let mut computed = 0;
+        let v = cache.get_or_compute(&k, 2, || {
+            computed += 1;
+            vec![202.0, 205.5]
+        });
+        assert_eq!(v, vec![202.0, 205.5]);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        cache.save().unwrap();
+
+        // Warm: a fresh open serves the persisted entry.
+        let warm = KCache::open(&path);
+        assert_eq!(warm.len(), 1);
+        let v2 = warm.get_or_compute(&k, 2, || panic!("must not recompute"));
+        assert_eq!(v2, v);
+        assert_eq!((warm.hits(), warm.misses()), (1, 0));
+        assert_eq!(warm.hit_rate(), 1.0);
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_fingerprint_misses() {
+        let cache = KCache::new();
+        let old = key(0xAAAA, "base", "mpn_add_n", 8, 42);
+        cache.get_or_compute(&old, 1, || vec![100.0]);
+        // Same measurement on a reconfigured core: different key, so the
+        // stale entry cannot be served.
+        let new = key(0xBBBB, "base", "mpn_add_n", 8, 42);
+        let v = cache.get_or_compute(&new, 1, || vec![140.0]);
+        assert_eq!(v, vec![140.0]);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn poisoned_entry_is_dropped_and_recomputed() {
+        let path = tmpfile("poison");
+        let k = key(0x1234, "base", "mpn_add_n", 8, 42);
+        // A file whose stored cycles were tampered with: the checksum
+        // still describes the original [202.0] value.
+        let good_check = format!("{:016x}", checksum(&k, &[202.0]));
+        let doc = format!(
+            r#"{{"schema_version":1,"entries":[{{"key":"{k}","values":[666.0],"check":"{good_check}"}}]}}"#
+        );
+        std::fs::write(&path, doc).unwrap();
+
+        let cache = KCache::open(&path);
+        assert_eq!(cache.poisoned_dropped(), 1, "tampered entry dropped");
+        assert_eq!(cache.len(), 0);
+        let v = cache.get_or_compute(&k, 1, || vec![202.0]);
+        assert_eq!(v, vec![202.0], "recomputed, not served poisoned");
+        assert_eq!(cache.misses(), 1);
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn valid_persisted_entry_survives_checksum() {
+        let path = tmpfile("valid");
+        let cache = KCache::open(&path);
+        let k = key(0x77, "accel-a16m4", "mpn_addmul_1", 32, 8);
+        cache.get_or_compute(&k, 0, || vec![100.25, 7.0, -1.5]);
+        cache.save().unwrap();
+        let warm = KCache::open(&path);
+        assert_eq!(warm.poisoned_dropped(), 0);
+        assert_eq!(
+            warm.get_or_compute(&k, 0, || panic!("persisted entry must round-trip")),
+            vec![100.25, 7.0, -1.5]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn garbage_file_starts_empty() {
+        let path = tmpfile("garbage");
+        std::fs::write(&path, "not json at all{{{").unwrap();
+        let cache = KCache::open(&path);
+        assert!(cache.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+}

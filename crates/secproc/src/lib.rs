@@ -17,6 +17,9 @@
 //! - [`flow`]: the methodology driver — kernel characterization into
 //!   macro-models, design-space exploration, A-D-curve formulation and
 //!   global custom-instruction selection;
+//! - [`kcache`]: the persistent kernel-cycle memo cache shared by the
+//!   bench harnesses (keyed by configuration fingerprint × variant ×
+//!   op × size × seed);
 //! - [`platform`]: the user-facing [`platform::SecurityProcessor`] API
 //!   (baseline vs. optimized platforms);
 //! - [`measure`]: Table 1 cycles/byte measurements;
@@ -42,6 +45,7 @@ pub mod flow;
 pub mod gap;
 pub mod insns;
 pub mod issops;
+pub mod kcache;
 pub mod kernels;
 pub mod measure;
 pub mod platform;

@@ -2,6 +2,7 @@
 //! (RSA) on the baseline vs. optimized platform.
 
 use crate::issops::{IssMpn, KernelVariant};
+use crate::kcache::{self, KCache};
 use crate::simcipher::{SimAes, SimDes, Variant};
 use mpint::Natural;
 use pubkey::modexp::ExpCache;
@@ -10,6 +11,7 @@ use pubkey::rsa::KeyPair;
 use pubkey::space::ModExpConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use xpar::Pool;
 use xr32::config::CpuConfig;
 
 /// One symmetric-algorithm row of Table 1.
@@ -173,6 +175,121 @@ pub fn measure_rsa(config: &CpuConfig, bits: usize) -> (RsaRow, RsaRow) {
     )
 }
 
+/// Serves one symmetric row (`[base_cpb, opt_cpb]`) from the
+/// kernel-cycle cache, measuring on a miss. The key embeds the core
+/// fingerprint, the row's unit name, and the block count.
+fn sym_row_cached(
+    config: &CpuConfig,
+    unit: &str,
+    blocks: usize,
+    cache: Option<&KCache>,
+    measure: impl FnOnce() -> SymmetricRow,
+    name: &'static str,
+) -> SymmetricRow {
+    let Some(kc) = cache else {
+        return measure();
+    };
+    let key = kcache::key(config.fingerprint(), "sim", unit, blocks as u64, 0);
+    let v = kc.get_or_compute(&key, 2, || {
+        let row = measure();
+        vec![row.base_cpb, row.opt_cpb]
+    });
+    SymmetricRow {
+        name,
+        base_cpb: v[0],
+        opt_cpb: v[1],
+    }
+}
+
+/// [`measure_des`] through the kernel-cycle cache (unit `table1:des`).
+pub fn measure_des_cached(
+    config: &CpuConfig,
+    blocks: usize,
+    cache: Option<&KCache>,
+) -> SymmetricRow {
+    sym_row_cached(
+        config,
+        "table1:des",
+        blocks,
+        cache,
+        || measure_des(config, blocks),
+        "DES enc./dec.",
+    )
+}
+
+/// [`measure_tdes`] through the kernel-cycle cache (unit `table1:tdes`).
+pub fn measure_tdes_cached(
+    config: &CpuConfig,
+    blocks: usize,
+    cache: Option<&KCache>,
+) -> SymmetricRow {
+    sym_row_cached(
+        config,
+        "table1:tdes",
+        blocks,
+        cache,
+        || measure_tdes(config, blocks),
+        "3DES enc./dec.",
+    )
+}
+
+/// [`measure_aes`] through the kernel-cycle cache (unit `table1:aes`).
+pub fn measure_aes_cached(
+    config: &CpuConfig,
+    blocks: usize,
+    cache: Option<&KCache>,
+) -> SymmetricRow {
+    sym_row_cached(
+        config,
+        "table1:aes",
+        blocks,
+        cache,
+        || measure_aes(config, blocks),
+        "AES enc./dec.",
+    )
+}
+
+/// [`measure_rsa`] through the kernel-cycle cache: both platforms'
+/// encrypt/decrypt co-simulations are one measurement unit
+/// (`table1:rsa`, values `[enc_base, dec_base, enc_opt, dec_opt]`).
+pub fn measure_rsa_cached(
+    config: &CpuConfig,
+    bits: usize,
+    cache: Option<&KCache>,
+) -> (RsaRow, RsaRow) {
+    let Some(kc) = cache else {
+        return measure_rsa(config, bits);
+    };
+    let key = kcache::key(
+        config.fingerprint(),
+        "iss",
+        "table1:rsa",
+        bits as u64,
+        0x45A,
+    );
+    let v = kc.get_or_compute(&key, 4, || {
+        let (enc, dec) = measure_rsa(config, bits);
+        vec![
+            enc.base_cycles,
+            dec.base_cycles,
+            enc.opt_cycles,
+            dec.opt_cycles,
+        ]
+    });
+    (
+        RsaRow {
+            name: "RSA enc.",
+            base_cycles: v[0],
+            opt_cycles: v[2],
+        },
+        RsaRow {
+            name: "RSA dec.",
+            base_cycles: v[1],
+            opt_cycles: v[3],
+        },
+    )
+}
+
 /// The full Table 1: symmetric rows plus RSA rows, with a text
 /// renderer.
 #[derive(Debug, Clone)]
@@ -187,17 +304,80 @@ pub struct Table1 {
 
 impl Table1 {
     /// Measures everything. `blocks` controls symmetric averaging;
-    /// `rsa_bits` the modulus size.
+    /// `rsa_bits` the modulus size. Runs the four measurement units on
+    /// an environment-sized [`Pool`] without a cache; see
+    /// [`Table1::measure_pooled`].
     pub fn measure(config: &CpuConfig, blocks: usize, rsa_bits: usize) -> Self {
+        Self::measure_pooled(config, blocks, rsa_bits, &Pool::from_env(), None)
+    }
+
+    /// As [`Table1::measure`] on an explicit worker pool: the four
+    /// independent measurement units (DES, 3DES, AES, RSA) run in
+    /// parallel, each optionally served from the kernel-cycle cache.
+    /// The table is identical for any thread count and cache state.
+    pub fn measure_pooled(
+        config: &CpuConfig,
+        blocks: usize,
+        rsa_bits: usize,
+        pool: &Pool,
+        cache: Option<&KCache>,
+    ) -> Self {
+        let units = [0usize, 1, 2, 3];
+        let rows = pool.par_map(&units, |_, &u| match u {
+            0 => {
+                let r = measure_des_cached(config, blocks, cache);
+                vec![r.base_cpb, r.opt_cpb]
+            }
+            1 => {
+                let r = measure_tdes_cached(config, blocks, cache);
+                vec![r.base_cpb, r.opt_cpb]
+            }
+            2 => {
+                let r = measure_aes_cached(config, blocks, cache);
+                vec![r.base_cpb, r.opt_cpb]
+            }
+            _ => {
+                let (enc, dec) = measure_rsa_cached(config, rsa_bits, cache);
+                vec![
+                    enc.base_cycles,
+                    dec.base_cycles,
+                    enc.opt_cycles,
+                    dec.opt_cycles,
+                ]
+            }
+        });
         let symmetric = vec![
-            measure_des(config, blocks),
-            measure_tdes(config, blocks),
-            measure_aes(config, blocks),
+            SymmetricRow {
+                name: "DES enc./dec.",
+                base_cpb: rows[0][0],
+                opt_cpb: rows[0][1],
+            },
+            SymmetricRow {
+                name: "3DES enc./dec.",
+                base_cpb: rows[1][0],
+                opt_cpb: rows[1][1],
+            },
+            SymmetricRow {
+                name: "AES enc./dec.",
+                base_cpb: rows[2][0],
+                opt_cpb: rows[2][1],
+            },
         ];
-        let (enc, dec) = measure_rsa(config, rsa_bits);
+        let rsa = vec![
+            RsaRow {
+                name: "RSA enc.",
+                base_cycles: rows[3][0],
+                opt_cycles: rows[3][2],
+            },
+            RsaRow {
+                name: "RSA dec.",
+                base_cycles: rows[3][1],
+                opt_cycles: rows[3][3],
+            },
+        ];
         Table1 {
             symmetric,
-            rsa: vec![enc, dec],
+            rsa,
             rsa_bits,
         }
     }
@@ -309,6 +489,32 @@ mod tests {
             dec.speedup(),
             enc.speedup()
         );
+    }
+
+    #[test]
+    fn pooled_table_matches_serial_and_warms_to_full_hits() {
+        let cfg = CpuConfig::default();
+        let kc = KCache::new();
+        let a = Table1::measure_pooled(&cfg, 3, 64, &Pool::new(1), None);
+        let b = Table1::measure_pooled(&cfg, 3, 64, &Pool::new(4), Some(&kc));
+        let c = Table1::measure_pooled(&cfg, 3, 64, &Pool::new(4), Some(&kc));
+        assert_eq!(kc.misses(), 4, "four cold units");
+        assert_eq!(kc.hits(), 4, "warm re-run serves every unit");
+        assert_eq!(kc.hit_rate(), 0.5);
+        for (x, y, z) in a
+            .symmetric
+            .iter()
+            .zip(&b.symmetric)
+            .zip(&c.symmetric)
+            .map(|((x, y), z)| (x, y, z))
+        {
+            assert_eq!(x.base_cpb, y.base_cpb, "{} threads", x.name);
+            assert_eq!(x.opt_cpb, z.opt_cpb, "{} warm", x.name);
+        }
+        for (x, y) in a.rsa.iter().zip(&c.rsa) {
+            assert_eq!(x.base_cycles, y.base_cycles, "{}", x.name);
+            assert_eq!(x.opt_cycles, y.opt_cycles, "{}", x.name);
+        }
     }
 
     #[test]

@@ -12,6 +12,10 @@ use crate::insn::{CustomInsn, InsnSet};
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Cartesian products at least this large are combined on a worker
+/// pool; smaller ones stay serial (spawn overhead would dominate).
+pub const PAR_COMBINE_THRESHOLD: usize = 1024;
+
 /// One design point: a set of custom instructions and the resulting
 /// cycle count.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,7 +126,14 @@ impl AdCurve {
     /// Combines two child curves: Cartesian product with instruction
     /// sharing and dominance reduction, keeping the best cycles per
     /// distinct reduced set. Cycle counts add.
+    ///
+    /// Products of [`PAR_COMBINE_THRESHOLD`] points or more are formed
+    /// on an environment-sized worker pool (see [`AdCurve::combine_on`]);
+    /// the result is identical either way.
     pub fn combine(&self, other: &AdCurve) -> AdCurve {
+        if self.len() * other.len() >= PAR_COMBINE_THRESHOLD {
+            return self.combine_on(other, &xpar::Pool::from_env());
+        }
         let mut out = Vec::with_capacity(self.len() * other.len());
         for a in &self.points {
             for b in &other.points {
@@ -133,6 +144,25 @@ impl AdCurve {
             }
         }
         AdCurve::from_points(out)
+    }
+
+    /// [`AdCurve::combine`] on an explicit worker pool: each row of the
+    /// Cartesian product is formed in parallel and the rows are merged
+    /// in order. The dedup-by-instruction-set merge keeps the minimum
+    /// cycles per set (order-independent), so the combined curve is
+    /// bit-identical to the serial product for any thread count.
+    pub fn combine_on(&self, other: &AdCurve, pool: &xpar::Pool) -> AdCurve {
+        let rows = pool.par_map(&self.points, |_, a| {
+            other
+                .points
+                .iter()
+                .map(|b| AdPoint {
+                    insns: a.insns.union(&b.insns),
+                    cycles: a.cycles + b.cycles,
+                })
+                .collect::<Vec<AdPoint>>()
+        });
+        AdCurve::from_points(rows.into_iter().flatten().collect())
     }
 
     /// Removes Pareto-dominated points: a point survives only if no
@@ -245,6 +275,40 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert_eq!(c.points()[0].cycles, 30.0);
         assert_eq!(c.points()[0].area(), add(4).area(), "shared, not doubled");
+    }
+
+    #[test]
+    fn parallel_combine_matches_serial() {
+        // Big enough that combine() itself takes the pooled path
+        // (40 × 40 = 1600 ≥ PAR_COMBINE_THRESHOLD).
+        let big = |family: &str| {
+            AdCurve::from_points(
+                (1..=40u32)
+                    .map(|k| {
+                        AdPoint::new(
+                            [CustomInsn::new(family, k, 100 * k as u64)],
+                            1000.0 / k as f64,
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let (a, b) = (big("alpha"), big("beta"));
+        let serial = {
+            let mut out = Vec::new();
+            for pa in a.points() {
+                for pb in b.points() {
+                    out.push(AdPoint {
+                        insns: pa.insns.union(&pb.insns),
+                        cycles: pa.cycles + pb.cycles,
+                    });
+                }
+            }
+            AdCurve::from_points(out)
+        };
+        assert_eq!(a.combine(&b), serial);
+        assert_eq!(a.combine_on(&b, &xpar::Pool::new(1)), serial);
+        assert_eq!(a.combine_on(&b, &xpar::Pool::new(7)), serial);
     }
 
     #[test]

@@ -11,12 +11,21 @@
 //! (removing or re-typing a field). Adding fields is backward
 //! compatible and does not bump the version; consumers must ignore
 //! fields they do not know.
+//!
+//! Schema 2 adds the optional wall-clock envelope fields `wall_ms`,
+//! `threads`, and `memo_hit_rate` (the parallel-execution trajectory).
+//! Version-1 reports remain valid; [`validate`] accepts both, and
+//! [`normalize`] strips everything host-timing-dependent so two runs of
+//! the same workload can be compared byte-for-byte.
 
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 
 /// Current report schema version.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`validate`] still accepts.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// A structured record of one harness run.
 #[derive(Debug, Clone)]
@@ -25,6 +34,9 @@ pub struct RunReport {
     config_fingerprint: Option<u64>,
     results: Json,
     metrics: Option<MetricsSnapshot>,
+    wall_ms: Option<f64>,
+    threads: Option<usize>,
+    memo_hit_rate: Option<f64>,
 }
 
 impl RunReport {
@@ -35,6 +47,9 @@ impl RunReport {
             config_fingerprint: None,
             results: Json::obj(),
             metrics: None,
+            wall_ms: None,
+            threads: None,
+            memo_hit_rate: None,
         }
     }
 
@@ -56,6 +71,27 @@ impl RunReport {
         self
     }
 
+    /// Records the harness's host wall-clock time in milliseconds
+    /// (schema 2).
+    pub fn with_wall_ms(mut self, wall_ms: f64) -> Self {
+        self.wall_ms = Some(wall_ms);
+        self
+    }
+
+    /// Records the worker-pool thread count the harness ran with
+    /// (schema 2).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Records the kernel-cycle memo-cache hit rate of the run
+    /// (schema 2).
+    pub fn with_memo_hit_rate(mut self, rate: f64) -> Self {
+        self.memo_hit_rate = Some(rate);
+        self
+    }
+
     /// Serializes the report envelope.
     pub fn to_json(&self) -> Json {
         let mut obj = Json::obj()
@@ -63,6 +99,15 @@ impl RunReport {
             .set("report", self.name.as_str());
         if let Some(fp) = self.config_fingerprint {
             obj = obj.set("config_fingerprint", format!("{fp:016x}"));
+        }
+        if let Some(ms) = self.wall_ms {
+            obj = obj.set("wall_ms", ms);
+        }
+        if let Some(t) = self.threads {
+            obj = obj.set("threads", t as u64);
+        }
+        if let Some(r) = self.memo_hit_rate {
+            obj = obj.set("memo_hit_rate", r);
         }
         obj = obj.set("results", self.results.clone());
         if let Some(m) = &self.metrics {
@@ -77,17 +122,19 @@ impl RunReport {
     }
 }
 
-/// Checks that a parsed JSON value is a well-formed current-version
-/// report envelope. Returns a human-readable description of the first
-/// violation.
+/// Checks that a parsed JSON value is a well-formed report envelope of
+/// a supported schema version ([`MIN_SCHEMA_VERSION`] through
+/// [`SCHEMA_VERSION`]). Returns a human-readable description of the
+/// first violation.
 pub fn validate(json: &Json) -> Result<(), String> {
     let version = json
         .get("schema_version")
         .and_then(Json::as_f64)
         .ok_or("missing numeric schema_version")?;
-    if version != SCHEMA_VERSION as f64 {
+    if version < MIN_SCHEMA_VERSION as f64 || version > SCHEMA_VERSION as f64 {
         return Err(format!(
-            "schema_version {version} unsupported (validator supports {SCHEMA_VERSION})"
+            "schema_version {version} unsupported (validator supports \
+             {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
         ));
     }
     let name = json
@@ -107,7 +154,48 @@ pub fn validate(json: &Json) -> Result<(), String> {
             return Err(format!("config_fingerprint {s:?} is not 16 hex digits"));
         }
     }
+    for key in ["wall_ms", "memo_hit_rate", "threads"] {
+        if let Some(v) = json.get(key) {
+            if v.as_f64().is_none() {
+                return Err(format!("{key} must be a number"));
+            }
+        }
+    }
     Ok(())
+}
+
+/// True for a key whose value depends on host timing, thread count or
+/// cache warmth rather than on the simulated workload.
+fn volatile_key(key: &str) -> bool {
+    key == "wall_ms"
+        || key == "threads"
+        || key == "memo_hit_rate"
+        || key == "estimation_speedup"
+        || key == "mean_estimation_speedup"
+        || key.ends_with("wall_ms")
+        || key.starts_with("xpar.")
+        || key.starts_with("kcache.")
+}
+
+/// Returns the report with every host-timing-dependent field removed,
+/// recursively: the schema-2 envelope fields (`wall_ms`, `threads`,
+/// `memo_hit_rate`), wall-clock-derived results
+/// (`estimation_speedup`, `mean_estimation_speedup`, any `*wall_ms`
+/// key), and the `xpar.*` / `kcache.*` metrics. Two runs of the same
+/// simulated workload — whatever the thread count or cache state —
+/// normalize to byte-identical JSON.
+pub fn normalize(json: &Json) -> Json {
+    match json {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .iter()
+                .filter(|(k, _)| !volatile_key(k))
+                .map(|(k, v)| (k.clone(), normalize(v)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(normalize).collect()),
+        other => other.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +242,32 @@ mod tests {
     }
 
     #[test]
+    fn wall_clock_fields_serialize_and_validate() {
+        let report = RunReport::new("sec43")
+            .with_wall_ms(123.5)
+            .with_threads(8)
+            .with_memo_hit_rate(0.75);
+        let parsed = json::parse(&report.render()).unwrap();
+        validate(&parsed).unwrap();
+        assert_eq!(
+            parsed.get("schema_version").and_then(Json::as_f64),
+            Some(SCHEMA_VERSION as f64)
+        );
+        assert_eq!(parsed.get("wall_ms").and_then(Json::as_f64), Some(123.5));
+        assert_eq!(parsed.get("threads").and_then(Json::as_f64), Some(8.0));
+        assert_eq!(
+            parsed.get("memo_hit_rate").and_then(Json::as_f64),
+            Some(0.75)
+        );
+    }
+
+    #[test]
+    fn validate_accepts_version_1_reports() {
+        let j = json::parse(r#"{"schema_version":1,"report":"x","results":{}}"#).unwrap();
+        validate(&j).unwrap();
+    }
+
+    #[test]
     fn validate_rejects_missing_version() {
         let j = json::parse(r#"{"report":"x","results":{}}"#).unwrap();
         assert!(validate(&j).unwrap_err().contains("schema_version"));
@@ -178,5 +292,53 @@ mod tests {
         )
         .unwrap();
         assert!(validate(&j).unwrap_err().contains("hex"));
+    }
+
+    #[test]
+    fn validate_rejects_non_numeric_wall_fields() {
+        let j = json::parse(r#"{"schema_version":2,"report":"x","wall_ms":"fast","results":{}}"#)
+            .unwrap();
+        assert!(validate(&j).unwrap_err().contains("wall_ms"));
+    }
+
+    #[test]
+    fn normalize_strips_volatile_fields_recursively() {
+        let j = json::parse(
+            r#"{
+              "schema_version": 2, "report": "x", "wall_ms": 9.1,
+              "threads": 8, "memo_hit_rate": 0.5,
+              "results": {
+                "cosim_samples": 3, "mean_estimation_speedup": 41.0,
+                "phases": [{"exploration_wall_ms": 2.0, "evaluated": 450}]
+              },
+              "metrics": {
+                "xpar.utilization": {"type": "gauge", "value": 0.9},
+                "kcache.hits": {"type": "counter", "value": 12},
+                "flow.phase1.wall_ms": {"type": "gauge", "value": 3.0},
+                "flow.phase2.best_cycles": {"type": "gauge", "value": 7.0}
+              }
+            }"#,
+        )
+        .unwrap();
+        let n = normalize(&j);
+        assert!(n.get("wall_ms").is_none());
+        assert!(n.get("threads").is_none());
+        assert!(n.get("memo_hit_rate").is_none());
+        let results = n.get("results").unwrap();
+        assert!(results.get("mean_estimation_speedup").is_none());
+        assert_eq!(
+            results.get("cosim_samples").and_then(Json::as_f64),
+            Some(3.0)
+        );
+        let phase = &results.get("phases").and_then(Json::as_arr).unwrap()[0];
+        assert!(phase.get("exploration_wall_ms").is_none());
+        assert_eq!(phase.get("evaluated").and_then(Json::as_f64), Some(450.0));
+        let metrics = n.get("metrics").unwrap();
+        assert!(metrics.get("xpar.utilization").is_none());
+        assert!(metrics.get("kcache.hits").is_none());
+        assert!(metrics.get("flow.phase1.wall_ms").is_none());
+        assert!(metrics.get("flow.phase2.best_cycles").is_some());
+        // Idempotent: normalizing a normal form is the identity.
+        assert_eq!(normalize(&n).to_string_compact(), n.to_string_compact());
     }
 }

@@ -15,6 +15,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Which cache a [`TraceEvent::Cache`] access went through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -430,6 +431,11 @@ impl TraceSink for TeeSink<'_> {
 /// their sink (e.g. `secproc::IssMpn::set_trace_sink`) while the caller
 /// keeps access to the accumulated state.
 ///
+/// `Shared` is `Rc`-based and therefore confined to one thread: it is
+/// deliberately `!Send`, so handing a traced component to an
+/// `xpar::Pool` worker is a compile error rather than a data race. Use
+/// [`SyncShared`] when the sink must cross threads.
+///
 /// ```
 /// use std::cell::RefCell;
 /// use std::rc::Rc;
@@ -439,6 +445,17 @@ impl TraceSink for TeeSink<'_> {
 /// let mut handle: Box<dyn TraceSink> = Box::new(Shared::new(inner.clone()));
 /// handle.on_event(&TraceEvent::Retire { pc: 0, cycle: 1 });
 /// assert_eq!(inner.borrow().events().len(), 1);
+/// ```
+///
+/// The thread-confinement is compiler-enforced:
+///
+/// ```compile_fail
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+/// use xobs::trace::{Shared, VecSink};
+///
+/// let handle = Shared::new(Rc::new(RefCell::new(VecSink::new())));
+/// std::thread::spawn(move || drop(handle)); // `Rc` is !Send
 /// ```
 pub struct Shared<S: TraceSink>(Rc<RefCell<S>>);
 
@@ -456,6 +473,48 @@ impl<S: TraceSink> TraceSink for Shared<S> {
 
     fn flush(&mut self) {
         self.0.borrow_mut().flush();
+    }
+}
+
+/// The thread-safe counterpart of [`Shared`]: an `Arc<Mutex<_>>`-backed
+/// handle that is `Send + Sync` whenever the inner sink is `Send`, so
+/// one sink can serve components running on different `xpar::Pool`
+/// workers. Events from different threads interleave at event
+/// granularity (the mutex is held per event, never across events).
+///
+/// Prefer [`Shared`] inside one thread — it skips the lock.
+///
+/// ```
+/// use std::sync::{Arc, Mutex};
+/// use xobs::trace::{SyncShared, TraceSink, TraceEvent, VecSink};
+///
+/// let inner = Arc::new(Mutex::new(VecSink::new()));
+/// let mut handle: Box<dyn TraceSink> = Box::new(SyncShared::new(inner.clone()));
+/// handle.on_event(&TraceEvent::Retire { pc: 0, cycle: 1 });
+/// assert_eq!(inner.lock().unwrap().events().len(), 1);
+/// ```
+pub struct SyncShared<S: TraceSink>(Arc<Mutex<S>>);
+
+impl<S: TraceSink> SyncShared<S> {
+    /// Wraps a shared sink.
+    pub fn new(inner: Arc<Mutex<S>>) -> Self {
+        SyncShared(inner)
+    }
+}
+
+impl<S: TraceSink> Clone for SyncShared<S> {
+    fn clone(&self) -> Self {
+        SyncShared(Arc::clone(&self.0))
+    }
+}
+
+impl<S: TraceSink> TraceSink for SyncShared<S> {
+    fn on_event(&mut self, ev: &TraceEvent<'_>) {
+        self.0.lock().expect("trace sink poisoned").on_event(ev);
+    }
+
+    fn flush(&mut self) {
+        self.0.lock().expect("trace sink poisoned").flush();
     }
 }
 
@@ -521,5 +580,46 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_ring_rejected() {
         let _ = RingSink::new(0);
+    }
+
+    #[test]
+    fn sync_shared_ring_survives_concurrent_writers() {
+        // Four threads hammer one flight recorder through SyncShared.
+        // Every event must land exactly once: retained + dropped events
+        // account for all sends, and the ring invariants hold.
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 500;
+        const CAPACITY: usize = 64;
+        let ring = Arc::new(Mutex::new(RingSink::new(CAPACITY)));
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let mut handle = SyncShared::new(Arc::clone(&ring));
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        handle.on_event(&TraceEvent::Retire {
+                            pc: t as u32,
+                            cycle: t * PER_THREAD + i,
+                        });
+                    }
+                    handle.flush();
+                });
+            }
+        });
+        let ring = ring.lock().unwrap();
+        assert_eq!(ring.len(), CAPACITY, "full ring retains capacity events");
+        assert_eq!(
+            ring.len() as u64 + ring.dropped(),
+            THREADS * PER_THREAD,
+            "no event lost or double-counted under contention"
+        );
+        // Each retained event is one that some thread actually sent.
+        for ev in ring.events() {
+            let TraceEvent::Retire { pc, cycle } = ev.as_event() else {
+                panic!("only retire events were sent");
+            };
+            assert!((pc as u64) < THREADS);
+            assert!(cycle >= pc as u64 * PER_THREAD);
+            assert!(cycle < (pc as u64 + 1) * PER_THREAD);
+        }
     }
 }

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Collect every bench binary's structured `--json` run report into one
-# machine-readable BENCH_2.json document. Each report is validated
+# machine-readable BENCH_3.json document. Each report is validated
 # against the xobs schema (via `xr32-trace check-report`) before it is
 # admitted. Set RUN_MICROBENCH=1 to also run the criterion suites and
 # fold their stable `BENCH,<name>,<median_ns>` lines into the output.
@@ -9,7 +9,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_2.json}
+OUT=${1:-BENCH_3.json}
 BIN=target/release
 
 cargo build --release -q --package bench
@@ -51,7 +51,7 @@ if [[ "${RUN_MICROBENCH:-0}" == "1" ]]; then
 fi
 
 {
-  printf '{"schema_version":1,"reports":['
+  printf '{"schema_version":2,"reports":['
   first=1
   for r in "${reports[@]}"; do
     [[ $first == 1 ]] || printf ','

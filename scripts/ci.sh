@@ -31,3 +31,42 @@ target/release/fig4_callgraph --json 8 | target/release/xr32-trace check-report 
 target/release/fig5_adcurves --json 8 | target/release/xr32-trace check-report -
 target/release/fig6_cartesian --json | target/release/xr32-trace check-report -
 target/release/sec43_exploration --json 128 2 | target/release/xr32-trace check-report -
+
+# Determinism gate: the parallel methodology engine must produce
+# byte-identical reports (modulo host-timing fields, stripped by
+# `normalize-report`) at 1 thread and 8 threads, each from a cold
+# kernel-cycle cache.
+DET=$(mktemp -d /tmp/ci_det.XXXXXX)
+trap 'rm -f "$TRACE"; rm -rf "$DET"' EXIT
+for run in "sec43_exploration --json 128 2" "fig5_adcurves --json 8"; do
+  # shellcheck disable=SC2086
+  set -- $run
+  name=$1
+  WSP_THREADS=1 WSP_KCACHE="$DET/$name.t1.kcache" "target/release/$@" \
+    | target/release/xr32-trace normalize-report - >"$DET/$name.t1.json"
+  WSP_THREADS=8 WSP_KCACHE="$DET/$name.t8.kcache" "target/release/$@" \
+    | target/release/xr32-trace normalize-report - >"$DET/$name.t8.json"
+  if ! diff -u "$DET/$name.t1.json" "$DET/$name.t8.json"; then
+    echo "ci: $name report differs between WSP_THREADS=1 and 8" >&2
+    exit 1
+  fi
+  echo "ci: $name deterministic across thread counts"
+done
+
+# Perf smoke: a small exploration must finish within a generous wall
+# budget, and a warm re-run against the same kernel-cycle cache must
+# actually hit it (memo_hit_rate > 0).
+start=$SECONDS
+WSP_KCACHE="$DET/perf.kcache" target/release/sec43_exploration --json 128 2 >/dev/null
+elapsed=$((SECONDS - start))
+if ((elapsed > 300)); then
+  echo "ci: cold sec43_exploration took ${elapsed}s (budget 300s)" >&2
+  exit 1
+fi
+WARM=$(WSP_KCACHE="$DET/perf.kcache" target/release/sec43_exploration --json 128 2)
+hit_rate=$(grep -o '"memo_hit_rate": *[0-9.eE+-]*' <<<"$WARM" | head -1 | sed 's/.*: *//')
+if [[ -z "$hit_rate" ]] || ! awk -v h="$hit_rate" 'BEGIN { exit !(h > 0) }'; then
+  echo "ci: warm sec43_exploration memo_hit_rate '$hit_rate' not > 0" >&2
+  exit 1
+fi
+echo "ci: perf smoke ok (cold ${elapsed}s, warm memo_hit_rate $hit_rate)"

@@ -18,6 +18,8 @@
 //!   four-phase co-design methodology.
 //! - [`xlint`]: dataflow static analysis and the constant-time
 //!   (secret-taint) checker for XR32 kernels.
+//! - [`xpar`]: the deterministic scoped worker pool and kernel-cycle
+//!   memo cache driving the parallel methodology engine.
 //!
 //! # Examples
 //!
@@ -35,4 +37,5 @@ pub use pubkey;
 pub use secproc;
 pub use tie;
 pub use xlint;
+pub use xpar;
 pub use xr32;
