@@ -5,7 +5,7 @@
 //! representative computation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pubkey::ops::opname;
+use kreg::id;
 use secproc::issops::IssMpn;
 use secproc::simcipher::{SimDes, Variant};
 use std::hint::black_box;
@@ -22,34 +22,34 @@ fn ablation_datapath_width(c: &mut Criterion) {
         println!("\n--- ablation: datapath lanes vs. kernel cycles (n = 32 limbs) ---");
         let mut base = IssMpn::base(CpuConfig::default());
         base.set_verify(false);
-        base.measure32(opname::ADD_N, 32, 1);
+        base.measure32(id::ADD_N, 32, 1).expect("registered");
         println!(
             "add_n  base: {:>7.0} cycles",
-            base.measure32(opname::ADD_N, 32, 2)
+            base.measure32(id::ADD_N, 32, 2).expect("registered")
         );
         for lanes in [2u32, 4, 8, 16] {
             let mut iss = IssMpn::accelerated(CpuConfig::default(), lanes, 1);
             iss.set_verify(false);
-            iss.measure32(opname::ADD_N, 32, 1);
+            iss.measure32(id::ADD_N, 32, 1).expect("registered");
             println!(
                 "add_n add{lanes:<2}: {:>7.0} cycles",
-                iss.measure32(opname::ADD_N, 32, 2)
+                iss.measure32(id::ADD_N, 32, 2).expect("registered")
             );
         }
         let mut base = IssMpn::base(CpuConfig::default());
         base.set_verify(false);
-        base.measure32(opname::ADDMUL_1, 32, 1);
+        base.measure32(id::ADDMUL_1, 32, 1).expect("registered");
         println!(
             "addmul base: {:>7.0} cycles",
-            base.measure32(opname::ADDMUL_1, 32, 2)
+            base.measure32(id::ADDMUL_1, 32, 2).expect("registered")
         );
         for lanes in [1u32, 2, 4] {
             let mut iss = IssMpn::accelerated(CpuConfig::default(), 2, lanes);
             iss.set_verify(false);
-            iss.measure32(opname::ADDMUL_1, 32, 1);
+            iss.measure32(id::ADDMUL_1, 32, 1).expect("registered");
             println!(
                 "addmul mac{lanes}: {:>7.0} cycles",
-                iss.measure32(opname::ADDMUL_1, 32, 2)
+                iss.measure32(id::ADDMUL_1, 32, 2).expect("registered")
             );
         }
     });
@@ -61,7 +61,7 @@ fn ablation_datapath_width(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                iss.measure32(opname::ADD_N, 32, seed)
+                iss.measure32(id::ADD_N, 32, seed).expect("registered")
             });
         });
     }

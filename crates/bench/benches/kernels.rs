@@ -3,7 +3,7 @@
 //! machinery every experiment is built on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pubkey::ops::opname;
+use kreg::id;
 use secproc::issops::IssMpn;
 use std::hint::black_box;
 use xr32::asm::assemble;
@@ -13,7 +13,9 @@ use xr32::cpu::Cpu;
 fn bench_native_mpn(c: &mut Criterion) {
     let mut group = c.benchmark_group("native_mpn");
     for n in [8usize, 32, 128] {
-        let a: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+        let a: Vec<u32> = (0..n as u32)
+            .map(|i| i.wrapping_mul(xpar::SEED_STEP32))
+            .collect();
         let b: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x85eb_ca6b)).collect();
         group.bench_with_input(BenchmarkId::new("add_n", n), &n, |bench, _| {
             let mut r = vec![0u32; n];
@@ -57,7 +59,7 @@ fn bench_iss_kernels(c: &mut Criterion) {
             let mut seed = 0u64;
             bench.iter(|| {
                 seed += 1;
-                iss.measure32(opname::ADDMUL_1, n, seed)
+                iss.measure32(id::ADDMUL_1, n, seed).expect("registered")
             });
         });
         group.bench_with_input(BenchmarkId::new("addmul_1_mac4", n), &n, |bench, &n| {
@@ -66,7 +68,7 @@ fn bench_iss_kernels(c: &mut Criterion) {
             let mut seed = 0u64;
             bench.iter(|| {
                 seed += 1;
-                iss.measure32(opname::ADDMUL_1, n, seed)
+                iss.measure32(id::ADDMUL_1, n, seed).expect("registered")
             });
         });
     }

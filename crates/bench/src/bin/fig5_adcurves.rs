@@ -38,15 +38,16 @@ fn main() {
     }
 
     let curves = flow::formulate_mpn_curves_pooled(&config, n, &harness.pool, harness.cache());
+    let add_n = kreg::id::ADD_N.name();
+    let addmul_1 = kreg::id::ADDMUL_1.name();
 
     // (c) combine through a root with both children, then Pareto-prune.
     let mut g = CallGraph::new();
     g.add_node("root", 10.0);
-    g.add_node("mpn_add_n", 0.0);
-    g.add_node("mpn_addmul_1", 0.0);
-    g.add_call("root", "mpn_add_n", 2.0).expect("nodes exist");
-    g.add_call("root", "mpn_addmul_1", 1.0)
-        .expect("nodes exist");
+    g.add_node(add_n, 0.0);
+    g.add_node(addmul_1, 0.0);
+    g.add_call("root", add_n, 2.0).expect("nodes exist");
+    g.add_call("root", addmul_1, 1.0).expect("nodes exist");
     let mut sel = Selector::new(g);
     for (name, curve) in &curves {
         sel.set_leaf_curve(name.clone(), curve.clone());
@@ -60,8 +61,8 @@ fn main() {
         let report = RunReport::new("fig5_adcurves")
             .with_fingerprint(config.fingerprint())
             .result("limbs", n as u64)
-            .result("mpn_add_n", curve_to_json(&curves["mpn_add_n"]))
-            .result("mpn_addmul_1", curve_to_json(&curves["mpn_addmul_1"]))
+            .result(add_n, curve_to_json(&curves[add_n]))
+            .result(addmul_1, curve_to_json(&curves[addmul_1]))
             .result("combined_points", combined.len() as u64)
             .result("pareto_points", pruned.len() as u64)
             .result("combined_pareto", curve_to_json(&pruned))
@@ -72,10 +73,10 @@ fn main() {
     let _ = harness.kcache.save();
 
     println!("(a) mpn_add_n (paper: 202 cycles base, add_2..add_16 points)");
-    print!("{}", curves["mpn_add_n"].render());
+    print!("{}", curves[add_n].render());
 
     println!("\n(b) mpn_addmul_1 (mac_1..mac_4 points)");
-    print!("{}", curves["mpn_addmul_1"].render());
+    print!("{}", curves[addmul_1].render());
 
     println!("\n(c) root = 2 x mpn_add_n + 1 x mpn_addmul_1 + 10 local cycles");
     println!(

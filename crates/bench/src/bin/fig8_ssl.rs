@@ -62,19 +62,29 @@ fn main() {
     let hs_base = handshake(&ModExpConfig::baseline());
     // Optimized handshake additionally benefits from the MAC/adder
     // datapaths; scale by the kernel-level gain measured for addmul.
+    // These two measurements run with golden-reference verification on:
+    // a kernel/reference divergence is recorded as a typed error and
+    // surfaced in the run report rather than silently shipping a bad
+    // speedup (cache hits skip the kernels entirely, so a warm run has
+    // nothing to report).
+    let kernel_errors = std::cell::RefCell::new(Vec::<String>::new());
     let accel_gain = {
         let pair = harness.kcache.get_or_compute(
             &kcache::key(config.fingerprint(), "iss", "fig8:addmul_gain", 32, 0x0304),
             2,
             || {
                 let mut b = secproc::IssMpn::base(config.clone());
-                b.set_verify(false);
-                b.measure32(pubkey::ops::opname::ADDMUL_1, 32, 3);
-                let bc = b.measure32(pubkey::ops::opname::ADDMUL_1, 32, 4);
+                b.measure32(kreg::id::ADDMUL_1, 32, 3).expect("registered");
+                let bc = b.measure32(kreg::id::ADDMUL_1, 32, 4).expect("registered");
                 let mut f = secproc::IssMpn::accelerated(config.clone(), 16, 4);
-                f.set_verify(false);
-                f.measure32(pubkey::ops::opname::ADDMUL_1, 32, 3);
-                let fc = f.measure32(pubkey::ops::opname::ADDMUL_1, 32, 4);
+                f.measure32(kreg::id::ADDMUL_1, 32, 3).expect("registered");
+                let fc = f.measure32(kreg::id::ADDMUL_1, 32, 4).expect("registered");
+                kernel_errors.borrow_mut().extend(
+                    b.take_kernel_errors()
+                        .into_iter()
+                        .chain(f.take_kernel_errors())
+                        .map(|e| e.to_string()),
+                );
                 vec![bc, fc]
             },
         );
@@ -112,11 +122,15 @@ fn main() {
             .result("rsa_bits", rsa_bits as u64)
             .result("components", components)
             .result("series", ssl::series_to_json(&series))
+            .with_kernel_errors(kernel_errors.into_inner())
             .with_metrics(metrics.snapshot());
         bench::emit_report(&harness.finish(report));
         return;
     }
     let _ = harness.kcache.save();
+    for e in kernel_errors.into_inner() {
+        eprintln!("fig8_ssl: kernel error: {e}");
+    }
 
     println!("measured components:");
     println!(

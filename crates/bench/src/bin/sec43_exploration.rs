@@ -56,6 +56,13 @@ fn main() {
             harness.pool.threads(),
             models.mean_abs_error_pct()
         );
+        if let Some(q) = models.quality.get(&(kreg::id::SHA1.name(), 32)) {
+            println!(
+                "  incl. block kernel {}: |err| {:.1}% over 1..4-block stimuli",
+                kreg::id::SHA1,
+                q.mae_pct
+            );
+        }
     }
 
     // Phase 2: macro-model exploration of the full lattice.

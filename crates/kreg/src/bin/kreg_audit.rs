@@ -1,0 +1,69 @@
+//! Registry-exhaustiveness audit for CI.
+//!
+//! Default mode checks the registry invariants (unique cache tags,
+//! stimulus space present, annotated entry labels in the lint units)
+//! and exits non-zero on any violation. With `--dump <dir>` it also
+//! writes every lint unit to `<dir>/<label>.s` and prints the paths,
+//! one per line, so the CI gate can feed them to `xr32-lint` without a
+//! hand-maintained file list.
+
+use std::io::{ErrorKind, Write};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dump_dir = match args.as_slice() {
+        [] => None,
+        [flag, dir] if flag == "--dump" => Some(dir.clone()),
+        _ => {
+            eprintln!("usage: kreg-audit [--dump <dir>]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let problems = kreg::audit();
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("kreg-audit: {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let units = kreg::lint_units();
+    eprintln!(
+        "kreg-audit: {} kernels, {} lint units, all invariants hold",
+        kreg::registry().len(),
+        units.len()
+    );
+
+    if let Some(dir) = dump_dir {
+        let dir = Path::new(&dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("kreg-audit: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        // A closed stdout (`kreg-audit --dump d | head`) stops the path
+        // listing but not the dump itself: the files on disk are the
+        // product, the listing is a convenience.
+        let mut out = std::io::stdout().lock();
+        let mut listing = true;
+        for unit in &units {
+            let path = dir.join(format!("{}.s", unit.label));
+            if let Err(e) = std::fs::write(&path, &unit.source) {
+                eprintln!("kreg-audit: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            if listing {
+                if let Err(e) = writeln!(out, "{}", path.display()) {
+                    if e.kind() != ErrorKind::BrokenPipe {
+                        eprintln!("kreg-audit: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    listing = false;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

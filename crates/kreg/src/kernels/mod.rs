@@ -1,0 +1,9 @@
+//! The XR32 assembly kernel libraries backing the registry.
+//!
+//! Each module returns annotated assembly source (with `;!` entry,
+//! secret and custom-instruction annotations) for one library; the
+//! registry's [`crate::lint_units`] enumerates every configuration for
+//! the CI lint gate.
+
+pub mod mpn;
+pub mod sha;

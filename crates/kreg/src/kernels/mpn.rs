@@ -255,7 +255,7 @@ div_qhat:                  ; a0=n2 a1=n1 a2=n0 a3=d1 a4=d0 -> a0=qhat
 /// `add_lanes` selects the `add<k>`/`sub<k>` datapath width
 /// (2/4/8/16); `mac_lanes` selects the `mac<k>`/`msub<k>` width
 /// (1/2/4). The corresponding extension set must be configured into the
-/// core (see [`crate::insns::mpn_extension_set`]).
+/// core (see `secproc::insns::mpn_extension_set`).
 pub fn accel32_source(add_lanes: u32, mac_lanes: u32) -> String {
     assert!(matches!(add_lanes, 2 | 4 | 8 | 16));
     assert!(matches!(mac_lanes, 1 | 2 | 4));

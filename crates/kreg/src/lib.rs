@@ -1,0 +1,739 @@
+//! The typed kernel registry shared by all four methodology phases.
+//!
+//! The paper's methodology — performance characterization, algorithm
+//! exploration, custom-instruction formulation, global selection —
+//! iterates over *one* set of library kernels. This crate is the single
+//! source of truth for that set: each kernel is named by a [`KernelId`]
+//! and described by a [`KernelDescriptor`] carrying
+//!
+//! - the assembly source (via [`kernels`]) and entry symbol,
+//! - the ISS calling convention and host golden-reference functions
+//!   ([`CallConv`]),
+//! - the stimulus parameter space and monomial basis used for
+//!   macro-model characterization ([`StimulusSpec`]),
+//! - the custom-instruction family and its A-D resource levels
+//!   ([`InsnFamilySpec`]),
+//! - the kernel-cycle cache tag ([`KernelDescriptor::cache_tag`] and
+//!   the `charact`/`curve` measurement-unit names derived from it).
+//!
+//! Consumers (the ISS-backed ops provider, the methodology driver, the
+//! bench harnesses, CI) enumerate [`registry`] instead of keeping their
+//! own kernel lists, so adding a workload means adding one descriptor
+//! here — the phases, the lint gate and the property tests pick it up
+//! automatically. The SHA-1 compression kernel is registered exactly
+//! this way, as the extensibility proof.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernels;
+
+use macromodel::model::Monomial;
+use macromodel::stimulus::ParamSpace;
+use mpint::mpn;
+use std::fmt;
+use tie::insn::CustomInsn;
+
+/// A registered kernel's identity: a typed handle over the canonical
+/// kernel name. Obtain ids from the constants in [`id`]; the inner name
+/// is deliberately private so new names can only enter the system
+/// through the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KernelId(&'static str);
+
+impl KernelId {
+    /// The canonical kernel name (entry label, macro-model registry key
+    /// and kernel-cycle cache tag).
+    pub const fn name(self) -> &'static str {
+        self.0
+    }
+}
+
+impl fmt::Display for KernelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// The registered kernel ids.
+pub mod id {
+    use super::KernelId;
+
+    /// `r = a + b` over limb vectors, carry out.
+    pub const ADD_N: KernelId = KernelId("mpn_add_n");
+    /// `r = a - b` over limb vectors, borrow out.
+    pub const SUB_N: KernelId = KernelId("mpn_sub_n");
+    /// `r = a * b` for single-limb `b`, high limb out.
+    pub const MUL_1: KernelId = KernelId("mpn_mul_1");
+    /// `r += a * b`, carry limb out.
+    pub const ADDMUL_1: KernelId = KernelId("mpn_addmul_1");
+    /// `r -= a * b`, borrow limb out.
+    pub const SUBMUL_1: KernelId = KernelId("mpn_submul_1");
+    /// Left shift by `0 < cnt < width`.
+    pub const LSHIFT: KernelId = KernelId("mpn_lshift");
+    /// Right shift by `0 < cnt < width`.
+    pub const RSHIFT: KernelId = KernelId("mpn_rshift");
+    /// 3-by-2 quotient-limb estimate of schoolbook division.
+    pub const DIV_QHAT: KernelId = KernelId("div_qhat");
+    /// SHA-1 compression over one 64-byte block (fixed memory map).
+    pub const SHA1: KernelId = KernelId("sha1_compress");
+
+    /// The multi-precision basic operations, in the stable order every
+    /// phase iterates them.
+    pub const MPN: [KernelId; 8] = [
+        ADD_N, SUB_N, MUL_1, ADDMUL_1, SUBMUL_1, LSHIFT, RSHIFT, DIV_QHAT,
+    ];
+    /// Every registered kernel, in registry order.
+    pub const ALL: [KernelId; 9] = [
+        ADD_N, SUB_N, MUL_1, ADDMUL_1, SUBMUL_1, LSHIFT, RSHIFT, DIV_QHAT, SHA1,
+    ];
+}
+
+/// Canonical kernel names as plain strings (the macro-model registry
+/// and call-count keys). Prefer [`id`] for anything that dispatches;
+/// these exist for map keys and display.
+pub mod opname {
+    use super::id;
+
+    /// `mpn_add_n`
+    pub const ADD_N: &str = id::ADD_N.name();
+    /// `mpn_sub_n`
+    pub const SUB_N: &str = id::SUB_N.name();
+    /// `mpn_mul_1`
+    pub const MUL_1: &str = id::MUL_1.name();
+    /// `mpn_addmul_1`
+    pub const ADDMUL_1: &str = id::ADDMUL_1.name();
+    /// `mpn_submul_1`
+    pub const SUBMUL_1: &str = id::SUBMUL_1.name();
+    /// `mpn_lshift`
+    pub const LSHIFT: &str = id::LSHIFT.name();
+    /// `mpn_rshift`
+    pub const RSHIFT: &str = id::RSHIFT.name();
+    /// 3-by-2 quotient-limb estimation step of schoolbook division
+    pub const DIV_QHAT: &str = id::DIV_QHAT.name();
+    /// SHA-1 compression
+    pub const SHA1: &str = id::SHA1.name();
+    /// All basic-operation names, in a stable order.
+    pub const ALL: [&str; 8] = [
+        ADD_N, SUB_N, MUL_1, ADDMUL_1, SUBMUL_1, LSHIFT, RSHIFT, DIV_QHAT,
+    ];
+}
+
+/// Which kernel library the 32-bit side of an ISS provider runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelVariant {
+    /// Plain RISC kernels (the optimized-software baseline).
+    Base,
+    /// Custom-instruction kernels with the given adder/MAC lane counts.
+    Accelerated {
+        /// `add<k>`/`sub<k>` datapath lanes (2, 4, 8 or 16).
+        add_lanes: u32,
+        /// `mac<k>`/`msub<k>` datapath lanes (1, 2 or 4).
+        mac_lanes: u32,
+    },
+}
+
+impl KernelVariant {
+    /// A short stable tag naming this variant, used in kernel-cycle
+    /// cache keys.
+    pub fn tag(&self) -> String {
+        match self {
+            KernelVariant::Base => "base".to_owned(),
+            KernelVariant::Accelerated {
+                add_lanes,
+                mac_lanes,
+            } => format!("accel-a{add_lanes}m{mac_lanes}"),
+        }
+    }
+}
+
+/// A typed kernel-layer failure. Divergences are *recorded*, not
+/// panicked, so a bench run surfaces them through its run report
+/// instead of aborting mid-measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// The name does not correspond to a registered kernel.
+    Unknown(String),
+    /// The kernel's ISS result disagreed with its host golden
+    /// reference.
+    Divergence {
+        /// The diverging kernel.
+        kernel: KernelId,
+        /// What disagreed (operand size, which output).
+        detail: String,
+    },
+    /// The kernel is registered but the requested operation does not
+    /// apply to it (wrong radix width, non-register calling
+    /// convention).
+    Unsupported {
+        /// The kernel the request named.
+        kernel: KernelId,
+        /// Why it cannot be served.
+        detail: String,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Unknown(name) => write!(f, "unknown kernel `{name}`"),
+            KernelError::Divergence { kernel, detail } => {
+                write!(
+                    f,
+                    "kernel `{kernel}` diverged from golden reference: {detail}"
+                )
+            }
+            KernelError::Unsupported { kernel, detail } => {
+                write!(f, "kernel `{kernel}` unsupported here: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// The ISS calling convention of a kernel, with the host
+/// golden-reference function for each supported radix width embedded in
+/// the matching shape. The ISS-backed provider both *drives* the kernel
+/// (argument registers, operand buffers, result extraction) and
+/// *checks* it from this one description.
+#[derive(Debug, Clone, Copy)]
+pub enum CallConv {
+    /// `(rp, ap, bp, n)` in `a0..a3`; carry/borrow flag returned in
+    /// `a0`.
+    VecVec {
+        /// 32-bit-limb reference.
+        golden32: fn(&mut [u32], &[u32], &[u32]) -> bool,
+        /// 16-bit-limb reference.
+        golden16: fn(&mut [u16], &[u16], &[u16]) -> bool,
+    },
+    /// `(rp, ap, n, b)` in `a0..a3`; carry/borrow limb returned in
+    /// `a0`.
+    VecScalar {
+        /// Whether the kernel reads `rp` before writing it
+        /// (`addmul`/`submul` accumulate; `mul_1` overwrites).
+        accumulate: bool,
+        /// 32-bit-limb reference.
+        golden32: fn(&mut [u32], &[u32], u32) -> u32,
+        /// 16-bit-limb reference.
+        golden16: fn(&mut [u16], &[u16], u16) -> u16,
+    },
+    /// `(rp, ap, n, cnt)` in `a0..a3`; shifted-out bits returned in
+    /// `a0`.
+    VecShift {
+        /// 32-bit-limb reference.
+        golden32: fn(&mut [u32], &[u32], u32) -> u32,
+        /// 16-bit-limb reference.
+        golden16: fn(&mut [u16], &[u16], u32) -> u16,
+    },
+    /// Five scalars `(n2, n1, n0, d1, d0)` in `a0..a4`; quotient
+    /// estimate returned in `a0`.
+    Div3by2 {
+        /// 32-bit reference.
+        golden32: fn(u32, u32, u32, u32, u32) -> u32,
+        /// 16-bit reference.
+        golden16: fn(u16, u16, u16, u16, u16) -> u16,
+    },
+    /// No register arguments: operands live at the fixed addresses of
+    /// the kernel's memory map (block ciphers, hashes).
+    BlockMem {
+        /// SHA-1 state-compression reference.
+        golden_sha1: fn(&mut [u32; 5], &[u8; 64]),
+    },
+}
+
+/// Which kernel library provides a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LibKind {
+    /// The multi-precision libraries: present at both radices
+    /// ([`kernels::mpn::base32_source`], [`kernels::mpn::base16_source`])
+    /// and in every accelerated 32-bit lane configuration.
+    Mpn,
+    /// The standalone SHA-1 block program ([`kernels::sha::source`]),
+    /// 32-bit core only.
+    Sha1,
+}
+
+/// How to stimulate a kernel for macro-model characterization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StimulusSpec {
+    /// The operand length in limbs sweeps `1..=max_limbs`; affine
+    /// basis.
+    Limbs,
+    /// A single fixed-size point (scalar kernels); constant basis.
+    Point,
+    /// `1..=4` message blocks chained through the kernel; affine basis
+    /// in the block count.
+    Blocks,
+}
+
+impl StimulusSpec {
+    /// The characterization parameter space at the given maximum
+    /// operand size.
+    pub fn space(&self, max_limbs: usize) -> ParamSpace {
+        match self {
+            StimulusSpec::Limbs => ParamSpace::new(vec![(1, max_limbs as u64)]),
+            StimulusSpec::Point => ParamSpace::new(vec![(1, 1)]),
+            StimulusSpec::Blocks => ParamSpace::new(vec![(1, 4)]),
+        }
+    }
+
+    /// The monomial basis the macro-model is fitted over.
+    pub fn basis(&self) -> Vec<Monomial> {
+        match self {
+            StimulusSpec::Point => vec![Monomial::constant(1)],
+            _ => vec![Monomial::constant(1), Monomial::linear(1, 0)],
+        }
+    }
+}
+
+/// One resource level of a custom-instruction family: the datapath
+/// lane count of the A-D curve point and the kernel-library lane
+/// configuration that exercises it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccelLevel {
+    /// Datapath lanes of this point (the `<k>` of the mnemonic).
+    pub lanes: u32,
+    /// `add<k>` lanes of the library variant to run.
+    pub add_lanes: u32,
+    /// `mac<k>` lanes of the library variant to run.
+    pub mac_lanes: u32,
+}
+
+impl AccelLevel {
+    /// The kernel-library variant measuring this level.
+    pub fn variant(&self) -> KernelVariant {
+        KernelVariant::Accelerated {
+            add_lanes: self.add_lanes,
+            mac_lanes: self.mac_lanes,
+        }
+    }
+}
+
+/// The custom-instruction family accelerating a kernel, with its A-D
+/// resource levels (the base software point is implicit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsnFamilySpec {
+    /// The `tie` instruction family name (`add`, `mac`).
+    pub family: &'static str,
+    /// Resource levels, cheapest first.
+    pub levels: &'static [AccelLevel],
+}
+
+impl InsnFamilySpec {
+    /// The [`tie::CustomInsn`] of one level, given its structural area
+    /// (areas come from the platform's instruction catalog, which lives
+    /// above this crate).
+    pub fn insn(&self, level: &AccelLevel, area: u64) -> CustomInsn {
+        CustomInsn::new(self.family, level.lanes, area)
+    }
+}
+
+/// The single source of truth for one registered kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelDescriptor {
+    /// The kernel's identity.
+    pub id: KernelId,
+    /// The assembly entry label (identical to `id.name()` for every
+    /// current kernel; the invariant is pinned by tests).
+    pub entry: &'static str,
+    /// Which library carries the kernel.
+    pub lib: LibKind,
+    /// Calling convention + golden references.
+    pub conv: CallConv,
+    /// Characterization stimulus space, when the kernel is
+    /// macro-modeled. `None` would exclude it from phase 1 (no current
+    /// kernel opts out; CI fails descriptors missing this).
+    pub stimulus: Option<StimulusSpec>,
+    /// Custom-instruction family, for kernels with phase-3 A-D curves.
+    pub family: Option<InsnFamilySpec>,
+}
+
+impl KernelDescriptor {
+    /// The radix widths this kernel exists at.
+    pub fn widths(&self) -> &'static [u32] {
+        match self.lib {
+            LibKind::Mpn => &[32, 16],
+            LibKind::Sha1 => &[32],
+        }
+    }
+
+    /// Whether the kernel exists at the given radix width.
+    pub fn supports_width(&self, width: u32) -> bool {
+        self.widths().contains(&width)
+    }
+
+    /// The kernel-cycle cache tag (the op component of cache keys).
+    pub fn cache_tag(&self) -> &'static str {
+        self.id.name()
+    }
+
+    /// The phase-1 measurement-unit name at one radix width, as used in
+    /// kernel-cycle cache keys.
+    pub fn charact_unit(&self, width: u32) -> String {
+        format!("charact{width}:{}", self.cache_tag())
+    }
+
+    /// The phase-3 measurement-unit name, as used in kernel-cycle cache
+    /// keys.
+    pub fn curve_unit(&self) -> String {
+        format!("curve:{}", self.cache_tag())
+    }
+}
+
+/// A-D levels of the `add<k>` family (measured with a 1-lane MAC
+/// configured, which the add curve does not exercise).
+const ADD_LEVELS: [AccelLevel; 4] = [
+    AccelLevel {
+        lanes: 2,
+        add_lanes: 2,
+        mac_lanes: 1,
+    },
+    AccelLevel {
+        lanes: 4,
+        add_lanes: 4,
+        mac_lanes: 1,
+    },
+    AccelLevel {
+        lanes: 8,
+        add_lanes: 8,
+        mac_lanes: 1,
+    },
+    AccelLevel {
+        lanes: 16,
+        add_lanes: 16,
+        mac_lanes: 1,
+    },
+];
+
+/// A-D levels of the `mac<k>` family (measured with a 2-lane adder
+/// configured, which the mac curve does not exercise).
+const MAC_LEVELS: [AccelLevel; 3] = [
+    AccelLevel {
+        lanes: 1,
+        add_lanes: 2,
+        mac_lanes: 1,
+    },
+    AccelLevel {
+        lanes: 2,
+        add_lanes: 2,
+        mac_lanes: 2,
+    },
+    AccelLevel {
+        lanes: 4,
+        add_lanes: 2,
+        mac_lanes: 4,
+    },
+];
+
+static REGISTRY: [KernelDescriptor; 9] = [
+    KernelDescriptor {
+        id: id::ADD_N,
+        entry: "mpn_add_n",
+        lib: LibKind::Mpn,
+        conv: CallConv::VecVec {
+            golden32: mpn::add_n::<u32>,
+            golden16: mpn::add_n::<u16>,
+        },
+        stimulus: Some(StimulusSpec::Limbs),
+        family: Some(InsnFamilySpec {
+            family: "add",
+            levels: &ADD_LEVELS,
+        }),
+    },
+    KernelDescriptor {
+        id: id::SUB_N,
+        entry: "mpn_sub_n",
+        lib: LibKind::Mpn,
+        conv: CallConv::VecVec {
+            golden32: mpn::sub_n::<u32>,
+            golden16: mpn::sub_n::<u16>,
+        },
+        stimulus: Some(StimulusSpec::Limbs),
+        family: None,
+    },
+    KernelDescriptor {
+        id: id::MUL_1,
+        entry: "mpn_mul_1",
+        lib: LibKind::Mpn,
+        conv: CallConv::VecScalar {
+            accumulate: false,
+            golden32: mpn::mul_1::<u32>,
+            golden16: mpn::mul_1::<u16>,
+        },
+        stimulus: Some(StimulusSpec::Limbs),
+        family: None,
+    },
+    KernelDescriptor {
+        id: id::ADDMUL_1,
+        entry: "mpn_addmul_1",
+        lib: LibKind::Mpn,
+        conv: CallConv::VecScalar {
+            accumulate: true,
+            golden32: mpn::addmul_1::<u32>,
+            golden16: mpn::addmul_1::<u16>,
+        },
+        stimulus: Some(StimulusSpec::Limbs),
+        family: Some(InsnFamilySpec {
+            family: "mac",
+            levels: &MAC_LEVELS,
+        }),
+    },
+    KernelDescriptor {
+        id: id::SUBMUL_1,
+        entry: "mpn_submul_1",
+        lib: LibKind::Mpn,
+        conv: CallConv::VecScalar {
+            accumulate: true,
+            golden32: mpn::submul_1::<u32>,
+            golden16: mpn::submul_1::<u16>,
+        },
+        stimulus: Some(StimulusSpec::Limbs),
+        family: None,
+    },
+    KernelDescriptor {
+        id: id::LSHIFT,
+        entry: "mpn_lshift",
+        lib: LibKind::Mpn,
+        conv: CallConv::VecShift {
+            golden32: mpn::lshift::<u32>,
+            golden16: mpn::lshift::<u16>,
+        },
+        stimulus: Some(StimulusSpec::Limbs),
+        family: None,
+    },
+    KernelDescriptor {
+        id: id::RSHIFT,
+        entry: "mpn_rshift",
+        lib: LibKind::Mpn,
+        conv: CallConv::VecShift {
+            golden32: mpn::rshift::<u32>,
+            golden16: mpn::rshift::<u16>,
+        },
+        stimulus: Some(StimulusSpec::Limbs),
+        family: None,
+    },
+    KernelDescriptor {
+        id: id::DIV_QHAT,
+        entry: "div_qhat",
+        lib: LibKind::Mpn,
+        conv: CallConv::Div3by2 {
+            golden32: mpn::div_qhat_reference::<u32>,
+            golden16: mpn::div_qhat_reference::<u16>,
+        },
+        stimulus: Some(StimulusSpec::Point),
+        family: None,
+    },
+    KernelDescriptor {
+        id: id::SHA1,
+        entry: "sha1_compress",
+        lib: LibKind::Sha1,
+        conv: CallConv::BlockMem {
+            golden_sha1: ciphers::sha1::compress,
+        },
+        stimulus: Some(StimulusSpec::Blocks),
+        family: None,
+    },
+];
+
+/// Every registered kernel, in the stable iteration order all phases
+/// share (the multi-precision ops first, then the block kernels).
+pub fn registry() -> &'static [KernelDescriptor] {
+    &REGISTRY
+}
+
+/// The descriptor of a kernel id, if registered.
+pub fn get(kernel: KernelId) -> Option<&'static KernelDescriptor> {
+    REGISTRY.iter().find(|d| d.id == kernel)
+}
+
+/// Resolves a kernel name (e.g. from a report or CLI) to its
+/// descriptor.
+pub fn lookup(name: &str) -> Option<&'static KernelDescriptor> {
+    REGISTRY.iter().find(|d| d.id.name() == name)
+}
+
+/// One lintable assembly library derived from the registry: a stable
+/// label plus the full source text (with its `;!` entry/secret/cust
+/// annotations).
+#[derive(Debug, Clone)]
+pub struct LintUnit {
+    /// Stable unit name, usable as a file stem.
+    pub label: String,
+    /// The assembly source.
+    pub source: String,
+}
+
+/// Enumerates every assembly library the registered kernels live in:
+/// the base libraries of each [`LibKind`] present plus every
+/// accelerated lane configuration reachable from the registered
+/// [`InsnFamilySpec`] levels. This is what the CI lint gate iterates,
+/// so a kernel cannot be registered without being linted.
+pub fn lint_units() -> Vec<LintUnit> {
+    let mut units = Vec::new();
+    if REGISTRY.iter().any(|d| d.lib == LibKind::Mpn) {
+        units.push(LintUnit {
+            label: "mpn_base32".to_owned(),
+            source: kernels::mpn::base32_source(),
+        });
+        units.push(LintUnit {
+            label: "mpn_base16".to_owned(),
+            source: kernels::mpn::base16_source(),
+        });
+        let mut adds = Vec::new();
+        let mut macs = Vec::new();
+        for d in &REGISTRY {
+            if let Some(f) = &d.family {
+                for level in f.levels {
+                    if !adds.contains(&level.add_lanes) {
+                        adds.push(level.add_lanes);
+                    }
+                    if !macs.contains(&level.mac_lanes) {
+                        macs.push(level.mac_lanes);
+                    }
+                }
+            }
+        }
+        adds.sort_unstable();
+        macs.sort_unstable();
+        for &al in &adds {
+            for &ml in &macs {
+                units.push(LintUnit {
+                    label: format!("mpn_accel32_a{al}m{ml}"),
+                    source: kernels::mpn::accel32_source(al, ml),
+                });
+            }
+        }
+    }
+    if REGISTRY.iter().any(|d| d.lib == LibKind::Sha1) {
+        units.push(LintUnit {
+            label: "sha1".to_owned(),
+            source: kernels::sha::source(&kernels::sha::MemoryMap::default()),
+        });
+    }
+    units
+}
+
+/// Audits the registry invariants CI gates on: cache tags unique,
+/// every descriptor has a stimulus space, entry labels match ids and
+/// appear (annotated) in at least one lint unit. Returns the list of
+/// violations (empty = healthy).
+pub fn audit() -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut tags: Vec<&str> = Vec::new();
+    let units = lint_units();
+    for d in registry() {
+        let tag = d.cache_tag();
+        if tags.contains(&tag) {
+            problems.push(format!("duplicate cache tag `{tag}`"));
+        }
+        tags.push(tag);
+        if d.stimulus.is_none() {
+            problems.push(format!(
+                "kernel `{}` has no stimulus space (cannot be characterized)",
+                d.id
+            ));
+        }
+        if d.entry != d.id.name() {
+            problems.push(format!(
+                "kernel `{}` entry label `{}` does not match its id",
+                d.id, d.entry
+            ));
+        }
+        let annotated = format!(";! entry {}", d.entry);
+        if !units.iter().any(|u| u.source.contains(&annotated)) {
+            problems.push(format!(
+                "kernel `{}` has no annotated `;! entry {}` in any lint unit",
+                d.id, d.entry
+            ));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_internally_consistent() {
+        assert!(audit().is_empty(), "{:?}", audit());
+        assert_eq!(registry().len(), id::ALL.len());
+        for (d, want) in registry().iter().zip(id::ALL) {
+            assert_eq!(d.id, want, "registry order matches id::ALL");
+        }
+    }
+
+    #[test]
+    fn ids_match_by_value_and_pattern() {
+        let x = id::ADD_N;
+        assert!(matches!(x, id::ADD_N));
+        assert_eq!(x.name(), opname::ADD_N);
+        assert_ne!(id::ADD_N, id::SUB_N);
+        assert_eq!(lookup("div_qhat").unwrap().id, id::DIV_QHAT);
+        assert!(lookup("mpn_frobnicate").is_none());
+    }
+
+    #[test]
+    fn stimulus_spaces_and_bases_have_the_documented_shapes() {
+        let limbs = StimulusSpec::Limbs;
+        assert_eq!(limbs.space(16).range(0), (1, 16));
+        assert_eq!(limbs.basis().len(), 2);
+        let point = StimulusSpec::Point;
+        assert_eq!(point.space(16).range(0), (1, 1));
+        assert_eq!(point.basis().len(), 1);
+        let blocks = StimulusSpec::Blocks;
+        assert_eq!(blocks.space(64).range(0), (1, 4));
+    }
+
+    #[test]
+    fn lint_units_cover_all_lane_configurations() {
+        let units = lint_units();
+        let labels: Vec<&str> = units.iter().map(|u| u.label.as_str()).collect();
+        assert!(labels.contains(&"mpn_base32"));
+        assert!(labels.contains(&"mpn_base16"));
+        assert!(labels.contains(&"sha1"));
+        // 4 add-lane values x 3 mac-lane values.
+        assert_eq!(
+            labels
+                .iter()
+                .filter(|l| l.starts_with("mpn_accel32"))
+                .count(),
+            12
+        );
+    }
+
+    #[test]
+    fn golden_references_compute() {
+        let Some(d) = get(id::ADD_N) else {
+            panic!("add_n registered")
+        };
+        let CallConv::VecVec { golden32, .. } = d.conv else {
+            panic!("add_n is VecVec")
+        };
+        let mut r = [0u32; 2];
+        let carry = golden32(&mut r, &[u32::MAX, 1], &[1, 2]);
+        assert_eq!(r, [0, 4]);
+        assert!(!carry);
+
+        let Some(d) = get(id::DIV_QHAT) else {
+            panic!("div_qhat registered")
+        };
+        let CallConv::Div3by2 { golden16, .. } = d.conv else {
+            panic!("div_qhat is Div3by2")
+        };
+        assert_eq!(golden16(0, 1, 0, 0x8000, 0), 0);
+    }
+
+    #[test]
+    fn errors_render_usefully() {
+        let e = KernelError::Divergence {
+            kernel: id::MUL_1,
+            detail: "n=3".to_owned(),
+        };
+        assert!(e.to_string().contains("mpn_mul_1"));
+        assert!(KernelError::Unknown("nope".into())
+            .to_string()
+            .contains("nope"));
+    }
+}

@@ -387,7 +387,7 @@ mod tests {
             |p| p[0] as f64,
         )
         .unwrap();
-        let named = with_name(ch, "mpn_add_n");
-        assert_eq!(named.model.name(), "mpn_add_n");
+        let named = with_name(ch, "leaf_add");
+        assert_eq!(named.model.name(), "leaf_add");
     }
 }

@@ -318,12 +318,12 @@ mod tests {
     #[test]
     fn display_is_readable() {
         let m = MacroModel::new(
-            "mpn_add_n",
+            "leaf_add",
             vec![Monomial::constant(1), Monomial::linear(1, 0)],
             vec![12.0, 6.25],
         );
         let s = m.to_string();
-        assert!(s.contains("mpn_add_n"));
+        assert!(s.contains("leaf_add"));
         assert!(s.contains("6.25·n0"));
     }
 

@@ -145,7 +145,7 @@ mod tests {
         (0..n)
             .map(|i| {
                 let x = seed
-                    .wrapping_mul(0x9e37_79b9)
+                    .wrapping_mul(xpar::SEED_STEP32)
                     .wrapping_add(i as u32)
                     .wrapping_mul(0x85eb_ca6b);
                 x ^ (x >> 13)

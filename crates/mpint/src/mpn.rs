@@ -305,6 +305,27 @@ pub fn cmp<L: Limb>(a: &[L], b: &[L]) -> Ordering {
     }
 }
 
+/// Reference implementation of the 3-by-2 quotient-limb estimate used
+/// by schoolbook division (Knuth's D3 step with correction): divides
+/// `(n2, n1, n0)` by the normalized two-limb divisor `(d1, d0)`. All
+/// metered basic-operation providers and the ISS kernel must agree with
+/// this function exactly.
+pub fn div_qhat_reference<L: Limb>(n2: L, n1: L, n0: L, d1: L, d0: L) -> L {
+    debug_assert!(d1.to_u64() >> (L::BITS - 1) == 1, "divisor not normalized");
+    let b = 1u64 << L::BITS;
+    let num = (n2.to_u64() << L::BITS) | n1.to_u64();
+    let mut qhat = num / d1.to_u64();
+    let mut rhat = num - qhat * d1.to_u64();
+    // Knuth D3: decrease qhat while it does not fit a limb or while the
+    // two-limb test shows it is too large; the product test is only
+    // evaluated while rhat fits a limb. Exits with qhat < b.
+    while qhat >= b || (rhat < b && qhat * d0.to_u64() > ((rhat << L::BITS) | n0.to_u64())) {
+        qhat -= 1;
+        rhat += d1.to_u64();
+    }
+    L::from_u64(qhat)
+}
+
 /// Returns the slice with high zero limbs trimmed.
 pub fn normalized<L: Limb>(a: &[L]) -> &[L] {
     let mut n = a.len();

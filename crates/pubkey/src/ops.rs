@@ -21,29 +21,9 @@ use mpint::mpn;
 use std::collections::BTreeMap;
 
 /// Canonical names of the metered basic operations (used as macro-model
-/// registry keys and kernel names).
-pub mod opname {
-    /// `mpn_add_n`
-    pub const ADD_N: &str = "mpn_add_n";
-    /// `mpn_sub_n`
-    pub const SUB_N: &str = "mpn_sub_n";
-    /// `mpn_mul_1`
-    pub const MUL_1: &str = "mpn_mul_1";
-    /// `mpn_addmul_1`
-    pub const ADDMUL_1: &str = "mpn_addmul_1";
-    /// `mpn_submul_1`
-    pub const SUBMUL_1: &str = "mpn_submul_1";
-    /// `mpn_lshift`
-    pub const LSHIFT: &str = "mpn_lshift";
-    /// `mpn_rshift`
-    pub const RSHIFT: &str = "mpn_rshift";
-    /// 3-by-2 quotient-limb estimation step of schoolbook division
-    pub const DIV_QHAT: &str = "div_qhat";
-    /// All op names, in a stable order.
-    pub const ALL: [&str; 8] = [
-        ADD_N, SUB_N, MUL_1, ADDMUL_1, SUBMUL_1, LSHIFT, RSHIFT, DIV_QHAT,
-    ];
-}
+/// registry keys and kernel names). These are the kernel-registry names:
+/// the typed ids live in [`kreg::id`].
+pub use kreg::opname;
 
 /// The basic-operations provider: computes limb-level results and
 /// accounts their cost.
@@ -78,22 +58,9 @@ pub trait MpnOps<L: Limb> {
 }
 
 /// Reference implementation of the 3-by-2 quotient estimate shared by
-/// all providers (semantics must be identical across them).
-pub fn div_qhat_reference<L: Limb>(n2: L, n1: L, n0: L, d1: L, d0: L) -> L {
-    debug_assert!(d1.to_u64() >> (L::BITS - 1) == 1, "divisor not normalized");
-    let b = 1u64 << L::BITS;
-    let num = (n2.to_u64() << L::BITS) | n1.to_u64();
-    let mut qhat = num / d1.to_u64();
-    let mut rhat = num - qhat * d1.to_u64();
-    // Knuth D3: decrease qhat while it does not fit a limb or while the
-    // two-limb test shows it is too large; the product test is only
-    // evaluated while rhat fits a limb. Exits with qhat < b.
-    while qhat >= b || (rhat < b && qhat * d0.to_u64() > ((rhat << L::BITS) | n0.to_u64())) {
-        qhat -= 1;
-        rhat += d1.to_u64();
-    }
-    L::from_u64(qhat)
-}
+/// all providers (semantics must be identical across them). Lives in
+/// [`mpn`] so the kernel registry can embed it as a golden reference.
+pub use mpint::mpn::div_qhat_reference;
 
 /// Pure computation with call counting (zero cycle cost).
 #[derive(Debug, Clone, Default)]

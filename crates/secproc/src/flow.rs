@@ -16,12 +16,13 @@
 
 use crate::issops::{IssMpn, KernelVariant};
 use crate::kcache::{self, KCache};
+use crate::simcipher::SimSha1;
+use kreg::{CallConv, KernelDescriptor, KernelId, LibKind};
 use macromodel::charact::{fit_planned, plan_stimuli, with_name, CharactOptions, StimulusPlan};
 use macromodel::model::{MacroModel, ModelQuality, Monomial};
-use macromodel::stimulus::ParamSpace;
 use mpint::Natural;
 use pubkey::modexp::{mod_exp, ExpCache, ModExpError};
-use pubkey::ops::{opname, ModeledMpn, MpnOps};
+use pubkey::ops::{ModeledMpn, MpnOps};
 use pubkey::space::{ModExpConfig, ParetoFront};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,12 +32,8 @@ use tie::adcurve::{AdCurve, AdPoint};
 use tie::callgraph::CallGraph;
 use tie::insn::CustomInsn;
 use tie::select::Selector;
-use xpar::Pool;
+use xpar::{Pool, SEED_STEP};
 use xr32::config::CpuConfig;
-
-/// The stimulus-seed increment used between kernel measurements
-/// (golden-ratio stepping, as in the original serial driver).
-const SEED_STEP: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Fitted macro-models for every basic operation, with accuracy
 /// metadata.
@@ -112,13 +109,21 @@ pub fn characterize_kernels_metered(
     )
 }
 
-/// One phase-1 measurement unit: a kernel characterized at one radix
-/// width against a pre-drawn stimulus plan.
+/// One phase-1 measurement unit: a registered kernel characterized at
+/// one radix width against a pre-drawn stimulus plan. The stimulus
+/// space, monomial basis and cache-key unit all come from the kernel's
+/// registry descriptor.
 struct CharactTask {
     width: u32,
-    op: &'static str,
+    desc: &'static KernelDescriptor,
     basis: Vec<Monomial>,
     plan: StimulusPlan,
+}
+
+impl CharactTask {
+    fn name(&self) -> &'static str {
+        self.desc.id.name()
+    }
 }
 
 /// Content digest of a stimulus plan (folded into the kernel-cycle
@@ -135,39 +140,61 @@ fn plan_digest(plan: &StimulusPlan) -> u64 {
     )
 }
 
-/// Runs one characterization task on a fresh ISS (each worker owns its
-/// `Cpu`), returning the cycle count of every planned stimulus in plan
-/// order.
+/// Runs one characterization task on a fresh simulation harness (each
+/// worker owns its `Cpu`), returning the cycle count of every planned
+/// stimulus in plan order. The harness is chosen by the kernel's
+/// registered calling convention: register-convention kernels run
+/// through the ISS ops provider, block-memory kernels through their
+/// dedicated engine.
 fn measure_charact_task(config: &CpuConfig, variant: KernelVariant, t: &CharactTask) -> Vec<f64> {
-    let mut iss = IssMpn::with_variant(config.clone(), variant);
     // Characterization measures timing only, and one warm-up stimulus
     // is discarded so every task starts from the same (warm) cache
     // state regardless of which worker runs it.
-    iss.set_verify(false);
-    if t.width == 32 {
-        iss.measure32(t.op, 1, 0x5EED);
+    if matches!(t.desc.conv, CallConv::BlockMem { .. }) {
+        let mut sim = SimSha1::new(config.clone());
+        sim.set_verify(false);
+        sim.measure_blocks(1, 0x5EED);
+        let mut seed = 1u64;
+        t.plan
+            .points()
+            .map(|params| {
+                seed = seed.wrapping_add(SEED_STEP);
+                sim.measure_blocks(params[0] as usize, seed)
+            })
+            .collect()
     } else {
-        iss.measure16(t.op, 1, 0x5EED);
+        let kernel = t.desc.id;
+        let mut iss = IssMpn::with_variant(config.clone(), variant);
+        iss.set_verify(false);
+        let warm = if t.width == 32 {
+            iss.measure32(kernel, 1, 0x5EED)
+        } else {
+            iss.measure16(kernel, 1, 0x5EED)
+        };
+        warm.expect("register-convention kernel is ISS-measurable");
+        let mut seed = 1u64;
+        t.plan
+            .points()
+            .map(|params| {
+                seed = seed.wrapping_add(SEED_STEP);
+                let n = params[0] as usize;
+                let cycles = if t.width == 32 {
+                    iss.measure32(kernel, n, seed)
+                } else {
+                    iss.measure16(kernel, n, seed)
+                };
+                cycles.expect("register-convention kernel is ISS-measurable")
+            })
+            .collect()
     }
-    let mut seed = 1u64;
-    t.plan
-        .points()
-        .map(|params| {
-            seed = seed.wrapping_add(SEED_STEP);
-            let n = params[0] as usize;
-            if t.width == 32 {
-                iss.measure32(t.op, n, seed)
-            } else {
-                iss.measure16(t.op, n, seed)
-            }
-        })
-        .collect()
 }
 
 /// Phase 1 on a worker pool: stimulus plans are drawn serially from the
 /// shared RNG (so the stimulus stream is identical for any thread
-/// count), the 16 `(width, op)` measurement units run in parallel with
-/// one fresh ISS each, and fits are merged in submission order. When a
+/// count), the `(width, kernel)` measurement units — every registered
+/// kernel at every radix width it supports — run in parallel with one
+/// fresh simulation harness each, and fits are merged in submission
+/// order. When a
 /// [`KCache`] is supplied, each unit's cycle vector is served from the
 /// cache under `fingerprint × variant × op × max_limbs × plan-digest`.
 ///
@@ -201,27 +228,31 @@ pub fn characterize_kernels_pooled(
     let t0 = Instant::now();
 
     // Serial planning: the shared RNG is consumed in a fixed order.
+    // The multi-precision kernels keep their historical plan order
+    // (width-major over the registry) and block kernels are appended
+    // afterwards, so their registration does not perturb the existing
+    // stimulus streams (which are part of the cache identity).
     let mut rng = StdRng::seed_from_u64(0xC0DE_2002);
-    let mut tasks = Vec::with_capacity(2 * opname::ALL.len());
+    let mut tasks = Vec::with_capacity(2 * kreg::registry().len());
+    let plan_for = |desc: &'static KernelDescriptor, width: u32, rng: &mut StdRng| {
+        let spec = desc
+            .stimulus
+            .unwrap_or_else(|| panic!("kernel {} has no stimulus space", desc.id));
+        CharactTask {
+            width,
+            desc,
+            basis: spec.basis(),
+            plan: plan_stimuli(&spec.space(max_limbs), options, rng),
+        }
+    };
     for width in [32u32, 16] {
-        for op in opname::ALL {
-            let space = if op == opname::DIV_QHAT {
-                ParamSpace::new(vec![(1, 1)])
-            } else {
-                ParamSpace::new(vec![(1, max_limbs as u64)])
-            };
-            let basis = if op == opname::DIV_QHAT {
-                vec![Monomial::constant(1)]
-            } else {
-                vec![Monomial::constant(1), Monomial::linear(1, 0)]
-            };
-            let plan = plan_stimuli(&space, options, &mut rng);
-            tasks.push(CharactTask {
-                width,
-                op,
-                basis,
-                plan,
-            });
+        for desc in kreg::registry().iter().filter(|d| d.lib == LibKind::Mpn) {
+            tasks.push(plan_for(desc, width, &mut rng));
+        }
+    }
+    for desc in kreg::registry().iter().filter(|d| d.lib != LibKind::Mpn) {
+        for &width in desc.widths() {
+            tasks.push(plan_for(desc, width, &mut rng));
         }
     }
 
@@ -234,7 +265,7 @@ pub fn characterize_kernels_pooled(
                 &kcache::key(
                     fp,
                     &vtag,
-                    &format!("charact{}:{}", t.width, t.op),
+                    &t.desc.charact_unit(t.width),
                     max_limbs as u64,
                     plan_digest(&t.plan),
                 ),
@@ -243,10 +274,15 @@ pub fn characterize_kernels_pooled(
             ),
             None => measure_charact_task(config, variant, t),
         };
-        let ch = fit_planned(&t.basis, &t.plan, &cycles)
-            .unwrap_or_else(|e| panic!("characterization of {} (r{}) failed: {e}", t.op, t.width));
+        let ch = fit_planned(&t.basis, &t.plan, &cycles).unwrap_or_else(|e| {
+            panic!(
+                "characterization of {} (r{}) failed: {e}",
+                t.name(),
+                t.width
+            )
+        });
         let sim_cycles: u64 = cycles.iter().map(|&c| c as u64).sum();
-        (with_name(ch, t.op), sim_cycles)
+        (with_name(ch, t.name()), sim_cycles)
     });
 
     // Serial merge in submission order: metric streams stay
@@ -265,11 +301,11 @@ pub fn characterize_kernels_pooled(
             reg.gauge("charact.last_mae_pct").set(ch.quality.mae_pct);
             reg.histogram("charact.mae_pct").observe(ch.quality.mae_pct);
         }
-        quality.insert((t.op, t.width), ch.quality);
+        quality.insert((t.name(), t.width), ch.quality);
         if t.width == 32 {
-            models32.insert(t.op, ch.model);
+            models32.insert(t.name(), ch.model);
         } else {
-            models16.insert(t.op, ch.model);
+            models16.insert(t.name(), ch.model);
         }
     }
     let models = KernelModels {
@@ -563,12 +599,12 @@ pub fn formulate_mpn_curves(config: &CpuConfig, n: usize) -> BTreeMap<String, Ad
     formulate_mpn_curves_pooled(config, n, &Pool::from_env(), None)
 }
 
-/// One phase-3 measurement unit: one op under one kernel variant (its
-/// resource level), warmed with seed 7 and measured with seed 8 on a
-/// private ISS — exactly the serial per-point procedure, so the curves
-/// are identical for any thread count.
+/// One phase-3 measurement unit: one kernel under one kernel variant
+/// (its resource level), warmed with seed 7 and measured with seed 8 on
+/// a private ISS — exactly the serial per-point procedure, so the
+/// curves are identical for any thread count.
 struct CurveTask {
-    op: &'static str,
+    kernel: KernelId,
     variant: KernelVariant,
     /// `Some((family, lanes))` for accelerated points; `None` = base.
     insn: Option<(&'static str, u32)>,
@@ -585,57 +621,39 @@ pub fn formulate_mpn_curves_pooled(
     pool: &Pool,
     cache: Option<&KCache>,
 ) -> BTreeMap<String, AdCurve> {
-    let mut tasks = Vec::with_capacity(9);
-    // mpn_add_n family: base point plus add2/4/8/16.
-    tasks.push(CurveTask {
-        op: opname::ADD_N,
-        variant: KernelVariant::Base,
-        insn: None,
-    });
-    for lanes in [2u32, 4, 8, 16] {
+    // Every kernel with a registered custom-instruction family gets a
+    // curve: its base point plus one point per resource level
+    // (`mpn_add_n`: add2/4/8/16; `mpn_addmul_1`: mac1/2/4).
+    let mut tasks = Vec::new();
+    for desc in kreg::registry() {
+        let Some(fam) = desc.family else { continue };
         tasks.push(CurveTask {
-            op: opname::ADD_N,
-            variant: KernelVariant::Accelerated {
-                add_lanes: lanes,
-                mac_lanes: 1,
-            },
-            insn: Some(("add", lanes)),
+            kernel: desc.id,
+            variant: KernelVariant::Base,
+            insn: None,
         });
-    }
-    // mpn_addmul_1 family: base point plus mac1/2/4.
-    tasks.push(CurveTask {
-        op: opname::ADDMUL_1,
-        variant: KernelVariant::Base,
-        insn: None,
-    });
-    for lanes in [1u32, 2, 4] {
-        tasks.push(CurveTask {
-            op: opname::ADDMUL_1,
-            variant: KernelVariant::Accelerated {
-                add_lanes: 2,
-                mac_lanes: lanes,
-            },
-            insn: Some(("mac", lanes)),
-        });
+        for level in fam.levels {
+            tasks.push(CurveTask {
+                kernel: desc.id,
+                variant: level.variant(),
+                insn: Some((fam.family, level.lanes)),
+            });
+        }
     }
 
     let fp = config.fingerprint();
     let measured = pool.par_map(&tasks, |_, t| {
+        let unit = kreg::get(t.kernel).expect("curve kernel registered");
         let measure = || {
             let mut iss = IssMpn::with_variant(config.clone(), t.variant);
             iss.set_verify(false);
-            iss.measure32(t.op, n, 7); // warm
-            iss.measure32(t.op, n, 8)
+            let _ = iss.measure32(t.kernel, n, 7); // warm
+            iss.measure32(t.kernel, n, 8)
+                .expect("curve kernels use register conventions")
         };
         match cache {
             Some(kc) => kc.scalar(
-                &kcache::key(
-                    fp,
-                    &t.variant.tag(),
-                    &format!("curve:{}", t.op),
-                    n as u64,
-                    0x0708,
-                ),
+                &kcache::key(fp, &t.variant.tag(), &unit.curve_unit(), n as u64, 0x0708),
                 measure,
             ),
             None => measure(),
@@ -655,7 +673,7 @@ pub fn formulate_mpn_curves_pooled(
                 AdPoint::new([ur_ls_insn(), CustomInsn::new(family, lanes, area)], cycles)
             }
         };
-        points_by_op.entry(t.op).or_default().push(point);
+        points_by_op.entry(t.kernel.name()).or_default().push(point);
     }
     for (op, points) in points_by_op {
         curves.insert(op.to_owned(), AdCurve::from_points(points));
@@ -679,10 +697,10 @@ pub fn fig4_call_graph_cached(config: &CpuConfig, k: usize, cache: Option<&KCach
     let measure = || {
         let mut iss = IssMpn::base(config.clone());
         iss.set_verify(false);
-        iss.measure32(opname::ADD_N, k, 3);
-        let addn = iss.measure32(opname::ADD_N, k, 4);
-        iss.measure32(opname::ADDMUL_1, k, 3);
-        let addmul = iss.measure32(opname::ADDMUL_1, k, 4);
+        let _ = iss.measure32(kreg::id::ADD_N, k, 3);
+        let addn = iss.measure32(kreg::id::ADD_N, k, 4).expect("registered");
+        let _ = iss.measure32(kreg::id::ADDMUL_1, k, 3);
+        let addmul = iss.measure32(kreg::id::ADDMUL_1, k, 4).expect("registered");
         vec![addn, addmul]
     };
     let leaves = match cache {
@@ -701,6 +719,8 @@ pub fn fig4_call_graph_cached(config: &CpuConfig, k: usize, cache: Option<&KCach
     };
     let (addn, addmul) = (leaves[0], leaves[1]);
 
+    let add_n = kreg::id::ADD_N.name();
+    let addmul_1 = kreg::id::ADDMUL_1.name();
     let mut g = CallGraph::new();
     g.add_node("decrypt", 120.0);
     g.add_node("mpz_mul", 40.0);
@@ -709,21 +729,21 @@ pub fn fig4_call_graph_cached(config: &CpuConfig, k: usize, cache: Option<&KCach
     g.add_node("mpz_add", 10.0);
     g.add_node("mpz_sub", 10.0);
     g.add_node("mpz_gcdext", 200.0);
-    g.add_node("mpn_add_n", addn);
-    g.add_node("mpn_addmul_1", addmul);
+    g.add_node(add_n, addn);
+    g.add_node(addmul_1, addmul);
     for (caller, callee, count) in [
         ("decrypt", "mpz_mul", 4.0),
         ("decrypt", "mod_hw", 4.0),
         ("decrypt", "mpz_mod", 2.0),
         ("decrypt", "mpz_add", 2.0),
         ("decrypt", "mpz_sub", 2.0),
-        ("mpz_mul", "mpn_addmul_1", k as f64),
-        ("mod_hw", "mpn_addmul_1", k as f64),
-        ("mod_hw", "mpn_add_n", 2.0),
-        ("mpz_mod", "mpn_add_n", 1.0),
-        ("mpz_add", "mpn_add_n", 1.0),
-        ("mpz_sub", "mpn_add_n", 1.0),
-        ("mpz_gcdext", "mpn_add_n", 3.0),
+        ("mpz_mul", addmul_1, k as f64),
+        ("mod_hw", addmul_1, k as f64),
+        ("mod_hw", add_n, 2.0),
+        ("mpz_mod", add_n, 1.0),
+        ("mpz_add", add_n, 1.0),
+        ("mpz_sub", add_n, 1.0),
+        ("mpz_gcdext", add_n, 3.0),
     ] {
         g.add_call(caller, callee, count)
             .expect("nodes declared above");
@@ -757,6 +777,7 @@ pub fn build_selector_pooled(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pubkey::ops::opname;
 
     fn quick_options() -> CharactOptions {
         CharactOptions {
@@ -780,6 +801,14 @@ mod tests {
         let q = models.quality[&(opname::ADDMUL_1, 32)];
         assert!(q.mae_pct < 15.0, "addmul_1 fit error {}%", q.mae_pct);
         assert!(models.mean_abs_error_pct() < 20.0);
+        // The registered SHA-1 block kernel is characterized too (the
+        // registry's extensibility proof): linear in the block count.
+        assert!(models.models32.contains_key(opname::SHA1), "sha1 missing");
+        let qs = models.quality[&(opname::SHA1, 32)];
+        assert!(qs.mae_pct < 15.0, "sha1 fit error {}%", qs.mae_pct);
+        let one = models.models32[opname::SHA1].predict(&[1]);
+        let four = models.models32[opname::SHA1].predict(&[4]);
+        assert!(four > 3.0 * one, "sha1 cycles scale with blocks");
         // Per-limb cost: addmul > add (multiplies dominate).
         let am = models.models32[opname::ADDMUL_1].predict(&[16]);
         let an = models.models32[opname::ADD_N].predict(&[16]);
@@ -815,14 +844,14 @@ mod tests {
     #[test]
     fn ad_curves_are_monotone_in_resources() {
         let curves = formulate_mpn_curves(&CpuConfig::default(), 32);
-        let addn = &curves["mpn_add_n"];
+        let addn = &curves[opname::ADD_N];
         assert_eq!(addn.len(), 5);
         let pts = addn.points();
         assert_eq!(pts[0].area(), 0);
         for w in pts.windows(2) {
             assert!(w[0].cycles > w[1].cycles, "more lanes, fewer cycles");
         }
-        let addmul = &curves["mpn_addmul_1"];
+        let addmul = &curves[opname::ADDMUL_1];
         assert_eq!(addmul.len(), 4);
     }
 

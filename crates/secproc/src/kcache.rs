@@ -224,12 +224,20 @@ mod tests {
 
     #[test]
     fn key_embeds_every_determinant() {
-        let base = key(0xA, "base", "mpn_add_n", 8, 1);
-        assert_ne!(base, key(0xB, "base", "mpn_add_n", 8, 1), "config fp");
-        assert_ne!(base, key(0xA, "accel-a16m4", "mpn_add_n", 8, 1), "variant");
-        assert_ne!(base, key(0xA, "base", "mpn_sub_n", 8, 1), "op");
-        assert_ne!(base, key(0xA, "base", "mpn_add_n", 9, 1), "size");
-        assert_ne!(base, key(0xA, "base", "mpn_add_n", 8, 2), "seed");
+        let base = key(0xA, "base", kreg::opname::ADD_N, 8, 1);
+        assert_ne!(
+            base,
+            key(0xB, "base", kreg::opname::ADD_N, 8, 1),
+            "config fp"
+        );
+        assert_ne!(
+            base,
+            key(0xA, "accel-a16m4", kreg::opname::ADD_N, 8, 1),
+            "variant"
+        );
+        assert_ne!(base, key(0xA, "base", kreg::opname::SUB_N, 8, 1), "op");
+        assert_ne!(base, key(0xA, "base", kreg::opname::ADD_N, 9, 1), "size");
+        assert_ne!(base, key(0xA, "base", kreg::opname::ADD_N, 8, 2), "seed");
     }
 
     #[test]
@@ -239,7 +247,7 @@ mod tests {
 
         // Cold: miss, compute, persist.
         let cache = KCache::open(&path);
-        let k = key(0x1234, "base", "mpn_add_n", 8, 42);
+        let k = key(0x1234, "base", kreg::opname::ADD_N, 8, 42);
         let mut computed = 0;
         let v = cache.get_or_compute(&k, 2, || {
             computed += 1;
@@ -263,11 +271,11 @@ mod tests {
     #[test]
     fn stale_fingerprint_misses() {
         let cache = KCache::new();
-        let old = key(0xAAAA, "base", "mpn_add_n", 8, 42);
+        let old = key(0xAAAA, "base", kreg::opname::ADD_N, 8, 42);
         cache.get_or_compute(&old, 1, || vec![100.0]);
         // Same measurement on a reconfigured core: different key, so the
         // stale entry cannot be served.
-        let new = key(0xBBBB, "base", "mpn_add_n", 8, 42);
+        let new = key(0xBBBB, "base", kreg::opname::ADD_N, 8, 42);
         let v = cache.get_or_compute(&new, 1, || vec![140.0]);
         assert_eq!(v, vec![140.0]);
         assert_eq!(cache.misses(), 2);
@@ -276,7 +284,7 @@ mod tests {
     #[test]
     fn poisoned_entry_is_dropped_and_recomputed() {
         let path = tmpfile("poison");
-        let k = key(0x1234, "base", "mpn_add_n", 8, 42);
+        let k = key(0x1234, "base", kreg::opname::ADD_N, 8, 42);
         // A file whose stored cycles were tampered with: the checksum
         // still describes the original [202.0] value.
         let good_check = format!("{:016x}", checksum(&k, &[202.0]));
@@ -299,7 +307,7 @@ mod tests {
     fn valid_persisted_entry_survives_checksum() {
         let path = tmpfile("valid");
         let cache = KCache::open(&path);
-        let k = key(0x77, "accel-a16m4", "mpn_addmul_1", 32, 8);
+        let k = key(0x77, "accel-a16m4", kreg::opname::ADDMUL_1, 32, 8);
         cache.get_or_compute(&k, 0, || vec![100.25, 7.0, -1.5]);
         cache.save().unwrap();
         let warm = KCache::open(&path);

@@ -4,8 +4,11 @@
 //! ISS-backed ops provider) the host-side calling conventions. The
 //! kernels are the "lower software layers (standard libraries, basic
 //! operations)" the paper characterizes and accelerates.
+//!
+//! The multi-precision and SHA-1 libraries live in the kernel registry
+//! crate ([`kreg::kernels`]) so every methodology phase shares one
+//! source of truth; they are re-exported here for compatibility.
 
 pub mod aes;
 pub mod des;
-pub mod mpn;
-pub mod sha;
+pub use kreg::kernels::{mpn, sha};

@@ -237,7 +237,7 @@ impl SimSha1 {
         ksha::write_block(&mut self.cpu, &self.map, block);
         let summary = self
             .cpu
-            .call_traced(&self.program, "sha1_compress", &[], sink)
+            .call_traced(&self.program, kreg::id::SHA1.name(), &[], sink)
             .expect("sha1 kernel runs");
         let out = ksha::read_state(&self.cpu, &self.map);
         if self.verify {
@@ -246,6 +246,33 @@ impl SimSha1 {
             assert_eq!(out, expect, "SHA-1 kernel diverged from software reference");
         }
         (out, summary.cycles)
+    }
+
+    /// Measures one characterization stimulus: chains `blocks`
+    /// compressions over splitmix-generated state and message blocks
+    /// and returns the total cycle count. This is the phase-1
+    /// measurement harness for the registered SHA-1 kernel (the
+    /// block-memory counterpart of `IssMpn::measure32`).
+    pub fn measure_blocks(&mut self, blocks: usize, seed: u64) -> f64 {
+        let mut x = seed;
+        let mut next = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 32) as u32
+        };
+        let mut state = [next(), next(), next(), next(), next()];
+        let mut total = 0u64;
+        for _ in 0..blocks {
+            let mut block = [0u8; 64];
+            for chunk in block.chunks_exact_mut(4) {
+                chunk.copy_from_slice(&next().to_le_bytes());
+            }
+            let (s, cycles) = self.compress(state, &block);
+            state = s;
+            total += cycles;
+        }
+        total as f64
     }
 
     /// Average cycles per byte over `count` compressions.

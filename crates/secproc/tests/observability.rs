@@ -132,9 +132,11 @@ fn metered_flow_publishes_phase_metrics() {
     assert_eq!(errors.len(), 1);
 
     let snap = reg.snapshot();
-    // Phase 1: 8 ops × 2 radices, each fit over 12 + 5 stimuli.
-    assert_eq!(snap.counter("flow.phase1.ops_characterized"), Some(16));
-    assert_eq!(snap.counter("charact.stimuli_run"), Some(16 * 17));
+    // Phase 1: every registered kernel at every supported radix (8 mpn
+    // ops × 2 radices + SHA-1 at radix 32), each fit over 12 + 5
+    // stimuli.
+    assert_eq!(snap.counter("flow.phase1.ops_characterized"), Some(17));
+    assert_eq!(snap.counter("charact.stimuli_run"), Some(17 * 17));
     assert!(snap.counter("flow.phase1.iss_cycles").unwrap() > 0);
     assert!(snap.get("flow.phase1.mean_abs_error_pct").is_some());
     // Phase 2: the full 450-point lattice, with Pareto survivors.

@@ -259,8 +259,8 @@ mod tests {
             ("mpz_mod", 40.0),
             ("mpz_add", 10.0),
             ("mpz_sub", 10.0),
-            ("mpn_add_n", 202.0),
-            ("mpn_addmul_1", 640.0),
+            ("leaf_add", 202.0),
+            ("leaf_mac", 640.0),
         ] {
             g.add_node(n, local);
         }
@@ -269,9 +269,9 @@ mod tests {
         g.add_call("decrypt", "mpz_mod", 2.0).unwrap();
         g.add_call("decrypt", "mpz_add", 2.0).unwrap();
         g.add_call("decrypt", "mpz_sub", 2.0).unwrap();
-        g.add_call("mpz_mul", "mpn_addmul_1", 32.0).unwrap();
-        g.add_call("mpz_add", "mpn_add_n", 1.0).unwrap();
-        g.add_call("mod_hw", "mpn_add_n", 3.0).unwrap();
+        g.add_call("mpz_mul", "leaf_mac", 32.0).unwrap();
+        g.add_call("mpz_add", "leaf_add", 1.0).unwrap();
+        g.add_call("mod_hw", "leaf_add", 3.0).unwrap();
         g
     }
 
@@ -304,8 +304,8 @@ mod tests {
         let g = fig4();
         assert_eq!(g.roots(), vec!["decrypt"]);
         let leaves: Vec<&str> = g.leaves().collect();
-        assert!(leaves.contains(&"mpn_add_n"));
-        assert!(leaves.contains(&"mpn_addmul_1"));
+        assert!(leaves.contains(&"leaf_add"));
+        assert!(leaves.contains(&"leaf_mac"));
         assert!(leaves.contains(&"mpz_mod"));
         assert!(!leaves.contains(&"decrypt"));
     }
@@ -315,9 +315,9 @@ mod tests {
         let g = fig4();
         let order = g.postorder().unwrap();
         let pos = |n: &str| order.iter().position(|&x| x == n).unwrap();
-        assert!(pos("mpn_addmul_1") < pos("mpz_mul"));
+        assert!(pos("leaf_mac") < pos("mpz_mul"));
         assert!(pos("mpz_mul") < pos("decrypt"));
-        assert!(pos("mpn_add_n") < pos("mod_hw"));
+        assert!(pos("leaf_add") < pos("mod_hw"));
         assert_eq!(order.len(), g.len());
     }
 
@@ -360,8 +360,8 @@ mod tests {
     #[test]
     fn multiple_parents_supported() {
         let g = fig4();
-        // mpn_add_n has two parents: mpz_add and mod_hw.
-        assert_eq!(g.calls("mpz_add", "mpn_add_n"), 1.0);
-        assert_eq!(g.calls("mod_hw", "mpn_add_n"), 3.0);
+        // leaf_add has two parents: mpz_add and mod_hw.
+        assert_eq!(g.calls("mpz_add", "leaf_add"), 1.0);
+        assert_eq!(g.calls("mod_hw", "leaf_add"), 3.0);
     }
 }

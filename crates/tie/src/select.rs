@@ -44,11 +44,11 @@ impl Default for SelectOptions {
 ///
 /// let mut g = CallGraph::new();
 /// g.add_node("root", 10.0);
-/// g.add_node("mpn_add_n", 0.0);
-/// g.add_call("root", "mpn_add_n", 4.0)?;
+/// g.add_node("leaf_add", 0.0);
+/// g.add_call("root", "leaf_add", 4.0)?;
 ///
 /// let mut sel = Selector::new(g);
-/// sel.set_leaf_curve("mpn_add_n", AdCurve::from_points(vec![
+/// sel.set_leaf_curve("leaf_add", AdCurve::from_points(vec![
 ///     AdPoint::base(202.0),
 ///     AdPoint::new(vec![CustomInsn::new("add", 2, 1000)], 109.0),
 /// ]));
@@ -186,18 +186,18 @@ mod tests {
         ])
     }
 
-    /// The two-child example of Fig. 5(c): root calls mpn_add_n twice
-    /// and mpn_addmul_1 once, plus 10 local cycles.
+    /// The two-child example of Fig. 5(c): root calls the add leaf
+    /// twice and the mac leaf once, plus 10 local cycles.
     fn fig5_selector() -> Selector {
         let mut g = CallGraph::new();
         g.add_node("root", 10.0);
-        g.add_node("mpn_add_n", 0.0);
-        g.add_node("mpn_addmul_1", 0.0);
-        g.add_call("root", "mpn_add_n", 2.0).unwrap();
-        g.add_call("root", "mpn_addmul_1", 1.0).unwrap();
+        g.add_node("leaf_add", 0.0);
+        g.add_node("leaf_mac", 0.0);
+        g.add_call("root", "leaf_add", 2.0).unwrap();
+        g.add_call("root", "leaf_mac", 1.0).unwrap();
         let mut sel = Selector::new(g);
-        sel.set_leaf_curve("mpn_add_n", addn_curve());
-        sel.set_leaf_curve("mpn_addmul_1", addmul_curve());
+        sel.set_leaf_curve("leaf_add", addn_curve());
+        sel.set_leaf_curve("leaf_mac", addmul_curve());
         sel
     }
 

@@ -37,6 +37,7 @@ pub struct RunReport {
     wall_ms: Option<f64>,
     threads: Option<usize>,
     memo_hit_rate: Option<f64>,
+    kernel_errors: Vec<String>,
 }
 
 impl RunReport {
@@ -50,6 +51,7 @@ impl RunReport {
             wall_ms: None,
             threads: None,
             memo_hit_rate: None,
+            kernel_errors: Vec::new(),
         }
     }
 
@@ -92,6 +94,20 @@ impl RunReport {
         self
     }
 
+    /// Records kernel-layer failures observed during the run (rendered
+    /// divergences or unsupported-operation errors). Serialized as the
+    /// `kernel_errors` string array when non-empty; a healthy run omits
+    /// the field (schema 2).
+    pub fn with_kernel_errors<I, S>(mut self, errors: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: ToString,
+    {
+        self.kernel_errors
+            .extend(errors.into_iter().map(|e| e.to_string()));
+        self
+    }
+
     /// Serializes the report envelope.
     pub fn to_json(&self) -> Json {
         let mut obj = Json::obj()
@@ -108,6 +124,17 @@ impl RunReport {
         }
         if let Some(r) = self.memo_hit_rate {
             obj = obj.set("memo_hit_rate", r);
+        }
+        if !self.kernel_errors.is_empty() {
+            obj = obj.set(
+                "kernel_errors",
+                Json::Arr(
+                    self.kernel_errors
+                        .iter()
+                        .map(|e| Json::from(e.as_str()))
+                        .collect(),
+                ),
+            );
         }
         obj = obj.set("results", self.results.clone());
         if let Some(m) = &self.metrics {
@@ -161,6 +188,12 @@ pub fn validate(json: &Json) -> Result<(), String> {
             }
         }
     }
+    if let Some(errors) = json.get("kernel_errors") {
+        let arr = errors.as_arr().ok_or("kernel_errors must be an array")?;
+        if arr.iter().any(|e| e.as_str().is_none()) {
+            return Err("kernel_errors entries must be strings".into());
+        }
+    }
     Ok(())
 }
 
@@ -203,6 +236,25 @@ mod tests {
     use super::*;
     use crate::json;
     use crate::metrics::Registry;
+
+    #[test]
+    fn kernel_errors_serialize_and_validate() {
+        let healthy = RunReport::new("r").with_kernel_errors(Vec::<String>::new());
+        assert!(healthy.to_json().get("kernel_errors").is_none());
+
+        let report = RunReport::new("r").with_kernel_errors(["kernel `x` diverged"]);
+        let parsed = json::parse(&report.render()).unwrap();
+        validate(&parsed).unwrap();
+        let arr = parsed.get("kernel_errors").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 1);
+
+        let bad =
+            json::parse(r#"{"schema_version":2,"report":"r","results":{},"kernel_errors":[3]}"#)
+                .unwrap();
+        assert!(validate(&bad).unwrap_err().contains("kernel_errors"));
+        // Divergences are workload facts, not host noise: normalize keeps them.
+        assert!(normalize(&parsed).get("kernel_errors").is_some());
+    }
 
     #[test]
     fn report_round_trips_and_validates() {

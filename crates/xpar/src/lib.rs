@@ -36,6 +36,18 @@ pub mod memo;
 use std::sync::Mutex;
 use std::time::Instant;
 
+/// The golden-ratio seed increment (⌊2⁶⁴/φ⌋, the Weyl constant of
+/// splitmix64) used wherever the workspace steps a deterministic seed
+/// between kernel measurements. One shared definition keeps every
+/// stimulus stream — and therefore every kernel-cycle cache key —
+/// consistent across the RNG shim, the methodology driver and the
+/// benches.
+pub const SEED_STEP: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The 32-bit golden-ratio constant (the high word of [`SEED_STEP`]),
+/// used by test-pattern generators that mix indices into words.
+pub const SEED_STEP32: u32 = (SEED_STEP >> 32) as u32;
+
 /// Cumulative utilization accounting across every parallel job a
 /// [`Pool`] has run.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]

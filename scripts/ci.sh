@@ -70,3 +70,15 @@ if [[ -z "$hit_rate" ]] || ! awk -v h="$hit_rate" 'BEGIN { exit !(h > 0) }'; the
   exit 1
 fi
 echo "ci: perf smoke ok (cold ${elapsed}s, warm memo_hit_rate $hit_rate)"
+
+# Registry gate: the kernel registry's invariants must hold (unique
+# cache tags, stimulus space per kernel, annotated entry labels), and
+# every assembly library it enumerates must pass xr32-lint — so a
+# kernel cannot be registered without being characterizable and linted.
+cargo build --release -q --package kreg --package xlint
+KREG=$(mktemp -d /tmp/ci_kreg.XXXXXX)
+trap 'rm -f "$TRACE"; rm -rf "$DET" "$KREG"' EXIT
+target/release/kreg-audit --dump "$KREG" >"$KREG/units.txt"
+# shellcheck disable=SC2046
+target/release/xr32-lint $(cat "$KREG/units.txt")
+echo "ci: kernel registry audit + lint gate ok ($(wc -l <"$KREG/units.txt") units)"

@@ -14,6 +14,9 @@
 //! - [`macromodel`]: performance characterization and regression
 //!   macro-modeling.
 //! - [`tie`]: custom-instruction A-D curves and global selection.
+//! - [`kreg`]: the typed kernel registry shared by all four
+//!   methodology phases (descriptors, calling conventions, golden
+//!   references, stimulus spaces, cache tags).
 //! - [`secproc`]: the security processing platform itself and the
 //!   four-phase co-design methodology.
 //! - [`xlint`]: dataflow static analysis and the constant-time
@@ -31,6 +34,7 @@
 //! ```
 
 pub use ciphers;
+pub use kreg;
 pub use macromodel;
 pub use mpint;
 pub use pubkey;
