@@ -5,10 +5,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pubkey::space::ModExpConfig;
 use secproc::flow;
+use secproc::gap;
 use secproc::measure;
 use secproc::simcipher::{SimAes, SimDes, Variant};
 use secproc::ssl::{speedup_series, SslCostModel};
-use secproc::{gap, issops::KernelVariant};
+use secproc::FlowCtx;
 use std::hint::black_box;
 use xr32::config::CpuConfig;
 
@@ -21,7 +22,7 @@ fn bench_fig1_gap(c: &mut Criterion) {
 fn bench_fig4_callgraph(c: &mut Criterion) {
     let config = CpuConfig::default();
     c.bench_function("fig4/call_graph_total_cycles", |b| {
-        let graph = flow::fig4_call_graph(&config, 32);
+        let graph = FlowCtx::new(&config).fig4_graph(32);
         b.iter(|| graph.total_cycles(black_box("decrypt")).expect("DAG"));
     });
 }
@@ -29,7 +30,7 @@ fn bench_fig4_callgraph(c: &mut Criterion) {
 fn bench_fig5_adcurves(c: &mut Criterion) {
     let config = CpuConfig::default();
     c.bench_function("fig5/formulate_mpn_curves_n8", |b| {
-        b.iter(|| flow::formulate_mpn_curves(black_box(&config), 8));
+        b.iter(|| FlowCtx::new(black_box(&config)).curves(8));
     });
 }
 
@@ -120,9 +121,9 @@ fn bench_fig8_ssl(c: &mut Criterion) {
 }
 
 fn bench_sec43_exploration(c: &mut Criterion) {
-    let models = flow::characterize_kernels(
-        &CpuConfig::default(),
-        KernelVariant::Base,
+    let config = CpuConfig::default();
+    let ctx = FlowCtx::new(&config);
+    let models = ctx.characterize(
         8,
         &macromodel::charact::CharactOptions {
             train_samples: 12,
@@ -139,14 +140,8 @@ fn bench_sec43_exploration(c: &mut Criterion) {
     });
     group.bench_function("cosim_candidate_128b", |b| {
         b.iter(|| {
-            flow::cosimulate_candidate(
-                &CpuConfig::default(),
-                KernelVariant::Base,
-                &ModExpConfig::optimized(),
-                128,
-                4.0,
-            )
-            .expect("candidate co-simulates")
+            ctx.cosimulate(&models, &ModExpConfig::optimized(), 128, 4.0)
+                .expect("candidate co-simulates")
         });
     });
     group.finish();

@@ -4,7 +4,6 @@
 //! instead of prose.
 
 use bench::{Cli, Harness};
-use secproc::flow;
 use xobs::{Json, Registry, RunReport};
 use xr32::config::CpuConfig;
 
@@ -21,7 +20,8 @@ fn main() {
         );
     }
 
-    let graph = flow::fig4_call_graph_cached(&config, limbs, harness.cache());
+    let ctx = harness.flow_ctx(&config);
+    let graph = ctx.fig4_graph(limbs);
     let total = graph
         .total_cycles("decrypt")
         .expect("decrypt is the root of the example graph");

@@ -8,7 +8,6 @@
 //! the curves are identical for any thread count and cache state.
 
 use bench::{Cli, Harness};
-use secproc::flow;
 use tie::adcurve::AdCurve;
 use tie::callgraph::CallGraph;
 use tie::select::Selector;
@@ -37,7 +36,8 @@ fn main() {
         println!("Fig. 5 — A-D curves for library routines (n = {n} limbs)\n");
     }
 
-    let curves = flow::formulate_mpn_curves_pooled(&config, n, &harness.pool, harness.cache());
+    let ctx = harness.flow_ctx(&config);
+    let curves = ctx.curves(n);
     let add_n = kreg::id::ADD_N.name();
     let addmul_1 = kreg::id::ADDMUL_1.name();
 

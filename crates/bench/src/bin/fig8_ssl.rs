@@ -9,6 +9,7 @@
 //! run report instead of prose.
 
 use bench::{Cli, Harness};
+use kreg::KernelVariant;
 use pubkey::modexp::ExpCache;
 use pubkey::ops::MpnOps;
 use pubkey::rsa::KeyPair;
@@ -27,6 +28,7 @@ fn main() {
     let config = CpuConfig::default();
     let rsa_bits = cli.pos_usize(0, 1024);
     let harness = Harness::from_env();
+    let ctx = harness.flow_ctx(&config);
 
     if !cli.json {
         println!("Fig. 8 — estimated speedups for SSL transactions (RSA-{rsa_bits} handshake)\n");
@@ -62,33 +64,54 @@ fn main() {
     let hs_base = handshake(&ModExpConfig::baseline());
     // Optimized handshake additionally benefits from the MAC/adder
     // datapaths; scale by the kernel-level gain measured for addmul.
-    // These two measurements run with golden-reference verification on:
-    // a kernel/reference divergence is recorded as a typed error and
-    // surfaced in the run report rather than silently shipping a bad
-    // speedup (cache hits skip the kernels entirely, so a warm run has
-    // nothing to report).
+    // The two measurements go through the context's resilient path: a
+    // kernel/reference divergence is retried with reseeded stimuli,
+    // falls back fault-free, and quarantines a repeat offender — in
+    // which case the gain degrades to 1.0 (the macro-model handshake
+    // estimate ships unscaled) and the event lands in the report's
+    // `degradations` array. The cache is bypassed while injecting so a
+    // campaign always exercises the kernels.
     let kernel_errors = std::cell::RefCell::new(Vec::<String>::new());
+    let measure_addmul = |variant: KernelVariant| -> Option<f64> {
+        match ctx.measure_kernel_cycles(variant, kreg::id::ADDMUL_1, 32, 3, 4) {
+            Ok(cycles) => Some(cycles),
+            Err(e) => {
+                kernel_errors.borrow_mut().push(e.to_string());
+                None
+            }
+        }
+    };
     let accel_gain = {
-        let pair = harness.kcache.get_or_compute(
-            &kcache::key(config.fingerprint(), "iss", "fig8:addmul_gain", 32, 0x0304),
-            2,
-            || {
-                let mut b = secproc::IssMpn::base(config.clone());
-                b.measure32(kreg::id::ADDMUL_1, 32, 3).expect("registered");
-                let bc = b.measure32(kreg::id::ADDMUL_1, 32, 4).expect("registered");
-                let mut f = secproc::IssMpn::accelerated(config.clone(), 16, 4);
-                f.measure32(kreg::id::ADDMUL_1, 32, 3).expect("registered");
-                let fc = f.measure32(kreg::id::ADDMUL_1, 32, 4).expect("registered");
-                kernel_errors.borrow_mut().extend(
-                    b.take_kernel_errors()
-                        .into_iter()
-                        .chain(f.take_kernel_errors())
-                        .map(|e| e.to_string()),
-                );
-                vec![bc, fc]
-            },
-        );
-        pair[0] / pair[1]
+        let key = kcache::key(config.fingerprint(), "iss", "fig8:addmul_gain", 32, 0x0304);
+        let cached = if ctx.policy().injecting() {
+            None
+        } else {
+            harness.kcache.get(&key).filter(|pair| pair.len() == 2)
+        };
+        let pair = cached.or_else(|| {
+            let bc = measure_addmul(KernelVariant::Base)?;
+            let fc = measure_addmul(KernelVariant::Accelerated {
+                add_lanes: 16,
+                mac_lanes: 4,
+            })?;
+            if !ctx.policy().injecting() {
+                harness.kcache.insert(&key, vec![bc, fc]);
+            }
+            Some(vec![bc, fc])
+        });
+        match pair {
+            Some(pair) => pair[0] / pair[1],
+            None => {
+                ctx.note_degradation(secproc::Degradation::harness(
+                    "fig8",
+                    "fig8:addmul_gain",
+                    kreg::id::ADDMUL_1.name(),
+                    kernel_errors.borrow().last().cloned().unwrap_or_default(),
+                    "fallback-unit-gain",
+                ));
+                1.0
+            }
+        }
     };
     let hs_opt = handshake(&ModExpConfig::optimized()) / accel_gain;
 
@@ -123,6 +146,7 @@ fn main() {
             .result("components", components)
             .result("series", ssl::series_to_json(&series))
             .with_kernel_errors(kernel_errors.into_inner())
+            .with_degradations(ctx.degradations_json())
             .with_metrics(metrics.snapshot());
         bench::emit_report(&harness.finish(report));
         return;
@@ -130,6 +154,9 @@ fn main() {
     let _ = harness.kcache.save();
     for e in kernel_errors.into_inner() {
         eprintln!("fig8_ssl: kernel error: {e}");
+    }
+    for d in ctx.degradations() {
+        eprintln!("fig8_ssl: degraded: {}", d.to_json());
     }
 
     println!("measured components:");

@@ -15,7 +15,6 @@
 use bench::{Cli, Harness};
 use pubkey::space::ModExpConfig;
 use secproc::flow;
-use secproc::issops::KernelVariant;
 use std::time::Instant;
 use xobs::{Json, Registry, RunReport};
 use xr32::config::CpuConfig;
@@ -27,6 +26,7 @@ fn main() {
     let config = CpuConfig::default();
     let metrics = Registry::new();
     let harness = Harness::from_env();
+    let ctx = harness.flow_ctx(&config).with_metrics(&metrics);
 
     if !cli.json {
         println!("§4.3 — algorithm design space exploration ({bits}-bit modular exponentiation)\n");
@@ -34,17 +34,12 @@ fn main() {
 
     // Phase 1: characterization (one-time cost).
     let t0 = Instant::now();
-    let models = flow::characterize_kernels_pooled(
-        &config,
-        KernelVariant::Base,
+    let models = ctx.characterize(
         (bits / 32).max(8),
         &macromodel::charact::CharactOptions {
             train_samples: 24,
             validation_points: 8,
         },
-        Some(&metrics),
-        &harness.pool,
-        harness.cache(),
     );
     let charact_time = t0.elapsed();
     if !cli.json {
@@ -66,7 +61,8 @@ fn main() {
     }
 
     // Phase 2: macro-model exploration of the full lattice.
-    let result = flow::explore_modexp_pooled(&models, bits, 4.0, Some(&metrics), &harness.pool)
+    let result = ctx
+        .explore(&models, bits, 4.0)
         .expect("all 450 configs run");
     if !cli.json {
         println!(
@@ -106,15 +102,9 @@ fn main() {
     for i in 0..cosim_samples {
         let cand = &result.ranked[i * step];
         let t = Instant::now();
-        let cosim = flow::cosimulate_candidate_cached(
-            &config,
-            KernelVariant::Base,
-            &cand.config,
-            bits,
-            4.0,
-            harness.cache(),
-        )
-        .expect("candidate co-simulates");
+        let cosim = ctx
+            .cosimulate(&models, &cand.config, bits, 4.0)
+            .expect("candidate co-simulates");
         let cosim_time = t.elapsed();
         let t = Instant::now();
         // Re-run the macro-model estimate to time it fairly.

@@ -1,10 +1,10 @@
 //! Shared helpers for the benchmark harnesses that regenerate the
 //! paper's tables and figures (see `src/bin/*` and `benches/*`).
 
-use secproc::flow::{self, KernelModels};
-use secproc::issops::KernelVariant;
+use secproc::flow::{FlowCtx, KernelModels};
 use secproc::kcache::KCache;
 use std::time::Instant;
+use xfault::FaultPolicy;
 use xobs::RunReport;
 use xpar::Pool;
 use xr32::config::CpuConfig;
@@ -32,9 +32,19 @@ impl Harness {
         }
     }
 
-    /// The cache as the `Option` the pooled flow functions take.
+    /// The cache as the `Option` the pooled measure helpers take.
     pub fn cache(&self) -> Option<&KCache> {
         Some(&self.kcache)
+    }
+
+    /// A methodology context on this harness's pool and cache, with the
+    /// fault policy from the environment (`WSP_FAULTS` arms an
+    /// injection campaign; the cache is bypassed while injecting).
+    pub fn flow_ctx<'a>(&'a self, config: &'a CpuConfig) -> FlowCtx<'a> {
+        FlowCtx::new(config)
+            .with_pool(&self.pool)
+            .with_cache(&self.kcache)
+            .with_fault_policy(FaultPolicy::from_env())
     }
 
     /// Milliseconds since the harness started.
@@ -65,33 +75,28 @@ impl Harness {
     }
 }
 
+/// The characterization options every harness binary uses.
+fn harness_options() -> macromodel::charact::CharactOptions {
+    macromodel::charact::CharactOptions {
+        train_samples: 24,
+        validation_points: 8,
+    }
+}
+
 /// Characterizes the base kernels with harness-default options.
 pub fn default_models(max_limbs: usize) -> KernelModels {
-    flow::characterize_kernels(
-        &CpuConfig::default(),
-        KernelVariant::Base,
-        max_limbs,
-        &macromodel::charact::CharactOptions {
-            train_samples: 24,
-            validation_points: 8,
-        },
-    )
+    let config = CpuConfig::default();
+    FlowCtx::new(&config).characterize(max_limbs, &harness_options())
 }
 
 /// [`default_models`] on an explicit pool and cache (identical models).
 pub fn default_models_on(max_limbs: usize, pool: &Pool, cache: Option<&KCache>) -> KernelModels {
-    flow::characterize_kernels_pooled(
-        &CpuConfig::default(),
-        KernelVariant::Base,
-        max_limbs,
-        &macromodel::charact::CharactOptions {
-            train_samples: 24,
-            validation_points: 8,
-        },
-        None,
-        pool,
-        cache,
-    )
+    let config = CpuConfig::default();
+    let mut ctx = FlowCtx::new(&config).with_pool(pool);
+    if let Some(kc) = cache {
+        ctx = ctx.with_cache(kc);
+    }
+    ctx.characterize(max_limbs, &harness_options())
 }
 
 /// Command-line options shared by every harness binary: `--json`

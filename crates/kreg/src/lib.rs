@@ -171,6 +171,33 @@ pub enum KernelError {
         /// Why it cannot be served.
         detail: String,
     },
+    /// The kernel exceeded its cycle budget — a corrupted (or genuinely
+    /// runaway) kernel was stopped by the watchdog instead of hanging
+    /// the measurement pool.
+    Timeout {
+        /// The kernel that ran away.
+        kernel: KernelId,
+        /// Instructions executed when the watchdog fired.
+        executed: u64,
+    },
+    /// The simulated hardware faulted while running the kernel (bad
+    /// memory access, illegal instruction — typically the downstream
+    /// effect of an injected fault).
+    Faulted {
+        /// The kernel that faulted.
+        kernel: KernelId,
+        /// The underlying simulator error.
+        detail: String,
+    },
+    /// The kernel failed too many measurement units and has been
+    /// quarantined by the flow's fault policy; its results now come
+    /// from fallbacks (macro models or fault-free remeasurement).
+    Quarantined {
+        /// The quarantined kernel.
+        kernel: KernelId,
+        /// Failed units that triggered the quarantine.
+        failures: u32,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -185,6 +212,21 @@ impl fmt::Display for KernelError {
             }
             KernelError::Unsupported { kernel, detail } => {
                 write!(f, "kernel `{kernel}` unsupported here: {detail}")
+            }
+            KernelError::Timeout { kernel, executed } => {
+                write!(
+                    f,
+                    "kernel `{kernel}` exceeded its cycle budget after {executed} instructions"
+                )
+            }
+            KernelError::Faulted { kernel, detail } => {
+                write!(f, "kernel `{kernel}` faulted in the ISS: {detail}")
+            }
+            KernelError::Quarantined { kernel, failures } => {
+                write!(
+                    f,
+                    "kernel `{kernel}` quarantined after {failures} failed units"
+                )
             }
         }
     }
@@ -735,5 +777,21 @@ mod tests {
         assert!(KernelError::Unknown("nope".into())
             .to_string()
             .contains("nope"));
+        let t = KernelError::Timeout {
+            kernel: id::ADD_N,
+            executed: 1234,
+        };
+        assert!(t.to_string().contains("cycle budget"));
+        assert!(t.to_string().contains("1234"));
+        let q = KernelError::Quarantined {
+            kernel: id::SHA1,
+            failures: 3,
+        };
+        assert!(q.to_string().contains("quarantined"));
+        let f = KernelError::Faulted {
+            kernel: id::MUL_1,
+            detail: "illegal instruction".into(),
+        };
+        assert!(f.to_string().contains("faulted"));
     }
 }

@@ -1,23 +1,49 @@
 //! The four-phase system design methodology (the paper's Fig. 3).
 //!
-//! 1. **Performance characterization** ([`characterize_kernels`]): run
+//! All four phases hang off one context object, [`FlowCtx`], which owns
+//! the execution resources every phase shares — the worker pool, the
+//! kernel-cycle memo cache, the metrics registry, and the fault policy:
+//!
+//! 1. **Performance characterization** ([`FlowCtx::characterize`]): run
 //!    each library kernel on the cycle-accurate ISS with pseudo-random
 //!    stimuli and fit macro-models by regression.
-//! 2. **Algorithm exploration** ([`explore_modexp`]): evaluate every
+//! 2. **Algorithm exploration** ([`FlowCtx::explore`]): evaluate every
 //!    candidate of the 450-point modular-exponentiation design space
 //!    natively with macro-model cycle accrual, replacing ISS runs.
-//! 3. **Custom-instruction formulation** ([`formulate_mpn_curves`]):
-//!    measure each routine under every resource level of its custom
-//!    instruction family, producing local A-D curves.
-//! 4. **Global selection** ([`build_selector`], and
+//! 3. **Custom-instruction formulation** ([`FlowCtx::curves`]): measure
+//!    each routine under every resource level of its custom instruction
+//!    family, producing local A-D curves.
+//! 4. **Global selection** ([`FlowCtx::selector`], and
 //!    [`tie::Selector::select`]): propagate A-D curves through the
 //!    algorithm's call graph and pick the best point under an area
 //!    budget.
+//!
+//! # Resilience
+//!
+//! A [`FaultPolicy`] on the context arms the ISS fault-injection hooks
+//! (see the `xfault` crate) and makes every ISS-backed measurement
+//! *resilient*: a unit whose measurement diverges or times out is
+//! retried with deterministically reseeded stimuli (bounded attempts,
+//! seeds recorded), falls back to a fault-free re-measurement when the
+//! retries are exhausted, and quarantines the kernel after repeated
+//! failures. Later phases degrade gracefully around quarantined
+//! kernels — co-simulation falls back to the macro-model estimate —
+//! so the figure pipelines always complete. Every such event is
+//! recorded as a [`Degradation`] and exposed via
+//! [`FlowCtx::degradations`] for run reports.
+//!
+//! All resilience decisions happen inside a unit's own worker task and
+//! are folded into shared state serially in submission order, so the
+//! whole flow — results *and* degradation log — stays bit-identical
+//! for any thread count.
+//!
+//! The free functions at the bottom of this module are the pre-`FlowCtx`
+//! API, kept as thin deprecated shims.
 
 use crate::issops::{IssMpn, KernelVariant};
 use crate::kcache::{self, KCache};
 use crate::simcipher::SimSha1;
-use kreg::{CallConv, KernelDescriptor, KernelId, LibKind};
+use kreg::{CallConv, KernelDescriptor, KernelError, KernelId, LibKind};
 use macromodel::charact::{fit_planned, plan_stimuli, with_name, CharactOptions, StimulusPlan};
 use macromodel::model::{MacroModel, ModelQuality, Monomial};
 use mpint::Natural;
@@ -26,12 +52,14 @@ use pubkey::ops::{ModeledMpn, MpnOps};
 use pubkey::space::{ModExpConfig, ParetoFront};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use tie::adcurve::{AdCurve, AdPoint};
 use tie::callgraph::CallGraph;
 use tie::insn::CustomInsn;
 use tie::select::Selector;
+use xfault::{FaultPolicy, PlanSpec};
 use xpar::{Pool, SEED_STEP};
 use xr32::config::CpuConfig;
 
@@ -63,50 +91,1017 @@ impl KernelModels {
     }
 }
 
-/// Phase 1: characterizes every basic-operation kernel of the given
-/// variant on the ISS, fitting linear macro-models in the operand
-/// length over `1..=max_limbs`.
-///
-/// # Panics
-///
-/// Panics if a regression fit is degenerate (cannot happen for the
-/// bundled kernels, whose profiles are near-affine).
-pub fn characterize_kernels(
-    config: &CpuConfig,
-    variant: KernelVariant,
-    max_limbs: usize,
-    options: &CharactOptions,
-) -> KernelModels {
-    characterize_kernels_metered(config, variant, max_limbs, options, None)
+/// One recorded resilience event: a measurement unit that could not be
+/// taken at face value and what the flow did about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// The flow phase ("characterize", "cosim", "curves", "fig4",
+    /// "measure").
+    pub phase: &'static str,
+    /// The measurement unit, e.g. `mpn_addmul_1.r32` or a candidate's
+    /// display form.
+    pub unit: String,
+    /// The kernel charged with the failure (the quarantine key).
+    pub kernel: String,
+    /// The last error observed before the recovery action.
+    pub error: String,
+    /// Measurement attempts consumed (0 = the unit was skipped without
+    /// measuring, e.g. a quarantine fallback).
+    pub attempts: u32,
+    /// The reseeded stimulus seeds tried after the original (recorded
+    /// so a campaign can be replayed exactly).
+    pub retry_seeds: Vec<u64>,
+    /// What the flow did: `retried-ok`, `fallback-fault-free`,
+    /// `fallback-macro-model`, `quarantined`, `quarantined-fallback`.
+    pub action: &'static str,
 }
 
-/// As [`characterize_kernels`], additionally publishing phase-1
-/// progress into a metrics registry when one is supplied:
-/// `flow.phase1.iss_cycles` (simulated cycles consumed by stimuli),
-/// `flow.phase1.ops_characterized`, `flow.phase1.mean_abs_error_pct`,
-/// `flow.phase1.wall_ms`, plus the `charact.*` metrics of every fit.
-/// Runs on an environment-sized [`Pool`] without a kernel-cycle cache;
-/// see [`characterize_kernels_pooled`].
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Degradation {
+    /// An externally observed event (a bench harness degrading on its
+    /// own authority, outside the flow's retry machinery): no attempts
+    /// were consumed and no stimuli were reseeded.
+    pub fn harness(
+        phase: &'static str,
+        unit: impl Into<String>,
+        kernel: impl Into<String>,
+        error: impl Into<String>,
+        action: &'static str,
+    ) -> Self {
+        Degradation {
+            phase,
+            unit: unit.into(),
+            kernel: kernel.into(),
+            error: error.into(),
+            attempts: 0,
+            retry_seeds: Vec::new(),
+            action,
+        }
+    }
+
+    /// Renders the event as a JSON object (one element of a run
+    /// report's `degradations` array).
+    pub fn to_json(&self) -> String {
+        let seeds = self
+            .retry_seeds
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"phase\":\"{}\",\"unit\":\"{}\",\"kernel\":\"{}\",\"action\":\"{}\",\
+             \"attempts\":{},\"retry_seeds\":[{}],\"error\":\"{}\"}}",
+            self.phase,
+            json_escape(&self.unit),
+            json_escape(&self.kernel),
+            self.action,
+            self.attempts,
+            seeds,
+            json_escape(&self.error)
+        )
+    }
+}
+
+/// Mutable flow state shared across phases (behind a mutex; only ever
+/// touched serially, either before a fan-out or during the
+/// submission-order merge).
+#[derive(Debug, Default)]
+struct FlowState {
+    /// Failed units per kernel (a retry-exhausted unit counts one).
+    failures: BTreeMap<String, u32>,
+    /// Kernels past the quarantine threshold.
+    quarantined: BTreeSet<String>,
+    /// Every recorded resilience event, in flow order.
+    degradations: Vec<Degradation>,
+}
+
+/// The pool a context runs on: its own environment-sized pool, or one
+/// borrowed from a harness.
+#[derive(Debug)]
+enum PoolHandle<'a> {
+    Owned(Pool),
+    Borrowed(&'a Pool),
+}
+
+/// Shared context for the four methodology phases: core configuration,
+/// kernel variant, worker pool, optional kernel-cycle cache, optional
+/// metrics registry, and the fault/resilience policy.
+///
+/// ```no_run
+/// use secproc::flow::FlowCtx;
+/// use macromodel::charact::CharactOptions;
+/// use xr32::config::CpuConfig;
+///
+/// let cfg = CpuConfig::default();
+/// let ctx = FlowCtx::new(&cfg);
+/// let models = ctx.characterize(16, &CharactOptions::default());
+/// let ranked = ctx.explore(&models, 512, 4.0).unwrap();
+/// let selector = ctx.selector(32);
+/// # let _ = (ranked, selector);
+/// ```
+pub struct FlowCtx<'a> {
+    config: &'a CpuConfig,
+    variant: KernelVariant,
+    pool: PoolHandle<'a>,
+    cache: Option<&'a KCache>,
+    metrics: Option<&'a xobs::Registry>,
+    policy: FaultPolicy,
+    state: Mutex<FlowState>,
+}
+
+/// Per-phase bases for fault-plan stream numbers; each measurement unit
+/// gets its own `STREAM_STRIDE`-wide window so retries never reuse a
+/// stream.
+const STREAM_STRIDE: u64 = 1 << 10;
+const CHARACT_STREAMS: u64 = 0x0100_0000;
+const COSIM_STREAMS: u64 = 0x0200_0000;
+const CURVE_STREAMS: u64 = 0x0300_0000;
+const FIG4_STREAMS: u64 = 0x0400_0000;
+const ADHOC_STREAMS: u64 = 0x0500_0000;
+
+impl<'a> FlowCtx<'a> {
+    /// A context over `config` with the defaults: base kernels, an
+    /// environment-sized pool, no cache, no metrics, no injection.
+    pub fn new(config: &'a CpuConfig) -> Self {
+        FlowCtx {
+            config,
+            variant: KernelVariant::Base,
+            pool: PoolHandle::Owned(Pool::from_env()),
+            cache: None,
+            metrics: None,
+            policy: FaultPolicy::default(),
+            state: Mutex::new(FlowState::default()),
+        }
+    }
+
+    /// As [`FlowCtx::new`], additionally arming the fault campaign from
+    /// the `WSP_FAULTS` environment spec when one is set (see
+    /// [`xfault::PlanSpec::parse`]).
+    pub fn from_env(config: &'a CpuConfig) -> Self {
+        FlowCtx::new(config).with_fault_policy(FaultPolicy::from_env())
+    }
+
+    /// Selects the kernel variant measured by the ISS-backed phases.
+    pub fn with_variant(mut self, variant: KernelVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Runs the phases on a borrowed pool (e.g. a bench harness's).
+    pub fn with_pool(mut self, pool: &'a Pool) -> Self {
+        self.pool = PoolHandle::Borrowed(pool);
+        self
+    }
+
+    /// Serves ISS measurements from a kernel-cycle memo cache. The
+    /// cache is bypassed whenever fault injection is active, so
+    /// corrupted timings are never persisted.
+    pub fn with_cache(mut self, cache: &'a KCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Publishes per-phase progress metrics into a registry.
+    pub fn with_metrics(mut self, metrics: &'a xobs::Registry) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Sets the fault-injection and resilience policy.
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The core configuration the phases simulate.
+    pub fn config(&self) -> &CpuConfig {
+        self.config
+    }
+
+    /// The kernel variant the ISS-backed phases measure.
+    pub fn variant(&self) -> KernelVariant {
+        self.variant
+    }
+
+    /// The worker pool the phases fan out on.
+    pub fn pool(&self) -> &Pool {
+        match &self.pool {
+            PoolHandle::Owned(p) => p,
+            PoolHandle::Borrowed(p) => p,
+        }
+    }
+
+    /// The kernel-cycle cache, if one is attached.
+    pub fn cache(&self) -> Option<&KCache> {
+        self.cache
+    }
+
+    /// The metrics registry, if one is attached.
+    pub fn metrics(&self) -> Option<&xobs::Registry> {
+        self.metrics
+    }
+
+    /// The active fault/resilience policy.
+    pub fn policy(&self) -> FaultPolicy {
+        self.policy
+    }
+
+    /// Every resilience event recorded so far, in flow order.
+    pub fn degradations(&self) -> Vec<Degradation> {
+        self.state().degradations.clone()
+    }
+
+    /// The recorded resilience events rendered as JSON objects (the
+    /// run-report `degradations` array).
+    pub fn degradations_json(&self) -> Vec<String> {
+        self.state()
+            .degradations
+            .iter()
+            .map(Degradation::to_json)
+            .collect()
+    }
+
+    /// Kernels currently quarantined (sorted).
+    pub fn quarantined(&self) -> Vec<String> {
+        self.state().quarantined.iter().cloned().collect()
+    }
+
+    /// Whether `kernel` is quarantined.
+    pub fn is_quarantined(&self, kernel: &str) -> bool {
+        self.state().quarantined.contains(kernel)
+    }
+
+    /// Quarantines `kernel` directly (campaign drivers and tests; the
+    /// flow itself quarantines after repeated unit failures).
+    pub fn quarantine(&self, kernel: &str) {
+        self.state().quarantined.insert(kernel.to_owned());
+    }
+
+    /// Appends an externally observed resilience event (e.g. a bench
+    /// harness falling back to a model estimate).
+    pub fn note_degradation(&self, event: Degradation) {
+        self.state().degradations.push(event);
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, FlowState> {
+        self.state.lock().expect("flow state poisoned")
+    }
+
+    /// Effective cache for an ISS measurement phase: the attached cache
+    /// unless injection is active.
+    fn measurement_cache(&self) -> Option<&KCache> {
+        if self.policy.injecting() {
+            None
+        } else {
+            self.cache
+        }
+    }
+
+    /// Folds one unit's resilience outcome into the shared state
+    /// (called serially, in submission order) and returns its value.
+    fn absorb<T>(&self, report: UnitReport<T>) -> T {
+        if report.failed || report.degradation.is_some() {
+            let mut st = self.state();
+            if let Some(mut d) = report.degradation {
+                if report.failed && self.policy.quarantine_after > 0 {
+                    let count = st.failures.entry(d.kernel.clone()).or_insert(0);
+                    *count += 1;
+                    if *count >= self.policy.quarantine_after
+                        && st.quarantined.insert(d.kernel.clone())
+                    {
+                        d.action = "quarantined-fallback";
+                    }
+                }
+                st.degradations.push(d);
+            }
+        }
+        report.value
+    }
+
+    /// Phase 1: characterizes every registered kernel of the context's
+    /// variant on the ISS, fitting linear macro-models in the operand
+    /// length over `1..=max_limbs`.
+    ///
+    /// Stimulus plans are drawn serially from the shared RNG (so the
+    /// stimulus stream is identical for any thread count), the
+    /// `(width, kernel)` measurement units run in parallel with one
+    /// fresh simulation harness each, and fits are merged in submission
+    /// order. With a cache attached (and injection off), each unit's
+    /// cycle vector is served under
+    /// `fingerprint × variant × op × max_limbs × plan-digest`.
+    ///
+    /// When a metrics registry is attached, publishes
+    /// `flow.phase1.iss_cycles`, `flow.phase1.ops_characterized`,
+    /// `flow.phase1.mean_abs_error_pct`, `flow.phase1.wall_ms`, plus
+    /// the `charact.*` metrics of every fit.
+    ///
+    /// The result — models, quality, degradation log, and every
+    /// published metric except `*wall_ms` — is bit-identical for any
+    /// thread count and any cache state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kernel fails *without* injected faults (a genuine
+    /// defect), or if a regression fit is degenerate (cannot happen for
+    /// the bundled kernels, whose profiles are near-affine).
+    pub fn characterize(&self, max_limbs: usize, options: &CharactOptions) -> KernelModels {
+        let scratch;
+        let reg = match self.metrics {
+            Some(reg) => reg,
+            None => {
+                scratch = xobs::Registry::new();
+                &scratch
+            }
+        };
+        let iss_cycles = reg.counter("flow.phase1.iss_cycles");
+        let ops_done = reg.counter("flow.phase1.ops_characterized");
+        let t0 = Instant::now();
+        let config = self.config;
+        let variant = self.variant;
+
+        // Serial planning: the shared RNG is consumed in a fixed order.
+        // The multi-precision kernels keep their historical plan order
+        // (width-major over the registry) and block kernels are
+        // appended afterwards, so their registration does not perturb
+        // the existing stimulus streams (which are part of the cache
+        // identity).
+        let mut rng = StdRng::seed_from_u64(0xC0DE_2002);
+        let mut tasks = Vec::with_capacity(2 * kreg::registry().len());
+        let plan_for = |desc: &'static KernelDescriptor, width: u32, rng: &mut StdRng| {
+            let spec = desc
+                .stimulus
+                .unwrap_or_else(|| panic!("kernel {} has no stimulus space", desc.id));
+            CharactTask {
+                width,
+                desc,
+                basis: spec.basis(),
+                plan: plan_stimuli(&spec.space(max_limbs), options, rng),
+            }
+        };
+        for width in [32u32, 16] {
+            for desc in kreg::registry().iter().filter(|d| d.lib == LibKind::Mpn) {
+                tasks.push(plan_for(desc, width, &mut rng));
+            }
+        }
+        for desc in kreg::registry().iter().filter(|d| d.lib != LibKind::Mpn) {
+            for &width in desc.widths() {
+                tasks.push(plan_for(desc, width, &mut rng));
+            }
+        }
+
+        // Parallel measurement + fit; results return in submission
+        // order. Retries and fallbacks are decided inside the unit's
+        // own task, keyed by its submission index, so the outcome is
+        // identical for any thread count.
+        let fp = config.fingerprint();
+        let vtag = variant.tag();
+        let cache = self.measurement_cache();
+        let policy = self.policy;
+        let budget = policy.cycle_budget;
+        let fitted = self.pool().par_map(&tasks, |i, t| {
+            let report = match cache {
+                Some(kc) => {
+                    let cycles = kc.get_or_compute(
+                        &kcache::key(
+                            fp,
+                            &vtag,
+                            &t.desc.charact_unit(t.width),
+                            max_limbs as u64,
+                            plan_digest(&t.plan),
+                        ),
+                        t.plan.len(),
+                        || {
+                            measure_charact_task(config, variant, t, 1, None, budget)
+                                .unwrap_or_else(|e| {
+                                    panic!(
+                                        "characterization of {} (r{}) failed: {e}",
+                                        t.name(),
+                                        t.width
+                                    )
+                                })
+                        },
+                    );
+                    UnitReport::clean(cycles)
+                }
+                None => run_resilient(
+                    &policy,
+                    "characterize",
+                    format!("{}.r{}", t.name(), t.width),
+                    t.name(),
+                    CHARACT_STREAMS + (i as u64) * STREAM_STRIDE,
+                    1,
+                    |seed, arm| {
+                        measure_charact_task(config, variant, t, seed, arm, budget)
+                            .map_err(|e| e.to_string())
+                    },
+                ),
+            };
+            let ch = fit_planned(&t.basis, &t.plan, &report.value).unwrap_or_else(|e| {
+                panic!(
+                    "characterization of {} (r{}) failed: {e}",
+                    t.name(),
+                    t.width
+                )
+            });
+            let sim_cycles: u64 = report.value.iter().map(|&c| c as u64).sum();
+            (with_name(ch, t.name()), sim_cycles, report.map(|_| ()))
+        });
+
+        // Serial merge in submission order: metric and degradation
+        // streams stay deterministic, and memo hits count like fresh
+        // measurements so warm and cold runs report identical
+        // flow/charact metrics.
+        let mut models32 = BTreeMap::new();
+        let mut models16 = BTreeMap::new();
+        let mut quality = BTreeMap::new();
+        for (t, (ch, sim_cycles, outcome)) in tasks.iter().zip(fitted) {
+            self.absorb(outcome);
+            iss_cycles.add(sim_cycles);
+            ops_done.inc();
+            if self.metrics.is_some() {
+                reg.counter("charact.stimuli_run").add(t.plan.len() as u64);
+                reg.gauge("charact.last_r_squared")
+                    .set(ch.quality.r_squared);
+                reg.gauge("charact.last_mae_pct").set(ch.quality.mae_pct);
+                reg.histogram("charact.mae_pct").observe(ch.quality.mae_pct);
+            }
+            quality.insert((t.name(), t.width), ch.quality);
+            if t.width == 32 {
+                models32.insert(t.name(), ch.model);
+            } else {
+                models16.insert(t.name(), ch.model);
+            }
+        }
+        let models = KernelModels {
+            models32,
+            models16,
+            quality,
+        };
+        reg.gauge("flow.phase1.mean_abs_error_pct")
+            .set(models.mean_abs_error_pct());
+        reg.gauge("flow.phase1.wall_ms")
+            .set(t0.elapsed().as_secs_f64() * 1e3);
+        models
+    }
+
+    /// Phase 2: evaluates every candidate of the design space with
+    /// macro-model metering on a fixed RSA-decrypt-like workload
+    /// (`base^exp mod m` with `bits`-bit operands). Purely native —
+    /// no ISS runs, so the fault policy does not apply.
+    ///
+    /// When a metrics registry is attached, publishes
+    /// `flow.phase2.candidates_evaluated`, a
+    /// `flow.phase2.candidate_cycles` histogram over the whole space,
+    /// `flow.phase2.best_cycles`, and the `space.*` gauges of the
+    /// speed/space [`ParetoFront`] (memory axis =
+    /// [`ModExpConfig::table_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModExpError`] if a configuration fails (which would be
+    /// a defect — all 450 are executable).
+    pub fn explore(
+        &self,
+        models: &KernelModels,
+        bits: usize,
+        glue_cost: f64,
+    ) -> Result<ExplorationResult, ModExpError> {
+        explore_impl(models, bits, glue_cost, self.metrics, self.pool())
+    }
+
+    /// Evaluates a single candidate by full ISS co-simulation (the slow
+    /// reference the paper could only afford for six candidates),
+    /// serving the result from the cache when one is attached (and
+    /// injection is off).
+    ///
+    /// Under an active fault campaign the co-simulation is resilient:
+    /// an attempt whose kernel stream diverges or times out is retried
+    /// on a fresh fault stream, then falls back to a fault-free run.
+    /// When any kernel is quarantined the ISS is not trusted at all and
+    /// the candidate degrades to its macro-model estimate from
+    /// `models` (action `fallback-macro-model`), so validation always
+    /// completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModExpError`] on genuine (fault-free) configuration
+    /// failure.
+    pub fn cosimulate(
+        &self,
+        models: &KernelModels,
+        candidate: &ModExpConfig,
+        bits: usize,
+        glue_cost: f64,
+    ) -> Result<f64, ModExpError> {
+        let quarantined = self.quarantined();
+        if !quarantined.is_empty() {
+            let est = explore_single(models, candidate, bits, glue_cost)?;
+            self.note_degradation(Degradation {
+                phase: "cosim",
+                unit: candidate.to_string(),
+                kernel: quarantined.join("+"),
+                error: format!("quarantined kernels: {}", quarantined.join(", ")),
+                attempts: 0,
+                retry_seeds: Vec::new(),
+                action: "fallback-macro-model",
+            });
+            return Ok(est);
+        }
+        if !self.policy.injecting() {
+            return cosim_cached_impl(
+                self.config,
+                self.variant,
+                candidate,
+                bits,
+                glue_cost,
+                self.cache,
+            );
+        }
+        let config = self.config;
+        let variant = self.variant;
+        let policy = self.policy;
+        let stream_base = COSIM_STREAMS
+            + xpar::memo::checksum(&format!("cosim:{candidate}"), &[bits as f64]) % (1 << 20)
+                * STREAM_STRIDE;
+        // The workload is part of the measured quantity (the estimate
+        // it is compared against uses the same fixed seed), so retries
+        // vary the fault stream, not the stimuli.
+        let report = run_resilient(
+            &policy,
+            "cosim",
+            candidate.to_string(),
+            "modexp",
+            stream_base,
+            0xE4B0,
+            |_seed, arm| cosim_once(config, variant, candidate, bits, glue_cost, arm, policy),
+        );
+        self.absorb(report)
+    }
+
+    /// Validates the macro-models against ISS co-simulation on a
+    /// handful of candidates (the paper could afford six), returning
+    /// the absolute percentage error per candidate and — when a
+    /// metrics registry is attached — observing each into the
+    /// `flow.model_error_pct` histogram.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModExpError`] if a candidate fails to execute.
+    pub fn validate_models(
+        &self,
+        models: &KernelModels,
+        candidates: &[ModExpConfig],
+        bits: usize,
+        glue_cost: f64,
+    ) -> Result<Vec<f64>, ModExpError> {
+        let mut errors = Vec::with_capacity(candidates.len());
+        for candidate in candidates {
+            let modeled = explore_single(models, candidate, bits, glue_cost)?;
+            let cosim = self.cosimulate(models, candidate, bits, glue_cost)?;
+            let err_pct = ((modeled - cosim) / cosim).abs() * 100.0;
+            if let Some(reg) = self.metrics {
+                reg.histogram("flow.model_error_pct").observe(err_pct);
+            }
+            errors.push(err_pct);
+        }
+        Ok(errors)
+    }
+
+    /// Phase 3: formulates the A-D curves for `mpn_add_n` and
+    /// `mpn_addmul_1` by measuring the base kernel and every
+    /// accelerated resource level on the ISS at `n` limbs (the paper's
+    /// Fig. 5(a)/(b)).
+    ///
+    /// The nine `(op, resource level)` points are measured in parallel
+    /// (one fresh ISS each, warmed with seed 7 and measured with seed
+    /// 8) and assembled into curves in the fixed serial order. With a
+    /// cache attached (and injection off), each point is served under
+    /// `fingerprint × variant × "curve:op" × n × seed`. Quarantined
+    /// kernels are measured with the fault arm off (action
+    /// `quarantined`), so the curves always complete.
+    pub fn curves(&self, n: usize) -> BTreeMap<String, AdCurve> {
+        // Every kernel with a registered custom-instruction family gets
+        // a curve: its base point plus one point per resource level
+        // (`mpn_add_n`: add2/4/8/16; `mpn_addmul_1`: mac1/2/4).
+        let mut tasks = Vec::new();
+        for desc in kreg::registry() {
+            let Some(fam) = desc.family else { continue };
+            tasks.push(CurveTask {
+                kernel: desc.id,
+                variant: KernelVariant::Base,
+                insn: None,
+            });
+            for level in fam.levels {
+                tasks.push(CurveTask {
+                    kernel: desc.id,
+                    variant: level.variant(),
+                    insn: Some((fam.family, level.lanes)),
+                });
+            }
+        }
+
+        let config = self.config;
+        let fp = config.fingerprint();
+        let cache = self.measurement_cache();
+        let policy = self.policy;
+        let quarantined: BTreeSet<String> = self.state().quarantined.clone();
+        let measured = self.pool().par_map(&tasks, |i, t| {
+            let unit = kreg::get(t.kernel).expect("curve kernel registered");
+            let fault_free = || {
+                let mut iss = IssMpn::with_variant(config.clone(), t.variant);
+                iss.set_verify(false);
+                let _ = iss.measure32(t.kernel, n, 7); // warm
+                iss.measure32(t.kernel, n, 8)
+                    .expect("curve kernels use register conventions")
+            };
+            match cache {
+                Some(kc) => UnitReport::clean(kc.scalar(
+                    &kcache::key(fp, &t.variant.tag(), &unit.curve_unit(), n as u64, 0x0708),
+                    fault_free,
+                )),
+                None if policy.injecting() && quarantined.contains(t.kernel.name()) => UnitReport {
+                    value: fault_free(),
+                    degradation: Some(Degradation {
+                        phase: "curves",
+                        unit: format!("{}@{}", t.kernel.name(), t.variant.tag()),
+                        kernel: t.kernel.name().to_owned(),
+                        error: "kernel quarantined; measured with the fault arm off".to_owned(),
+                        attempts: 1,
+                        retry_seeds: Vec::new(),
+                        action: "quarantined",
+                    }),
+                    failed: false,
+                },
+                None => run_resilient(
+                    &policy,
+                    "curves",
+                    format!("{}@{}", t.kernel.name(), t.variant.tag()),
+                    t.kernel.name(),
+                    CURVE_STREAMS + (i as u64) * STREAM_STRIDE,
+                    8,
+                    |seed, arm| {
+                        let mut iss = IssMpn::with_variant(config.clone(), t.variant);
+                        iss.set_verify(arm.is_some());
+                        iss.set_cycle_budget(policy.cycle_budget);
+                        if let Some((spec, stream)) = arm {
+                            iss.set_fault_plan(spec, stream);
+                        }
+                        let _ = iss.measure32(t.kernel, n, 7); // warm
+                        iss.measure32(t.kernel, n, seed).map_err(|e| e.to_string())
+                    },
+                ),
+            }
+        });
+
+        let mut curves = BTreeMap::new();
+        let mut points_by_op: BTreeMap<&str, Vec<AdPoint>> = BTreeMap::new();
+        for (t, report) in tasks.iter().zip(measured) {
+            let cycles = self.absorb(report);
+            let point = match t.insn {
+                None => AdPoint::base(cycles),
+                Some((family, lanes)) => {
+                    let area = match family {
+                        "add" => crate::insns::add_k(lanes).area,
+                        _ => crate::insns::mac_k(lanes).area,
+                    };
+                    AdPoint::new([ur_ls_insn(), CustomInsn::new(family, lanes, area)], cycles)
+                }
+            };
+            points_by_op.entry(t.kernel.name()).or_default().push(point);
+        }
+        for (op, points) in points_by_op {
+            curves.insert(op.to_owned(), AdCurve::from_points(points));
+        }
+        curves
+    }
+
+    /// Builds the paper's Fig. 4 call graph — the optimized modular
+    /// exponentiation example — annotated with this platform's measured
+    /// leaf cycles. `k` is the operand size in limbs.
+    ///
+    /// The two leaves are one measurement unit (they share one ISS
+    /// sequentially, preserving the serial cache-warmth coupling),
+    /// cached under `fingerprint × base × "fig4:leaves" × k` and
+    /// measured resiliently under an active fault campaign.
+    pub fn fig4_graph(&self, k: usize) -> CallGraph {
+        let config = self.config;
+        let policy = self.policy;
+        let fault_free = || {
+            let mut iss = IssMpn::base(config.clone());
+            iss.set_verify(false);
+            let _ = iss.measure32(kreg::id::ADD_N, k, 3);
+            let addn = iss.measure32(kreg::id::ADD_N, k, 4).expect("registered");
+            let _ = iss.measure32(kreg::id::ADDMUL_1, k, 3);
+            let addmul = iss.measure32(kreg::id::ADDMUL_1, k, 4).expect("registered");
+            vec![addn, addmul]
+        };
+        let leaves = match self.measurement_cache() {
+            Some(kc) => kc.get_or_compute(
+                &kcache::key(
+                    config.fingerprint(),
+                    &KernelVariant::Base.tag(),
+                    "fig4:leaves",
+                    k as u64,
+                    0x0304,
+                ),
+                2,
+                fault_free,
+            ),
+            None => {
+                let report = run_resilient(
+                    &policy,
+                    "fig4",
+                    "fig4:leaves".to_owned(),
+                    "fig4:leaves",
+                    FIG4_STREAMS,
+                    4,
+                    |seed, arm| {
+                        let mut iss = IssMpn::base(config.clone());
+                        iss.set_verify(arm.is_some());
+                        iss.set_cycle_budget(policy.cycle_budget);
+                        if let Some((spec, stream)) = arm {
+                            iss.set_fault_plan(spec, stream);
+                        }
+                        let _ = iss.measure32(kreg::id::ADD_N, k, 3);
+                        let addn = iss
+                            .measure32(kreg::id::ADD_N, k, seed)
+                            .map_err(|e| e.to_string())?;
+                        let _ = iss.measure32(kreg::id::ADDMUL_1, k, 3);
+                        let addmul = iss
+                            .measure32(kreg::id::ADDMUL_1, k, seed)
+                            .map_err(|e| e.to_string())?;
+                        Ok(vec![addn, addmul])
+                    },
+                );
+                self.absorb(report)
+            }
+        };
+        let (addn, addmul) = (leaves[0], leaves[1]);
+
+        let add_n = kreg::id::ADD_N.name();
+        let addmul_1 = kreg::id::ADDMUL_1.name();
+        let mut g = CallGraph::new();
+        g.add_node("decrypt", 120.0);
+        g.add_node("mpz_mul", 40.0);
+        g.add_node("mod_hw", 30.0);
+        g.add_node("mpz_mod", 60.0);
+        g.add_node("mpz_add", 10.0);
+        g.add_node("mpz_sub", 10.0);
+        g.add_node("mpz_gcdext", 200.0);
+        g.add_node(add_n, addn);
+        g.add_node(addmul_1, addmul);
+        for (caller, callee, count) in [
+            ("decrypt", "mpz_mul", 4.0),
+            ("decrypt", "mod_hw", 4.0),
+            ("decrypt", "mpz_mod", 2.0),
+            ("decrypt", "mpz_add", 2.0),
+            ("decrypt", "mpz_sub", 2.0),
+            ("mpz_mul", addmul_1, k as f64),
+            ("mod_hw", addmul_1, k as f64),
+            ("mod_hw", add_n, 2.0),
+            ("mpz_mod", add_n, 1.0),
+            ("mpz_add", add_n, 1.0),
+            ("mpz_sub", add_n, 1.0),
+            ("mpz_gcdext", add_n, 3.0),
+        ] {
+            g.add_call(caller, callee, count)
+                .expect("nodes declared above");
+        }
+        g
+    }
+
+    /// Phase 4: assembles the global selector from the Fig. 4 call
+    /// graph and the formulated curves.
+    pub fn selector(&self, k: usize) -> Selector {
+        let graph = self.fig4_graph(k);
+        let curves = self.curves(k);
+        let mut sel = Selector::new(graph);
+        for (name, curve) in curves {
+            sel.set_leaf_curve(name, curve);
+        }
+        sel
+    }
+
+    /// One resilient ad-hoc ISS measurement (the bench harnesses' entry
+    /// point): measures `kernel` at `n` limbs under `variant`, warming
+    /// with `warm_seed` and measuring with `seed`, applying the
+    /// context's retry / fallback / quarantine policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Quarantined`] without measuring when the
+    /// kernel is quarantined (callers degrade to a model estimate), or
+    /// the underlying typed error when the kernel fails fault-free.
+    pub fn measure_kernel_cycles(
+        &self,
+        variant: KernelVariant,
+        kernel: KernelId,
+        n: usize,
+        warm_seed: u64,
+        seed: u64,
+    ) -> Result<f64, KernelError> {
+        if self.is_quarantined(kernel.name()) {
+            let failures = *self.state().failures.get(kernel.name()).unwrap_or(&0);
+            self.note_degradation(Degradation {
+                phase: "measure",
+                unit: format!("{}@{}", kernel.name(), variant.tag()),
+                kernel: kernel.name().to_owned(),
+                error: format!("quarantined after {failures} failed units"),
+                attempts: 0,
+                retry_seeds: Vec::new(),
+                action: "quarantined",
+            });
+            return Err(KernelError::Quarantined { kernel, failures });
+        }
+        let policy = self.policy;
+        let stream_base = ADHOC_STREAMS
+            + xpar::memo::checksum(
+                &format!("measure:{}@{}", kernel.name(), variant.tag()),
+                &[n as f64, seed as f64],
+            ) % (1 << 20)
+                * STREAM_STRIDE;
+        let measure = |seed: u64, arm: Option<(PlanSpec, u64)>| {
+            let mut iss = IssMpn::with_variant(self.config.clone(), variant);
+            iss.set_verify(arm.is_some());
+            iss.set_cycle_budget(policy.cycle_budget);
+            if let Some((spec, stream)) = arm {
+                iss.set_fault_plan(spec, stream);
+            }
+            let _ = iss.measure32(kernel, n, warm_seed);
+            iss.measure32(kernel, n, seed)
+        };
+        let mut retry_seeds = Vec::new();
+        let mut last_err: Option<KernelError> = None;
+        for attempt in 0..=policy.max_retries {
+            let s = policy.retry_seed(seed, attempt);
+            if attempt > 0 {
+                retry_seeds.push(s);
+            }
+            let arm = policy
+                .plan
+                .map(|spec| (spec, stream_base.wrapping_add(u64::from(attempt))));
+            match measure(s, arm) {
+                Ok(cycles) => {
+                    if attempt > 0 {
+                        self.note_degradation(Degradation {
+                            phase: "measure",
+                            unit: format!("{}@{}", kernel.name(), variant.tag()),
+                            kernel: kernel.name().to_owned(),
+                            error: last_err.map(|e| e.to_string()).unwrap_or_default(),
+                            attempts: attempt + 1,
+                            retry_seeds,
+                            action: "retried-ok",
+                        });
+                    }
+                    return Ok(cycles);
+                }
+                Err(e) => last_err = Some(e),
+            }
+            if !policy.injecting() {
+                break; // a fault-free failure is genuine; retrying cannot help
+            }
+        }
+        let err = last_err.expect("at least one attempt ran");
+        if !policy.injecting() {
+            return Err(err);
+        }
+        match measure(seed, None) {
+            Ok(cycles) => {
+                let report = UnitReport {
+                    value: cycles,
+                    degradation: Some(Degradation {
+                        phase: "measure",
+                        unit: format!("{}@{}", kernel.name(), variant.tag()),
+                        kernel: kernel.name().to_owned(),
+                        error: err.to_string(),
+                        attempts: policy.max_retries + 1,
+                        retry_seeds,
+                        action: "fallback-fault-free",
+                    }),
+                    failed: true,
+                };
+                Ok(self.absorb(report))
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// One resilient measurement outcome, produced inside a worker task and
+/// folded into the flow state serially at merge time.
+struct UnitReport<T> {
+    value: T,
+    degradation: Option<Degradation>,
+    /// Whether the unit exhausted its injected-fault retries (counts
+    /// toward the kernel's quarantine at merge time).
+    failed: bool,
+}
+
+impl<T> UnitReport<T> {
+    fn clean(value: T) -> Self {
+        UnitReport {
+            value,
+            degradation: None,
+            failed: false,
+        }
+    }
+
+    fn map<U>(self, f: impl FnOnce(T) -> U) -> UnitReport<U> {
+        UnitReport {
+            value: f(self.value),
+            degradation: self.degradation,
+            failed: self.failed,
+        }
+    }
+}
+
+/// Runs one measurement unit under the resilience protocol: bounded
+/// retries with deterministically reseeded stimuli (each attempt on its
+/// own fault-plan stream), then a fault-free fallback. Pure w.r.t. the
+/// unit's identity — all state effects are deferred to the serial
+/// merge via the returned report.
 ///
 /// # Panics
 ///
-/// Panics under the same conditions as [`characterize_kernels`].
-pub fn characterize_kernels_metered(
-    config: &CpuConfig,
-    variant: KernelVariant,
-    max_limbs: usize,
-    options: &CharactOptions,
-    metrics: Option<&xobs::Registry>,
-) -> KernelModels {
-    characterize_kernels_pooled(
-        config,
-        variant,
-        max_limbs,
-        options,
-        metrics,
-        &Pool::from_env(),
-        None,
-    )
+/// Panics when the unit fails without injected faults: that is a
+/// genuine defect the flow must not paper over.
+fn run_resilient<T>(
+    policy: &FaultPolicy,
+    phase: &'static str,
+    unit: String,
+    kernel: &str,
+    stream_base: u64,
+    base_seed: u64,
+    measure: impl Fn(u64, Option<(PlanSpec, u64)>) -> Result<T, String>,
+) -> UnitReport<T> {
+    let mut retry_seeds = Vec::new();
+    let mut last_err = String::new();
+    for attempt in 0..=policy.max_retries {
+        let seed = policy.retry_seed(base_seed, attempt);
+        if attempt > 0 {
+            retry_seeds.push(seed);
+        }
+        let arm = policy
+            .plan
+            .map(|spec| (spec, stream_base.wrapping_add(u64::from(attempt))));
+        match measure(seed, arm) {
+            Ok(value) => {
+                let degradation = (attempt > 0).then(|| Degradation {
+                    phase,
+                    unit: unit.clone(),
+                    kernel: kernel.to_owned(),
+                    error: last_err.clone(),
+                    attempts: attempt + 1,
+                    retry_seeds: retry_seeds.clone(),
+                    action: "retried-ok",
+                });
+                return UnitReport {
+                    value,
+                    degradation,
+                    failed: false,
+                };
+            }
+            Err(e) => last_err = e,
+        }
+        if !policy.injecting() {
+            break; // a fault-free failure is genuine; retrying cannot help
+        }
+    }
+    if policy.injecting() {
+        match measure(base_seed, None) {
+            Ok(value) => UnitReport {
+                value,
+                degradation: Some(Degradation {
+                    phase,
+                    unit,
+                    kernel: kernel.to_owned(),
+                    error: last_err,
+                    attempts: policy.max_retries + 1,
+                    retry_seeds,
+                    action: "fallback-fault-free",
+                }),
+                failed: true,
+            },
+            Err(e) => panic!("{phase} unit {unit} failed even with faults disabled: {e}"),
+        }
+    } else {
+        panic!("{phase} unit {unit} failed fault-free: {last_err}")
+    }
 }
 
 /// One phase-1 measurement unit: a registered kernel characterized at
@@ -145,8 +1140,18 @@ fn plan_digest(plan: &StimulusPlan) -> u64 {
 /// stimulus in plan order. The harness is chosen by the kernel's
 /// registered calling convention: register-convention kernels run
 /// through the ISS ops provider, block-memory kernels through their
-/// dedicated engine.
-fn measure_charact_task(config: &CpuConfig, variant: KernelVariant, t: &CharactTask) -> Vec<f64> {
+/// dedicated engine. `seed_base` is the pre-advance stimulus seed
+/// (`1` is the canonical stream; retries reseed it), and `arm`
+/// attaches a fault plan on the given stream — block kernels have no
+/// fault ports and always measure clean.
+fn measure_charact_task(
+    config: &CpuConfig,
+    variant: KernelVariant,
+    t: &CharactTask,
+    seed_base: u64,
+    arm: Option<(PlanSpec, u64)>,
+    cycle_budget: u64,
+) -> Result<Vec<f64>, KernelError> {
     // Characterization measures timing only, and one warm-up stimulus
     // is discarded so every task starts from the same (warm) cache
     // state regardless of which worker runs it.
@@ -154,170 +1159,41 @@ fn measure_charact_task(config: &CpuConfig, variant: KernelVariant, t: &CharactT
         let mut sim = SimSha1::new(config.clone());
         sim.set_verify(false);
         sim.measure_blocks(1, 0x5EED);
-        let mut seed = 1u64;
-        t.plan
+        let mut seed = seed_base;
+        Ok(t.plan
             .points()
             .map(|params| {
                 seed = seed.wrapping_add(SEED_STEP);
                 sim.measure_blocks(params[0] as usize, seed)
             })
-            .collect()
+            .collect())
     } else {
         let kernel = t.desc.id;
         let mut iss = IssMpn::with_variant(config.clone(), variant);
-        iss.set_verify(false);
-        let warm = if t.width == 32 {
-            iss.measure32(kernel, 1, 0x5EED)
-        } else {
-            iss.measure16(kernel, 1, 0x5EED)
-        };
-        warm.expect("register-convention kernel is ISS-measurable");
-        let mut seed = 1u64;
-        t.plan
-            .points()
-            .map(|params| {
-                seed = seed.wrapping_add(SEED_STEP);
-                let n = params[0] as usize;
-                let cycles = if t.width == 32 {
-                    iss.measure32(kernel, n, seed)
-                } else {
-                    iss.measure16(kernel, n, seed)
-                };
-                cycles.expect("register-convention kernel is ISS-measurable")
-            })
-            .collect()
-    }
-}
-
-/// Phase 1 on a worker pool: stimulus plans are drawn serially from the
-/// shared RNG (so the stimulus stream is identical for any thread
-/// count), the `(width, kernel)` measurement units — every registered
-/// kernel at every radix width it supports — run in parallel with one
-/// fresh simulation harness each, and fits are merged in submission
-/// order. When a
-/// [`KCache`] is supplied, each unit's cycle vector is served from the
-/// cache under `fingerprint × variant × op × max_limbs × plan-digest`.
-///
-/// The result — models, quality, and every published metric except
-/// `*wall_ms` — is bit-identical for any thread count and any cache
-/// state.
-///
-/// # Panics
-///
-/// Panics under the same conditions as [`characterize_kernels`].
-#[allow(clippy::too_many_arguments)]
-pub fn characterize_kernels_pooled(
-    config: &CpuConfig,
-    variant: KernelVariant,
-    max_limbs: usize,
-    options: &CharactOptions,
-    metrics: Option<&xobs::Registry>,
-    pool: &Pool,
-    cache: Option<&KCache>,
-) -> KernelModels {
-    let scratch;
-    let reg = match metrics {
-        Some(reg) => reg,
-        None => {
-            scratch = xobs::Registry::new();
-            &scratch
+        iss.set_verify(arm.is_some());
+        iss.set_cycle_budget(cycle_budget);
+        if let Some((spec, stream)) = arm {
+            iss.set_fault_plan(spec, stream);
         }
-    };
-    let iss_cycles = reg.counter("flow.phase1.iss_cycles");
-    let ops_done = reg.counter("flow.phase1.ops_characterized");
-    let t0 = Instant::now();
-
-    // Serial planning: the shared RNG is consumed in a fixed order.
-    // The multi-precision kernels keep their historical plan order
-    // (width-major over the registry) and block kernels are appended
-    // afterwards, so their registration does not perturb the existing
-    // stimulus streams (which are part of the cache identity).
-    let mut rng = StdRng::seed_from_u64(0xC0DE_2002);
-    let mut tasks = Vec::with_capacity(2 * kreg::registry().len());
-    let plan_for = |desc: &'static KernelDescriptor, width: u32, rng: &mut StdRng| {
-        let spec = desc
-            .stimulus
-            .unwrap_or_else(|| panic!("kernel {} has no stimulus space", desc.id));
-        CharactTask {
-            width,
-            desc,
-            basis: spec.basis(),
-            plan: plan_stimuli(&spec.space(max_limbs), options, rng),
-        }
-    };
-    for width in [32u32, 16] {
-        for desc in kreg::registry().iter().filter(|d| d.lib == LibKind::Mpn) {
-            tasks.push(plan_for(desc, width, &mut rng));
-        }
-    }
-    for desc in kreg::registry().iter().filter(|d| d.lib != LibKind::Mpn) {
-        for &width in desc.widths() {
-            tasks.push(plan_for(desc, width, &mut rng));
-        }
-    }
-
-    // Parallel measurement + fit; results return in submission order.
-    let fp = config.fingerprint();
-    let vtag = variant.tag();
-    let fitted = pool.par_map(&tasks, |_, t| {
-        let cycles = match cache {
-            Some(kc) => kc.get_or_compute(
-                &kcache::key(
-                    fp,
-                    &vtag,
-                    &t.desc.charact_unit(t.width),
-                    max_limbs as u64,
-                    plan_digest(&t.plan),
-                ),
-                t.plan.len(),
-                || measure_charact_task(config, variant, t),
-            ),
-            None => measure_charact_task(config, variant, t),
-        };
-        let ch = fit_planned(&t.basis, &t.plan, &cycles).unwrap_or_else(|e| {
-            panic!(
-                "characterization of {} (r{}) failed: {e}",
-                t.name(),
-                t.width
-            )
-        });
-        let sim_cycles: u64 = cycles.iter().map(|&c| c as u64).sum();
-        (with_name(ch, t.name()), sim_cycles)
-    });
-
-    // Serial merge in submission order: metric streams stay
-    // deterministic, and memo hits count like fresh measurements so
-    // warm and cold runs report identical flow/charact metrics.
-    let mut models32 = BTreeMap::new();
-    let mut models16 = BTreeMap::new();
-    let mut quality = BTreeMap::new();
-    for (t, (ch, sim_cycles)) in tasks.iter().zip(fitted) {
-        iss_cycles.add(sim_cycles);
-        ops_done.inc();
-        if metrics.is_some() {
-            reg.counter("charact.stimuli_run").add(t.plan.len() as u64);
-            reg.gauge("charact.last_r_squared")
-                .set(ch.quality.r_squared);
-            reg.gauge("charact.last_mae_pct").set(ch.quality.mae_pct);
-            reg.histogram("charact.mae_pct").observe(ch.quality.mae_pct);
-        }
-        quality.insert((t.name(), t.width), ch.quality);
         if t.width == 32 {
-            models32.insert(t.name(), ch.model);
+            iss.measure32(kernel, 1, 0x5EED)?;
         } else {
-            models16.insert(t.name(), ch.model);
+            iss.measure16(kernel, 1, 0x5EED)?;
         }
+        let mut seed = seed_base;
+        let mut out = Vec::with_capacity(t.plan.len());
+        for params in t.plan.points() {
+            seed = seed.wrapping_add(SEED_STEP);
+            let n = params[0] as usize;
+            let cycles = if t.width == 32 {
+                iss.measure32(kernel, n, seed)
+            } else {
+                iss.measure16(kernel, n, seed)
+            };
+            out.push(cycles?);
+        }
+        Ok(out)
     }
-    let models = KernelModels {
-        models32,
-        models16,
-        quality,
-    };
-    reg.gauge("flow.phase1.mean_abs_error_pct")
-        .set(models.mean_abs_error_pct());
-    reg.gauge("flow.phase1.wall_ms")
-        .set(t0.elapsed().as_secs_f64() * 1e3);
-    models
 }
 
 /// One evaluated design-space candidate.
@@ -347,52 +1223,11 @@ impl ExplorationResult {
     }
 }
 
-/// Phase 2: evaluates every candidate of the design space with
-/// macro-model metering on a fixed RSA-decrypt-like workload
-/// (`base^exp mod m` with `bits`-bit operands).
-///
-/// # Errors
-///
-/// Returns [`ModExpError`] if a configuration fails (which would be a
-/// defect — all 450 are executable).
-pub fn explore_modexp(
-    models: &KernelModels,
-    bits: usize,
-    glue_cost: f64,
-) -> Result<ExplorationResult, ModExpError> {
-    explore_modexp_metered(models, bits, glue_cost, None)
-}
-
-/// As [`explore_modexp`], additionally publishing phase-2 progress into
-/// a metrics registry when one is supplied:
-/// `flow.phase2.candidates_evaluated`, a `flow.phase2.candidate_cycles`
-/// histogram over the whole space, `flow.phase2.best_cycles`, and the
-/// `space.*` gauges of the speed/space [`ParetoFront`] (memory axis =
-/// [`ModExpConfig::table_bytes`]).
-///
-/// # Errors
-///
-/// Returns [`ModExpError`] under the same conditions as
-/// [`explore_modexp`].
-pub fn explore_modexp_metered(
-    models: &KernelModels,
-    bits: usize,
-    glue_cost: f64,
-    metrics: Option<&xobs::Registry>,
-) -> Result<ExplorationResult, ModExpError> {
-    explore_modexp_pooled(models, bits, glue_cost, metrics, &Pool::from_env())
-}
-
-/// Phase 2 on a worker pool: the 450-candidate lattice is evaluated in
+/// Phase 2 implementation: the 450-candidate lattice is evaluated in
 /// parallel (each candidate owns its modeled-ops provider and cache),
 /// then ranked and offered to the Pareto front in enumeration order, so
 /// the result is bit-identical to the serial run for any thread count.
-///
-/// # Errors
-///
-/// Returns [`ModExpError`] under the same conditions as
-/// [`explore_modexp`].
-pub fn explore_modexp_pooled(
+fn explore_impl(
     models: &KernelModels,
     bits: usize,
     glue_cost: f64,
@@ -459,38 +1294,8 @@ pub fn explore_modexp_pooled(
     })
 }
 
-/// Validates the macro-models against full ISS co-simulation on a
-/// handful of candidates (the paper could afford six), returning the
-/// absolute percentage error per candidate and — when a registry is
-/// supplied — observing each into the `flow.model_error_pct` histogram.
-///
-/// # Errors
-///
-/// Returns [`ModExpError`] if a candidate fails to execute.
-pub fn validate_models_metered(
-    models: &KernelModels,
-    config: &CpuConfig,
-    variant: KernelVariant,
-    candidates: &[ModExpConfig],
-    bits: usize,
-    glue_cost: f64,
-    metrics: Option<&xobs::Registry>,
-) -> Result<Vec<f64>, ModExpError> {
-    let mut errors = Vec::with_capacity(candidates.len());
-    for candidate in candidates {
-        let modeled = explore_single(models, candidate, bits, glue_cost)?;
-        let cosim = cosimulate_candidate(config, variant, candidate, bits, glue_cost)?;
-        let err_pct = ((modeled - cosim) / cosim).abs() * 100.0;
-        if let Some(reg) = metrics {
-            reg.histogram("flow.model_error_pct").observe(err_pct);
-        }
-        errors.push(err_pct);
-    }
-    Ok(errors)
-}
-
 /// Evaluates a single candidate with macro-model metering on the same
-/// fixed workload as [`explore_modexp`], returning estimated cycles.
+/// fixed workload as [`FlowCtx::explore`], returning estimated cycles.
 ///
 /// # Errors
 ///
@@ -516,19 +1321,19 @@ pub fn explore_single(
     Ok(MpnOps::<u32>::cycles(&ops))
 }
 
-/// Evaluates a single candidate by full ISS co-simulation (the slow
-/// reference the paper could only afford for six candidates).
-///
-/// # Errors
-///
-/// Returns [`ModExpError`] on configuration failure.
-pub fn cosimulate_candidate(
+/// One ISS co-simulation pass, optionally with a fault arm. Kernel-level
+/// errors (divergence, timeout) and — under injection — modexp-level
+/// failures are surfaced as the retryable `Err(String)`; a fault-free
+/// [`ModExpError`] is a genuine defect and passes through in the value.
+fn cosim_once(
     config: &CpuConfig,
     variant: KernelVariant,
     candidate: &ModExpConfig,
     bits: usize,
     glue_cost: f64,
-) -> Result<f64, ModExpError> {
+    arm: Option<(PlanSpec, u64)>,
+    policy: FaultPolicy,
+) -> Result<Result<f64, ModExpError>, String> {
     let mut rng = StdRng::seed_from_u64(0xE4B0);
     let mut m = Natural::random_bits(&mut rng, bits);
     if m.is_even() {
@@ -538,26 +1343,35 @@ pub fn cosimulate_candidate(
     let exp = Natural::random_bits(&mut rng, bits);
 
     let mut iss = IssMpn::with_variant(config.clone(), variant);
-    iss.set_verify(false);
+    iss.set_verify(arm.is_some());
+    iss.set_cycle_budget(policy.cycle_budget);
+    if let Some((spec, stream)) = arm {
+        iss.set_fault_plan(spec, stream);
+    }
     iss.set_glue_cost(glue_cost);
     let mut cache = ExpCache::new();
-    mod_exp(&mut iss, &base, &exp, &m, candidate, &mut cache)?;
-    MpnOps::<u32>::reset(&mut iss);
-    mod_exp(&mut iss, &base, &exp, &m, candidate, &mut cache)?;
-    Ok(MpnOps::<u32>::cycles(&iss))
+    let run: Result<f64, ModExpError> = (|| {
+        mod_exp(&mut iss, &base, &exp, &m, candidate, &mut cache)?;
+        MpnOps::<u32>::reset(&mut iss);
+        mod_exp(&mut iss, &base, &exp, &m, candidate, &mut cache)?;
+        Ok(MpnOps::<u32>::cycles(&iss))
+    })();
+    if let Some(e) = iss.kernel_errors().first() {
+        return Err(e.to_string());
+    }
+    match run {
+        Ok(cycles) => Ok(Ok(cycles)),
+        // Under injection a modexp failure is a fault artifact: retry.
+        Err(e) if arm.is_some() => Err(e.to_string()),
+        Err(e) => Ok(Err(e)),
+    }
 }
 
-/// As [`cosimulate_candidate`], serving the co-simulated cycle count
-/// from a kernel-cycle cache when possible. The memo key embeds the
-/// core fingerprint, the kernel variant, the candidate's display form,
-/// the operand size and the glue cost, so any changed determinant
-/// recomputes.
-///
-/// # Errors
-///
-/// Returns [`ModExpError`] on configuration failure (never on a cache
-/// hit — only successfully co-simulated candidates are cached).
-pub fn cosimulate_candidate_cached(
+/// Fault-free co-simulation, optionally served from the kernel-cycle
+/// cache. The memo key embeds the core fingerprint, the kernel variant,
+/// the candidate's display form, the operand size and the glue cost, so
+/// any changed determinant recomputes.
+fn cosim_cached_impl(
     config: &CpuConfig,
     variant: KernelVariant,
     candidate: &ModExpConfig,
@@ -565,8 +1379,20 @@ pub fn cosimulate_candidate_cached(
     glue_cost: f64,
     cache: Option<&KCache>,
 ) -> Result<f64, ModExpError> {
+    let run = || {
+        cosim_once(
+            config,
+            variant,
+            candidate,
+            bits,
+            glue_cost,
+            None,
+            FaultPolicy::default(),
+        )
+        .expect("fault-free co-simulation reports no kernel errors")
+    };
     let Some(kc) = cache else {
-        return cosimulate_candidate(config, variant, candidate, bits, glue_cost);
+        return run();
     };
     let key = kcache::key(
         config.fingerprint(),
@@ -580,7 +1406,7 @@ pub fn cosimulate_candidate_cached(
             return Ok(cycles);
         }
     }
-    let cycles = cosimulate_candidate(config, variant, candidate, bits, glue_cost)?;
+    let cycles = run()?;
     kc.insert(&key, vec![cycles]);
     Ok(cycles)
 }
@@ -590,13 +1416,6 @@ pub fn cosimulate_candidate_cached(
 fn ur_ls_insn() -> CustomInsn {
     let area = crate::insns::ldur().area + crate::insns::stur().area;
     CustomInsn::new("ur_ls", 1, area)
-}
-
-/// Phase 3: formulates the A-D curves for `mpn_add_n` and
-/// `mpn_addmul_1` by measuring the base kernel and every accelerated
-/// resource level on the ISS at `n` limbs (the paper's Fig. 5(a)/(b)).
-pub fn formulate_mpn_curves(config: &CpuConfig, n: usize) -> BTreeMap<String, AdCurve> {
-    formulate_mpn_curves_pooled(config, n, &Pool::from_env(), None)
 }
 
 /// One phase-3 measurement unit: one kernel under one kernel variant
@@ -610,174 +1429,246 @@ struct CurveTask {
     insn: Option<(&'static str, u32)>,
 }
 
-/// Phase 3 on a worker pool: the nine `(op, resource level)` points are
-/// measured in parallel (one fresh ISS each) and assembled into curves
-/// in the fixed serial order. When a [`KCache`] is supplied, each
-/// point's cycle count is served from it under
-/// `fingerprint × variant × "curve:op" × n × seed`.
+// ---------------------------------------------------------------------
+// Deprecated pre-FlowCtx API: thin shims over the context methods. Each
+// shim builds a throwaway default-policy context, so behavior (and
+// every RNG / cache-key stream) is bit-identical to the historical free
+// functions.
+// ---------------------------------------------------------------------
+
+/// Phase 1 with the default pool and no cache.
+#[deprecated(since = "0.1.0", note = "use FlowCtx::characterize")]
+pub fn characterize_kernels(
+    config: &CpuConfig,
+    variant: KernelVariant,
+    max_limbs: usize,
+    options: &CharactOptions,
+) -> KernelModels {
+    FlowCtx::new(config)
+        .with_variant(variant)
+        .characterize(max_limbs, options)
+}
+
+/// Phase 1 with optional metrics.
+#[deprecated(
+    since = "0.1.0",
+    note = "use FlowCtx::with_metrics + FlowCtx::characterize"
+)]
+pub fn characterize_kernels_metered(
+    config: &CpuConfig,
+    variant: KernelVariant,
+    max_limbs: usize,
+    options: &CharactOptions,
+    metrics: Option<&xobs::Registry>,
+) -> KernelModels {
+    let mut ctx = FlowCtx::new(config).with_variant(variant);
+    if let Some(reg) = metrics {
+        ctx = ctx.with_metrics(reg);
+    }
+    ctx.characterize(max_limbs, options)
+}
+
+/// Phase 1 on an explicit pool with an optional cache.
+#[deprecated(
+    since = "0.1.0",
+    note = "use FlowCtx::with_pool/with_cache + FlowCtx::characterize"
+)]
+#[allow(clippy::too_many_arguments)]
+pub fn characterize_kernels_pooled(
+    config: &CpuConfig,
+    variant: KernelVariant,
+    max_limbs: usize,
+    options: &CharactOptions,
+    metrics: Option<&xobs::Registry>,
+    pool: &Pool,
+    cache: Option<&KCache>,
+) -> KernelModels {
+    let mut ctx = FlowCtx::new(config).with_variant(variant).with_pool(pool);
+    if let Some(reg) = metrics {
+        ctx = ctx.with_metrics(reg);
+    }
+    if let Some(kc) = cache {
+        ctx = ctx.with_cache(kc);
+    }
+    ctx.characterize(max_limbs, options)
+}
+
+/// Phase 2 with the default pool.
+///
+/// # Errors
+///
+/// Returns [`ModExpError`] if a configuration fails.
+#[deprecated(since = "0.1.0", note = "use FlowCtx::explore")]
+pub fn explore_modexp(
+    models: &KernelModels,
+    bits: usize,
+    glue_cost: f64,
+) -> Result<ExplorationResult, ModExpError> {
+    explore_impl(models, bits, glue_cost, None, &Pool::from_env())
+}
+
+/// Phase 2 with optional metrics.
+///
+/// # Errors
+///
+/// Returns [`ModExpError`] if a configuration fails.
+#[deprecated(since = "0.1.0", note = "use FlowCtx::with_metrics + FlowCtx::explore")]
+pub fn explore_modexp_metered(
+    models: &KernelModels,
+    bits: usize,
+    glue_cost: f64,
+    metrics: Option<&xobs::Registry>,
+) -> Result<ExplorationResult, ModExpError> {
+    explore_impl(models, bits, glue_cost, metrics, &Pool::from_env())
+}
+
+/// Phase 2 on an explicit pool.
+///
+/// # Errors
+///
+/// Returns [`ModExpError`] if a configuration fails.
+#[deprecated(since = "0.1.0", note = "use FlowCtx::with_pool + FlowCtx::explore")]
+pub fn explore_modexp_pooled(
+    models: &KernelModels,
+    bits: usize,
+    glue_cost: f64,
+    metrics: Option<&xobs::Registry>,
+    pool: &Pool,
+) -> Result<ExplorationResult, ModExpError> {
+    explore_impl(models, bits, glue_cost, metrics, pool)
+}
+
+/// Model validation against co-simulation.
+///
+/// # Errors
+///
+/// Returns [`ModExpError`] if a candidate fails to execute.
+#[deprecated(since = "0.1.0", note = "use FlowCtx::validate_models")]
+pub fn validate_models_metered(
+    models: &KernelModels,
+    config: &CpuConfig,
+    variant: KernelVariant,
+    candidates: &[ModExpConfig],
+    bits: usize,
+    glue_cost: f64,
+    metrics: Option<&xobs::Registry>,
+) -> Result<Vec<f64>, ModExpError> {
+    let mut ctx = FlowCtx::new(config).with_variant(variant);
+    if let Some(reg) = metrics {
+        ctx = ctx.with_metrics(reg);
+    }
+    ctx.validate_models(models, candidates, bits, glue_cost)
+}
+
+/// Single-candidate co-simulation.
+///
+/// # Errors
+///
+/// Returns [`ModExpError`] on configuration failure.
+#[deprecated(since = "0.1.0", note = "use FlowCtx::cosimulate")]
+pub fn cosimulate_candidate(
+    config: &CpuConfig,
+    variant: KernelVariant,
+    candidate: &ModExpConfig,
+    bits: usize,
+    glue_cost: f64,
+) -> Result<f64, ModExpError> {
+    cosim_cached_impl(config, variant, candidate, bits, glue_cost, None)
+}
+
+/// Single-candidate co-simulation through an optional cycle cache.
+///
+/// # Errors
+///
+/// Returns [`ModExpError`] on configuration failure (never on a cache
+/// hit — only successfully co-simulated candidates are cached).
+#[deprecated(
+    since = "0.1.0",
+    note = "use FlowCtx::with_cache + FlowCtx::cosimulate"
+)]
+pub fn cosimulate_candidate_cached(
+    config: &CpuConfig,
+    variant: KernelVariant,
+    candidate: &ModExpConfig,
+    bits: usize,
+    glue_cost: f64,
+    cache: Option<&KCache>,
+) -> Result<f64, ModExpError> {
+    cosim_cached_impl(config, variant, candidate, bits, glue_cost, cache)
+}
+
+/// Phase 3 with the default pool.
+#[deprecated(since = "0.1.0", note = "use FlowCtx::curves")]
+pub fn formulate_mpn_curves(config: &CpuConfig, n: usize) -> BTreeMap<String, AdCurve> {
+    FlowCtx::new(config).curves(n)
+}
+
+/// Phase 3 on an explicit pool with an optional cache.
+#[deprecated(
+    since = "0.1.0",
+    note = "use FlowCtx::with_pool/with_cache + FlowCtx::curves"
+)]
 pub fn formulate_mpn_curves_pooled(
     config: &CpuConfig,
     n: usize,
     pool: &Pool,
     cache: Option<&KCache>,
 ) -> BTreeMap<String, AdCurve> {
-    // Every kernel with a registered custom-instruction family gets a
-    // curve: its base point plus one point per resource level
-    // (`mpn_add_n`: add2/4/8/16; `mpn_addmul_1`: mac1/2/4).
-    let mut tasks = Vec::new();
-    for desc in kreg::registry() {
-        let Some(fam) = desc.family else { continue };
-        tasks.push(CurveTask {
-            kernel: desc.id,
-            variant: KernelVariant::Base,
-            insn: None,
-        });
-        for level in fam.levels {
-            tasks.push(CurveTask {
-                kernel: desc.id,
-                variant: level.variant(),
-                insn: Some((fam.family, level.lanes)),
-            });
-        }
+    let mut ctx = FlowCtx::new(config).with_pool(pool);
+    if let Some(kc) = cache {
+        ctx = ctx.with_cache(kc);
     }
-
-    let fp = config.fingerprint();
-    let measured = pool.par_map(&tasks, |_, t| {
-        let unit = kreg::get(t.kernel).expect("curve kernel registered");
-        let measure = || {
-            let mut iss = IssMpn::with_variant(config.clone(), t.variant);
-            iss.set_verify(false);
-            let _ = iss.measure32(t.kernel, n, 7); // warm
-            iss.measure32(t.kernel, n, 8)
-                .expect("curve kernels use register conventions")
-        };
-        match cache {
-            Some(kc) => kc.scalar(
-                &kcache::key(fp, &t.variant.tag(), &unit.curve_unit(), n as u64, 0x0708),
-                measure,
-            ),
-            None => measure(),
-        }
-    });
-
-    let mut curves = BTreeMap::new();
-    let mut points_by_op: BTreeMap<&str, Vec<AdPoint>> = BTreeMap::new();
-    for (t, cycles) in tasks.iter().zip(measured) {
-        let point = match t.insn {
-            None => AdPoint::base(cycles),
-            Some((family, lanes)) => {
-                let area = match family {
-                    "add" => crate::insns::add_k(lanes).area,
-                    _ => crate::insns::mac_k(lanes).area,
-                };
-                AdPoint::new([ur_ls_insn(), CustomInsn::new(family, lanes, area)], cycles)
-            }
-        };
-        points_by_op.entry(t.kernel.name()).or_default().push(point);
-    }
-    for (op, points) in points_by_op {
-        curves.insert(op.to_owned(), AdCurve::from_points(points));
-    }
-    curves
+    ctx.curves(n)
 }
 
-/// Builds the paper's Fig. 4 call graph — the optimized modular
-/// exponentiation example — annotated with this platform's measured
-/// leaf cycles. `k` is the operand size in limbs.
+/// The Fig. 4 call graph with measured leaves.
+#[deprecated(since = "0.1.0", note = "use FlowCtx::fig4_graph")]
 pub fn fig4_call_graph(config: &CpuConfig, k: usize) -> CallGraph {
-    fig4_call_graph_cached(config, k, None)
+    FlowCtx::new(config).fig4_graph(k)
 }
 
-/// As [`fig4_call_graph`], optionally serving the two measured leaf
-/// cycle counts from a kernel-cycle cache. The two leaves are one
-/// measurement unit (they share one ISS sequentially, preserving the
-/// serial cache-warmth coupling), keyed
-/// `fingerprint × base × "fig4:leaves" × k`.
+/// The Fig. 4 call graph through an optional cycle cache.
+#[deprecated(
+    since = "0.1.0",
+    note = "use FlowCtx::with_cache + FlowCtx::fig4_graph"
+)]
 pub fn fig4_call_graph_cached(config: &CpuConfig, k: usize, cache: Option<&KCache>) -> CallGraph {
-    let measure = || {
-        let mut iss = IssMpn::base(config.clone());
-        iss.set_verify(false);
-        let _ = iss.measure32(kreg::id::ADD_N, k, 3);
-        let addn = iss.measure32(kreg::id::ADD_N, k, 4).expect("registered");
-        let _ = iss.measure32(kreg::id::ADDMUL_1, k, 3);
-        let addmul = iss.measure32(kreg::id::ADDMUL_1, k, 4).expect("registered");
-        vec![addn, addmul]
-    };
-    let leaves = match cache {
-        Some(kc) => kc.get_or_compute(
-            &kcache::key(
-                config.fingerprint(),
-                &KernelVariant::Base.tag(),
-                "fig4:leaves",
-                k as u64,
-                0x0304,
-            ),
-            2,
-            measure,
-        ),
-        None => measure(),
-    };
-    let (addn, addmul) = (leaves[0], leaves[1]);
-
-    let add_n = kreg::id::ADD_N.name();
-    let addmul_1 = kreg::id::ADDMUL_1.name();
-    let mut g = CallGraph::new();
-    g.add_node("decrypt", 120.0);
-    g.add_node("mpz_mul", 40.0);
-    g.add_node("mod_hw", 30.0);
-    g.add_node("mpz_mod", 60.0);
-    g.add_node("mpz_add", 10.0);
-    g.add_node("mpz_sub", 10.0);
-    g.add_node("mpz_gcdext", 200.0);
-    g.add_node(add_n, addn);
-    g.add_node(addmul_1, addmul);
-    for (caller, callee, count) in [
-        ("decrypt", "mpz_mul", 4.0),
-        ("decrypt", "mod_hw", 4.0),
-        ("decrypt", "mpz_mod", 2.0),
-        ("decrypt", "mpz_add", 2.0),
-        ("decrypt", "mpz_sub", 2.0),
-        ("mpz_mul", addmul_1, k as f64),
-        ("mod_hw", addmul_1, k as f64),
-        ("mod_hw", add_n, 2.0),
-        ("mpz_mod", add_n, 1.0),
-        ("mpz_add", add_n, 1.0),
-        ("mpz_sub", add_n, 1.0),
-        ("mpz_gcdext", add_n, 3.0),
-    ] {
-        g.add_call(caller, callee, count)
-            .expect("nodes declared above");
+    let mut ctx = FlowCtx::new(config);
+    if let Some(kc) = cache {
+        ctx = ctx.with_cache(kc);
     }
-    g
+    ctx.fig4_graph(k)
 }
 
-/// Phase 4: assembles the global selector from the Fig. 4 call graph
-/// and the formulated curves.
+/// Phase 4 with the default pool.
+#[deprecated(since = "0.1.0", note = "use FlowCtx::selector")]
 pub fn build_selector(config: &CpuConfig, k: usize) -> Selector {
-    build_selector_pooled(config, k, &Pool::from_env(), None)
+    FlowCtx::new(config).selector(k)
 }
 
-/// Phase 4 on a worker pool with an optional kernel-cycle cache; see
-/// [`fig4_call_graph_cached`] and [`formulate_mpn_curves_pooled`].
+/// Phase 4 on an explicit pool with an optional cache.
+#[deprecated(
+    since = "0.1.0",
+    note = "use FlowCtx::with_pool/with_cache + FlowCtx::selector"
+)]
 pub fn build_selector_pooled(
     config: &CpuConfig,
     k: usize,
     pool: &Pool,
     cache: Option<&KCache>,
 ) -> Selector {
-    let graph = fig4_call_graph_cached(config, k, cache);
-    let curves = formulate_mpn_curves_pooled(config, k, pool, cache);
-    let mut sel = Selector::new(graph);
-    for (name, curve) in curves {
-        sel.set_leaf_curve(name, curve);
+    let mut ctx = FlowCtx::new(config).with_pool(pool);
+    if let Some(kc) = cache {
+        ctx = ctx.with_cache(kc);
     }
-    sel
+    ctx.selector(k)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pubkey::ops::opname;
+    use xfault::FaultSite;
 
     fn quick_options() -> CharactOptions {
         CharactOptions {
@@ -788,12 +1679,8 @@ mod tests {
 
     #[test]
     fn characterization_fits_linear_kernels_well() {
-        let models = characterize_kernels(
-            &CpuConfig::default(),
-            KernelVariant::Base,
-            16,
-            &quick_options(),
-        );
+        let cfg = CpuConfig::default();
+        let models = FlowCtx::new(&cfg).characterize(16, &quick_options());
         for op in opname::ALL {
             assert!(models.models32.contains_key(op), "{op} missing (r32)");
             assert!(models.models16.contains_key(op), "{op} missing (r16)");
@@ -817,13 +1704,10 @@ mod tests {
 
     #[test]
     fn exploration_ranks_the_space_and_best_beats_baseline() {
-        let models = characterize_kernels(
-            &CpuConfig::default(),
-            KernelVariant::Base,
-            8,
-            &quick_options(),
-        );
-        let result = explore_modexp(&models, 128, 4.0).unwrap();
+        let cfg = CpuConfig::default();
+        let ctx = FlowCtx::new(&cfg);
+        let models = ctx.characterize(8, &quick_options());
+        let result = ctx.explore(&models, 128, 4.0).unwrap();
         assert_eq!(result.evaluated, 450);
         let best = result.best();
         let baseline = result
@@ -843,7 +1727,8 @@ mod tests {
 
     #[test]
     fn ad_curves_are_monotone_in_resources() {
-        let curves = formulate_mpn_curves(&CpuConfig::default(), 32);
+        let cfg = CpuConfig::default();
+        let curves = FlowCtx::new(&cfg).curves(32);
         let addn = &curves[opname::ADD_N];
         assert_eq!(addn.len(), 5);
         let pts = addn.points();
@@ -857,7 +1742,8 @@ mod tests {
 
     #[test]
     fn selector_improves_with_budget() {
-        let sel = build_selector(&CpuConfig::default(), 32);
+        let cfg = CpuConfig::default();
+        let sel = FlowCtx::new(&cfg).selector(32);
         let root = sel.root_curve("decrypt").unwrap();
         assert!(root.len() >= 3);
         let no_hw = sel.select("decrypt", 0).unwrap().unwrap();
@@ -873,13 +1759,13 @@ mod tests {
         let kc = KCache::new();
         let p1 = Pool::new(1);
         let p4 = Pool::new(4);
+        let serial = FlowCtx::new(&cfg).with_pool(&p1);
+        let pooled = FlowCtx::new(&cfg).with_pool(&p4).with_cache(&kc);
 
         // Phase 1: serial/uncached vs pooled/cold-cache vs pooled/warm.
-        let a = characterize_kernels_pooled(&cfg, KernelVariant::Base, 8, &opts, None, &p1, None);
-        let b =
-            characterize_kernels_pooled(&cfg, KernelVariant::Base, 8, &opts, None, &p4, Some(&kc));
-        let c =
-            characterize_kernels_pooled(&cfg, KernelVariant::Base, 8, &opts, None, &p4, Some(&kc));
+        let a = serial.characterize(8, &opts);
+        let b = pooled.characterize(8, &opts);
+        let c = pooled.characterize(8, &opts);
         assert!(kc.hits() > 0, "second run must hit the memo cache");
         for op in opname::ALL {
             for n in [1u64, 4, 8] {
@@ -897,8 +1783,8 @@ mod tests {
         }
 
         // Phase 2: identical ranking for any thread count.
-        let ea = explore_modexp_pooled(&a, 128, 4.0, None, &p1).unwrap();
-        let eb = explore_modexp_pooled(&b, 128, 4.0, None, &p4).unwrap();
+        let ea = serial.explore(&a, 128, 4.0).unwrap();
+        let eb = pooled.explore(&b, 128, 4.0).unwrap();
         assert_eq!(ea.ranked.len(), eb.ranked.len());
         for (x, y) in ea.ranked.iter().zip(&eb.ranked) {
             assert_eq!(x.config, y.config);
@@ -906,10 +1792,10 @@ mod tests {
         }
 
         // Phase 3: identical curves, and the warm pass hits the cache.
-        let ca = formulate_mpn_curves_pooled(&cfg, 16, &p1, None);
+        let ca = serial.curves(16);
         let misses_before = kc.misses();
-        let cb = formulate_mpn_curves_pooled(&cfg, 16, &p4, Some(&kc));
-        let cc = formulate_mpn_curves_pooled(&cfg, 16, &p4, Some(&kc));
+        let cb = pooled.curves(16);
+        let cc = pooled.curves(16);
         assert_eq!(kc.misses(), misses_before + 9, "nine cold curve points");
         for (name, curve) in &ca {
             for (i, p) in curve.points().iter().enumerate() {
@@ -917,39 +1803,146 @@ mod tests {
                 assert_eq!(p.cycles, cc[name].points()[i].cycles, "{name}[{i}] warm");
             }
         }
+        // A fault-free flow records no degradations.
+        assert!(serial.degradations().is_empty());
+        assert!(pooled.degradations().is_empty());
     }
 
     #[test]
     fn cosimulation_agrees_with_models_roughly() {
-        let models = characterize_kernels(
-            &CpuConfig::default(),
-            KernelVariant::Base,
-            8,
-            &quick_options(),
-        );
+        let cpu = CpuConfig::default();
+        let ctx = FlowCtx::new(&cpu);
+        let models = ctx.characterize(8, &quick_options());
         let cfg = ModExpConfig::optimized();
-        let modeled = {
-            let mut ops = models.modeled_ops(4.0);
-            let mut cache = ExpCache::new();
-            let mut rng = StdRng::seed_from_u64(0xE4B0);
-            let mut m = Natural::random_bits(&mut rng, 128);
-            if m.is_even() {
-                m = &m + &Natural::one();
-            }
-            let base = Natural::random_below(&mut rng, &m);
-            let exp = Natural::random_bits(&mut rng, 128);
-            mod_exp(&mut ops, &base, &exp, &m, &cfg, &mut cache).unwrap();
-            MpnOps::<u32>::reset(&mut ops);
-            mod_exp(&mut ops, &base, &exp, &m, &cfg, &mut cache).unwrap();
-            MpnOps::<u32>::cycles(&ops)
-        };
-        let cosim =
-            cosimulate_candidate(&CpuConfig::default(), KernelVariant::Base, &cfg, 128, 4.0)
-                .unwrap();
+        let modeled = explore_single(&models, &cfg, 128, 4.0).unwrap();
+        let cosim = ctx.cosimulate(&models, &cfg, 128, 4.0).unwrap();
         let err = ((modeled - cosim) / cosim).abs() * 100.0;
         assert!(
             err < 30.0,
             "macro-model estimate {modeled:.0} vs co-sim {cosim:.0} ({err:.1}% off)"
+        );
+    }
+
+    #[test]
+    fn faulty_characterization_is_thread_count_invariant() {
+        let cfg = CpuConfig::default();
+        let opts = quick_options();
+        let plan = PlanSpec::all_sites(7, 200);
+        let run = |threads: usize| {
+            let pool = Pool::new(threads);
+            let ctx = FlowCtx::new(&cfg)
+                .with_pool(&pool)
+                .with_fault_policy(FaultPolicy::with_plan(plan));
+            let models = ctx.characterize(8, &opts);
+            (models, ctx.degradations())
+        };
+        let (ma, da) = run(1);
+        let (mb, db) = run(4);
+        assert_eq!(da, db, "degradation log must not depend on threads");
+        for op in opname::ALL {
+            for n in [1u64, 4, 8] {
+                assert_eq!(
+                    ma.models32[op].predict(&[n]),
+                    mb.models32[op].predict(&[n]),
+                    "{op} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn certain_faults_fall_back_fault_free_and_quarantine() {
+        let cfg = CpuConfig::default();
+        // Every data load flips a bit: every injected attempt diverges.
+        let plan = PlanSpec::new(3, 1_000_000, &[FaultSite::DataMem]);
+        let ctx = FlowCtx::new(&cfg).with_fault_policy(FaultPolicy::with_plan(plan));
+        let clean = FlowCtx::new(&cfg);
+
+        let c1 = ctx
+            .measure_kernel_cycles(KernelVariant::Base, kreg::id::ADD_N, 8, 7, 8)
+            .unwrap();
+        let reference = clean
+            .measure_kernel_cycles(KernelVariant::Base, kreg::id::ADD_N, 8, 7, 8)
+            .unwrap();
+        assert_eq!(c1, reference, "fallback measures without faults");
+        let degs = ctx.degradations();
+        assert_eq!(degs.len(), 1);
+        assert_eq!(degs[0].action, "fallback-fault-free");
+        assert_eq!(degs[0].attempts, xfault::DEFAULT_MAX_RETRIES + 1);
+        assert_eq!(
+            degs[0].retry_seeds.len(),
+            xfault::DEFAULT_MAX_RETRIES as usize
+        );
+
+        // A second failed unit crosses the quarantine threshold…
+        let c2 = ctx
+            .measure_kernel_cycles(KernelVariant::Base, kreg::id::ADD_N, 8, 7, 8)
+            .unwrap();
+        assert_eq!(c2, reference);
+        assert_eq!(ctx.quarantined(), vec![kreg::id::ADD_N.name().to_owned()]);
+        assert_eq!(ctx.degradations()[1].action, "quarantined-fallback");
+
+        // …after which the kernel is refused with a typed error.
+        let e = ctx
+            .measure_kernel_cycles(KernelVariant::Base, kreg::id::ADD_N, 8, 7, 8)
+            .unwrap_err();
+        assert!(matches!(e, KernelError::Quarantined { .. }), "{e}");
+        assert_eq!(ctx.degradations()[2].action, "quarantined");
+    }
+
+    #[test]
+    fn quarantined_kernels_degrade_to_macro_models() {
+        let cfg = CpuConfig::default();
+        let ctx = FlowCtx::new(&cfg);
+        let models = ctx.characterize(8, &quick_options());
+        ctx.quarantine(opname::ADDMUL_1);
+
+        // Co-simulation of a candidate degrades to the macro-model
+        // estimate instead of trusting a quarantined kernel's ISS.
+        let candidate = ModExpConfig::optimized();
+        let cosim = ctx.cosimulate(&models, &candidate, 128, 4.0).unwrap();
+        let modeled = explore_single(&models, &candidate, 128, 4.0).unwrap();
+        assert_eq!(cosim, modeled);
+        let degs = ctx.degradations();
+        assert_eq!(degs.last().unwrap().action, "fallback-macro-model");
+
+        // Validation (and with it fig4/fig5-style pipelines) still
+        // completes end to end.
+        let errs = ctx
+            .validate_models(&models, &[candidate], 128, 4.0)
+            .unwrap();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0], 0.0, "degraded cosim equals the model estimate");
+    }
+
+    #[test]
+    fn degradations_render_as_json() {
+        let d = Degradation {
+            phase: "measure",
+            unit: "mpn_add_n@base".to_owned(),
+            kernel: "mpn_add_n".to_owned(),
+            error: "diverged: \"x\"".to_owned(),
+            attempts: 3,
+            retry_seeds: vec![10, 20],
+            action: "fallback-fault-free",
+        };
+        let json = d.to_json();
+        assert!(json.contains("\"phase\":\"measure\""), "{json}");
+        assert!(json.contains("\"retry_seeds\":[10,20]"), "{json}");
+        assert!(json.contains("\\\"x\\\""), "escapes quotes: {json}");
+    }
+
+    /// The deprecated pre-`FlowCtx` shims must keep compiling and
+    /// keep returning the same results as the context methods.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let cfg = CpuConfig::default();
+        let graph = fig4_call_graph(&cfg, 8);
+        let ctx_graph = FlowCtx::new(&cfg).fig4_graph(8);
+        assert_eq!(
+            graph.local_cycles(kreg::id::ADD_N.name()),
+            ctx_graph.local_cycles(kreg::id::ADD_N.name())
         );
     }
 }

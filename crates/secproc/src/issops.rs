@@ -22,10 +22,11 @@ use kreg::{id, CallConv, KernelError, KernelId};
 use mpint::limb::Limb;
 use pubkey::ops::{opname, MpnOps};
 use std::collections::BTreeMap;
+use xfault::{FaultPlan, PlanSpec};
 use xobs::trace::TraceSink;
 use xr32::asm::{assemble, Program};
 use xr32::config::CpuConfig;
-use xr32::cpu::Cpu;
+use xr32::cpu::{Cpu, SimError};
 use xr32::ext::ExtensionSet;
 
 pub use kreg::KernelVariant;
@@ -134,6 +135,40 @@ impl IssMpn {
         self.verify = verify;
     }
 
+    /// Arms a deterministic fault-injection campaign on both radix
+    /// cores. `stream` distinguishes measurement units so concurrent
+    /// units draw independent decision sequences from the same campaign
+    /// seed (the 16-bit core gets a sibling stream).
+    pub fn set_fault_plan(&mut self, spec: PlanSpec, stream: u64) {
+        self.cpu32.set_fault_plan(spec.plan(stream.wrapping_mul(2)));
+        self.cpu16
+            .set_fault_plan(spec.plan(stream.wrapping_mul(2).wrapping_add(1)));
+    }
+
+    /// Disarms fault injection and returns the plans of the two radix
+    /// cores `(cpu32, cpu16)` with their fired-injection counters.
+    pub fn take_fault_plans(&mut self) -> (Option<FaultPlan>, Option<FaultPlan>) {
+        (self.cpu32.take_fault_plan(), self.cpu16.take_fault_plan())
+    }
+
+    /// Total faults injected so far across both cores' armed plans.
+    pub fn faults_fired(&self) -> u64 {
+        self.cpu32
+            .fault_plan()
+            .map_or(0, FaultPlan::total_fired)
+            .saturating_add(self.cpu16.fault_plan().map_or(0, FaultPlan::total_fired))
+    }
+
+    /// Bounds every kernel call to `budget` instructions: a corrupted
+    /// kernel that loops forever is stopped and recorded as a typed
+    /// [`KernelError::Timeout`] instead of hanging the measurement
+    /// pool. `u64::MAX` (the construction default) disarms the
+    /// watchdog.
+    pub fn set_cycle_budget(&mut self, budget: u64) {
+        self.cpu32.set_fuel(budget);
+        self.cpu16.set_fuel(budget);
+    }
+
     /// Sets the cycle cost charged per glue unit (algorithm-layer
     /// control overhead).
     pub fn set_glue_cost(&mut self, cost: f64) {
@@ -159,8 +194,12 @@ impl IssMpn {
     /// operands of `n` limbs (32-bit side) and returns the cycle count.
     /// Used by the characterization phase. Block-memory kernels (no
     /// register arguments) are measured by their own harnesses and
-    /// yield [`KernelError::Unsupported`] here.
+    /// yield [`KernelError::Unsupported`] here. Errors recorded
+    /// *during* the measured invocation (divergence in verify mode,
+    /// watchdog timeout, simulator fault) surface as `Err` so the flow
+    /// layer can retry or quarantine.
     pub fn measure32(&mut self, kernel: KernelId, n: usize, seed: u64) -> Result<f64, KernelError> {
+        let errors_before = self.errors.len();
         let mut x = seed;
         let mut next = move || {
             x = x
@@ -219,11 +258,15 @@ impl IssMpn {
                 })
             }
         }
+        if let Some(e) = self.errors.get(errors_before) {
+            return Err(e.clone());
+        }
         Ok(self.cycles - before)
     }
 
     /// 16-bit-radix counterpart of [`IssMpn::measure32`].
     pub fn measure16(&mut self, kernel: KernelId, n: usize, seed: u64) -> Result<f64, KernelError> {
+        let errors_before = self.errors.len();
         let mut x = seed;
         let mut next = move || {
             x = x
@@ -282,6 +325,9 @@ impl IssMpn {
                 })
             }
         }
+        if let Some(e) = self.errors.get(errors_before) {
+            return Err(e.clone());
+        }
         Ok(self.cycles - before)
     }
 
@@ -289,24 +335,55 @@ impl IssMpn {
         *self.counts.entry(name).or_insert(0) += 1;
     }
 
+    /// Records a simulator error as the matching typed kernel error.
+    /// The degraded in-band result is 0 — callers on the measurement
+    /// path must check [`IssMpn::kernel_errors`] (or use
+    /// [`IssMpn::measure32`]/[`IssMpn::measure16`], which surface newly
+    /// recorded errors as `Err`).
+    fn record_sim_error(&mut self, kernel: KernelId, e: SimError) {
+        self.errors.push(match e {
+            SimError::OutOfFuel { executed } => KernelError::Timeout { kernel, executed },
+            other => KernelError::Faulted {
+                kernel,
+                detail: other.to_string(),
+            },
+        });
+    }
+
     /// Runs a register-convention kernel on the 32-bit core and returns
-    /// `a0`. The entry label is the kernel's registered name.
+    /// `a0`. The entry label is the kernel's registered name. A
+    /// simulator fault or watchdog timeout is recorded as a typed error
+    /// and yields a degraded 0 result.
     fn call32(&mut self, kernel: KernelId, args: &[u32]) -> u32 {
-        let summary = self
+        match self
             .cpu32
             .call_traced(&self.prog32, kernel.name(), args, self.sink.as_deref_mut())
-            .unwrap_or_else(|e| panic!("kernel {kernel} faulted: {e}"));
-        self.cycles += summary.cycles as f64;
-        self.cpu32.reg(0)
+        {
+            Ok(summary) => {
+                self.cycles += summary.cycles as f64;
+                self.cpu32.reg(0)
+            }
+            Err(e) => {
+                self.record_sim_error(kernel, e);
+                0
+            }
+        }
     }
 
     fn call16(&mut self, kernel: KernelId, args: &[u32]) -> u32 {
-        let summary = self
+        match self
             .cpu16
             .call_traced(&self.prog16, kernel.name(), args, self.sink.as_deref_mut())
-            .unwrap_or_else(|e| panic!("kernel {kernel} faulted: {e}"));
-        self.cycles += summary.cycles as f64;
-        self.cpu16.reg(0)
+        {
+            Ok(summary) => {
+                self.cycles += summary.cycles as f64;
+                self.cpu16.reg(0)
+            }
+            Err(e) => {
+                self.record_sim_error(kernel, e);
+                0
+            }
+        }
     }
 }
 
@@ -780,5 +857,58 @@ mod tests {
         iss.set_glue_cost(3.0);
         MpnOps::<u32>::glue(&mut iss, 5);
         assert_eq!(MpnOps::<u32>::cycles(&iss), 15.0);
+    }
+
+    #[test]
+    fn injected_data_faults_surface_as_typed_divergences() {
+        // A certain-fire data-fault campaign corrupts every load, so a
+        // verified measurement must report a divergence instead of
+        // silently returning corrupted cycles.
+        let mut iss = IssMpn::base(CpuConfig::default());
+        iss.set_fault_plan(
+            PlanSpec::new(7, 1_000_000, &[xfault::FaultSite::DataMem]),
+            0,
+        );
+        let err = iss.measure32(id::ADD_N, 8, 1).unwrap_err();
+        assert!(
+            matches!(err, KernelError::Divergence { kernel, .. } if kernel == id::ADD_N),
+            "got {err}"
+        );
+        assert!(!iss.kernel_errors().is_empty());
+        let (p32, _) = iss.take_fault_plans();
+        assert!(p32.unwrap().total_fired() > 0);
+    }
+
+    #[test]
+    fn cycle_budget_turns_runaway_kernels_into_timeouts() {
+        let mut iss = IssMpn::base(CpuConfig::default());
+        // A budget far below any real kernel invocation: the watchdog
+        // must fire and the measurement must report a typed timeout.
+        iss.set_cycle_budget(4);
+        let err = iss.measure32(id::ADDMUL_1, 32, 1).unwrap_err();
+        assert!(
+            matches!(err, KernelError::Timeout { kernel, .. } if kernel == id::ADDMUL_1),
+            "got {err}"
+        );
+        // Disarming the watchdog restores normal measurement.
+        iss.take_kernel_errors();
+        iss.set_cycle_budget(u64::MAX);
+        assert!(iss.measure32(id::ADDMUL_1, 32, 1).is_ok());
+    }
+
+    #[test]
+    fn same_campaign_seed_and_stream_reproduce_identical_errors() {
+        let run = || {
+            let mut iss = IssMpn::base(CpuConfig::default());
+            iss.set_fault_plan(PlanSpec::all_sites(0xFEED, 200_000), 3);
+            let r = iss.measure32(id::MUL_1, 8, 5);
+            let errs: Vec<String> = iss
+                .take_kernel_errors()
+                .into_iter()
+                .map(|e| e.to_string())
+                .collect();
+            (r.map_err(|e| e.to_string()), errs)
+        };
+        assert_eq!(run(), run());
     }
 }

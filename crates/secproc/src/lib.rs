@@ -52,5 +52,6 @@ pub mod platform;
 pub mod simcipher;
 pub mod ssl;
 
+pub use flow::{Degradation, FlowCtx};
 pub use issops::IssMpn;
 pub use platform::{Algorithm, PlatformKind, SecurityProcessor};

@@ -12,11 +12,9 @@ use pubkey::rsa::KeyPair;
 use pubkey::space::ModExpConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use secproc::flow::{
-    characterize_kernels_metered, explore_modexp_metered, validate_models_metered,
-};
 use secproc::issops::{IssMpn, KernelVariant};
 use secproc::simcipher::{SimDes, Variant};
+use secproc::FlowCtx;
 use xobs::trace::Shared;
 use xobs::{Attribution, Registry};
 use xr32::config::CpuConfig;
@@ -110,26 +108,19 @@ fn metered_flow_publishes_phase_metrics() {
         train_samples: 12,
         validation_points: 5,
     };
-    let models = characterize_kernels_metered(
-        &CpuConfig::default(),
-        KernelVariant::Base,
-        8,
-        &options,
-        Some(&reg),
-    );
-    let result = explore_modexp_metered(&models, 128, 4.0, Some(&reg)).expect("space explores");
+    let config = CpuConfig::default();
+    let ctx = FlowCtx::new(&config).with_metrics(&reg);
+    let models = ctx.characterize(8, &options);
+    let result = ctx.explore(&models, 128, 4.0).expect("space explores");
     assert_eq!(result.evaluated, 450);
-    let errors = validate_models_metered(
-        &models,
-        &CpuConfig::default(),
-        KernelVariant::Base,
-        &[ModExpConfig::optimized()],
-        128,
-        4.0,
-        Some(&reg),
-    )
-    .expect("validation runs");
+    let errors = ctx
+        .validate_models(&models, &[ModExpConfig::optimized()], 128, 4.0)
+        .expect("validation runs");
     assert_eq!(errors.len(), 1);
+    assert!(
+        ctx.degradations().is_empty(),
+        "fault-free run degrades nothing"
+    );
 
     let snap = reg.snapshot();
     // Phase 1: every registered kernel at every supported radix (8 mpn

@@ -14,15 +14,21 @@
 //!
 //! Schema 2 adds the optional wall-clock envelope fields `wall_ms`,
 //! `threads`, and `memo_hit_rate` (the parallel-execution trajectory).
-//! Version-1 reports remain valid; [`validate`] accepts both, and
-//! [`normalize`] strips everything host-timing-dependent so two runs of
-//! the same workload can be compared byte-for-byte.
+//! Schema 3 adds the optional resilience arrays `degradations` (the
+//! flow's recorded recovery events: retries, fault-free fallbacks,
+//! quarantines, model-estimate substitutions) and `fault_campaign`
+//! (per-unit outcomes of an `xr32-fault` injection sweep). Both are
+//! omitted from a healthy run. Version-1 and -2 reports remain valid;
+//! [`validate`] accepts all three, and [`normalize`] strips everything
+//! host-timing-dependent so two runs of the same workload can be
+//! compared byte-for-byte (the resilience arrays are seed-determined
+//! workload facts and survive normalization).
 
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 
 /// Current report schema version.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Oldest schema version [`validate`] still accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -38,6 +44,8 @@ pub struct RunReport {
     threads: Option<usize>,
     memo_hit_rate: Option<f64>,
     kernel_errors: Vec<String>,
+    degradations: Vec<Json>,
+    fault_campaign: Vec<Json>,
 }
 
 impl RunReport {
@@ -52,6 +60,8 @@ impl RunReport {
             threads: None,
             memo_hit_rate: None,
             kernel_errors: Vec::new(),
+            degradations: Vec::new(),
+            fault_campaign: Vec::new(),
         }
     }
 
@@ -108,6 +118,36 @@ impl RunReport {
         self
     }
 
+    /// Records the flow's resilience events (retries, fault-free
+    /// fallbacks, quarantine substitutions). Each entry is a rendered
+    /// JSON object, as produced by the flow's degradation log; entries
+    /// that fail to parse are kept as JSON strings rather than dropped.
+    /// Serialized as the `degradations` array when non-empty; a run
+    /// that degraded nothing omits the field (schema 3).
+    pub fn with_degradations<I, S>(mut self, events: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.degradations.extend(
+            events
+                .into_iter()
+                .map(|e| crate::json::parse(e.as_ref()).unwrap_or_else(|_| Json::from(e.as_ref()))),
+        );
+        self
+    }
+
+    /// Records the per-unit outcomes of a fault-injection campaign
+    /// (one JSON object per seed x site x kernel unit). Serialized as
+    /// the `fault_campaign` array when non-empty (schema 3).
+    pub fn with_fault_campaign<I>(mut self, units: I) -> Self
+    where
+        I: IntoIterator<Item = Json>,
+    {
+        self.fault_campaign.extend(units);
+        self
+    }
+
     /// Serializes the report envelope.
     pub fn to_json(&self) -> Json {
         let mut obj = Json::obj()
@@ -135,6 +175,12 @@ impl RunReport {
                         .collect(),
                 ),
             );
+        }
+        if !self.degradations.is_empty() {
+            obj = obj.set("degradations", Json::Arr(self.degradations.clone()));
+        }
+        if !self.fault_campaign.is_empty() {
+            obj = obj.set("fault_campaign", Json::Arr(self.fault_campaign.clone()));
         }
         obj = obj.set("results", self.results.clone());
         if let Some(m) = &self.metrics {
@@ -192,6 +238,19 @@ pub fn validate(json: &Json) -> Result<(), String> {
         let arr = errors.as_arr().ok_or("kernel_errors must be an array")?;
         if arr.iter().any(|e| e.as_str().is_none()) {
             return Err("kernel_errors entries must be strings".into());
+        }
+    }
+    for key in ["degradations", "fault_campaign"] {
+        if let Some(events) = json.get(key) {
+            let arr = events
+                .as_arr()
+                .ok_or_else(|| format!("{key} must be an array"))?;
+            if arr
+                .iter()
+                .any(|e| !matches!(e, Json::Obj(_)) && e.as_str().is_none())
+            {
+                return Err(format!("{key} entries must be objects"));
+            }
         }
     }
     Ok(())
@@ -311,6 +370,48 @@ mod tests {
             parsed.get("memo_hit_rate").and_then(Json::as_f64),
             Some(0.75)
         );
+    }
+
+    #[test]
+    fn degradations_and_fault_campaign_serialize_and_validate() {
+        let healthy = RunReport::new("r").with_degradations(Vec::<String>::new());
+        assert!(healthy.to_json().get("degradations").is_none());
+        assert!(healthy.to_json().get("fault_campaign").is_none());
+
+        let report = RunReport::new("r")
+            .with_degradations([
+                r#"{"phase":"curves","kernel":"mpn_add_n","action":"fallback-fault-free"}"#,
+            ])
+            .with_fault_campaign([Json::obj()
+                .set("seed", 7u64)
+                .set("site", "data_mem")
+                .set("outcome", "detected")]);
+        let parsed = json::parse(&report.render()).unwrap();
+        validate(&parsed).unwrap();
+        let degr = parsed.get("degradations").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            degr[0].get("kernel").and_then(Json::as_str),
+            Some("mpn_add_n")
+        );
+        let camp = parsed.get("fault_campaign").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            camp[0].get("outcome").and_then(Json::as_str),
+            Some("detected")
+        );
+
+        let bad = json::parse(r#"{"schema_version":3,"report":"r","results":{},"degradations":7}"#)
+            .unwrap();
+        assert!(validate(&bad).unwrap_err().contains("degradations"));
+        // Resilience events are seed-determined workload facts: keep them.
+        assert!(normalize(&parsed).get("degradations").is_some());
+        assert!(normalize(&parsed).get("fault_campaign").is_some());
+    }
+
+    #[test]
+    fn validate_accepts_version_2_reports() {
+        let j =
+            json::parse(r#"{"schema_version":2,"report":"x","results":{},"wall_ms":1.0}"#).unwrap();
+        validate(&j).unwrap();
     }
 
     #[test]

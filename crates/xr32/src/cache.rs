@@ -160,6 +160,25 @@ impl Cache {
         false
     }
 
+    /// Invalidates the line holding `addr`, if resident, and returns
+    /// whether a line was dropped. Models a corrupted tag: the next
+    /// access to the address misses and refills. Statistics are not
+    /// touched — this is a state change, not an access.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let line_addr = addr / self.config.line_bytes as u64;
+        let set = (line_addr % self.sets as u64) as usize;
+        let tag = line_addr / self.sets as u64;
+        let base = set * self.config.ways;
+        for i in 0..self.config.ways {
+            let line = &mut self.lines[base + i];
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Performs one access like [`Cache::access`], charging
     /// `miss_latency` extra cycles on a miss and emitting a
     /// [`TraceEvent::Cache`] stamped with the post-access cycle counter.
@@ -282,5 +301,17 @@ mod tests {
     #[test]
     fn hit_rate_of_fresh_cache_is_one() {
         assert_eq!(tiny().stats().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn invalidate_forces_next_access_to_miss() {
+        let mut c = tiny();
+        c.access(0x100);
+        assert!(c.access(0x100), "resident line hits");
+        assert!(c.invalidate(0x100), "line was resident");
+        assert!(!c.invalidate(0x100), "already gone");
+        assert!(!c.access(0x100), "corrupted tag forces a refill");
+        // Invalidation itself never counts as an access.
+        assert_eq!(c.stats().accesses(), 3);
     }
 }

@@ -23,8 +23,8 @@ use crate::config::CpuConfig;
 use crate::ext::{CustomInsnError, ExecCtx, ExtensionSet, UserRegFile};
 use crate::isa::{Insn, Reg};
 use crate::mem::{AccessError, Memory};
-use crate::profile::{Profile, Profiler};
 use std::fmt;
+use xfault::FaultPlan;
 use xobs::trace::{CacheSide, TraceEvent, TraceSink};
 
 /// PC value that terminates a [`Cpu::call`]-style run when returned to.
@@ -131,8 +131,6 @@ pub struct RunSummary {
     pub icache: CacheStats,
     /// Data-cache statistics.
     pub dcache: CacheStats,
-    /// Per-function profile and call graph.
-    pub profile: Profile,
 }
 
 impl RunSummary {
@@ -159,6 +157,7 @@ pub struct Cpu {
     cycles: u64,
     reg_ready: [u64; 16],
     fuel: u64,
+    fault: Option<FaultPlan>,
 }
 
 impl fmt::Debug for Cpu {
@@ -222,6 +221,7 @@ impl Cpu {
             cycles: 0,
             reg_ready: [0; 16],
             fuel: 200_000_000,
+            fault: None,
             config,
         }
     }
@@ -278,6 +278,26 @@ impl Cpu {
     /// failing with [`SimError::OutOfFuel`].
     pub fn set_fuel(&mut self, fuel: u64) {
         self.fuel = fuel;
+    }
+
+    /// Arms a fault-injection plan: subsequent runs consult it at the
+    /// data-memory, register-file, cache-tag and custom-instruction
+    /// hook points. With no plan armed (the default), those hook points
+    /// cost one `Option` test and execution is bit-identical to a core
+    /// without the feature.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Disarms and returns the current fault plan (with its per-site
+    /// fired-injection counters), if any.
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault.take()
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// Clears cycles, caches, registers and the carry flag (memory is
@@ -407,7 +427,6 @@ impl Cpu {
         let start_cycles = self.cycles;
         let icache_before = self.icache.stats();
         let dcache_before = self.dcache.stats();
-        let mut profiler = Profiler::new(entry_name);
         let mut executed: u64 = 0;
         let mut classes = ClassCounts::default();
         let mut pc = entry;
@@ -555,6 +574,11 @@ impl Cpu {
                 Insn::Mov(d, a) => self.regs[d.index()] = rd!(a),
                 Insn::Lw(d, base, off) | Insn::Lbu(d, base, off) | Insn::Lhu(d, base, off) => {
                     let addr = rd!(base).wrapping_add(*off as u32);
+                    if let Some(f) = self.fault.as_mut() {
+                        if f.cache_tag() {
+                            self.dcache.invalidate(addr as u64);
+                        }
+                    }
                     cache_access(
                         &mut self.dcache,
                         addr as u64,
@@ -569,12 +593,21 @@ impl Cpu {
                         _ => self.mem.load_u16(addr).map(u32::from),
                     }
                     .map_err(|source| SimError::Mem { pc, source })?;
+                    let v = match self.fault.as_mut() {
+                        Some(f) => f.data(v),
+                        None => v,
+                    };
                     self.regs[d.index()] = v;
                     // Load-use delay: result arrives one cycle late.
                     self.reg_ready[d.index()] = self.cycles + 1;
                 }
                 Insn::Sw(v, base, off) | Insn::Sb(v, base, off) | Insn::Sh(v, base, off) => {
                     let addr = rd!(base).wrapping_add(*off as u32);
+                    if let Some(f) = self.fault.as_mut() {
+                        if f.cache_tag() {
+                            self.dcache.invalidate(addr as u64);
+                        }
+                    }
                     cache_access(
                         &mut self.dcache,
                         addr as u64,
@@ -634,7 +667,6 @@ impl Cpu {
                 Insn::Call(t) => {
                     self.regs[Reg::RA.index()] = (pc + 1) as u32;
                     let callee = program.label_at(*t).unwrap_or("<anon>");
-                    profiler.on_call(callee, self.cycles);
                     if let Some(s) = sink.as_deref_mut() {
                         s.on_event(&TraceEvent::Call {
                             pc: pc as u32,
@@ -677,6 +709,15 @@ impl Cpu {
                     };
                     exec(&mut ctx, op).map_err(|source| SimError::Custom { pc, source })?;
                     self.cycles += latency.saturating_sub(1) as u64;
+                    if let Some(f) = self.fault.as_mut() {
+                        if let Some(mask) = f.custom_result() {
+                            // Stuck-at-one fault on one line of the
+                            // result bus (destination register).
+                            if let Some(d) = op.regs.first() {
+                                self.regs[d.index()] |= mask;
+                            }
+                        }
+                    }
                     if let Some(s) = sink.as_deref_mut() {
                         s.on_event(&TraceEvent::Custom {
                             pc: pc as u32,
@@ -699,8 +740,12 @@ impl Cpu {
                     });
                 }
             }
-            if returned {
-                profiler.on_ret(self.cycles);
+            if let Some(f) = self.fault.as_mut() {
+                // One register-file upset opportunity per retired
+                // instruction.
+                if let Some((r, mask)) = f.regfile(self.regs.len()) {
+                    self.regs[r] ^= mask;
+                }
             }
             if let Some(s) = sink.as_deref_mut() {
                 if returned && trace_depth > 0 {
@@ -740,11 +785,9 @@ impl Cpu {
             dcache_before,
             executed,
             classes,
-            profiler,
         ))
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn summarize(
         &self,
         start_cycles: u64,
@@ -752,7 +795,6 @@ impl Cpu {
         dcache_before: CacheStats,
         executed: u64,
         classes: ClassCounts,
-        profiler: Profiler,
     ) -> RunSummary {
         let cycles = self.cycles - start_cycles;
         let ic = self.icache.stats();
@@ -769,7 +811,6 @@ impl Cpu {
                 hits: dc.hits - dcache_before.hits,
                 misses: dc.misses - dcache_before.misses,
             },
-            profile: profiler.finish(cycles),
         }
     }
 }
@@ -873,10 +914,13 @@ mod tests {
         )
         .unwrap();
         let mut c = cpu();
-        let s = c.run(&p).unwrap();
-        assert_eq!(s.profile.edge("main", "outer"), 1);
-        assert_eq!(s.profile.edge("outer", "inner"), 2);
-        assert_eq!(s.profile.function("inner").unwrap().calls, 2);
+        let mut attr = xobs::Attribution::new();
+        let s = c.run_traced(&p, Some(&mut attr)).unwrap();
+        let flat = attr.flat();
+        let find = |name: &str| flat.iter().find(|e| e.name == name).unwrap();
+        assert_eq!(find("outer").calls, 1);
+        assert_eq!(find("inner").calls, 2);
+        assert_eq!(attr.total_cycles(), s.cycles);
     }
 
     #[test]
@@ -1079,27 +1123,35 @@ mod tests {
     }
 
     #[test]
-    fn attribution_matches_profiler_on_nested_calls() {
+    fn attribution_accounts_every_cycle_of_nested_calls() {
         let p = nested_program();
         let mut c = cpu();
         let mut attr = xobs::Attribution::new();
         let s = c.run_traced(&p, Some(&mut attr)).unwrap();
         assert_eq!(attr.total_cycles(), s.cycles);
         let flat = attr.flat();
-        for name in ["outer", "inner"] {
-            let prof = s.profile.function(name).unwrap();
-            let traced = flat.iter().find(|e| e.name == name).unwrap();
-            assert_eq!(traced.calls, prof.calls, "{name} calls");
-            assert_eq!(traced.inclusive, prof.total_cycles, "{name} inclusive");
-            assert_eq!(traced.exclusive, prof.self_cycles, "{name} exclusive");
-        }
+        let outer = flat.iter().find(|e| e.name == "outer").unwrap();
+        let inner = flat.iter().find(|e| e.name == "inner").unwrap();
+        assert_eq!(outer.calls, 2, "main calls outer twice");
+        assert_eq!(inner.calls, 2, "each outer calls inner once");
+        assert!(
+            inner.inclusive < outer.inclusive,
+            "callee inclusive ({}) must nest inside caller inclusive ({})",
+            inner.inclusive,
+            outer.inclusive
+        );
+        let exclusive_sum: u64 = flat.iter().map(|e| e.exclusive).sum();
+        assert_eq!(
+            exclusive_sum, s.cycles,
+            "exclusive cycles partition the run"
+        );
     }
 
     #[test]
-    fn recursion_profile_agrees_with_attribution() {
+    fn recursion_attribution_counts_topmost_only() {
         // count(n): if n == 0 return else count(n - 1). Pins the
-        // profiler's topmost-only recursion fix against the
-        // reconstruction from raw call/ret events.
+        // topmost-only recursion accounting over raw call/ret events:
+        // inclusive cycles must not double-count nested activations.
         let p = assemble(
             "main:
                 movi a0, 5
@@ -1121,19 +1173,114 @@ mod tests {
         let mut c = cpu();
         let mut attr = xobs::Attribution::new();
         let s = c.run_traced(&p, Some(&mut attr)).unwrap();
-        let prof = s.profile.function("count").unwrap();
         let traced = attr.flat().into_iter().find(|e| e.name == "count").unwrap();
-        assert_eq!(prof.calls, 6);
         assert_eq!(traced.calls, 6);
-        assert_eq!(prof.total_cycles, traced.inclusive);
-        assert_eq!(prof.self_cycles, traced.exclusive);
         assert!(
-            prof.total_cycles <= s.cycles,
+            traced.inclusive <= s.cycles,
             "inclusive {} must not exceed run total {}",
-            prof.total_cycles,
+            traced.inclusive,
             s.cycles
         );
+        assert!(traced.exclusive <= traced.inclusive);
         assert_eq!(attr.total_cycles(), s.cycles);
+    }
+
+    #[test]
+    fn fault_plan_with_zero_rate_is_bit_identical_to_no_plan() {
+        let p = nested_program();
+        let mut plain = cpu();
+        let s_plain = plain.run(&p).unwrap();
+        let mut faulted = cpu();
+        faulted.set_fault_plan(xfault::PlanSpec::all_sites(1, 0).plan(0));
+        let s_faulted = faulted.run(&p).unwrap();
+        assert_eq!(s_plain.cycles, s_faulted.cycles);
+        assert_eq!(s_plain.instructions, s_faulted.instructions);
+        for i in 0..16 {
+            assert_eq!(plain.reg(i), faulted.reg(i), "register a{i} diverged");
+        }
+        assert_eq!(faulted.take_fault_plan().unwrap().total_fired(), 0);
+    }
+
+    #[test]
+    fn data_fault_flips_a_loaded_bit() {
+        let p = assemble("movi a0, 0x100\n lw a1, a0, 0\n halt").unwrap();
+        let mut c = cpu();
+        c.mem_mut().write_words(0x100, &[42]).unwrap();
+        let spec = xfault::PlanSpec::new(7, 1_000_000, &[xfault::FaultSite::DataMem]);
+        c.set_fault_plan(spec.plan(0));
+        c.run(&p).unwrap();
+        let got = c.reg(1);
+        assert_ne!(got, 42, "a certain data fault must corrupt the load");
+        assert_eq!((got ^ 42).count_ones(), 1, "exactly one bit flips");
+        assert_eq!(
+            c.take_fault_plan()
+                .unwrap()
+                .fired(xfault::FaultSite::DataMem),
+            1
+        );
+    }
+
+    #[test]
+    fn same_fault_seed_reproduces_the_same_corruption() {
+        let p = assemble("movi a0, 0x100\n lw a1, a0, 0\n lw a2, a0, 4\n halt").unwrap();
+        let spec = xfault::PlanSpec::new(99, 400_000, &[xfault::FaultSite::DataMem]);
+        let run = |stream: u64| {
+            let mut c = cpu();
+            c.mem_mut().write_words(0x100, &[1111, 2222]).unwrap();
+            c.set_fault_plan(spec.plan(stream));
+            c.run(&p).unwrap();
+            (c.reg(1), c.reg(2))
+        };
+        assert_eq!(run(5), run(5), "same seed+stream, same corruption");
+    }
+
+    #[test]
+    fn cache_tag_fault_perturbs_timing_not_results() {
+        let p = assemble(
+            "movi a0, 0x100
+             lw a1, a0, 0
+             lw a2, a0, 0
+             lw a3, a0, 0
+             add a4, a1, a2
+             add a4, a4, a3
+             halt",
+        )
+        .unwrap();
+        let mut plain = cpu();
+        plain.mem_mut().write_words(0x100, &[5]).unwrap();
+        let s_plain = plain.run(&p).unwrap();
+        let mut faulted = cpu();
+        faulted.mem_mut().write_words(0x100, &[5]).unwrap();
+        faulted.set_fault_plan(
+            xfault::PlanSpec::new(3, 1_000_000, &[xfault::FaultSite::CacheTag]).plan(0),
+        );
+        let s_faulted = faulted.run(&p).unwrap();
+        assert_eq!(
+            plain.reg(4),
+            faulted.reg(4),
+            "tag corruption is benign to data"
+        );
+        assert!(
+            s_faulted.dcache.misses > s_plain.dcache.misses,
+            "every corrupted tag forces a refill"
+        );
+        assert!(s_faulted.cycles > s_plain.cycles, "misses cost latency");
+    }
+
+    #[test]
+    fn custom_result_fault_sticks_a_bit() {
+        let mut ext = ExtensionSet::new();
+        ext.register(CustomInsnDef::new("zero", 1, 10, |ctx, op| {
+            ctx.regs[op.regs[0].index()] = 0;
+            Ok(())
+        }));
+        let p = assemble("cust zero a3\n halt").unwrap();
+        let mut c = Cpu::with_extensions(CpuConfig::default(), ext);
+        c.set_fault_plan(
+            xfault::PlanSpec::new(11, 1_000_000, &[xfault::FaultSite::CustomResult]).plan(0),
+        );
+        c.run(&p).unwrap();
+        assert_eq!(c.reg(3).count_ones(), 1, "stuck-at-one on one result line");
     }
 
     #[test]

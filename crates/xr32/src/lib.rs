@@ -15,9 +15,15 @@
 //!   instructions with semantics, latency, and a structural gate-count
 //!   area model, plus wide *user registers* and custom load/stores — see
 //!   [`ext`] and [`area`];
-//! - **per-function profiling** that produces the annotated call graphs
-//!   the paper's global custom-instruction selection consumes — see
-//!   [`profile`].
+//! - **fault injection hooks** for deterministic, seed-reproducible
+//!   resilience campaigns (bit-flips in loads and registers, cache-tag
+//!   corruption, stuck-at custom-instruction results) — see
+//!   [`Cpu::set_fault_plan`](cpu::Cpu::set_fault_plan) and the `xfault`
+//!   crate;
+//! - **call-tree cycle attribution** producing the annotated call graphs
+//!   the paper's global custom-instruction selection consumes — attach an
+//!   `xobs::Attribution` sink to any traced run (the legacy [`profile`]
+//!   module is deprecated in its favor).
 //!
 //! # Examples
 //!

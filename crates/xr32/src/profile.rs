@@ -1,4 +1,13 @@
-//! Per-function cycle profiling and call-graph extraction.
+//! Per-function cycle profiling and call-graph extraction (deprecated).
+//!
+//! **Deprecated:** superseded by `xobs::Attribution`, which reconstructs
+//! the same per-function inclusive/exclusive cycles and call counts from
+//! the trace-event stream of any [`crate::Cpu`] traced run — exactly
+//! (root inclusive equals total ISS cycles) and without this module's
+//! historical recursion double-count hazard. Attach an attribution sink
+//! via `run_traced`/`call_traced` instead of reading a profile off the
+//! run summary. This module remains only for external code still driving
+//! a [`Profiler`] by hand and will be removed in a future release.
 //!
 //! The paper's custom-instruction formulation phase "profiles the routine
 //! using traces derived from simulation of the entire algorithm" and its
@@ -7,9 +16,16 @@
 //! runs: `call`/`ret` instructions open and close frames, and cycles are
 //! attributed to the innermost active function.
 
+#![allow(deprecated)] // the module implements and tests its own deprecated API
+
 use std::collections::BTreeMap;
 
 /// Statistics for one function observed during a run.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by xobs::Attribution: attach an attribution sink to a traced run \
+            for exact call-tree cycle accounting (no recursion double-count)"
+)]
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FunctionStats {
     /// Number of completed invocations.
@@ -26,6 +42,11 @@ pub struct FunctionStats {
 }
 
 /// A profile: per-function statistics plus the annotated call graph.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by xobs::Attribution: attach an attribution sink to a traced run \
+            for exact call-tree cycle accounting (no recursion double-count)"
+)]
 #[derive(Debug, Clone, Default)]
 pub struct Profile {
     functions: BTreeMap<String, FunctionStats>,
@@ -76,6 +97,11 @@ struct Frame {
 
 /// Builds a [`Profile`] from call/return events emitted by the
 /// simulator.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by xobs::Attribution: attach an attribution sink to a traced run \
+            for exact call-tree cycle accounting (no recursion double-count)"
+)]
 #[derive(Debug, Clone)]
 pub struct Profiler {
     stack: Vec<Frame>,

@@ -8,15 +8,16 @@
 //!
 //! Run with: `cargo run --release --example custom_instruction_selection`
 
-use wsp::secproc::flow;
+use wsp::secproc::FlowCtx;
 use wsp::xr32::config::CpuConfig;
 
 fn main() {
     let config = CpuConfig::default();
+    let ctx = FlowCtx::new(&config);
     let limbs = 32; // 1024-bit operands
 
     println!("phase 3: formulating A-D curves on the ISS ({limbs}-limb operands)\n");
-    let curves = flow::formulate_mpn_curves(&config, limbs);
+    let curves = ctx.curves(limbs);
     for (name, curve) in &curves {
         println!("{name}:");
         print!("{}", curve.render());
@@ -24,7 +25,7 @@ fn main() {
     }
 
     println!("phase 4: global selection over the modular-exponentiation call graph\n");
-    let sel = flow::build_selector(&config, limbs);
+    let sel = ctx.selector(limbs);
     let root = sel
         .root_curve("decrypt")
         .expect("the example graph is a DAG");

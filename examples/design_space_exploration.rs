@@ -9,8 +9,7 @@
 
 use wsp::macromodel::charact::CharactOptions;
 use wsp::pubkey::space::ModExpConfig;
-use wsp::secproc::flow;
-use wsp::secproc::issops::KernelVariant;
+use wsp::secproc::FlowCtx;
 use wsp::xr32::config::CpuConfig;
 
 fn main() {
@@ -25,9 +24,8 @@ fn main() {
         "characterizing kernels on the XR32 ISS (operands up to {} limbs)...",
         bits / 32
     );
-    let models = flow::characterize_kernels(
-        &config,
-        KernelVariant::Base,
+    let ctx = FlowCtx::new(&config);
+    let models = ctx.characterize(
         (bits / 32).max(8),
         &CharactOptions {
             train_samples: 24,
@@ -49,7 +47,9 @@ fn main() {
     println!(
         "\nexploring 5 mul-algos x 5 windows x 3 CRT x 2 radices x 3 caches = 450 candidates..."
     );
-    let result = flow::explore_modexp(&models, bits, 4.0).expect("the whole lattice runs");
+    let result = ctx
+        .explore(&models, bits, 4.0)
+        .expect("the whole lattice runs");
     println!(
         "evaluated {} candidates in {:.2?}\n",
         result.evaluated, result.elapsed

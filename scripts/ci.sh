@@ -82,3 +82,35 @@ target/release/kreg-audit --dump "$KREG" >"$KREG/units.txt"
 # shellcheck disable=SC2046
 target/release/xr32-lint $(cat "$KREG/units.txt")
 echo "ci: kernel registry audit + lint gate ok ($(wc -l <"$KREG/units.txt") units)"
+
+# Deprecation gate: everything in the workspace (bins, benches, tests,
+# examples) must build off the deprecated shims; the shims themselves
+# must still compile for downstream users.
+RUSTFLAGS="-D deprecated" cargo check -q --workspace --all-targets
+echo "ci: deprecation gate ok (no in-tree shim users)"
+
+# Fault-smoke gate: a fixed-seed injection campaign must (a) satisfy its
+# own detection/recovery contract (non-zero exit otherwise), and (b)
+# produce byte-identical reports at 1 and 8 worker threads — fault
+# streams are keyed by unit submission index, never by scheduling.
+FAULT=$(mktemp -d /tmp/ci_fault.XXXXXX)
+trap 'rm -f "$TRACE"; rm -rf "$DET" "$KREG" "$FAULT"' EXIT
+WSP_THREADS=1 target/release/xr32-fault --json 4 2000 16 \
+  | target/release/xr32-trace normalize-report - >"$FAULT/t1.json"
+WSP_THREADS=8 target/release/xr32-fault --json 4 2000 16 \
+  | target/release/xr32-trace normalize-report - >"$FAULT/t8.json"
+if ! diff -u "$FAULT/t1.json" "$FAULT/t8.json"; then
+  echo "ci: xr32-fault campaign differs between WSP_THREADS=1 and 8" >&2
+  exit 1
+fi
+target/release/xr32-trace check-report - <"$FAULT/t1.json"
+# Resilient flow: fig8 under an aggressive data-memory campaign must
+# still complete and must report what it degraded.
+DEGRADED=$(WSP_FAULTS="seed=5,rate=300000,sites=data" WSP_THREADS=4 \
+  target/release/fig8_ssl --json 256)
+target/release/xr32-trace check-report - <<<"$DEGRADED"
+if ! grep -q '"degradations"' <<<"$DEGRADED"; then
+  echo "ci: faulted fig8_ssl run reported no degradations" >&2
+  exit 1
+fi
+echo "ci: fault smoke ok (campaign deterministic, fig8 degrades gracefully)"

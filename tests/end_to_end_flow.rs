@@ -9,7 +9,7 @@ use wsp::pubkey::modexp::{mod_exp, ExpCache};
 use wsp::pubkey::ops::NativeMpn;
 use wsp::pubkey::space::{CacheMode, ModExpConfig, MulAlgo};
 use wsp::secproc::flow;
-use wsp::secproc::issops::KernelVariant;
+use wsp::secproc::FlowCtx;
 use wsp::xr32::config::CpuConfig;
 
 fn quick_options() -> CharactOptions {
@@ -24,7 +24,8 @@ fn methodology_end_to_end() {
     let config = CpuConfig::default();
 
     // Phase 1: characterization.
-    let models = flow::characterize_kernels(&config, KernelVariant::Base, 8, &quick_options());
+    let ctx = FlowCtx::new(&config);
+    let models = ctx.characterize(8, &quick_options());
     assert!(
         models.mean_abs_error_pct() < 20.0,
         "macro-models should be accurate: {:.1}%",
@@ -32,7 +33,7 @@ fn methodology_end_to_end() {
     );
 
     // Phase 2: exploration of the full 450-candidate lattice.
-    let exploration = flow::explore_modexp(&models, 128, 4.0).expect("lattice runs");
+    let exploration = ctx.explore(&models, 128, 4.0).expect("lattice runs");
     assert_eq!(exploration.evaluated, 450);
     let best = exploration.best().clone();
     assert_ne!(
@@ -52,7 +53,7 @@ fn methodology_end_to_end() {
     assert_eq!(got, b.pow_mod(&e, &m));
 
     // Phases 3 + 4: formulate curves, select under a budget.
-    let selector = flow::build_selector(&config, 16);
+    let selector = ctx.selector(16);
     let unconstrained = selector
         .select("decrypt", u64::MAX)
         .expect("DAG")
@@ -76,10 +77,12 @@ fn macro_model_estimate_tracks_cosimulation() {
     // §4.3's accuracy claim, as a regression test: the native estimate
     // must stay within a loose error band of full co-simulation.
     let config = CpuConfig::default();
-    let models = flow::characterize_kernels(&config, KernelVariant::Base, 8, &quick_options());
+    let ctx = FlowCtx::new(&config);
+    let models = ctx.characterize(8, &quick_options());
     for candidate in [ModExpConfig::baseline(), ModExpConfig::optimized()] {
         let est = flow::explore_single(&models, &candidate, 96, 4.0).expect("estimate runs");
-        let cosim = flow::cosimulate_candidate(&config, KernelVariant::Base, &candidate, 96, 4.0)
+        let cosim = ctx
+            .cosimulate(&models, &candidate, 96, 4.0)
             .expect("cosim runs");
         let err = ((est - cosim) / cosim).abs() * 100.0;
         assert!(

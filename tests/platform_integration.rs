@@ -52,7 +52,8 @@ fn ssl_series_from_measured_components_has_paper_shape() {
     // extrapolate to the paper's RSA-1024 magnitude (schoolbook modexp
     // scales cubically in the modulus size), keeping the measured
     // base/optimized ratio.
-    let (_, dec) = measure::measure_rsa(&config, 128);
+    let (_, dec) = measure::measure_rsa(&config, 128)
+        .expect("RSA co-simulation is infallible on the bundled platforms");
     let scale = (1024.0f64 / 128.0).powi(3);
     let sha_cpb = 40.0; // representative misc cost
     let base = SslCostModel {
