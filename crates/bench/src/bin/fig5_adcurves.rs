@@ -1,11 +1,17 @@
 //! Regenerates **Fig. 5**: (a) the A-D curve for `mpn_add_n`, (b) the
 //! A-D curve for `mpn_addmul_1`, and (c) their propagation through an
 //! example call graph with Pareto pruning. With `--json`, stdout
-//! carries a single structured run report instead of prose.
+//! carries a single structured run report (schema 4: the
+//! `generated_variants` array records, per accelerator level, the
+//! `xopt` gate verdicts and generated-vs-hand-written cycles).
 //!
-//! The nine ISS measurement points run on the `WSP_THREADS`-sized
-//! worker pool and are served from the persistent kernel-cycle cache;
-//! the curves are identical for any thread count and cache state.
+//! The ISS measurement points run on the `WSP_THREADS`-sized worker
+//! pool and are served from the persistent kernel-cycle cache; the
+//! curves are identical for any thread count and cache state. Both
+//! kernels opt into generated variants, so each accelerated curve
+//! point is driven by an `xopt`-generated kernel that passed the
+//! lint + golden admission gate, with the hand-written variant
+//! measured side-by-side as the baseline.
 
 use bench::{Cli, Harness};
 use tie::adcurve::AdCurve;
@@ -37,7 +43,7 @@ fn main() {
     }
 
     let ctx = harness.flow_ctx(&config);
-    let curves = ctx.curves(n);
+    let (curves, variants) = ctx.curves_with_variants(n);
     let add_n = kreg::id::ADD_N.name();
     let addmul_1 = kreg::id::ADDMUL_1.name();
 
@@ -66,6 +72,8 @@ fn main() {
             .result("combined_points", combined.len() as u64)
             .result("pareto_points", pruned.len() as u64)
             .result("combined_pareto", curve_to_json(&pruned))
+            .with_generated_variants(variants.iter().map(|v| v.to_json()))
+            .with_degradations(ctx.degradations_json())
             .with_metrics(metrics.snapshot());
         bench::emit_report(&harness.finish(report));
         return;
@@ -77,6 +85,36 @@ fn main() {
 
     println!("\n(b) mpn_addmul_1 (mac_1..mac_4 points)");
     print!("{}", curves[addmul_1].render());
+
+    println!("\n    xopt generated variants vs. hand-written (cycles, n = {n}):");
+    for v in &variants {
+        let gate = if v.admitted {
+            "admitted".to_string()
+        } else {
+            format!(
+                "REJECTED (lint {}, golden {}): {}",
+                if v.lint_ok { "ok" } else { "fail" },
+                if v.golden_ok { "ok" } else { "fail" },
+                v.error.as_deref().unwrap_or("?")
+            )
+        };
+        match (v.cycles_generated, v.cycle_ratio()) {
+            (Some(g), Some(r)) => println!(
+                "    {:<12} {:<9} gen {:>7.0}  hand {:>7.0}  ({:+.1}%)  {gate}",
+                v.kernel.name(),
+                v.tag,
+                g,
+                v.cycles_hand,
+                (r - 1.0) * 100.0
+            ),
+            _ => println!(
+                "    {:<12} {:<9} hand {:>7.0}  {gate}",
+                v.kernel.name(),
+                v.tag,
+                v.cycles_hand
+            ),
+        }
+    }
 
     println!("\n(c) root = 2 x mpn_add_n + 1 x mpn_addmul_1 + 10 local cycles");
     println!(

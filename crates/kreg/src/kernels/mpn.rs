@@ -29,15 +29,36 @@
 /// The base (no custom instructions) 32-bit limb kernel library.
 pub fn base32_source() -> String {
     let mut s = String::new();
-    s.push_str(ADD_SUB_32);
+    s.push_str(ADD_N_32);
+    s.push_str(SUB_N_32);
     s.push_str(MUL1_32);
-    s.push_str(ADDMUL_32);
-    s.push_str(SHIFT_32);
+    s.push_str(ADDMUL1_32);
+    s.push_str(SUBMUL1_32);
+    s.push_str(LSHIFT_32);
+    s.push_str(RSHIFT_32);
     s.push_str(DIV_QHAT_32);
     s
 }
 
-const ADD_SUB_32: &str = "
+/// The canonical (base RISC, 32-bit) source of one kernel as a
+/// standalone annotated unit — the input the `xopt` rewriting pipeline
+/// consumes. `None` for kernels outside the 32-bit mpn library.
+pub fn canonical_source32(kernel: crate::KernelId) -> Option<&'static str> {
+    use crate::id;
+    Some(match kernel {
+        id::ADD_N => ADD_N_32,
+        id::SUB_N => SUB_N_32,
+        id::MUL_1 => MUL1_32,
+        id::ADDMUL_1 => ADDMUL1_32,
+        id::SUBMUL_1 => SUBMUL1_32,
+        id::LSHIFT => LSHIFT_32,
+        id::RSHIFT => RSHIFT_32,
+        id::DIV_QHAT => DIV_QHAT_32,
+        _ => return None,
+    })
+}
+
+const ADD_N_32: &str = "
 ;! entry mpn_add_n inputs=a0-a3 secret-ptr=a1,a2
 mpn_add_n:                 ; a0=rp a1=ap a2=bp a3=n -> a0=carry
     movi a6, 0
@@ -56,7 +77,9 @@ mpn_add_n:                 ; a0=rp a1=ap a2=bp a3=n -> a0=carry
     movi a5, 0
     addc a0, a0, a5
     ret
+";
 
+const SUB_N_32: &str = "
 ;! entry mpn_sub_n inputs=a0-a3 secret-ptr=a1,a2
 mpn_sub_n:                 ; a0=rp a1=ap a2=bp a3=n -> a0=borrow
     movi a6, 0
@@ -99,7 +122,7 @@ mpn_mul_1:                 ; a0=rp a1=ap a2=n a3=b -> a0=carry limb
     ret
 ";
 
-const ADDMUL_32: &str = "
+const ADDMUL1_32: &str = "
 ;! entry mpn_addmul_1 inputs=a0-a3 secret=a3 secret-ptr=a0,a1
 mpn_addmul_1:              ; a0=rp a1=ap a2=n a3=b -> a0=carry limb
     movi a6, 0
@@ -123,7 +146,9 @@ mpn_addmul_1:              ; a0=rp a1=ap a2=n a3=b -> a0=carry limb
     bne   a2, a6, .am_loop
     mov   a0, a7
     ret
+";
 
+const SUBMUL1_32: &str = "
 ;! entry mpn_submul_1 inputs=a0-a3 secret=a3 secret-ptr=a0,a1
 mpn_submul_1:              ; a0=rp a1=ap a2=n a3=b -> a0=borrow limb
     movi a6, 0
@@ -148,7 +173,7 @@ mpn_submul_1:              ; a0=rp a1=ap a2=n a3=b -> a0=borrow limb
     ret
 ";
 
-const SHIFT_32: &str = "
+const LSHIFT_32: &str = "
 ;! entry mpn_lshift inputs=a0-a3 secret-ptr=a1
 mpn_lshift:                ; a0=rp a1=ap a2=n a3=cnt -> a0=bits out
     movi a6, 0
@@ -167,7 +192,9 @@ mpn_lshift:                ; a0=rp a1=ap a2=n a3=cnt -> a0=bits out
     bne  a2, a6, .ls_loop
     mov  a0, a7
     ret
+";
 
+const RSHIFT_32: &str = "
 ;! entry mpn_rshift inputs=a0-a3 secret-ptr=a1
 mpn_rshift:                ; a0=rp a1=ap a2=n a3=cnt -> a0=bits out
     movi a6, 0
@@ -411,11 +438,13 @@ mpn_submul_1:              ; accelerated: {ml}-lane multiply-subtract
     mov a0, a4
     ret
 {mul1}
-{shifts}
+{lshift}
+{rshift}
 {divq}
 ",
         mul1 = MUL1_32,
-        shifts = SHIFT_32,
+        lshift = LSHIFT_32,
+        rshift = RSHIFT_32,
         divq = DIV_QHAT_32,
     )
 }

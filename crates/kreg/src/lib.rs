@@ -350,6 +350,27 @@ impl AccelLevel {
             mac_lanes: self.mac_lanes,
         }
     }
+
+    /// The kernel-cycle cache tag of the *xopt-generated* library at
+    /// this level, distinct from the hand-written `accel-a{a}m{m}` tag
+    /// so the two never share cache entries.
+    pub fn generated_tag(&self) -> String {
+        format!("gen-a{}m{}", self.add_lanes, self.mac_lanes)
+    }
+}
+
+/// The canonical loop shape a custom-instruction family replaces — the
+/// dataflow pattern `xopt`'s selection pass matches against a kernel's
+/// SSA-lite graph before substituting the family's wide datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopPattern {
+    /// Two streamed loads combined by a carry-chained add/sub and
+    /// stored to a third stream (`mpn_add_n`/`mpn_sub_n`).
+    ElementwiseCarry,
+    /// A streamed load multiplied by a loop-invariant scalar and
+    /// accumulated into a second stream, carry limb threaded through a
+    /// GPR (`mpn_addmul_1`/`mpn_submul_1`).
+    MulAccumulate,
 }
 
 /// The custom-instruction family accelerating a kernel, with its A-D
@@ -360,6 +381,9 @@ pub struct InsnFamilySpec {
     pub family: &'static str,
     /// Resource levels, cheapest first.
     pub levels: &'static [AccelLevel],
+    /// The canonical loop shape the family's datapath replaces (what
+    /// `xopt` pattern-matches during instruction selection).
+    pub pattern: LoopPattern,
 }
 
 impl InsnFamilySpec {
@@ -369,6 +393,18 @@ impl InsnFamilySpec {
     pub fn insn(&self, level: &AccelLevel, area: u64) -> CustomInsn {
         CustomInsn::new(self.family, level.lanes, area)
     }
+}
+
+/// Where a kernel's accelerated variants come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariantSource {
+    /// Hand-written accelerated assembly
+    /// ([`kernels::mpn::accel32_source`]) drives the A-D curve.
+    HandWritten,
+    /// The `xopt` pipeline rewrites the canonical base source into a
+    /// generated variant per [`AccelLevel`]; the hand-written library
+    /// is still measured side-by-side as the comparison baseline.
+    Generated,
 }
 
 /// The single source of truth for one registered kernel.
@@ -389,6 +425,10 @@ pub struct KernelDescriptor {
     pub stimulus: Option<StimulusSpec>,
     /// Custom-instruction family, for kernels with phase-3 A-D curves.
     pub family: Option<InsnFamilySpec>,
+    /// Whether the phase-3 variants are hand-written or xopt-generated.
+    /// Meaningless (and [`VariantSource::HandWritten`]) for kernels
+    /// without a family.
+    pub variants: VariantSource,
 }
 
 impl KernelDescriptor {
@@ -481,7 +521,9 @@ static REGISTRY: [KernelDescriptor; 9] = [
         family: Some(InsnFamilySpec {
             family: "add",
             levels: &ADD_LEVELS,
+            pattern: LoopPattern::ElementwiseCarry,
         }),
+        variants: VariantSource::Generated,
     },
     KernelDescriptor {
         id: id::SUB_N,
@@ -493,6 +535,7 @@ static REGISTRY: [KernelDescriptor; 9] = [
         },
         stimulus: Some(StimulusSpec::Limbs),
         family: None,
+        variants: VariantSource::HandWritten,
     },
     KernelDescriptor {
         id: id::MUL_1,
@@ -505,6 +548,7 @@ static REGISTRY: [KernelDescriptor; 9] = [
         },
         stimulus: Some(StimulusSpec::Limbs),
         family: None,
+        variants: VariantSource::HandWritten,
     },
     KernelDescriptor {
         id: id::ADDMUL_1,
@@ -519,7 +563,9 @@ static REGISTRY: [KernelDescriptor; 9] = [
         family: Some(InsnFamilySpec {
             family: "mac",
             levels: &MAC_LEVELS,
+            pattern: LoopPattern::MulAccumulate,
         }),
+        variants: VariantSource::Generated,
     },
     KernelDescriptor {
         id: id::SUBMUL_1,
@@ -532,6 +578,7 @@ static REGISTRY: [KernelDescriptor; 9] = [
         },
         stimulus: Some(StimulusSpec::Limbs),
         family: None,
+        variants: VariantSource::HandWritten,
     },
     KernelDescriptor {
         id: id::LSHIFT,
@@ -543,6 +590,7 @@ static REGISTRY: [KernelDescriptor; 9] = [
         },
         stimulus: Some(StimulusSpec::Limbs),
         family: None,
+        variants: VariantSource::HandWritten,
     },
     KernelDescriptor {
         id: id::RSHIFT,
@@ -554,6 +602,7 @@ static REGISTRY: [KernelDescriptor; 9] = [
         },
         stimulus: Some(StimulusSpec::Limbs),
         family: None,
+        variants: VariantSource::HandWritten,
     },
     KernelDescriptor {
         id: id::DIV_QHAT,
@@ -565,6 +614,7 @@ static REGISTRY: [KernelDescriptor; 9] = [
         },
         stimulus: Some(StimulusSpec::Point),
         family: None,
+        variants: VariantSource::HandWritten,
     },
     KernelDescriptor {
         id: id::SHA1,
@@ -575,6 +625,7 @@ static REGISTRY: [KernelDescriptor; 9] = [
         },
         stimulus: Some(StimulusSpec::Blocks),
         family: None,
+        variants: VariantSource::HandWritten,
     },
 ];
 
@@ -743,6 +794,38 @@ mod tests {
                 .count(),
             12
         );
+    }
+
+    #[test]
+    fn canonical_units_compose_the_base_library() {
+        // The per-kernel canonical units are exactly the slices the
+        // base32 library is concatenated from, in registry order.
+        let whole = kernels::mpn::base32_source();
+        let mut rebuilt = String::new();
+        for k in id::MPN {
+            let unit = kernels::mpn::canonical_source32(k).expect("mpn kernel has a unit");
+            assert!(unit.contains(&format!(";! entry {}", k.name())));
+            rebuilt.push_str(unit);
+        }
+        assert_eq!(whole, rebuilt);
+        assert!(kernels::mpn::canonical_source32(id::SHA1).is_none());
+    }
+
+    #[test]
+    fn variant_provenance_and_generated_tags() {
+        let add = get(id::ADD_N).unwrap();
+        assert_eq!(add.variants, VariantSource::Generated);
+        let Some(f) = &add.family else {
+            panic!("add_n has a family")
+        };
+        assert_eq!(f.pattern, LoopPattern::ElementwiseCarry);
+        assert_eq!(f.levels[0].generated_tag(), "gen-a2m1");
+        assert_ne!(f.levels[0].generated_tag(), f.levels[0].variant().tag());
+
+        let mac = get(id::ADDMUL_1).unwrap();
+        assert_eq!(mac.variants, VariantSource::Generated);
+        assert_eq!(mac.family.unwrap().pattern, LoopPattern::MulAccumulate);
+        assert_eq!(get(id::SUB_N).unwrap().variants, VariantSource::HandWritten);
     }
 
     #[test]

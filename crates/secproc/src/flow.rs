@@ -40,6 +40,7 @@
 //! The free functions at the bottom of this module are the pre-`FlowCtx`
 //! API, kept as thin deprecated shims.
 
+use crate::genvar::{self, AdmittedVariant, GeneratedVariantRecord};
 use crate::issops::{IssMpn, KernelVariant};
 use crate::kcache::{self, KCache};
 use crate::simcipher::SimSha1;
@@ -695,26 +696,109 @@ impl<'a> FlowCtx<'a> {
     /// kernels are measured with the fault arm off (action
     /// `quarantined`), so the curves always complete.
     pub fn curves(&self, n: usize) -> BTreeMap<String, AdCurve> {
+        self.curves_with_variants(n).0
+    }
+
+    /// [`FlowCtx::curves`] plus the per-level generated-variant records
+    /// (schema 4's `generated_variants`): for kernels registered with
+    /// [`kreg::VariantSource::Generated`], the `xopt` pipeline produces
+    /// each resource level's library, both gate halves run (constant-
+    /// time lint differential + golden verification under the level's
+    /// extension set), and *admitted* variants drive the curve points —
+    /// the hand-written library is still measured at every such level
+    /// as the side-by-side baseline. A rejected level falls back to the
+    /// hand-written variant and records a `fallback-handwritten`
+    /// degradation, so the curves always complete.
+    pub fn curves_with_variants(
+        &self,
+        n: usize,
+    ) -> (BTreeMap<String, AdCurve>, Vec<GeneratedVariantRecord>) {
         // Every kernel with a registered custom-instruction family gets
         // a curve: its base point plus one point per resource level
         // (`mpn_add_n`: add2/4/8/16; `mpn_addmul_1`: mac1/2/4).
         let mut tasks = Vec::new();
+        let mut admitted: Vec<AdmittedVariant> = Vec::new();
+        let mut pending: Vec<PendingRecord> = Vec::new();
         for desc in kreg::registry() {
             let Some(fam) = desc.family else { continue };
             tasks.push(CurveTask {
                 kernel: desc.id,
                 variant: KernelVariant::Base,
                 insn: None,
+                gen: None,
+                on_curve: true,
             });
-            for level in fam.levels {
+            let gen_outcomes: Vec<Option<Result<AdmittedVariant, xopt::OptError>>> =
+                match desc.variants {
+                    kreg::VariantSource::Generated => genvar::admitted_variants(desc, self.config)
+                        .into_iter()
+                        .map(|(_, outcome)| Some(outcome))
+                        .collect(),
+                    kreg::VariantSource::HandWritten => fam.levels.iter().map(|_| None).collect(),
+                };
+            for (level, outcome) in fam.levels.iter().zip(gen_outcomes) {
+                let is_generated_kernel = outcome.is_some();
+                let hand_task = tasks.len();
+                let mut gen_task = None;
+                let (mut lint_ok, mut golden_ok, mut is_admitted) = (true, true, false);
+                let mut error = None;
+                match outcome {
+                    None => {}
+                    Some(Ok(adm)) => {
+                        admitted.push(adm);
+                        is_admitted = true;
+                        gen_task = Some(hand_task + 1);
+                    }
+                    Some(Err(e)) => {
+                        let (l, g) = genvar::gate_verdicts(&e);
+                        lint_ok = l;
+                        golden_ok = g;
+                        error = Some(e.to_string());
+                        self.note_degradation(Degradation {
+                            phase: "curves",
+                            unit: format!("{}@{}", desc.id.name(), level.generated_tag()),
+                            kernel: desc.id.name().to_owned(),
+                            error: e.to_string(),
+                            attempts: 0,
+                            retry_seeds: Vec::new(),
+                            action: "fallback-handwritten",
+                        });
+                    }
+                }
                 tasks.push(CurveTask {
                     kernel: desc.id,
                     variant: level.variant(),
                     insn: Some((fam.family, level.lanes)),
+                    gen: None,
+                    on_curve: !is_admitted,
                 });
+                if is_admitted {
+                    tasks.push(CurveTask {
+                        kernel: desc.id,
+                        variant: level.variant(),
+                        insn: Some((fam.family, level.lanes)),
+                        gen: Some(admitted.len() - 1),
+                        on_curve: true,
+                    });
+                }
+                if is_generated_kernel {
+                    pending.push(PendingRecord {
+                        kernel: desc.id,
+                        family: fam.family,
+                        lanes: level.lanes,
+                        tag: level.generated_tag(),
+                        lint_ok,
+                        golden_ok,
+                        admitted: is_admitted,
+                        error,
+                        hand_task,
+                        gen_task,
+                    });
+                }
             }
         }
 
+        let gens = &admitted;
         let config = self.config;
         let fp = config.fingerprint();
         let cache = self.measurement_cache();
@@ -722,8 +806,18 @@ impl<'a> FlowCtx<'a> {
         let quarantined: BTreeSet<String> = self.state().quarantined.clone();
         let measured = self.pool().par_map(&tasks, |i, t| {
             let unit = kreg::get(t.kernel).expect("curve kernel registered");
+            let tag = match t.gen {
+                Some(ix) => gens[ix].gen.tag.clone(),
+                None => t.variant.tag(),
+            };
+            let make_iss = || match t.gen {
+                Some(ix) => {
+                    IssMpn::with_library(config.clone(), &gens[ix].gen.source, gens[ix].ext.clone())
+                }
+                None => IssMpn::with_variant(config.clone(), t.variant),
+            };
             let fault_free = || {
-                let mut iss = IssMpn::with_variant(config.clone(), t.variant);
+                let mut iss = make_iss();
                 iss.set_verify(false);
                 let _ = iss.measure32(t.kernel, n, 7); // warm
                 iss.measure32(t.kernel, n, 8)
@@ -731,14 +825,14 @@ impl<'a> FlowCtx<'a> {
             };
             match cache {
                 Some(kc) => UnitReport::clean(kc.scalar(
-                    &kcache::key(fp, &t.variant.tag(), &unit.curve_unit(), n as u64, 0x0708),
+                    &kcache::key(fp, &tag, &unit.curve_unit(), n as u64, 0x0708),
                     fault_free,
                 )),
                 None if policy.injecting() && quarantined.contains(t.kernel.name()) => UnitReport {
                     value: fault_free(),
                     degradation: Some(Degradation {
                         phase: "curves",
-                        unit: format!("{}@{}", t.kernel.name(), t.variant.tag()),
+                        unit: format!("{}@{}", t.kernel.name(), tag),
                         kernel: t.kernel.name().to_owned(),
                         error: "kernel quarantined; measured with the fault arm off".to_owned(),
                         attempts: 1,
@@ -750,12 +844,12 @@ impl<'a> FlowCtx<'a> {
                 None => run_resilient(
                     &policy,
                     "curves",
-                    format!("{}@{}", t.kernel.name(), t.variant.tag()),
+                    format!("{}@{}", t.kernel.name(), tag),
                     t.kernel.name(),
                     CURVE_STREAMS + (i as u64) * STREAM_STRIDE,
                     8,
                     |seed, arm| {
-                        let mut iss = IssMpn::with_variant(config.clone(), t.variant);
+                        let mut iss = make_iss();
                         iss.set_verify(arm.is_some());
                         iss.set_cycle_budget(policy.cycle_budget);
                         if let Some((spec, stream)) = arm {
@@ -768,10 +862,16 @@ impl<'a> FlowCtx<'a> {
             }
         });
 
+        let values: Vec<f64> = measured
+            .into_iter()
+            .map(|report| self.absorb(report))
+            .collect();
         let mut curves = BTreeMap::new();
         let mut points_by_op: BTreeMap<&str, Vec<AdPoint>> = BTreeMap::new();
-        for (t, report) in tasks.iter().zip(measured) {
-            let cycles = self.absorb(report);
+        for (t, &cycles) in tasks.iter().zip(&values) {
+            if !t.on_curve {
+                continue;
+            }
             let point = match t.insn {
                 None => AdPoint::base(cycles),
                 Some((family, lanes)) => {
@@ -787,7 +887,22 @@ impl<'a> FlowCtx<'a> {
         for (op, points) in points_by_op {
             curves.insert(op.to_owned(), AdCurve::from_points(points));
         }
-        curves
+        let records = pending
+            .into_iter()
+            .map(|p| GeneratedVariantRecord {
+                kernel: p.kernel,
+                family: p.family,
+                lanes: p.lanes,
+                tag: p.tag,
+                lint_ok: p.lint_ok,
+                golden_ok: p.golden_ok,
+                admitted: p.admitted,
+                error: p.error,
+                cycles_generated: p.gen_task.map(|ix| values[ix]),
+                cycles_hand: values[p.hand_task],
+            })
+            .collect();
+        (curves, records)
     }
 
     /// Builds the paper's Fig. 4 call graph — the optimized modular
@@ -1427,6 +1542,30 @@ struct CurveTask {
     variant: KernelVariant,
     /// `Some((family, lanes))` for accelerated points; `None` = base.
     insn: Option<(&'static str, u32)>,
+    /// Index into the admitted generated variants, when this task
+    /// measures an `xopt`-generated library instead of the hand-written
+    /// one at the same resource level.
+    gen: Option<usize>,
+    /// Whether this measurement becomes an A-D curve point (hand-written
+    /// shadows of admitted generated variants are measured for the
+    /// side-by-side record only).
+    on_curve: bool,
+}
+
+/// Bookkeeping for one generated level's run-report record: gate
+/// verdicts known at generation time plus the task indices whose
+/// measured cycles complete the record.
+struct PendingRecord {
+    kernel: KernelId,
+    family: &'static str,
+    lanes: u32,
+    tag: String,
+    lint_ok: bool,
+    golden_ok: bool,
+    admitted: bool,
+    error: Option<String>,
+    hand_task: usize,
+    gen_task: Option<usize>,
 }
 
 // ---------------------------------------------------------------------
@@ -1741,6 +1880,43 @@ mod tests {
     }
 
     #[test]
+    fn generated_variants_drive_the_curves() {
+        let cfg = CpuConfig::default();
+        let ctx = FlowCtx::new(&cfg);
+        let (curves, records) = ctx.curves_with_variants(16);
+        // One record per resource level of the two Generated kernels.
+        assert_eq!(records.len(), 7);
+        for r in &records {
+            assert!(r.admitted, "{} {} rejected: {:?}", r.kernel, r.tag, r.error);
+            assert!(r.lint_ok && r.golden_ok);
+            let gen = r.cycles_generated.expect("admitted variants are measured");
+            // The generated variant must be within 5% of (or beat) the
+            // hand-written library at the same level — the list
+            // scheduler recovers the hand-written tail's interlock
+            // stalls, so in practice it wins outright.
+            assert!(
+                gen <= r.cycles_hand * 1.05,
+                "{} {}: generated {gen} vs hand-written {}",
+                r.kernel,
+                r.tag,
+                r.cycles_hand
+            );
+        }
+        // The curve points are the generated measurements: each
+        // accelerated point's cycles equal the record's.
+        let addn = &curves[opname::ADD_N];
+        let addn_recs: Vec<_> = records
+            .iter()
+            .filter(|r| r.kernel == kreg::id::ADD_N)
+            .collect();
+        for (p, r) in addn.points().iter().skip(1).zip(addn_recs) {
+            assert_eq!(p.cycles, r.cycles_generated.unwrap(), "{}", r.tag);
+        }
+        // No degradations: every level was admitted, nothing fell back.
+        assert!(ctx.degradations().is_empty());
+    }
+
+    #[test]
     fn selector_improves_with_budget() {
         let cfg = CpuConfig::default();
         let sel = FlowCtx::new(&cfg).selector(32);
@@ -1796,7 +1972,8 @@ mod tests {
         let misses_before = kc.misses();
         let cb = pooled.curves(16);
         let cc = pooled.curves(16);
-        assert_eq!(kc.misses(), misses_before + 9, "nine cold curve points");
+        // 2 base + 7 hand-written + 7 admitted generated variants.
+        assert_eq!(kc.misses(), misses_before + 16, "sixteen cold curve points");
         for (name, curve) in &ca {
             for (i, p) in curve.points().iter().enumerate() {
                 assert_eq!(p.cycles, cb[name].points()[i].cycles, "{name}[{i}]");

@@ -86,7 +86,23 @@ impl IssMpn {
                 insns::mpn_extension_set(add_lanes, mac_lanes),
             ),
         };
-        let prog32 = assemble(&src32).expect("bundled 32-bit kernels must assemble");
+        Self::with_library(config, &src32, ext)
+    }
+
+    /// Builds a provider running an arbitrary 32-bit kernel library —
+    /// e.g. an `xopt`-generated variant unit — under `ext`. The 16-bit
+    /// radix side always runs the bundled base library. Kernels absent
+    /// from `src32` simply fail at call time with an undefined-label
+    /// error, so a single-kernel library is fine for single-kernel
+    /// measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src32` (or the bundled 16-bit library) fails to
+    /// assemble — callers are expected to hand over already-gated
+    /// sources.
+    pub fn with_library(config: CpuConfig, src32: &str, ext: ExtensionSet) -> Self {
+        let prog32 = assemble(src32).expect("32-bit kernel library must assemble");
         let prog16 =
             assemble(&kmpn::base16_source()).expect("bundled 16-bit kernels must assemble");
         let mut cpu32 = Cpu::with_extensions(config.clone(), ext);

@@ -43,6 +43,7 @@
 
 pub mod flow;
 pub mod gap;
+pub mod genvar;
 pub mod insns;
 pub mod issops;
 pub mod kcache;

@@ -22,16 +22,50 @@ fn emit(failed: bool, line: std::fmt::Arguments<'_>) {
 }
 
 fn main() -> ExitCode {
-    let files: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let ir_mode = args.iter().any(|a| a == "--ir");
+    args.retain(|a| a != "--ir");
+    let files = args;
     if files.is_empty() {
-        eprintln!("usage: xr32-lint <file.s>...");
+        eprintln!("usage: xr32-lint [--ir] <file.s>...");
         eprintln!();
         eprintln!("Lints XR32 assembly: dataflow checks (read-before-write, dead");
         eprintln!("stores, unreachable code, stack discipline, alignment) plus a");
         eprintln!("constant-time secret-taint checker driven by `;!` annotations.");
+        eprintln!();
+        eprintln!("With --ir, instead of linting, dumps each unit's CFG and");
+        eprintln!("liveness/reaching-defs facts as stable JSON (one document per");
+        eprintln!("file) for inspection and CI diffing.");
         return ExitCode::from(2);
     }
     let mut failed = false;
+    if ir_mode {
+        for path in &files {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    failed = true;
+                    continue;
+                }
+            };
+            match xlint::ir::UnitIr::from_source(&src) {
+                Ok(ir) => {
+                    let doc = ir.to_json().set("file", path.as_str());
+                    emit(failed, format_args!("{}", doc.to_string_pretty()));
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    failed = true;
+                }
+            }
+        }
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
     for path in &files {
         let src = match std::fs::read_to_string(path) {
             Ok(s) => s,

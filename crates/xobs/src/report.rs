@@ -18,17 +18,22 @@
 //! flow's recorded recovery events: retries, fault-free fallbacks,
 //! quarantines, model-estimate substitutions) and `fault_campaign`
 //! (per-unit outcomes of an `xr32-fault` injection sweep). Both are
-//! omitted from a healthy run. Version-1 and -2 reports remain valid;
-//! [`validate`] accepts all three, and [`normalize`] strips everything
-//! host-timing-dependent so two runs of the same workload can be
-//! compared byte-for-byte (the resilience arrays are seed-determined
-//! workload facts and survive normalization).
+//! omitted from a healthy run.
+//! Schema 4 adds the optional `generated_variants` array: one object
+//! per kernel × accelerator level produced by the `xopt` optimizing
+//! pipeline, carrying the gate verdicts (`lint_ok`, `golden_ok`,
+//! `admitted`) and generated-vs-hand-written cycle counts.
+//! Version-1 through -3 reports remain valid; [`validate`] accepts all
+//! four, and [`normalize`] strips everything host-timing-dependent so
+//! two runs of the same workload can be compared byte-for-byte (the
+//! resilience and variant arrays are seed-determined workload facts
+//! and survive normalization).
 
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 
 /// Current report schema version.
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Oldest schema version [`validate`] still accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -46,6 +51,7 @@ pub struct RunReport {
     kernel_errors: Vec<String>,
     degradations: Vec<Json>,
     fault_campaign: Vec<Json>,
+    generated_variants: Vec<Json>,
 }
 
 impl RunReport {
@@ -62,6 +68,7 @@ impl RunReport {
             kernel_errors: Vec::new(),
             degradations: Vec::new(),
             fault_campaign: Vec::new(),
+            generated_variants: Vec::new(),
         }
     }
 
@@ -148,6 +155,19 @@ impl RunReport {
         self
     }
 
+    /// Records the optimizing pipeline's per-level outcomes (one JSON
+    /// object per kernel x accelerator level: gate verdicts and
+    /// generated-vs-hand-written cycles). Serialized as the
+    /// `generated_variants` array when non-empty; a run with no
+    /// generated kernels omits the field (schema 4).
+    pub fn with_generated_variants<I>(mut self, rows: I) -> Self
+    where
+        I: IntoIterator<Item = Json>,
+    {
+        self.generated_variants.extend(rows);
+        self
+    }
+
     /// Serializes the report envelope.
     pub fn to_json(&self) -> Json {
         let mut obj = Json::obj()
@@ -181,6 +201,12 @@ impl RunReport {
         }
         if !self.fault_campaign.is_empty() {
             obj = obj.set("fault_campaign", Json::Arr(self.fault_campaign.clone()));
+        }
+        if !self.generated_variants.is_empty() {
+            obj = obj.set(
+                "generated_variants",
+                Json::Arr(self.generated_variants.clone()),
+            );
         }
         obj = obj.set("results", self.results.clone());
         if let Some(m) = &self.metrics {
@@ -250,6 +276,25 @@ pub fn validate(json: &Json) -> Result<(), String> {
                 .any(|e| !matches!(e, Json::Obj(_)) && e.as_str().is_none())
             {
                 return Err(format!("{key} entries must be objects"));
+            }
+        }
+    }
+    if let Some(rows) = json.get("generated_variants") {
+        let arr = rows.as_arr().ok_or("generated_variants must be an array")?;
+        for row in arr {
+            if !matches!(row, Json::Obj(_)) {
+                return Err("generated_variants entries must be objects".into());
+            }
+            for key in ["kernel", "tag"] {
+                if row.get(key).is_none_or(|v| v.as_str().is_none()) {
+                    return Err(format!("generated_variants entries need a string `{key}`"));
+                }
+            }
+            if row
+                .get("admitted")
+                .is_none_or(|v| !matches!(v, Json::Bool(_)))
+            {
+                return Err("generated_variants entries need a boolean `admitted`".into());
             }
         }
     }
@@ -405,6 +450,62 @@ mod tests {
         // Resilience events are seed-determined workload facts: keep them.
         assert!(normalize(&parsed).get("degradations").is_some());
         assert!(normalize(&parsed).get("fault_campaign").is_some());
+    }
+
+    #[test]
+    fn generated_variants_serialize_and_validate() {
+        let healthy = RunReport::new("r").with_generated_variants(Vec::<Json>::new());
+        assert!(healthy.to_json().get("generated_variants").is_none());
+
+        let report = RunReport::new("fig5_adcurves").with_generated_variants([Json::obj()
+            .set("kernel", "mpn_add_n")
+            .set("family", "add")
+            .set("lanes", 4u64)
+            .set("tag", "gen-a4m1")
+            .set("lint_ok", true)
+            .set("golden_ok", true)
+            .set("admitted", true)
+            .set("cycles_hand", 100.0)
+            .set("cycles_generated", 92.0)]);
+        let parsed = json::parse(&report.render()).unwrap();
+        validate(&parsed).unwrap();
+        let rows = parsed
+            .get("generated_variants")
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(rows[0].get("tag").and_then(Json::as_str), Some("gen-a4m1"));
+        assert_eq!(
+            rows[0].get("cycles_generated").and_then(Json::as_f64),
+            Some(92.0)
+        );
+        // Simulated-cycle facts, not host noise: normalize keeps them.
+        assert!(normalize(&parsed).get("generated_variants").is_some());
+
+        let bad =
+            json::parse(r#"{"schema_version":4,"report":"r","results":{},"generated_variants":7}"#)
+                .unwrap();
+        assert!(validate(&bad).unwrap_err().contains("generated_variants"));
+        let bad_row = json::parse(
+            r#"{"schema_version":4,"report":"r","results":{},
+                "generated_variants":[{"kernel":"mpn_add_n","tag":"gen-a4m1"}]}"#,
+        )
+        .unwrap();
+        assert!(validate(&bad_row).unwrap_err().contains("admitted"));
+        let bad_kernel = json::parse(
+            r#"{"schema_version":4,"report":"r","results":{},
+                "generated_variants":[{"tag":"gen-a4m1","admitted":true}]}"#,
+        )
+        .unwrap();
+        assert!(validate(&bad_kernel).unwrap_err().contains("kernel"));
+    }
+
+    #[test]
+    fn validate_accepts_version_3_reports() {
+        let j = json::parse(
+            r#"{"schema_version":3,"report":"x","results":{},"degradations":[{"phase":"curves"}]}"#,
+        )
+        .unwrap();
+        validate(&j).unwrap();
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Dead-code elimination and peephole cleanup over a structured unit.
+//!
+//! DCE re-derives liveness for the *current* unit text (via
+//! [`UnitIr`], so the facts are the analyzer's own) and deletes
+//! register writes that are dead at their program point, provided the
+//! instruction has no other architectural effect — stores, control
+//! transfers, custom instructions and carry-flag writers are always
+//! kept. The peephole then drops identity moves (`mov r, r`,
+//! `addi r, r, 0`). Both passes iterate to a fixed point, since a
+//! deletion can kill further writes.
+
+use xlint::dataflow::insn_dests;
+use xlint::ir::UnitIr;
+use xr32::isa::Insn;
+
+use crate::unit::{Item, Unit};
+use crate::OptError;
+
+fn writes_carry(insn: &Insn, ir: &UnitIr) -> bool {
+    match insn {
+        Insn::Addc(..) | Insn::Subc(..) | Insn::Clc => true,
+        Insn::Custom(op) => ir.spec.sig(&op.name).is_none_or(|sig| sig.writes_carry),
+        _ => false,
+    }
+}
+
+/// One DCE sweep; returns the pcs (instruction indices) to delete.
+fn dead_pcs(ir: &UnitIr) -> Vec<usize> {
+    let insns = ir.program.insns();
+    let mut dead = Vec::new();
+    for (pc, insn) in insns.iter().enumerate() {
+        if insn.is_store()
+            || insn.ends_block()
+            || insn.branch_target().is_some()
+            || matches!(insn, Insn::Custom(_))
+            || writes_carry(insn, ir)
+        {
+            continue;
+        }
+        let dests = insn_dests(insn, &ir.spec);
+        if dests.is_empty() {
+            continue;
+        }
+        let live = ir.liveness.live_out(pc);
+        if dests.iter().all(|&d| !live.contains(d)) {
+            dead.push(pc);
+        }
+    }
+    dead
+}
+
+/// True for instructions the peephole removes outright.
+fn identity(insn: &Insn) -> bool {
+    matches!(insn, Insn::Mov(d, s) if d == s) || matches!(insn, Insn::Addi(d, s, 0) if d == s)
+}
+
+/// Runs DCE + peephole to a fixed point. Returns the number of items
+/// removed.
+///
+/// # Errors
+///
+/// Propagates analysis errors on the unit's own printed source (which
+/// would indicate a malformed rewrite upstream).
+pub fn clean(unit: &mut Unit) -> Result<usize, OptError> {
+    let mut removed = 0;
+    loop {
+        // Peephole first: purely syntactic.
+        let before = unit.items.len();
+        unit.items.retain(|it| match it {
+            Item::Op { insn, .. } => !identity(insn),
+            _ => true,
+        });
+        removed += before - unit.items.len();
+
+        // One liveness-backed DCE sweep on the current text.
+        let ir = UnitIr::from_source(&unit.print()).map_err(OptError::Analyze)?;
+        let dead = dead_pcs(&ir);
+        if dead.is_empty() {
+            return Ok(removed);
+        }
+        // Map pcs to item indices and delete from the back.
+        let mut item_ixs: Vec<usize> = dead.iter().filter_map(|&pc| unit.item_of_pc(pc)).collect();
+        item_ixs.sort_unstable();
+        for ix in item_ixs.into_iter().rev() {
+            unit.items.remove(ix);
+            removed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_dead_writes_and_identity_moves() {
+        let src = "
+f:
+    movi a2, 7
+    mov  a2, a2
+    addi a3, a3, 0
+    movi a2, 1
+    add  a0, a2, a2
+    ret
+";
+        let mut unit = Unit::parse(src).unwrap();
+        let removed = clean(&mut unit).unwrap();
+        // mov a2,a2 and addi a3,a3,0 are identities; movi a2,7 is
+        // overwritten before any read once they are gone.
+        assert_eq!(removed, 3, "{}", unit.print());
+        let printed = unit.print();
+        assert!(!printed.contains("movi a2, 7"));
+        assert!(printed.contains("movi a2, 1"));
+    }
+
+    #[test]
+    fn keeps_stores_carry_writers_and_customs() {
+        let src = "
+;! cust mac1 regs=2 uregs=2 kind=compute writes-reg=1
+f:
+    clc
+    addc a4, a4, a5
+    sw   a4, a0, 0
+    cust mac1 ur0, ur1, a3, a4
+    ret
+";
+        let mut unit = Unit::parse(src).unwrap();
+        let removed = clean(&mut unit).unwrap();
+        assert_eq!(removed, 0, "{}", unit.print());
+    }
+}

@@ -1,0 +1,128 @@
+//! SSA-lite: def-site value naming on top of `xlint`'s reaching
+//! definitions.
+//!
+//! Full SSA would insert phi nodes at join points; the kernels this
+//! pipeline rewrites are single loops, where the only joins are loop
+//! headers. SSA-lite therefore names values by their *definition site*
+//! (the defining pc, or the entry pseudo-def) and exposes a use as
+//! either one unique value or an explicit loop-carried join of def
+//! sites — exactly the reaching-defs facts, renamed, with no rewriting
+//! of the program itself. The selection pass matches dataflow through
+//! [`SsaView::unique_def`] edges, which is sound precisely because a
+//! unique reaching definition *is* an SSA use-def edge.
+
+use xlint::dataflow::ENTRY_DEF;
+use xlint::ir::{EntryIr, UnitIr};
+use xr32::isa::Reg;
+
+/// The value observed by a register use, named by definition site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// The register's value on entry (argument or uninitialized).
+    Entry(Reg),
+    /// The result of the instruction at this pc.
+    Def(usize),
+    /// A join of several def sites (loop-carried); sorted, deduped,
+    /// `ENTRY_DEF` encoded as `usize::MAX` last.
+    Join(Vec<usize>),
+}
+
+/// A read-only SSA-lite view of one entry's dataflow.
+pub struct SsaView<'a> {
+    ir: &'a UnitIr,
+    entry: &'a EntryIr,
+}
+
+impl<'a> SsaView<'a> {
+    /// The view for `entry_label`, if that entry was analyzed.
+    pub fn new(ir: &'a UnitIr, entry_label: &str) -> Option<SsaView<'a>> {
+        ir.entry(entry_label).map(|entry| SsaView { ir, entry })
+    }
+
+    /// The underlying entry facts.
+    pub fn entry(&self) -> &EntryIr {
+        self.entry
+    }
+
+    /// The SSA-lite value register `r` holds at instruction `pc`.
+    pub fn value(&self, pc: usize, r: Reg) -> Value {
+        let defs = self.entry.reaching.defs_at(pc, r);
+        let mut sites: Vec<usize> = defs.iter().copied().collect();
+        sites.sort_unstable();
+        sites.dedup();
+        match sites.as_slice() {
+            [d] if *d == ENTRY_DEF => Value::Entry(r),
+            [d] => Value::Def(*d),
+            _ => Value::Join(sites),
+        }
+    }
+
+    /// The unique defining pc of `r` at `pc`, when the use has exactly
+    /// one non-entry reaching definition (a proper SSA use-def edge).
+    pub fn unique_def(&self, pc: usize, r: Reg) -> Option<usize> {
+        match self.value(pc, r) {
+            Value::Def(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// True when `r` at `pc` still holds its entry value on every path
+    /// (loop-invariant with respect to this entry).
+    pub fn entry_valued(&self, pc: usize, r: Reg) -> bool {
+        matches!(self.value(pc, r), Value::Entry(_))
+    }
+
+    /// The def sites of `r` at `pc` as a sorted list (`ENTRY_DEF`
+    /// included when the entry value can reach).
+    pub fn def_sites(&self, pc: usize, r: Reg) -> Vec<usize> {
+        match self.value(pc, r) {
+            Value::Entry(_) => vec![ENTRY_DEF],
+            Value::Def(d) => vec![d],
+            Value::Join(sites) => sites,
+        }
+    }
+
+    /// Whether `pc` is reachable from this entry.
+    pub fn reachable(&self, pc: usize) -> bool {
+        self.entry.reachable.get(pc).copied().unwrap_or(false)
+    }
+
+    /// The analyzed unit.
+    pub fn ir(&self) -> &UnitIr {
+        self.ir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xr32::isa::Reg;
+
+    const SRC: &str = "
+;! entry f inputs=a0,a1,sp,ra
+f:
+    movi a2, 0
+.lp:
+    addi a2, a2, 1
+    bne  a2, a0, .lp
+    mov  a0, a2
+    ret
+";
+
+    #[test]
+    fn values_name_def_sites() {
+        let ir = UnitIr::from_source(SRC).unwrap();
+        let ssa = SsaView::new(&ir, "f").unwrap();
+        // a0 is never written before pc 3: entry-valued everywhere it
+        // is read in the loop.
+        assert!(ssa.entry_valued(2, Reg::new(0)));
+        // a2 at the loop header (the increment's own source) is the
+        // loop-carried join of the init and the increment.
+        assert_eq!(ssa.value(1, Reg::new(2)), Value::Join(vec![0, 1]));
+        assert!(ssa.unique_def(1, Reg::new(2)).is_none());
+        // Past the increment the redefinition kills the join: a proper
+        // SSA use-def edge to pc 1.
+        assert_eq!(ssa.unique_def(2, Reg::new(2)), Some(1));
+        assert_eq!(ssa.def_sites(3, Reg::new(2)), vec![1]);
+    }
+}

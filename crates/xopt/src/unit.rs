@@ -1,0 +1,222 @@
+//! Structured assembly units: parse a kernel source into an item list
+//! the rewriting passes can splice, reorder and re-print.
+//!
+//! The assembler resolves branch targets to instruction indices, which
+//! would go stale the moment a pass inserts or removes an instruction.
+//! [`Unit`] therefore re-symbolizes every control transfer: an
+//! [`Item::Op`] carries the *label name* of its target, and
+//! [`Unit::print`] emits label operands again, so any item-level edit
+//! stays consistent by construction. Non-control instructions round-trip
+//! through [`xr32::isa::Insn`]'s canonical `Display` text.
+
+use std::collections::BTreeMap;
+
+use xr32::asm::assemble;
+use xr32::isa::Insn;
+
+use crate::OptError;
+
+/// One line of a structured unit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A `;!` annotation line, kept verbatim (entry specs, secret
+    /// classes, custom signatures).
+    Annot(String),
+    /// A label definition.
+    Label(String),
+    /// An instruction; `target` is the symbolic destination when the
+    /// instruction is a branch, jump or call.
+    Op {
+        /// The decoded instruction. Branch-family variants carry a
+        /// stale numeric target — [`Item::text`] prints `target`
+        /// instead.
+        insn: Insn,
+        /// Symbolic control-transfer destination.
+        target: Option<String>,
+    },
+}
+
+impl Item {
+    /// The item's assembly-source text (without indentation).
+    pub fn text(&self) -> String {
+        match self {
+            Item::Annot(s) => s.clone(),
+            Item::Label(l) => format!("{l}:"),
+            Item::Op { insn, target } => op_text(insn, target.as_deref()),
+        }
+    }
+}
+
+fn op_text(insn: &Insn, target: Option<&str>) -> String {
+    use Insn::*;
+    let Some(l) = target else {
+        return insn.to_string();
+    };
+    match insn {
+        Beq(a, b, _) => format!("beq {a}, {b}, {l}"),
+        Bne(a, b, _) => format!("bne {a}, {b}, {l}"),
+        Bltu(a, b, _) => format!("bltu {a}, {b}, {l}"),
+        Bgeu(a, b, _) => format!("bgeu {a}, {b}, {l}"),
+        Blt(a, b, _) => format!("blt {a}, {b}, {l}"),
+        Bge(a, b, _) => format!("bge {a}, {b}, {l}"),
+        J(_) => format!("j {l}"),
+        Call(_) => format!("call {l}"),
+        _ => insn.to_string(),
+    }
+}
+
+/// A kernel unit as an editable item list.
+#[derive(Debug, Clone)]
+pub struct Unit {
+    /// The unit's lines, in order.
+    pub items: Vec<Item>,
+}
+
+impl Unit {
+    /// Parses `src` by assembling it and re-symbolizing branch targets.
+    /// `;!` annotation lines are preserved (in source order, before the
+    /// code); ordinary comments are dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::Analyze`] when the source does not assemble, and
+    /// [`OptError::Unsupported`] when a control transfer lands on an
+    /// unlabeled instruction (cannot be re-symbolized).
+    pub fn parse(src: &str) -> Result<Unit, OptError> {
+        let program = assemble(src).map_err(OptError::from_assemble)?;
+        let mut items = Vec::new();
+        for line in src.lines() {
+            let t = line.trim();
+            if t.starts_with(";!") {
+                items.push(Item::Annot(t.to_string()));
+            }
+        }
+        // Labels sorted by (pc, name) so multiple labels at one pc are
+        // emitted deterministically.
+        let mut labels: Vec<(usize, &str)> = program
+            .labels()
+            .iter()
+            .map(|(name, &pc)| (pc, name.as_str()))
+            .collect();
+        labels.sort();
+        let mut by_pc: BTreeMap<usize, Vec<&str>> = BTreeMap::new();
+        for (pc, name) in labels {
+            by_pc.entry(pc).or_default().push(name);
+        }
+        for (pc, insn) in program.insns().iter().enumerate() {
+            for name in by_pc.get(&pc).into_iter().flatten() {
+                items.push(Item::Label(name.to_string()));
+            }
+            let target = match insn.branch_target() {
+                Some(t) => Some(
+                    program
+                        .label_at(t)
+                        .ok_or_else(|| {
+                            OptError::Unsupported(format!(
+                                "branch at pc {pc} targets unlabeled pc {t}"
+                            ))
+                        })?
+                        .to_string(),
+                ),
+                None => None,
+            };
+            items.push(Item::Op {
+                insn: insn.clone(),
+                target,
+            });
+        }
+        for name in by_pc.get(&program.len()).into_iter().flatten() {
+            items.push(Item::Label(name.to_string()));
+        }
+        Ok(Unit { items })
+    }
+
+    /// Prints the unit as assemblable source: annotations and labels at
+    /// column zero, instructions indented.
+    pub fn print(&self) -> String {
+        let mut out = String::new();
+        for item in &self.items {
+            match item {
+                Item::Annot(_) | Item::Label(_) => {
+                    out.push_str(&item.text());
+                }
+                Item::Op { .. } => {
+                    out.push_str("    ");
+                    out.push_str(&item.text());
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Item index of instruction `pc` (counting only [`Item::Op`]s).
+    pub fn item_of_pc(&self, pc: usize) -> Option<usize> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| matches!(it, Item::Op { .. }))
+            .nth(pc)
+            .map(|(ix, _)| ix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+;! entry f inputs=a0,a1
+;! cust ldur regs=1 uregs=1 kind=load
+f:
+    movi a2, 0
+.lp:
+    cust ldur ur0, a1, 2
+    addi a2, a2, 1
+    bne  a2, a0, .lp
+    mov  a0, a2
+    ret
+";
+
+    #[test]
+    fn parse_print_round_trips_semantically() {
+        let unit = Unit::parse(SRC).unwrap();
+        let printed = unit.print();
+        let a = assemble(SRC).unwrap();
+        let b = assemble(&printed).unwrap();
+        assert_eq!(a.insns(), b.insns(), "reprint must preserve the program");
+        assert_eq!(a.label("f"), b.label("f"));
+        assert_eq!(a.label(".lp"), b.label(".lp"));
+        // Annotations survive verbatim.
+        assert!(printed.contains(";! entry f inputs=a0,a1"));
+        assert!(printed.contains(";! cust ldur"));
+    }
+
+    #[test]
+    fn branches_are_resymbolized() {
+        let unit = Unit::parse(SRC).unwrap();
+        let branch = unit
+            .items
+            .iter()
+            .find(|it| {
+                matches!(
+                    it,
+                    Item::Op {
+                        insn: Insn::Bne(..),
+                        ..
+                    }
+                )
+            })
+            .unwrap();
+        assert_eq!(branch.text(), "bne a2, a0, .lp");
+    }
+
+    #[test]
+    fn item_of_pc_maps_through_labels() {
+        let unit = Unit::parse(SRC).unwrap();
+        let ix = unit.item_of_pc(1).unwrap(); // the cust after .lp
+        assert!(
+            matches!(&unit.items[ix], Item::Op { insn: Insn::Custom(op), .. } if op.name == "ldur")
+        );
+    }
+}

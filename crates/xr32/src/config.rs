@@ -6,6 +6,9 @@
 
 pub use crate::cache::CacheConfig;
 
+use crate::ext::ExtensionSet;
+use crate::isa::Insn;
+
 /// Configuration of an XR32 core.
 ///
 /// The default corresponds to the paper's baseline platform: a 188 MHz
@@ -110,6 +113,18 @@ impl CpuConfig {
         h
     }
 
+    /// The static scheduling cost model of this configuration — the
+    /// same latencies the cycle-accurate core charges, packaged for
+    /// compile-time consumers (the `xopt` list scheduler) that must
+    /// reason about stalls without running the simulator.
+    pub fn cost_model(&self) -> CostModel {
+        CostModel {
+            load_use_delay: 1,
+            mul_result_delay: self.mul_latency.saturating_sub(1),
+            branch_penalty: self.branch_penalty,
+        }
+    }
+
     /// A minimal configuration without the multiplier option, for
     /// exploring the cheapest possible core.
     pub fn minimal() -> Self {
@@ -126,6 +141,51 @@ impl CpuConfig {
                 ways: 1,
             },
             ..Self::default()
+        }
+    }
+}
+
+/// The in-order core's timing rules as pure data: how many cycles an
+/// instruction occupies the issue slot and how late its result becomes
+/// usable, mirroring [`crate::cpu`]'s per-register ready-time model
+/// exactly. Static schedulers consult this instead of hard-coding the
+/// pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Extra cycles before a load's result is usable (a dependent
+    /// instruction issued back-to-back stalls this long).
+    pub load_use_delay: u32,
+    /// Extra cycles before a `mul`/`mulhu` result is usable.
+    pub mul_result_delay: u32,
+    /// Cycles a taken branch adds (pipeline refill).
+    pub branch_penalty: u32,
+}
+
+impl CostModel {
+    /// Cycles the instruction occupies the issue slot, independent of
+    /// operand readiness: 1 for every base instruction, the registered
+    /// latency for a custom instruction (the core charges custom
+    /// latency unconditionally — it cannot be hidden by scheduling).
+    /// Unregistered custom instructions are priced at 1.
+    pub fn issue_cycles(&self, insn: &Insn, ext: Option<&ExtensionSet>) -> u32 {
+        match insn {
+            Insn::Custom(op) => ext
+                .and_then(|e| e.get(&op.name))
+                .map(|def| def.latency)
+                .unwrap_or(1),
+            _ => 1,
+        }
+    }
+
+    /// Extra cycles after issue before the instruction's general-
+    /// register result may be consumed without stalling (cache hits
+    /// assumed). Zero for instructions whose result is ready in the
+    /// next slot.
+    pub fn result_delay(&self, insn: &Insn) -> u32 {
+        match insn {
+            _ if insn.is_load() => self.load_use_delay,
+            Insn::Mul(..) | Insn::Mulhu(..) => self.mul_result_delay,
+            _ => 0,
         }
     }
 }
@@ -156,5 +216,35 @@ mod tests {
         let min = CpuConfig::minimal();
         assert!(!min.has_mul);
         assert!(min.icache.size_bytes < CpuConfig::default().icache.size_bytes);
+    }
+
+    #[test]
+    fn cost_model_mirrors_the_core_timing() {
+        use crate::ext::CustomInsnDef;
+        use crate::isa::{CustomOp, Reg};
+
+        let cm = CpuConfig::default().cost_model();
+        assert_eq!(cm.load_use_delay, 1);
+        assert_eq!(cm.mul_result_delay, 1); // mul_latency 2 => 1 extra
+        assert_eq!(cm.branch_penalty, 2);
+
+        let lw = Insn::Lw(Reg::new(1), Reg::new(0), 0);
+        let mul = Insn::Mul(Reg::new(1), Reg::new(2), Reg::new(3));
+        let add = Insn::Add(Reg::new(1), Reg::new(2), Reg::new(3));
+        assert_eq!(cm.result_delay(&lw), 1);
+        assert_eq!(cm.result_delay(&mul), 1);
+        assert_eq!(cm.result_delay(&add), 0);
+        assert_eq!(cm.issue_cycles(&add, None), 1);
+
+        let mut ext = ExtensionSet::new();
+        ext.register(CustomInsnDef::new("mac4", 2, 0, |_, _| Ok(())));
+        let cust = Insn::Custom(CustomOp {
+            name: "mac4".into(),
+            regs: vec![],
+            uregs: vec![],
+            imm: 0,
+        });
+        assert_eq!(cm.issue_cycles(&cust, Some(&ext)), 2);
+        assert_eq!(cm.issue_cycles(&cust, None), 1);
     }
 }

@@ -203,6 +203,86 @@ pub enum Insn {
     Custom(CustomOp),
 }
 
+impl fmt::Display for Insn {
+    /// Canonical assembly rendering, for diagnostics and IR dumps.
+    /// Control-transfer targets are printed as `@<index>` (instruction
+    /// indices, not labels — the assembler's symbol table is not part
+    /// of the instruction). The output of non-branch instructions
+    /// re-assembles verbatim.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Insn::*;
+        match self {
+            Add(d, a, b) => write!(f, "add {d}, {a}, {b}"),
+            Addc(d, a, b) => write!(f, "addc {d}, {a}, {b}"),
+            Sub(d, a, b) => write!(f, "sub {d}, {a}, {b}"),
+            Subc(d, a, b) => write!(f, "subc {d}, {a}, {b}"),
+            And(d, a, b) => write!(f, "and {d}, {a}, {b}"),
+            Or(d, a, b) => write!(f, "or {d}, {a}, {b}"),
+            Xor(d, a, b) => write!(f, "xor {d}, {a}, {b}"),
+            Sll(d, a, b) => write!(f, "sll {d}, {a}, {b}"),
+            Srl(d, a, b) => write!(f, "srl {d}, {a}, {b}"),
+            Sra(d, a, b) => write!(f, "sra {d}, {a}, {b}"),
+            Sltu(d, a, b) => write!(f, "sltu {d}, {a}, {b}"),
+            Slt(d, a, b) => write!(f, "slt {d}, {a}, {b}"),
+            Mul(d, a, b) => write!(f, "mul {d}, {a}, {b}"),
+            Mulhu(d, a, b) => write!(f, "mulhu {d}, {a}, {b}"),
+            Addi(d, a, i) => write!(f, "addi {d}, {a}, {i}"),
+            Andi(d, a, i) => write!(f, "andi {d}, {a}, {i}"),
+            Ori(d, a, i) => write!(f, "ori {d}, {a}, {i}"),
+            Xori(d, a, i) => write!(f, "xori {d}, {a}, {i}"),
+            Slli(d, a, s) => write!(f, "slli {d}, {a}, {s}"),
+            Srli(d, a, s) => write!(f, "srli {d}, {a}, {s}"),
+            Srai(d, a, s) => write!(f, "srai {d}, {a}, {s}"),
+            Movi(d, i) => write!(f, "movi {d}, {i}"),
+            Mov(d, a) => write!(f, "mov {d}, {a}"),
+            Lw(d, b, o) => write!(f, "lw {d}, {b}, {o}"),
+            Sw(v, b, o) => write!(f, "sw {v}, {b}, {o}"),
+            Lbu(d, b, o) => write!(f, "lbu {d}, {b}, {o}"),
+            Sb(v, b, o) => write!(f, "sb {v}, {b}, {o}"),
+            Lhu(d, b, o) => write!(f, "lhu {d}, {b}, {o}"),
+            Sh(v, b, o) => write!(f, "sh {v}, {b}, {o}"),
+            Beq(a, b, t) => write!(f, "beq {a}, {b}, @{t}"),
+            Bne(a, b, t) => write!(f, "bne {a}, {b}, @{t}"),
+            Bltu(a, b, t) => write!(f, "bltu {a}, {b}, @{t}"),
+            Bgeu(a, b, t) => write!(f, "bgeu {a}, {b}, @{t}"),
+            Blt(a, b, t) => write!(f, "blt {a}, {b}, @{t}"),
+            Bge(a, b, t) => write!(f, "bge {a}, {b}, @{t}"),
+            J(t) => write!(f, "j @{t}"),
+            Call(t) => write!(f, "call @{t}"),
+            Ret => write!(f, "ret"),
+            Jr(r) => write!(f, "jr {r}"),
+            Clc => write!(f, "clc"),
+            Nop => write!(f, "nop"),
+            Halt => write!(f, "halt"),
+            Custom(op) => {
+                write!(f, "cust {}", op.name)?;
+                let mut first = true;
+                let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+                    if first {
+                        first = false;
+                        write!(f, " ")
+                    } else {
+                        write!(f, ", ")
+                    }
+                };
+                for ur in &op.uregs {
+                    sep(f)?;
+                    write!(f, "{ur}")?;
+                }
+                for r in &op.regs {
+                    sep(f)?;
+                    write!(f, "{r}")?;
+                }
+                if op.imm != 0 {
+                    sep(f)?;
+                    write!(f, "{}", op.imm)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 impl Insn {
     /// General registers read by this instruction (for the load-use
     /// interlock model). Custom instructions conservatively read all

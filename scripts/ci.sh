@@ -31,6 +31,7 @@ target/release/fig4_callgraph --json 8 | target/release/xr32-trace check-report 
 target/release/fig5_adcurves --json 8 | target/release/xr32-trace check-report -
 target/release/fig6_cartesian --json | target/release/xr32-trace check-report -
 target/release/sec43_exploration --json 128 2 | target/release/xr32-trace check-report -
+target/release/xopt_gate --json 8 | target/release/xr32-trace check-report -
 
 # Determinism gate: the parallel methodology engine must produce
 # byte-identical reports (modulo host-timing fields, stripped by
@@ -82,6 +83,16 @@ target/release/kreg-audit --dump "$KREG" >"$KREG/units.txt"
 # shellcheck disable=SC2046
 target/release/xr32-lint $(cat "$KREG/units.txt")
 echo "ci: kernel registry audit + lint gate ok ($(wc -l <"$KREG/units.txt") units)"
+
+# Variant-generation gate: every accelerator level of every
+# Generated-variant kernel must produce an xopt variant that passes the
+# lint + golden admission gate and measures within 5% of (or better
+# than) the hand-written variant. Non-zero exit on any rejection or
+# slowdown. Run at two sizes: one where the blocked loop covers the
+# whole operand, and one that exercises the scalar tail.
+target/release/xopt_gate 32
+target/release/xopt_gate 37
+echo "ci: xopt variant-generation gate ok"
 
 # Deprecation gate: everything in the workspace (bins, benches, tests,
 # examples) must build off the deprecated shims; the shims themselves
