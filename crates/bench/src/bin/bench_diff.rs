@@ -1,0 +1,371 @@
+//! `bench_diff` — compare two BENCH envelopes (the documents
+//! `scripts/bench_report.sh` writes) report-by-report and
+//! metric-by-metric, and gate on deterministic regressions.
+//!
+//! ```text
+//! bench_diff <baseline.json> <new.json> [--strict] [--tol <pct>] [--wall-tol <x>]
+//! ```
+//!
+//! Both envelopes are parsed, every run report is normalized with
+//! [`xobs::report::normalize`] (host-timing fields, `xpar.*`/`kcache.*`
+//! metrics, span wall stamps and per-worker spans stripped), and the
+//! surviving — deterministic — scalar leaves are flattened to
+//! `path → value` maps and diffed. Each changed metric is classified
+//! by a direction heuristic on its key:
+//!
+//! - **lower is better**: cycle counts (`*cycles*`, `*_cpb`), model
+//!   error (`*error*`, `*mae*`), cache misses, retry attempts;
+//! - **higher is better**: speedups, hit rates, `r_squared`, Pareto
+//!   survivors/points, admitted variants;
+//! - everything else (configs, sizes, counts, span shapes) is
+//!   **neutral**: reported but never gated.
+//!
+//! The exit code is non-zero when a `results.*` metric with a known
+//! direction moved the wrong way by more than `--tol` percent
+//! (default 0: deterministic metrics must match exactly), when a
+//! `results.*` metric or a whole report present in the baseline is
+//! missing from the new envelope, or (with `--strict`) when *any*
+//! `results.*` leaf changed at all. A non-zero `--tol` is for diffing
+//! across code generations (the committed envelopes span several
+//! methodology changes); same-code runs should diff exactly.
+//! Metrics, degradations and span paths are informational: they
+//! describe how a run executed, not what it computed. Raw (pre-
+//! normalization) `wall_ms` values are compared with a tolerance
+//! factor (default 4.0×) and only ever warn — wall time is host noise.
+//!
+//! The report is a markdown delta summary on stdout, one section per
+//! run report, so a CI log (or a PR description) can carry it as-is.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use xobs::Json;
+
+/// Direction of "better" for a metric key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    LowerBetter,
+    HigherBetter,
+    Neutral,
+}
+
+/// What a single changed leaf means for the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    Improved,
+    Regressed,
+    Changed,
+}
+
+struct Delta {
+    path: String,
+    old: String,
+    new: String,
+    pct: Option<f64>,
+    verdict: Verdict,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_diff <baseline.json> <new.json> [--strict] [--tol <pct>] [--wall-tol <x>]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut strict = false;
+    let mut tol = 0.0f64;
+    let mut wall_tol = 4.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--strict" => strict = true,
+            "--tol" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(t) => tol = t,
+                None => return usage(),
+            },
+            "--wall-tol" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(t) => wall_tol = t,
+                None => return usage(),
+            },
+            _ => paths.push(arg.clone()),
+        }
+    }
+    let [base_path, new_path] = paths.as_slice() else {
+        return usage();
+    };
+
+    let base = match load_envelope(base_path) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+    let new = match load_envelope(new_path) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+
+    println!("# bench_diff: `{base_path}` → `{new_path}`\n");
+
+    let mut regressions = 0usize;
+    let mut improvements = 0usize;
+    let mut neutral_changes = 0usize;
+    let mut warnings = 0usize;
+
+    for (name, base_report) in &base {
+        let Some(new_report) = new.get(name) else {
+            println!("## {name}\n\n**REGRESSION**: report missing from new envelope\n");
+            regressions += 1;
+            continue;
+        };
+        let deltas = diff_reports(base_report, new_report, strict, tol);
+        warnings += wall_warning(name, base_report, new_report, wall_tol);
+        if deltas.is_empty() {
+            continue;
+        }
+        println!("## {name}\n");
+        println!("| metric | baseline | new | Δ | verdict |");
+        println!("|---|---|---|---|---|");
+        const MAX_ROWS: usize = 40;
+        for d in deltas.iter().take(MAX_ROWS) {
+            let pct = d
+                .pct
+                .map(|p| format!("{p:+.2}%"))
+                .unwrap_or_else(|| "—".into());
+            let verdict = match d.verdict {
+                Verdict::Improved => "improved",
+                Verdict::Regressed => "**REGRESSION**",
+                Verdict::Changed => "changed",
+            };
+            println!(
+                "| `{}` | {} | {} | {} | {} |",
+                d.path, d.old, d.new, pct, verdict
+            );
+        }
+        if deltas.len() > MAX_ROWS {
+            println!("\n… and {} more changed leaves", deltas.len() - MAX_ROWS);
+        }
+        println!();
+        for d in &deltas {
+            match d.verdict {
+                Verdict::Improved => improvements += 1,
+                Verdict::Regressed => regressions += 1,
+                Verdict::Changed => neutral_changes += 1,
+            }
+        }
+    }
+    for name in new.keys() {
+        if !base.contains_key(name) {
+            println!("## {name}\n\nadded (no baseline to compare)\n");
+        }
+    }
+
+    println!(
+        "**summary**: {regressions} regression(s), {improvements} improvement(s), \
+         {neutral_changes} neutral change(s), {warnings} wall-time warning(s)"
+    );
+    if regressions > 0 {
+        eprintln!("bench_diff: {regressions} deterministic regression(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Parse an envelope into `report name → report` (insertion-ordered by
+/// name for stable output).
+fn load_envelope(path: &str) -> Result<BTreeMap<String, Json>, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("bench_diff: cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    let json = xobs::json::parse(&text).map_err(|e| {
+        eprintln!("bench_diff: {path} is not valid JSON: {e}");
+        ExitCode::FAILURE
+    })?;
+    let reports = json.get("reports").and_then(Json::as_arr).ok_or_else(|| {
+        eprintln!("bench_diff: {path} is not a BENCH envelope (no `reports` array)");
+        ExitCode::FAILURE
+    })?;
+    let mut map = BTreeMap::new();
+    for report in reports {
+        let name = report
+            .get("report")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_owned();
+        map.insert(name, report.clone());
+    }
+    Ok(map)
+}
+
+/// Normalize both reports, flatten, and diff every scalar leaf.
+fn diff_reports(base: &Json, new: &Json, strict: bool, tol: f64) -> Vec<Delta> {
+    let mut base_leaves = BTreeMap::new();
+    flatten(&xobs::report::normalize(base), "", &mut base_leaves);
+    let mut new_leaves = BTreeMap::new();
+    flatten(&xobs::report::normalize(new), "", &mut new_leaves);
+
+    let mut deltas = Vec::new();
+    for (path, old) in &base_leaves {
+        match new_leaves.get(path) {
+            None => deltas.push(Delta {
+                path: path.clone(),
+                old: render(old),
+                new: "(missing)".into(),
+                pct: None,
+                verdict: if gated(path) {
+                    Verdict::Regressed
+                } else {
+                    Verdict::Changed
+                },
+            }),
+            Some(val) if val != old => deltas.push(classify(path, old, val, strict, tol)),
+            Some(_) => {}
+        }
+    }
+    for (path, val) in &new_leaves {
+        if !base_leaves.contains_key(path) {
+            deltas.push(Delta {
+                path: path.clone(),
+                old: "(absent)".into(),
+                new: render(val),
+                pct: None,
+                verdict: Verdict::Changed,
+            });
+        }
+    }
+    deltas
+}
+
+/// Only `results.*` leaves gate the exit code: they are the simulated
+/// outputs the determinism contract covers. Metrics/spans/degradations
+/// describe execution and evolve freely across schema versions.
+fn gated(path: &str) -> bool {
+    path.starts_with("results.")
+}
+
+fn classify(path: &str, old: &Json, new: &Json, strict: bool, tol: f64) -> Delta {
+    let (pct, verdict) = match (old.as_f64(), new.as_f64()) {
+        (Some(a), Some(b)) if a != 0.0 => {
+            let pct = (b - a) / a.abs() * 100.0;
+            let verdict = match direction(path) {
+                Direction::LowerBetter if b < a => Verdict::Improved,
+                Direction::LowerBetter if pct.abs() <= tol => Verdict::Changed,
+                Direction::LowerBetter => Verdict::Regressed,
+                Direction::HigherBetter if b > a => Verdict::Improved,
+                Direction::HigherBetter if pct.abs() <= tol => Verdict::Changed,
+                Direction::HigherBetter => Verdict::Regressed,
+                Direction::Neutral => Verdict::Changed,
+            };
+            (Some(pct), verdict)
+        }
+        _ => (None, Verdict::Changed),
+    };
+    // Non-results paths never gate; strict escalates any results change.
+    let verdict = if !gated(path) {
+        if verdict == Verdict::Regressed {
+            Verdict::Changed
+        } else {
+            verdict
+        }
+    } else if strict && verdict == Verdict::Changed {
+        Verdict::Regressed
+    } else {
+        verdict
+    };
+    Delta {
+        path: path.to_owned(),
+        old: render(old),
+        new: render(new),
+        pct,
+        verdict,
+    }
+}
+
+/// Direction heuristic on the leaf's key (the last path segment with
+/// any array index stripped).
+fn direction(path: &str) -> Direction {
+    let key = path.rsplit('.').next().unwrap_or(path);
+    let key = key.split('[').next().unwrap_or(key).to_ascii_lowercase();
+    let lower = [
+        "cycles",
+        "_cpb",
+        "cycles_per_byte",
+        "error",
+        "mae",
+        "misses",
+        "attempts",
+    ];
+    let higher = [
+        "speedup",
+        "hit_rate",
+        "r_squared",
+        "pareto",
+        "survivors",
+        "admitted",
+    ];
+    if higher.iter().any(|m| key.contains(m)) {
+        Direction::HigherBetter
+    } else if lower.iter().any(|m| key.contains(m)) {
+        // "base_cycles" is the *unoptimized* reference: a change is a
+        // workload change, not a perf movement either way.
+        if key.starts_with("base_") {
+            Direction::Neutral
+        } else {
+            Direction::LowerBetter
+        }
+    } else {
+        Direction::Neutral
+    }
+}
+
+/// Flatten a JSON tree to scalar leaves keyed by dotted path
+/// (`results.cosim_samples[2].error_pct`).
+fn flatten(json: &Json, prefix: &str, out: &mut BTreeMap<String, Json>) {
+    match json {
+        Json::Obj(pairs) => {
+            for (k, v) in pairs {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(v, &path, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten(v, &format!("{prefix}[{i}]"), out);
+            }
+        }
+        leaf => {
+            out.insert(prefix.to_owned(), leaf.clone());
+        }
+    }
+}
+
+fn render(json: &Json) -> String {
+    match json {
+        Json::Str(s) => format!("`{s}`"),
+        other => other.to_string_compact(),
+    }
+}
+
+/// Warn (never gate) when a report's raw wall time grew beyond the
+/// tolerance factor.
+fn wall_warning(name: &str, base: &Json, new: &Json, tol: f64) -> usize {
+    let (Some(a), Some(b)) = (
+        base.get("wall_ms").and_then(Json::as_f64),
+        new.get("wall_ms").and_then(Json::as_f64),
+    ) else {
+        return 0;
+    };
+    if a > 0.0 && b > a * tol {
+        println!("> **warning** `{name}`: wall_ms {a:.0} → {b:.0} exceeds {tol}× tolerance\n");
+        1
+    } else {
+        0
+    }
+}

@@ -1,9 +1,11 @@
 //! Regenerates **Fig. 5**: (a) the A-D curve for `mpn_add_n`, (b) the
 //! A-D curve for `mpn_addmul_1`, and (c) their propagation through an
 //! example call graph with Pareto pruning. With `--json`, stdout
-//! carries a single structured run report (schema 4: the
+//! carries a single structured run report (schema 5: the
 //! `generated_variants` array records, per accelerator level, the
-//! `xopt` gate verdicts and generated-vs-hand-written cycles).
+//! `xopt` gate verdicts and generated-vs-hand-written cycles, and the
+//! `spans` tree records where the ISS budget went — phase, per-point
+//! measurement, variant generation — under one `flow` root).
 //!
 //! The ISS measurement points run on the `WSP_THREADS`-sized worker
 //! pool and are served from the persistent kernel-cycle cache; the
@@ -43,7 +45,9 @@ fn main() {
     }
 
     let ctx = harness.flow_ctx(&config);
+    let flow_span = harness.spans().enter("flow");
     let (curves, variants) = ctx.curves_with_variants(n);
+    flow_span.end();
     let add_n = kreg::id::ADD_N.name();
     let addmul_1 = kreg::id::ADDMUL_1.name();
 

@@ -4,7 +4,9 @@
 //! efficiency/accuracy numbers (paper: 1407× faster on average, 11.8 %
 //! mean absolute error). With `--json`, stdout carries a single
 //! structured run report — including the `flow.*`/`charact.*`/`space.*`
-//! metrics of the metered methodology phases — instead of prose.
+//! metrics of the metered methodology phases and the schema-5 `spans`
+//! tree (one `flow` root over characterization, exploration and the
+//! co-simulated samples) — instead of prose.
 //!
 //! Characterization, exploration and co-simulation run on the
 //! `WSP_THREADS`-sized worker pool, with ISS measurement units served
@@ -33,6 +35,7 @@ fn main() {
     }
 
     // Phase 1: characterization (one-time cost).
+    let flow_span = harness.spans().enter("flow");
     let t0 = Instant::now();
     let models = ctx.characterize(
         (bits / 32).max(8),
@@ -136,6 +139,7 @@ fn main() {
     }
     let mae = errors.iter().sum::<f64>() / errors.len() as f64;
     let mean_speedup = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    flow_span.end();
     harness.record_metrics(&metrics);
 
     if cli.json {
@@ -153,6 +157,7 @@ fn main() {
             .result("cosim_samples", samples)
             .result("mean_abs_error_pct", mae)
             .result("mean_estimation_speedup", mean_speedup)
+            .with_degradations(ctx.degradations_json())
             .with_metrics(metrics.snapshot());
         bench::emit_report(&harness.finish(report));
         return;

@@ -17,12 +17,23 @@
 //!     attribution sink — no trace file — verifying that the inclusive
 //!     root of the folded profile equals total ISS cycles exactly.
 //! xr32-trace check-report <file.json|->
-//!     Validate a `--json` run report against the xobs schema.
+//!     Validate a `--json` run report against the xobs schema
+//!     (including the schema-5 `spans` tree: monotone sequence
+//!     intervals, strict nesting, inclusive cycle rollups).
 //! xr32-trace normalize-report <file.json|->
 //!     Print the report with every host-timing-dependent field
 //!     (`wall_ms`, `threads`, `memo_hit_rate`, estimation speedups,
-//!     `xpar.*`/`kcache.*` metrics) stripped, so two runs of the same
-//!     workload diff byte-for-byte.
+//!     `xpar.*`/`kcache.*` metrics, span wall stamps and `wall_only`
+//!     worker spans) stripped, so two runs of the same workload diff
+//!     byte-for-byte.
+//! xr32-trace spans <file.json|->
+//!     Render the report's span tree as indented text (cycles, tasks,
+//!     wall time, attrs, `!`-prefixed events). Non-zero exit when the
+//!     report carries no spans — the CI span-smoke gate.
+//! xr32-trace chrome <file.json|->
+//!     Convert the report's span tree to Chrome trace-event JSON
+//!     (load in Perfetto or chrome://tracing); deterministic spans on
+//!     track 1, per-worker wall spans on tracks 2+.
 //! ```
 
 use std::cell::RefCell;
@@ -52,7 +63,9 @@ fn usage() -> ExitCode {
          \x20 cache <in.xtrace>\n\
          \x20 rsa-attrib [bits]\n\
          \x20 check-report <file.json|->\n\
-         \x20 normalize-report <file.json|->"
+         \x20 normalize-report <file.json|->\n\
+         \x20 spans <file.json|->\n\
+         \x20 chrome <file.json|->"
     );
     ExitCode::from(2)
 }
@@ -114,6 +127,14 @@ fn main() -> ExitCode {
         },
         "normalize-report" => match args.get(1) {
             Some(path) => normalize_report(path),
+            None => usage(),
+        },
+        "spans" => match args.get(1) {
+            Some(path) => spans_cmd(path),
+            None => usage(),
+        },
+        "chrome" => match args.get(1) {
+            Some(path) => chrome_cmd(path),
             None => usage(),
         },
         _ => usage(),
@@ -311,4 +332,48 @@ fn normalize_report(path: &str) -> ExitCode {
     }
     println!("{}", xobs::report::normalize(&json).to_string_compact());
     ExitCode::SUCCESS
+}
+
+/// Read a validated report and return its `spans` array, failing when
+/// the report has none (the span-smoke contract).
+fn report_spans(path: &str) -> Result<Vec<xobs::Json>, ExitCode> {
+    let json = read_report(path)?;
+    if let Err(e) = xobs::report::validate(&json) {
+        eprintln!("xr32-trace: invalid run report: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    match json
+        .get("spans")
+        .and_then(|s| s.as_arr().map(<[_]>::to_vec))
+    {
+        Some(spans) if !spans.is_empty() => Ok(spans),
+        _ => {
+            let name = json.get("report").and_then(|j| j.as_str()).unwrap_or("?");
+            eprintln!("xr32-trace: report {name} carries no spans (schema 5 required)");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn spans_cmd(path: &str) -> ExitCode {
+    match report_spans(path) {
+        Ok(spans) => {
+            print!("{}", xobs::span::render_tree(&spans));
+            ExitCode::SUCCESS
+        }
+        Err(code) => code,
+    }
+}
+
+fn chrome_cmd(path: &str) -> ExitCode {
+    match report_spans(path) {
+        Ok(spans) => {
+            println!(
+                "{}",
+                xobs::span::to_chrome_trace(&spans).to_string_compact()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(code) => code,
+    }
 }

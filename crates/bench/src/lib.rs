@@ -5,19 +5,21 @@ use secproc::flow::{FlowCtx, KernelModels};
 use secproc::kcache::KCache;
 use std::time::Instant;
 use xfault::FaultPolicy;
-use xobs::RunReport;
+use xobs::{RunReport, Spans};
 use xpar::Pool;
 use xr32::config::CpuConfig;
 
 /// The per-run execution context shared by every harness binary: the
 /// worker pool (sized by `WSP_THREADS`, else the host's parallelism),
 /// the persistent kernel-cycle cache (`$WSP_KCACHE`, else
-/// `target/kcache.json`), and the run's wall-clock start.
+/// `target/kcache.json`), the run's span tree, and its wall-clock
+/// start.
 pub struct Harness {
     /// The worker pool every pooled flow/measure call runs on.
     pub pool: Pool,
     /// The persistent kernel-cycle memo cache.
     pub kcache: KCache,
+    spans: Spans,
     start: Instant,
 }
 
@@ -28,8 +30,17 @@ impl Harness {
         Harness {
             pool: Pool::from_env(),
             kcache: KCache::open_default(),
+            spans: Spans::new(),
             start: Instant::now(),
         }
+    }
+
+    /// The run's span tree. Harness binaries open one root span
+    /// (conventionally `"flow"`) around the methodology phases; the
+    /// phases themselves open their children through the
+    /// [`FlowCtx`] this harness builds.
+    pub fn spans(&self) -> &Spans {
+        &self.spans
     }
 
     /// The cache as the `Option` the pooled measure helpers take.
@@ -44,6 +55,7 @@ impl Harness {
         FlowCtx::new(config)
             .with_pool(&self.pool)
             .with_cache(&self.kcache)
+            .with_spans(&self.spans)
             .with_fault_policy(FaultPolicy::from_env())
     }
 
@@ -63,11 +75,17 @@ impl Harness {
         reg.gauge("kcache.entries").set(self.kcache.len() as f64);
     }
 
-    /// Stamps the schema-2 wall-clock fields onto the report and
-    /// persists the kernel-cycle cache (best-effort: an unwritable
-    /// cache path only costs future warm starts, never the run).
+    /// Stamps the schema-2 wall-clock fields and the schema-5 span
+    /// tree onto the report and persists the kernel-cycle cache
+    /// (best-effort: an unwritable cache path only costs future warm
+    /// starts, never the run).
     pub fn finish(&self, report: RunReport) -> RunReport {
         let _ = self.kcache.save();
+        let report = if self.spans.is_empty() {
+            report
+        } else {
+            report.with_spans(self.spans.to_json_roots())
+        };
         report
             .with_wall_ms(self.wall_ms())
             .with_threads(self.pool.threads())

@@ -17,6 +17,11 @@
 //!   an exclusive/inclusive per-function cycle tree, exported as
 //!   folded-stack (flamegraph-compatible) text and a top-N hot-function
 //!   report; plus an event tally for cache/stall/branch behaviour.
+//! - **Hierarchical spans** ([`span`]): enter/exit phase and task
+//!   spans with dual clocks — deterministic sequence/ISS-cycle fields
+//!   kept separate from wall time so the thread-count byte-identity
+//!   contract survives — serialized into schema-5 reports and
+//!   renderable as a text tree or Chrome trace-event JSON.
 //! - **Metrics & reports** ([`metrics`], [`report`], [`json`]):
 //!   counters/gauges/histograms for the 4-phase flow, snapshot into a
 //!   schema-versioned [`RunReport`] serialized by a hand-rolled
@@ -51,6 +56,7 @@ pub mod bintrace;
 pub mod json;
 pub mod metrics;
 pub mod report;
+pub mod span;
 pub mod trace;
 
 pub use attrib::{Attribution, EventStats, FlatEntry};
@@ -58,4 +64,5 @@ pub use bintrace::{read_trace, BinaryTraceWriter, TraceReadError};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 pub use report::{RunReport, SCHEMA_VERSION};
+pub use span::{SpanGuard, Spans};
 pub use trace::{CacheSide, OwnedEvent, RingSink, Shared, TraceEvent, TraceSink, VecSink};

@@ -23,17 +23,22 @@
 //! per kernel × accelerator level produced by the `xopt` optimizing
 //! pipeline, carrying the gate verdicts (`lint_ok`, `golden_ok`,
 //! `admitted`) and generated-vs-hand-written cycle counts.
-//! Version-1 through -3 reports remain valid; [`validate`] accepts all
-//! four, and [`normalize`] strips everything host-timing-dependent so
+//! Schema 5 adds the optional `spans` array: the flow's hierarchical
+//! span tree (see [`crate::span`]), each span carrying deterministic
+//! sequence/cycle/task fields alongside wall-clock fields, plus
+//! `wall_only` host-execution (per-worker) spans.
+//! Version-1 through -4 reports remain valid; [`validate`] accepts all
+//! five, and [`normalize`] strips everything host-timing-dependent so
 //! two runs of the same workload can be compared byte-for-byte (the
 //! resilience and variant arrays are seed-determined workload facts
-//! and survive normalization).
+//! and survive normalization; span wall fields and `wall_only` spans
+//! are stripped, the deterministic span skeleton survives).
 
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 
 /// Current report schema version.
-pub const SCHEMA_VERSION: u64 = 4;
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Oldest schema version [`validate`] still accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -52,6 +57,7 @@ pub struct RunReport {
     degradations: Vec<Json>,
     fault_campaign: Vec<Json>,
     generated_variants: Vec<Json>,
+    spans: Vec<Json>,
 }
 
 impl RunReport {
@@ -69,6 +75,7 @@ impl RunReport {
             degradations: Vec::new(),
             fault_campaign: Vec::new(),
             generated_variants: Vec::new(),
+            spans: Vec::new(),
         }
     }
 
@@ -168,6 +175,18 @@ impl RunReport {
         self
     }
 
+    /// Records the flow's hierarchical span tree (one object per root
+    /// span, as serialized by [`crate::span::Spans::to_json_roots`]).
+    /// Serialized as the `spans` array when non-empty; a run that
+    /// recorded no spans omits the field (schema 5).
+    pub fn with_spans<I>(mut self, roots: I) -> Self
+    where
+        I: IntoIterator<Item = Json>,
+    {
+        self.spans.extend(roots);
+        self
+    }
+
     /// Serializes the report envelope.
     pub fn to_json(&self) -> Json {
         let mut obj = Json::obj()
@@ -207,6 +226,9 @@ impl RunReport {
                 "generated_variants",
                 Json::Arr(self.generated_variants.clone()),
             );
+        }
+        if !self.spans.is_empty() {
+            obj = obj.set("spans", Json::Arr(self.spans.clone()));
         }
         obj = obj.set("results", self.results.clone());
         if let Some(m) = &self.metrics {
@@ -298,39 +320,64 @@ pub fn validate(json: &Json) -> Result<(), String> {
             }
         }
     }
+    if let Some(spans) = json.get("spans") {
+        let arr = spans.as_arr().ok_or("spans must be an array")?;
+        for span in arr {
+            crate::span::validate_span_json(span).map_err(|e| format!("spans: {e}"))?;
+        }
+    }
     Ok(())
 }
 
 /// True for a key whose value depends on host timing, thread count or
-/// cache warmth rather than on the simulated workload.
-fn volatile_key(key: &str) -> bool {
+/// cache warmth rather than on the simulated workload. Exported so
+/// downstream tooling (the `bench_diff` envelope differ) classifies
+/// metrics exactly the way normalization does.
+pub fn is_volatile_key(key: &str) -> bool {
     key == "wall_ms"
         || key == "threads"
         || key == "memo_hit_rate"
         || key == "estimation_speedup"
         || key == "mean_estimation_speedup"
+        || key == "busy_fraction"
+        || key == "queue_wait_ms"
         || key.ends_with("wall_ms")
         || key.starts_with("xpar.")
         || key.starts_with("kcache.")
+}
+
+/// True for an array element normalization drops entirely: a
+/// `wall_only` span, whose existence (one per pool worker) depends on
+/// the thread count rather than on the workload.
+fn volatile_entry(json: &Json) -> bool {
+    json.get("wall_only") == Some(&Json::Bool(true))
 }
 
 /// Returns the report with every host-timing-dependent field removed,
 /// recursively: the schema-2 envelope fields (`wall_ms`, `threads`,
 /// `memo_hit_rate`), wall-clock-derived results
 /// (`estimation_speedup`, `mean_estimation_speedup`, any `*wall_ms`
-/// key), and the `xpar.*` / `kcache.*` metrics. Two runs of the same
-/// simulated workload — whatever the thread count or cache state —
-/// normalize to byte-identical JSON.
+/// key — including the schema-5 span fields `start_wall_ms` /
+/// `wall_ms`), the `xpar.*` / `kcache.*` metrics, and whole `wall_only`
+/// (per-worker) spans. Two runs of the same simulated workload —
+/// whatever the thread count or cache state — normalize to
+/// byte-identical JSON.
 pub fn normalize(json: &Json) -> Json {
     match json {
         Json::Obj(pairs) => Json::Obj(
             pairs
                 .iter()
-                .filter(|(k, _)| !volatile_key(k))
+                .filter(|(k, _)| !is_volatile_key(k))
                 .map(|(k, v)| (k.clone(), normalize(v)))
                 .collect(),
         ),
-        Json::Arr(items) => Json::Arr(items.iter().map(normalize).collect()),
+        Json::Arr(items) => Json::Arr(
+            items
+                .iter()
+                .filter(|item| !volatile_entry(item))
+                .map(normalize)
+                .collect(),
+        ),
         other => other.clone(),
     }
 }
@@ -497,6 +544,67 @@ mod tests {
         )
         .unwrap();
         assert!(validate(&bad_kernel).unwrap_err().contains("kernel"));
+    }
+
+    #[test]
+    fn spans_serialize_validate_and_normalize() {
+        let healthy = RunReport::new("r").with_spans(Vec::<Json>::new());
+        assert!(healthy.to_json().get("spans").is_none());
+
+        let spans = crate::span::Spans::new();
+        {
+            let _flow = spans.enter("flow");
+            {
+                let _p1 = spans.enter("phase1.characterize");
+                spans.leaf("mpn_add_n.r4", 120.0, 3, Some(0.4));
+                spans.wall_span(
+                    "xpar.worker-0",
+                    0.0,
+                    0.3,
+                    &[
+                        ("worker", Json::from(0u64)),
+                        ("busy_fraction", Json::from(0.9)),
+                    ],
+                );
+            }
+        }
+        let report = RunReport::new("fig5_adcurves").with_spans(spans.to_json_roots());
+        let parsed = json::parse(&report.render()).unwrap();
+        validate(&parsed).unwrap();
+        let n = normalize(&parsed);
+        let roots = n.get("spans").and_then(Json::as_arr).unwrap();
+        let flow = &roots[0];
+        // Deterministic skeleton survives…
+        assert_eq!(flow.get("cycles").and_then(Json::as_f64), Some(120.0));
+        assert!(flow.get("seq_start").is_some());
+        // …wall fields and per-worker spans do not.
+        assert!(flow.get("wall_ms").is_none());
+        assert!(flow.get("start_wall_ms").is_none());
+        let p1 = &flow.get("children").and_then(Json::as_arr).unwrap()[0];
+        let kids = p1.get("children").and_then(Json::as_arr).unwrap();
+        assert_eq!(kids.len(), 1, "wall_only worker span must be dropped");
+        assert_eq!(
+            kids[0].get("name").and_then(Json::as_str),
+            Some("mpn_add_n.r4")
+        );
+        // Normalized form still validates and is idempotent.
+        validate(&n).unwrap();
+        assert_eq!(normalize(&n).to_string_compact(), n.to_string_compact());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_span_trees() {
+        let bad = json::parse(
+            r#"{"schema_version":5,"report":"r","results":{},"spans":[
+                {"name":"p","seq_start":0,"seq_end":9,"cycles":0,"tasks":0,"children":[
+                    {"name":"a","seq_start":1,"seq_end":5,"cycles":0,"tasks":0},
+                    {"name":"b","seq_start":3,"seq_end":8,"cycles":0,"tasks":0}]}]}"#,
+        )
+        .unwrap();
+        assert!(validate(&bad).unwrap_err().contains("nested"));
+        let not_arr =
+            json::parse(r#"{"schema_version":5,"report":"r","results":{},"spans":7}"#).unwrap();
+        assert!(validate(&not_arr).unwrap_err().contains("spans"));
     }
 
     #[test]

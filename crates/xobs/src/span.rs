@@ -1,0 +1,747 @@
+//! Hierarchical spans: where does the methodology's budget go?
+//!
+//! The paper's phase-1/phase-2 split exists because cycle-accurate ISS
+//! time is the scarce resource; this module gives the flow a structured
+//! answer to "where did it go" without giving up the workspace's
+//! byte-identity contract. Every span carries **two clocks**:
+//!
+//! - **Deterministic fields** — a `seq` interval from a per-tree
+//!   monotone counter (every enter, exit, leaf and event consumes one
+//!   tick), simulated ISS `cycles`, and a `tasks` count. These are
+//!   functions of the workload alone: all deterministic span mutations
+//!   happen on the serial orchestration thread (task planning before a
+//!   fan-out, submission-order merge after it), so the tree is
+//!   byte-identical for `WSP_THREADS=1` and `=8`.
+//! - **Wall-clock fields** — `start_wall_ms` / `wall_ms` measured
+//!   against the tree's epoch. Host noise by definition; the names end
+//!   in `wall_ms` precisely so [`crate::report::normalize`] strips
+//!   them.
+//!
+//! Per-worker execution spans (queue wait, busy fraction) cannot be
+//! deterministic — the worker count *is* the thread count — so they are
+//! marked `wall_only: true`, consume **no** sequence ticks, and are
+//! dropped wholesale by report normalization.
+//!
+//! A [`Spans`] tree is shared by reference (`&Spans`; interior
+//! mutability) and serialized with [`Spans::to_json_roots`] into the
+//! schema-5 `spans` array of a [`crate::RunReport`]. Serialization
+//! rolls exclusive cycle/task contributions up the tree: a span's
+//! reported `cycles` is **inclusive** of its children, so the root of a
+//! flow tree equals the summed phase metrics (the contract
+//! [`validate_span_json`] and the CI smoke test check).
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// One recorded event inside a span (a degradation, a gate verdict, a
+/// retry) — a point on the deterministic sequence axis.
+#[derive(Debug, Clone)]
+struct SpanEvent {
+    name: String,
+    seq: u64,
+    attrs: Json,
+}
+
+/// One node of the span tree.
+#[derive(Debug, Clone)]
+struct SpanNode {
+    name: String,
+    /// True for host-execution spans (per-worker): no deterministic
+    /// fields, dropped by report normalization.
+    wall_only: bool,
+    seq_start: u64,
+    /// `None` while the span is open; snapshot serialization closes it
+    /// at the current sequence value.
+    seq_end: Option<u64>,
+    /// Exclusive simulated cycles credited directly to this span;
+    /// serialization reports the inclusive rollup.
+    cycles: f64,
+    /// Exclusive task count credited directly to this span.
+    tasks: u64,
+    attrs: Vec<(String, Json)>,
+    events: Vec<SpanEvent>,
+    children: Vec<usize>,
+    start_wall_ms: f64,
+    wall_ms: Option<f64>,
+}
+
+#[derive(Debug, Default)]
+struct SpanState {
+    nodes: Vec<SpanNode>,
+    roots: Vec<usize>,
+    stack: Vec<usize>,
+    seq: u64,
+}
+
+/// A shareable hierarchical span tree (see the module docs for the
+/// dual-clock determinism contract).
+#[derive(Debug)]
+pub struct Spans {
+    epoch: Instant,
+    inner: Mutex<SpanState>,
+}
+
+impl Default for Spans {
+    fn default() -> Self {
+        Spans::new()
+    }
+}
+
+impl Spans {
+    /// An empty tree whose wall clock starts now.
+    pub fn new() -> Self {
+        Spans {
+            epoch: Instant::now(),
+            inner: Mutex::new(SpanState::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SpanState> {
+        self.inner.lock().expect("span state poisoned")
+    }
+
+    /// Milliseconds since the tree's epoch (the wall axis spans are
+    /// stamped on).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// True when no span was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lock().nodes.is_empty()
+    }
+
+    /// Opens a span as a child of the innermost open span (or as a
+    /// root) and returns the guard that closes it on drop.
+    pub fn enter(&self, name: impl Into<String>) -> SpanGuard<'_> {
+        let start_wall_ms = self.elapsed_ms();
+        let mut st = self.lock();
+        let id = st.nodes.len();
+        let seq_start = st.seq;
+        st.seq += 1;
+        st.nodes.push(SpanNode {
+            name: name.into(),
+            wall_only: false,
+            seq_start,
+            seq_end: None,
+            cycles: 0.0,
+            tasks: 0,
+            attrs: Vec::new(),
+            events: Vec::new(),
+            children: Vec::new(),
+            start_wall_ms,
+            wall_ms: None,
+        });
+        match st.stack.last().copied() {
+            Some(parent) => st.nodes[parent].children.push(id),
+            None => st.roots.push(id),
+        }
+        st.stack.push(id);
+        SpanGuard {
+            spans: self,
+            id,
+            closed: false,
+        }
+    }
+
+    fn exit(&self, id: usize) {
+        let wall = self.elapsed_ms();
+        let mut st = self.lock();
+        // Close any span the caller forgot to drop first, then `id`
+        // itself; a guard dropped twice is a no-op.
+        while let Some(top) = st.stack.pop() {
+            let seq_end = st.seq;
+            st.seq += 1;
+            let node = &mut st.nodes[top];
+            node.seq_end = Some(seq_end);
+            node.wall_ms = Some(wall - node.start_wall_ms);
+            if top == id {
+                break;
+            }
+        }
+    }
+
+    /// Records an already-measured unit of work as a **closed** child
+    /// of the innermost open span: the shape every per-kernel ISS
+    /// measurement takes when the serial merge publishes results in
+    /// submission order.
+    pub fn leaf(&self, name: impl Into<String>, cycles: f64, tasks: u64, wall_ms: Option<f64>) {
+        let now = self.elapsed_ms();
+        let mut st = self.lock();
+        let id = st.nodes.len();
+        let seq_start = st.seq;
+        st.seq += 2;
+        st.nodes.push(SpanNode {
+            name: name.into(),
+            wall_only: false,
+            seq_start,
+            seq_end: Some(seq_start + 1),
+            cycles,
+            tasks,
+            attrs: Vec::new(),
+            events: Vec::new(),
+            children: Vec::new(),
+            start_wall_ms: (now - wall_ms.unwrap_or(0.0)).max(0.0),
+            wall_ms,
+        });
+        match st.stack.last().copied() {
+            Some(parent) => st.nodes[parent].children.push(id),
+            None => st.roots.push(id),
+        }
+    }
+
+    /// Records a host-execution span (`wall_only: true`) under the
+    /// innermost open span. Consumes no sequence ticks; dropped by
+    /// report normalization. `start_wall_ms` is on this tree's epoch
+    /// (see [`Spans::elapsed_ms`]).
+    pub fn wall_span(
+        &self,
+        name: impl Into<String>,
+        start_wall_ms: f64,
+        wall_ms: f64,
+        attrs: &[(&str, Json)],
+    ) {
+        let mut st = self.lock();
+        let id = st.nodes.len();
+        st.nodes.push(SpanNode {
+            name: name.into(),
+            wall_only: true,
+            seq_start: 0,
+            seq_end: Some(0),
+            cycles: 0.0,
+            tasks: 0,
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect(),
+            events: Vec::new(),
+            children: Vec::new(),
+            start_wall_ms,
+            wall_ms: Some(wall_ms),
+        });
+        match st.stack.last().copied() {
+            Some(parent) => st.nodes[parent].children.push(id),
+            None => st.roots.push(id),
+        }
+    }
+
+    /// Credits simulated cycles to the innermost open span.
+    pub fn add_cycles(&self, cycles: f64) {
+        let mut st = self.lock();
+        if let Some(&id) = st.stack.last() {
+            st.nodes[id].cycles += cycles;
+        }
+    }
+
+    /// Credits completed tasks to the innermost open span.
+    pub fn add_tasks(&self, tasks: u64) {
+        let mut st = self.lock();
+        if let Some(&id) = st.stack.last() {
+            st.nodes[id].tasks += tasks;
+        }
+    }
+
+    /// Sets (or replaces) a deterministic attribute on the innermost
+    /// open span.
+    pub fn set_attr(&self, key: &str, value: impl Into<Json>) {
+        let mut st = self.lock();
+        if let Some(&id) = st.stack.last() {
+            let attrs = &mut st.nodes[id].attrs;
+            let value = value.into();
+            match attrs.iter_mut().find(|(k, _)| k == key) {
+                Some(slot) => slot.1 = value,
+                None => attrs.push((key.to_owned(), value)),
+            }
+        }
+    }
+
+    /// Records a point event (degradation, gate verdict, retry) on the
+    /// innermost open span. `attrs` should be a JSON object.
+    pub fn event(&self, name: impl Into<String>, attrs: Json) {
+        let mut st = self.lock();
+        let seq = st.seq;
+        st.seq += 1;
+        if let Some(&id) = st.stack.last() {
+            st.nodes[id].events.push(SpanEvent {
+                name: name.into(),
+                seq,
+                attrs,
+            });
+        }
+    }
+
+    /// Serializes the root spans with inclusive cycle/task rollups.
+    /// Open spans are closed at the snapshot's sequence value without
+    /// consuming ticks, so a mid-flight snapshot stays well-formed.
+    pub fn to_json_roots(&self) -> Vec<Json> {
+        let st = self.lock();
+        st.roots.iter().map(|&r| node_json(&st, r)).collect()
+    }
+
+    /// Inclusive simulated cycles of every root summed — the figure the
+    /// CI smoke check compares against the flow's phase counters.
+    pub fn total_cycles(&self) -> f64 {
+        let st = self.lock();
+        st.roots.iter().map(|&r| inclusive(&st, r).0).sum()
+    }
+}
+
+fn inclusive(st: &SpanState, id: usize) -> (f64, u64) {
+    let node = &st.nodes[id];
+    let mut cycles = node.cycles;
+    let mut tasks = node.tasks;
+    for &c in &node.children {
+        if st.nodes[c].wall_only {
+            continue;
+        }
+        let (cc, ct) = inclusive(st, c);
+        cycles += cc;
+        tasks += ct;
+    }
+    (cycles, tasks)
+}
+
+fn node_json(st: &SpanState, id: usize) -> Json {
+    let node = &st.nodes[id];
+    if node.wall_only {
+        let mut obj = Json::obj()
+            .set("name", node.name.as_str())
+            .set("wall_only", true);
+        if !node.attrs.is_empty() {
+            let mut attrs = Json::obj();
+            for (k, v) in &node.attrs {
+                attrs = attrs.set(k, v.clone());
+            }
+            obj = obj.set("attrs", attrs);
+        }
+        obj = obj.set("start_wall_ms", node.start_wall_ms);
+        if let Some(w) = node.wall_ms {
+            obj = obj.set("wall_ms", w);
+        }
+        return obj;
+    }
+    let (cycles, tasks) = inclusive(st, id);
+    let mut obj = Json::obj()
+        .set("name", node.name.as_str())
+        .set("seq_start", node.seq_start)
+        .set("seq_end", node.seq_end.unwrap_or(st.seq))
+        .set("cycles", cycles)
+        .set("tasks", tasks);
+    if !node.attrs.is_empty() {
+        let mut attrs = Json::obj();
+        for (k, v) in &node.attrs {
+            attrs = attrs.set(k, v.clone());
+        }
+        obj = obj.set("attrs", attrs);
+    }
+    if !node.events.is_empty() {
+        let events: Vec<Json> = node
+            .events
+            .iter()
+            .map(|e| {
+                let mut ev = Json::obj().set("name", e.name.as_str()).set("seq", e.seq);
+                if !matches!(&e.attrs, Json::Obj(pairs) if pairs.is_empty()) {
+                    ev = ev.set("attrs", e.attrs.clone());
+                }
+                ev
+            })
+            .collect();
+        obj = obj.set("events", events);
+    }
+    obj = obj.set("start_wall_ms", node.start_wall_ms);
+    if let Some(w) = node.wall_ms {
+        obj = obj.set("wall_ms", w);
+    }
+    if !node.children.is_empty() {
+        let children: Vec<Json> = node.children.iter().map(|&c| node_json(st, c)).collect();
+        obj = obj.set("children", children);
+    }
+    obj
+}
+
+/// Closes its span on drop (stamping `seq_end` and `wall_ms`). Spans
+/// still open *inside* it are closed first, so a forgotten inner guard
+/// cannot corrupt the tree shape.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard<'a> {
+    spans: &'a Spans,
+    id: usize,
+    closed: bool,
+}
+
+impl SpanGuard<'_> {
+    /// Closes the span now instead of at end of scope.
+    pub fn end(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            self.spans.exit(self.id);
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialized-tree helpers (shared by report validation and the
+// `xr32-trace spans`/`chrome` subcommands).
+// ---------------------------------------------------------------------
+
+/// Checks one serialized span (as found in a schema-5 `spans` array)
+/// for well-formedness: a non-empty string name; for deterministic
+/// spans a strictly increasing `seq_start < seq_end` interval, children
+/// strictly nested inside the parent and mutually ordered, events
+/// inside the interval, and inclusive `cycles`/`tasks` no smaller than
+/// the children's sum; numeric wall fields when present.
+pub fn validate_span_json(span: &Json) -> Result<(), String> {
+    if !matches!(span, Json::Obj(_)) {
+        return Err("span must be an object".into());
+    }
+    let name = span
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("span missing string `name`")?;
+    if name.is_empty() {
+        return Err("span has empty name".into());
+    }
+    for key in ["start_wall_ms", "wall_ms"] {
+        if let Some(v) = span.get(key) {
+            if v.as_f64().is_none() {
+                return Err(format!("span `{name}`: {key} must be a number"));
+            }
+        }
+    }
+    if span.get("wall_only") == Some(&Json::Bool(true)) {
+        return Ok(()); // host-execution span: no deterministic fields.
+    }
+    let (start, end) = span_interval(span)
+        .ok_or_else(|| format!("span `{name}`: missing numeric seq_start/seq_end"))?;
+    if start >= end {
+        return Err(format!(
+            "span `{name}`: seq interval [{start}, {end}] is not increasing"
+        ));
+    }
+    let cycles = span
+        .get("cycles")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("span `{name}`: missing numeric cycles"))?;
+    let tasks = span
+        .get("tasks")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("span `{name}`: missing numeric tasks"))?;
+    if cycles < 0.0 || tasks < 0.0 {
+        return Err(format!("span `{name}`: negative cycles/tasks"));
+    }
+    if let Some(events) = span.get("events") {
+        let arr = events
+            .as_arr()
+            .ok_or_else(|| format!("span `{name}`: events must be an array"))?;
+        for ev in arr {
+            let seq = ev
+                .get("seq")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("span `{name}`: event missing numeric seq"))?;
+            if ev.get("name").and_then(Json::as_str).is_none() {
+                return Err(format!("span `{name}`: event missing string name"));
+            }
+            if seq <= start || seq >= end {
+                return Err(format!(
+                    "span `{name}`: event seq {seq} outside ({start}, {end})"
+                ));
+            }
+        }
+    }
+    let mut child_cycles = 0.0;
+    let mut prev_end = start;
+    if let Some(children) = span.get("children") {
+        let arr = children
+            .as_arr()
+            .ok_or_else(|| format!("span `{name}`: children must be an array"))?;
+        for child in arr {
+            validate_span_json(child)?;
+            if child.get("wall_only") == Some(&Json::Bool(true)) {
+                continue;
+            }
+            let (cs, ce) = span_interval(child).expect("validated child has interval");
+            if cs <= prev_end || ce >= end {
+                return Err(format!(
+                    "span `{name}`: child interval [{cs}, {ce}] not nested after {prev_end} \
+                     and inside [{start}, {end}]"
+                ));
+            }
+            prev_end = ce;
+            child_cycles += child.get("cycles").and_then(Json::as_f64).unwrap_or(0.0);
+        }
+    }
+    if child_cycles > cycles * (1.0 + 1e-9) + 1e-6 {
+        return Err(format!(
+            "span `{name}`: inclusive cycles {cycles} below children's sum {child_cycles}"
+        ));
+    }
+    Ok(())
+}
+
+fn span_interval(span: &Json) -> Option<(f64, f64)> {
+    Some((
+        span.get("seq_start").and_then(Json::as_f64)?,
+        span.get("seq_end").and_then(Json::as_f64)?,
+    ))
+}
+
+/// Renders a serialized span forest as an indented text tree (the
+/// `xr32-trace spans` output).
+pub fn render_tree(spans: &[Json]) -> String {
+    let mut out = String::new();
+    for span in spans {
+        render_node(span, 0, &mut out);
+    }
+    out
+}
+
+fn render_node(span: &Json, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let name = span.get("name").and_then(Json::as_str).unwrap_or("?");
+    if span.get("wall_only") == Some(&Json::Bool(true)) {
+        out.push_str(&format!("{indent}{name} [wall-only"));
+        if let Some(w) = span.get("wall_ms").and_then(Json::as_f64) {
+            out.push_str(&format!(" {w:.2}ms"));
+        }
+        out.push(']');
+    } else {
+        let cycles = span.get("cycles").and_then(Json::as_f64).unwrap_or(0.0);
+        let tasks = span.get("tasks").and_then(Json::as_f64).unwrap_or(0.0);
+        out.push_str(&format!("{indent}{name}  cycles={cycles} tasks={tasks}"));
+        if let Some(w) = span.get("wall_ms").and_then(Json::as_f64) {
+            out.push_str(&format!(" wall={w:.2}ms"));
+        }
+    }
+    if let Some(attrs) = span.get("attrs") {
+        out.push_str(&format!("  {}", attrs.to_string_compact()));
+    }
+    out.push('\n');
+    if let Some(events) = span.get("events").and_then(Json::as_arr) {
+        for ev in events {
+            let ev_name = ev.get("name").and_then(Json::as_str).unwrap_or("?");
+            out.push_str(&format!("{indent}  ! {ev_name}"));
+            if let Some(attrs) = ev.get("attrs") {
+                out.push_str(&format!("  {}", attrs.to_string_compact()));
+            }
+            out.push('\n');
+        }
+    }
+    if let Some(children) = span.get("children").and_then(Json::as_arr) {
+        for child in children {
+            render_node(child, depth + 1, out);
+        }
+    }
+}
+
+/// Converts a serialized span forest into Chrome trace-event JSON
+/// (`chrome://tracing` / Perfetto's legacy loader). Spans with wall
+/// timestamps become complete (`ph:"X"`) events on their wall
+/// interval; spans without become 1-tick events on the deterministic
+/// sequence axis. Worker (`wall_only`) spans land on separate tracks
+/// (`tid` ≥ 2); events become instants (`ph:"i"`).
+pub fn to_chrome_trace(spans: &[Json]) -> Json {
+    let mut events = Vec::new();
+    for span in spans {
+        chrome_node(span, &mut events);
+    }
+    Json::obj()
+        .set("traceEvents", events)
+        .set("displayTimeUnit", "ms")
+}
+
+fn chrome_node(span: &Json, out: &mut Vec<Json>) {
+    let name = span.get("name").and_then(Json::as_str).unwrap_or("?");
+    let wall_only = span.get("wall_only") == Some(&Json::Bool(true));
+    let tid: u64 = if wall_only {
+        2 + span
+            .get("attrs")
+            .and_then(|a| a.get("worker"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64
+    } else {
+        1
+    };
+    // Wall interval when stamped, else the deterministic seq interval
+    // (1 tick = 1 µs) so cycle-only trees still render.
+    let (ts_us, dur_us) = match (
+        span.get("start_wall_ms").and_then(Json::as_f64),
+        span.get("wall_ms").and_then(Json::as_f64),
+    ) {
+        (Some(s), Some(d)) => (s * 1e3, (d * 1e3).max(0.01)),
+        _ => match span_interval(span) {
+            Some((s, e)) => (s, (e - s).max(0.01)),
+            None => (0.0, 0.01),
+        },
+    };
+    let mut args = Json::obj();
+    for key in ["cycles", "tasks"] {
+        if let Some(v) = span.get(key) {
+            args = args.set(key, v.clone());
+        }
+    }
+    if let Some(Json::Obj(pairs)) = span.get("attrs") {
+        for (k, v) in pairs {
+            args = args.set(k, v.clone());
+        }
+    }
+    out.push(
+        Json::obj()
+            .set("name", name)
+            .set("ph", "X")
+            .set("pid", 1u64)
+            .set("tid", tid)
+            .set("ts", ts_us)
+            .set("dur", dur_us)
+            .set("args", args),
+    );
+    if let Some(evs) = span.get("events").and_then(Json::as_arr) {
+        for ev in evs {
+            let ev_name = ev.get("name").and_then(Json::as_str).unwrap_or("?");
+            let mut inst = Json::obj()
+                .set("name", format!("{name}:{ev_name}"))
+                .set("ph", "i")
+                .set("pid", 1u64)
+                .set("tid", tid)
+                .set("ts", ts_us)
+                .set("s", "t");
+            if let Some(attrs) = ev.get("attrs") {
+                inst = inst.set("args", attrs.clone());
+            }
+            out.push(inst);
+        }
+    }
+    if let Some(children) = span.get("children").and_then(Json::as_arr) {
+        for child in children {
+            chrome_node(child, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enter_exit_builds_nested_intervals() {
+        let spans = Spans::new();
+        {
+            let _flow = spans.enter("flow");
+            {
+                let _p1 = spans.enter("phase1");
+                spans.leaf("mpn_add_n.r4", 100.0, 3, Some(0.5));
+                spans.leaf("mpn_sub_n.r4", 50.0, 3, None);
+            }
+            spans.event("degradation", Json::obj().set("action", "bad-fit"));
+        }
+        let roots = spans.to_json_roots();
+        assert_eq!(roots.len(), 1);
+        validate_span_json(&roots[0]).unwrap();
+        // Inclusive rollup: flow == phase1 == 150 cycles, 6 tasks.
+        assert_eq!(roots[0].get("cycles").and_then(Json::as_f64), Some(150.0));
+        assert_eq!(roots[0].get("tasks").and_then(Json::as_f64), Some(6.0));
+        assert_eq!(spans.total_cycles(), 150.0);
+        let p1 = &roots[0].get("children").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(p1.get("cycles").and_then(Json::as_f64), Some(150.0));
+        let ev = &roots[0].get("events").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(ev.get("name").and_then(Json::as_str), Some("degradation"));
+    }
+
+    #[test]
+    fn wall_spans_carry_no_deterministic_fields() {
+        let spans = Spans::new();
+        {
+            let _p = spans.enter("phase");
+            spans.wall_span(
+                "xpar.worker-0",
+                0.0,
+                1.25,
+                &[
+                    ("worker", Json::from(0u64)),
+                    ("busy_fraction", Json::from(0.8)),
+                ],
+            );
+        }
+        let roots = spans.to_json_roots();
+        validate_span_json(&roots[0]).unwrap();
+        let w = &roots[0].get("children").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(w.get("wall_only"), Some(&Json::Bool(true)));
+        assert!(w.get("seq_start").is_none());
+        assert!(w.get("cycles").is_none());
+        // Wall-only children do not pollute the parent rollup.
+        assert_eq!(roots[0].get("cycles").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn forgotten_inner_guard_still_yields_wellformed_tree() {
+        let spans = Spans::new();
+        let outer = spans.enter("outer");
+        let _inner = spans.enter("inner");
+        outer.end(); // closes inner first, then outer
+        let roots = spans.to_json_roots();
+        assert_eq!(roots.len(), 1);
+        validate_span_json(&roots[0]).unwrap();
+    }
+
+    #[test]
+    fn snapshot_of_open_span_is_wellformed() {
+        let spans = Spans::new();
+        let _g = spans.enter("open");
+        spans.leaf("done", 10.0, 1, None);
+        let roots = spans.to_json_roots();
+        validate_span_json(&roots[0]).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_overlapping_siblings() {
+        let bad = crate::json::parse(
+            r#"{"name":"p","seq_start":0,"seq_end":9,"cycles":0,"tasks":0,"children":[
+                {"name":"a","seq_start":1,"seq_end":5,"cycles":0,"tasks":0},
+                {"name":"b","seq_start":4,"seq_end":8,"cycles":0,"tasks":0}]}"#,
+        )
+        .unwrap();
+        assert!(validate_span_json(&bad).unwrap_err().contains("nested"));
+    }
+
+    #[test]
+    fn validator_rejects_cycles_below_children() {
+        let bad = crate::json::parse(
+            r#"{"name":"p","seq_start":0,"seq_end":9,"cycles":5,"tasks":0,"children":[
+                {"name":"a","seq_start":1,"seq_end":2,"cycles":50,"tasks":0}]}"#,
+        )
+        .unwrap();
+        assert!(validate_span_json(&bad).unwrap_err().contains("below"));
+    }
+
+    #[test]
+    fn tree_and_chrome_render() {
+        let spans = Spans::new();
+        {
+            let _f = spans.enter("flow");
+            spans.leaf("k", 10.0, 1, Some(0.25));
+            spans.wall_span("xpar.worker-1", 0.1, 0.2, &[("worker", Json::from(1u64))]);
+        }
+        let roots = spans.to_json_roots();
+        let text = render_tree(&roots);
+        assert!(text.contains("flow"));
+        assert!(text.contains("cycles=10"));
+        assert!(text.contains("wall-only"));
+        let chrome = to_chrome_trace(&roots);
+        let evs = chrome.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(evs.len(), 3);
+        assert!(evs.iter().all(|e| e.get("ph").is_some()));
+        // The worker span lands on its own track.
+        assert_eq!(evs[2].get("tid").and_then(Json::as_f64), Some(3.0));
+    }
+}

@@ -1,11 +1,13 @@
 //! Property tests for the observability primitives: JSON round-trips,
-//! binary-trace round-trips, and attribution conservation laws.
+//! binary-trace round-trips, attribution conservation laws, and span
+//! tree well-formedness.
 
 use proptest::prelude::*;
 
 use xobs::attrib::Attribution;
 use xobs::bintrace::{decode_trace, BinaryTraceWriter};
 use xobs::json::{self, Json};
+use xobs::span::{validate_span_json, Spans};
 use xobs::trace::{CacheSide, OwnedEvent, TraceSink};
 
 /// A strategy producing arbitrary JSON trees of bounded depth.
@@ -74,7 +76,123 @@ fn arb_callret() -> impl Strategy<Value = (Vec<OwnedEvent>, u64)> {
     })
 }
 
+/// One span-tree mutation, as produced by [`arb_span_ops`].
+#[derive(Debug, Clone)]
+enum SpanOp {
+    Enter(u8),
+    Exit,
+    Leaf(u16, u8),
+    Event(u8),
+    AddCycles(u16),
+    AddTasks(u8),
+    WallSpan(u8),
+}
+
+/// A strategy for arbitrary span-op sequences. Exits may outnumber
+/// enters (they become no-ops on an empty stack) and enters may go
+/// unclosed (the trailing guards close on drop), so the builder's
+/// robustness is part of what's exercised.
+fn arb_span_ops() -> impl Strategy<Value = Vec<SpanOp>> {
+    let op = (any::<u8>(), any::<u16>(), any::<u8>()).prop_map(|(kind, n, m)| match kind % 7 {
+        0 | 1 => SpanOp::Enter(m),
+        2 => SpanOp::Exit,
+        3 => SpanOp::Leaf(n, m),
+        4 => SpanOp::Event(m),
+        5 => SpanOp::AddCycles(n),
+        _ => {
+            if m % 2 == 0 {
+                SpanOp::AddTasks(m)
+            } else {
+                SpanOp::WallSpan(m)
+            }
+        }
+    });
+    prop::collection::vec(op, 0..40)
+}
+
+/// Replays an op sequence onto a fresh tree and returns it together
+/// with the cycles that must appear in the inclusive rollup.
+fn build_spans(ops: &[SpanOp]) -> (Spans, f64) {
+    let spans = Spans::new();
+    let mut guards = Vec::new();
+    let mut expected_cycles = 0.0f64;
+    for op in ops {
+        match op {
+            SpanOp::Enter(m) => guards.push(spans.enter(format!("phase{m}"))),
+            SpanOp::Exit => {
+                if let Some(g) = guards.pop() {
+                    g.end();
+                }
+            }
+            SpanOp::Leaf(n, m) => {
+                let cycles = f64::from(*n);
+                spans.leaf(format!("unit{m}"), cycles, u64::from(*m), Some(0.25));
+                expected_cycles += cycles;
+            }
+            SpanOp::Event(m) => spans.event("event", Json::obj().set("k", u64::from(*m))),
+            SpanOp::AddCycles(n) => {
+                let cycles = f64::from(*n);
+                spans.add_cycles(cycles);
+                // Credited to the innermost open span only; dropped on
+                // an empty stack.
+                if !guards.is_empty() {
+                    expected_cycles += cycles;
+                }
+            }
+            SpanOp::AddTasks(m) => spans.add_tasks(u64::from(*m)),
+            SpanOp::WallSpan(m) => spans.wall_span(
+                format!("xpar.worker-{}", m % 4),
+                f64::from(*m),
+                0.5,
+                &[("worker", Json::from(u64::from(*m % 4)))],
+            ),
+        }
+    }
+    drop(guards);
+    (spans, expected_cycles)
+}
+
 proptest! {
+    /// Well-formedness: whatever the op sequence — unbalanced guards,
+    /// events on an empty stack, wall-only spans anywhere — every
+    /// serialized root passes the schema-5 span validator, and the
+    /// inclusive rollup over the forest equals exactly the cycles
+    /// credited through `leaf`/`add_cycles`.
+    #[test]
+    fn span_trees_are_wellformed_and_conserve_cycles(ops in arb_span_ops()) {
+        let (spans, expected_cycles) = build_spans(&ops);
+        let roots = spans.to_json_roots();
+        for root in &roots {
+            prop_assert!(
+                validate_span_json(root).is_ok(),
+                "invalid span: {:?} from {:?}",
+                validate_span_json(root),
+                root
+            );
+        }
+        let rollup: f64 = roots
+            .iter()
+            .filter(|r| r.get("wall_only") != Some(&Json::Bool(true)))
+            .map(|r| r.get("cycles").and_then(Json::as_f64).unwrap_or(0.0))
+            .sum();
+        prop_assert!((rollup - expected_cycles).abs() < 1e-6);
+        prop_assert!((spans.total_cycles() - expected_cycles).abs() < 1e-6);
+    }
+
+    /// Determinism: two trees built from the same op sequence serialize
+    /// to byte-identical JSON once report normalization strips the wall
+    /// stamps and the wall-only (per-worker) spans — the contract that
+    /// lets schema-5 reports diff across thread counts.
+    #[test]
+    fn span_trees_normalize_reproducibly(ops in arb_span_ops()) {
+        let (a, _) = build_spans(&ops);
+        let (b, _) = build_spans(&ops);
+        let norm = |s: &Spans| {
+            xobs::report::normalize(&Json::from(s.to_json_roots())).to_string_compact()
+        };
+        prop_assert_eq!(norm(&a), norm(&b));
+    }
+
     #[test]
     fn json_round_trips(j in arb_json()) {
         let compact = j.to_string_compact();

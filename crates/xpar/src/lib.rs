@@ -33,6 +33,7 @@
 
 pub mod memo;
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -73,12 +74,62 @@ impl PoolStats {
     }
 }
 
+/// Host-execution record of one worker's share of a [`Pool::par_map`]
+/// job: its contiguous chunk, when it actually started relative to job
+/// submission (queue wait), and how long it stayed busy. Wall-clock
+/// facts only — observability input, never workload input.
+#[derive(Debug, Clone)]
+pub struct WorkerTrace {
+    /// Worker index within the job (0-based, chunk order).
+    pub worker: usize,
+    /// First item index of the worker's chunk.
+    pub lo: usize,
+    /// One past the last item index of the worker's chunk.
+    pub hi: usize,
+    /// Delay between job submission and the worker's first item.
+    pub queue_wait_nanos: u128,
+    /// Time the worker spent processing its chunk.
+    pub busy_nanos: u128,
+}
+
+/// Host-execution record of one [`Pool::par_map`] call, drained by the
+/// observability layer via [`Pool::take_job_traces`] when tracing is
+/// enabled ([`Pool::set_tracing`]).
+#[derive(Debug, Clone)]
+pub struct JobTrace {
+    /// Items the job processed.
+    pub items: usize,
+    /// Total job wall time (submission to last merge).
+    pub wall_nanos: u128,
+    /// One record per spawned worker (a single record for inline runs).
+    pub workers: Vec<WorkerTrace>,
+}
+
+impl JobTrace {
+    /// Fraction of `workers × wall` capacity spent busy.
+    pub fn busy_fraction(&self) -> f64 {
+        let capacity = self.wall_nanos.saturating_mul(self.workers.len() as u128);
+        if capacity == 0 {
+            return 0.0;
+        }
+        let busy: u128 = self.workers.iter().map(|w| w.busy_nanos).sum();
+        busy as f64 / capacity as f64
+    }
+}
+
+/// Traces retained before the oldest are dropped — a backstop so a
+/// long-lived pool whose owner never drains (tracing enabled but no
+/// observer attached) cannot grow without bound.
+const MAX_JOB_TRACES: usize = 1024;
+
 /// A fixed-width scoped worker pool (see the crate docs for the
 /// determinism contract).
 #[derive(Debug)]
 pub struct Pool {
     threads: usize,
     stats: Mutex<PoolStats>,
+    tracing: AtomicBool,
+    traces: Mutex<Vec<JobTrace>>,
 }
 
 impl Pool {
@@ -87,6 +138,8 @@ impl Pool {
         Pool {
             threads: threads.max(1),
             stats: Mutex::new(PoolStats::default()),
+            tracing: AtomicBool::new(false),
+            traces: Mutex::new(Vec::new()),
         }
     }
 
@@ -116,6 +169,31 @@ impl Pool {
         self.stats().utilization()
     }
 
+    /// Enables or disables per-job execution tracing. Off by default:
+    /// tracing allocates one [`JobTrace`] per `par_map` call, which
+    /// only pays off when an observer drains them.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Ordering::Relaxed);
+        if !on {
+            self.traces.lock().expect("pool traces poisoned").clear();
+        }
+    }
+
+    /// Drains the job traces recorded since the previous drain (empty
+    /// when tracing is off). Traces never influence results — they are
+    /// wall-clock observability only.
+    pub fn take_job_traces(&self) -> Vec<JobTrace> {
+        std::mem::take(&mut *self.traces.lock().expect("pool traces poisoned"))
+    }
+
+    fn record_trace(&self, trace: JobTrace) {
+        let mut traces = self.traces.lock().expect("pool traces poisoned");
+        if traces.len() >= MAX_JOB_TRACES {
+            traces.remove(0);
+        }
+        traces.push(trace);
+    }
+
     /// Applies `f` to every item and returns the results in item order.
     ///
     /// `f` receives `(index, &item)`. Items are split into contiguous
@@ -134,8 +212,24 @@ impl Pool {
         F: Fn(usize, &T) -> R + Sync,
     {
         let n = items.len();
+        let tracing = self.tracing.load(Ordering::Relaxed);
         if self.threads == 1 || n <= 1 {
+            let t0 = Instant::now();
             let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            if tracing {
+                let busy = t0.elapsed().as_nanos();
+                self.record_trace(JobTrace {
+                    items: n,
+                    wall_nanos: busy,
+                    workers: vec![WorkerTrace {
+                        worker: 0,
+                        lo: 0,
+                        hi: n,
+                        queue_wait_nanos: 0,
+                        busy_nanos: busy,
+                    }],
+                });
+            }
             let mut stats = self.stats.lock().expect("pool stats poisoned");
             stats.items += n as u64;
             return out;
@@ -147,6 +241,7 @@ impl Pool {
         let workers = n.div_ceil(chunk);
         let job_start = Instant::now();
         let mut busy_nanos = 0u128;
+        let mut worker_traces: Vec<WorkerTrace> = Vec::new();
         let mut out: Vec<R> = Vec::with_capacity(n);
         std::thread::scope(|scope| {
             let f = &f;
@@ -155,21 +250,32 @@ impl Pool {
                     let lo = w * chunk;
                     let hi = ((w + 1) * chunk).min(n);
                     let slice = &items[lo..hi];
-                    scope.spawn(move || {
+                    let handle = scope.spawn(move || {
+                        let queue_wait = job_start.elapsed().as_nanos();
                         let t0 = Instant::now();
                         let res: Vec<R> = slice
                             .iter()
                             .enumerate()
                             .map(|(j, t)| f(lo + j, t))
                             .collect();
-                        (res, t0.elapsed())
-                    })
+                        (res, queue_wait, t0.elapsed())
+                    });
+                    (lo, hi, handle)
                 })
                 .collect();
-            for h in handles {
+            for (w, (lo, hi, h)) in handles.into_iter().enumerate() {
                 match h.join() {
-                    Ok((res, busy)) => {
+                    Ok((res, queue_wait, busy)) => {
                         busy_nanos += busy.as_nanos();
+                        if tracing {
+                            worker_traces.push(WorkerTrace {
+                                worker: w,
+                                lo,
+                                hi,
+                                queue_wait_nanos: queue_wait,
+                                busy_nanos: busy.as_nanos(),
+                            });
+                        }
                         out.extend(res);
                     }
                     Err(panic) => std::panic::resume_unwind(panic),
@@ -177,6 +283,13 @@ impl Pool {
             }
         });
         let wall = job_start.elapsed().as_nanos();
+        if tracing {
+            self.record_trace(JobTrace {
+                items: n,
+                wall_nanos: wall,
+                workers: worker_traces,
+            });
+        }
         let mut stats = self.stats.lock().expect("pool stats poisoned");
         stats.jobs += 1;
         stats.items += n as u64;
@@ -337,6 +450,44 @@ mod tests {
         assert_eq!(stats.items, 64);
         let u = stats.utilization();
         assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+    }
+
+    #[test]
+    fn job_traces_record_chunks_and_never_results() {
+        let items: Vec<u32> = (0..20).collect();
+        let pool = Pool::new(4);
+        // Off by default: nothing recorded.
+        let _ = pool.par_map(&items, |i, v| i as u32 + v);
+        assert!(pool.take_job_traces().is_empty());
+
+        pool.set_tracing(true);
+        let expect = pool.par_map(&items, |i, v| i as u32 + v);
+        let traces = pool.take_job_traces();
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.items, 20);
+        assert_eq!(t.workers.len(), 4);
+        // Chunks tile [0, n) contiguously in worker order.
+        let mut lo = 0;
+        for (w, wt) in t.workers.iter().enumerate() {
+            assert_eq!(wt.worker, w);
+            assert_eq!(wt.lo, lo);
+            lo = wt.hi;
+        }
+        assert_eq!(lo, 20);
+        let bf = t.busy_fraction();
+        assert!((0.0..=1.0 + 1e-9).contains(&bf), "busy fraction {bf}");
+        // Drained means drained.
+        assert!(pool.take_job_traces().is_empty());
+        // Inline path records a single-worker trace.
+        let serial = Pool::new(1);
+        serial.set_tracing(true);
+        let expect_serial = serial.par_map(&items, |i, v| i as u32 + v);
+        assert_eq!(expect, expect_serial);
+        let st = serial.take_job_traces();
+        assert_eq!(st.len(), 1);
+        assert_eq!(st[0].workers.len(), 1);
+        assert_eq!((st[0].workers[0].lo, st[0].workers[0].hi), (0, 20));
     }
 
     #[test]

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Collect every bench binary's structured `--json` run report into one
-# machine-readable BENCH_3.json document. Each report is validated
+# machine-readable BENCH_7.json document. Each report is validated
 # against the xobs schema (via `xr32-trace check-report`) before it is
 # admitted. Set RUN_MICROBENCH=1 to also run the criterion suites and
 # fold their stable `BENCH,<name>,<median_ns>` lines into the output.
+#
+# Compare two collected envelopes with `bench_diff old.json new.json`
+# (ci.sh gates on the committed baseline this way).
 #
 # usage: scripts/bench_report.sh [out.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_3.json}
+OUT=${1:-BENCH_7.json}
 BIN=target/release
 
 cargo build --release -q --package bench

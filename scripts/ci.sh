@@ -54,6 +54,14 @@ for run in "sec43_exploration --json 128 2" "fig5_adcurves --json 8"; do
   echo "ci: $name deterministic across thread counts"
 done
 
+# Span-smoke gate: schema-5 reports must carry a populated span tree
+# (`xr32-trace spans` exits non-zero on an empty or missing one) whose
+# Chrome export converts cleanly.
+SPANS=$(target/release/fig5_adcurves --json 8)
+target/release/xr32-trace spans - <<<"$SPANS" >/dev/null
+target/release/xr32-trace chrome - <<<"$SPANS" | grep -q '"traceEvents"'
+echo "ci: span smoke ok (fig5_adcurves emits a populated span tree)"
+
 # Perf smoke: a small exploration must finish within a generous wall
 # budget, and a warm re-run against the same kernel-cycle cache must
 # actually hit it (memo_hit_rate > 0).
@@ -125,3 +133,18 @@ if ! grep -q '"degradations"' <<<"$DEGRADED"; then
   exit 1
 fi
 echo "ci: fault smoke ok (campaign deterministic, fig8 degrades gracefully)"
+
+# Bench-envelope regression gates. First the historical diff: the
+# committed BENCH_7 envelope must not regress any deterministic metric
+# against the committed BENCH_2 baseline beyond the documented 3%
+# legacy drift (model/registry evolution across the intervening
+# changes). Then the reproducibility diff: a freshly collected
+# envelope must match the committed BENCH_7 *exactly* once normalized
+# — any deterministic delta is a regression introduced by the working
+# tree.
+target/release/bench_diff --tol 3 BENCH_2.json BENCH_7.json >/dev/null
+FRESH=$(mktemp /tmp/ci_bench.XXXXXX.json)
+trap 'rm -f "$TRACE" "$FRESH"; rm -rf "$DET" "$KREG" "$FAULT"' EXIT
+scripts/bench_report.sh "$FRESH" >/dev/null 2>&1
+target/release/bench_diff BENCH_7.json "$FRESH"
+echo "ci: bench envelope gates ok (BENCH_2 -> BENCH_7 within drift, fresh run exact)"
