@@ -1,0 +1,220 @@
+//! `fastpath_gate` — the dual-fidelity co-simulation and speedup gate.
+//!
+//! Runs the kreg golden-reference verification workload (every
+//! register-convention kernel, both radices, a deterministic size ×
+//! seed lattice) twice: once on the pre-decoded fast path and once on
+//! the cycle-accurate pipeline. For every kernel sweep it compares the
+//! end-of-sweep architectural state (final registers, whole-memory
+//! digest, retired-instruction count) between the two engines, then
+//! checks that the fast path beat the cycle-accurate engine by at
+//! least the required wall-clock factor.
+//!
+//! ```text
+//! fastpath_gate [--json] [min_speedup] [passes]
+//! ```
+//!
+//! `min_speedup` (default 3) is the gate bound — pass `0` to skip the
+//! timing check (co-simulation agreement is always enforced). `passes`
+//! (default 3) repeats the workload to stabilize the timing.
+//!
+//! Exits non-zero on any architectural divergence between the engines,
+//! on any kernel error, or when the measured speedup falls below the
+//! bound. Under `--json` emits a schema-6 run report carrying the
+//! `verify.fast_path.{sweeps,insns,wall_ms}` metrics and a
+//! `fidelity_summary` envelope field.
+
+use bench::{Cli, Harness};
+use kreg::LibKind;
+use secproc::issops::{ArchState, IssMpn};
+use std::process::ExitCode;
+use std::time::Instant;
+use xobs::{Json, Registry, RunReport};
+use xr32::config::CpuConfig;
+use xr32::Fidelity;
+
+/// The verification lattice: operand sizes crossing lane boundaries
+/// (1..=4), typical mpn operand lengths, and two larger points where
+/// the interpreter overhead dominates.
+const SIZES: [usize; 10] = [1, 2, 3, 4, 8, 16, 64, 128, 256, 512];
+
+/// One engine's pass over the whole workload.
+struct EngineRun {
+    /// `(kernel, arch32, arch16)` captured after each kernel's sweep.
+    states: Vec<(&'static str, ArchState, ArchState)>,
+    /// Kernel sweeps executed (kernel × radix × size).
+    sweeps: u64,
+    /// Retired instructions across both cores.
+    insns: u64,
+    /// Rendered kernel errors (must be empty).
+    errors: Vec<String>,
+    wall_ms: f64,
+}
+
+/// Runs the golden-verification workload `passes` times on `fidelity`.
+/// The stimulus stream is fixed, so both engines and every pass see
+/// byte-identical inputs.
+fn run_workload(config: &CpuConfig, fidelity: Fidelity, passes: usize) -> EngineRun {
+    // One provider per engine run: library assembly and core setup are
+    // paid once, so the timing compares execution engines, not setup.
+    let mut iss = IssMpn::base(config.clone());
+    iss.set_fidelity(fidelity);
+    let mut states = Vec::new();
+    let mut sweeps = 0u64;
+    let mut errors = Vec::new();
+    let mut sweep_once = |iss: &mut IssMpn, pass: usize, states: Option<&mut Vec<_>>| {
+        let mut captured = states;
+        for desc in kreg::registry().iter().filter(|d| d.lib == LibKind::Mpn) {
+            for (i, &n) in SIZES.iter().enumerate() {
+                let seed = 0x600D_5EED ^ ((pass as u64) << 32) ^ (i as u64);
+                if iss.verify32(desc.id, n, seed).is_ok() {
+                    sweeps += 1;
+                }
+                if iss.verify16(desc.id, n, seed).is_ok() {
+                    sweeps += 1;
+                }
+            }
+            errors.extend(iss.take_kernel_errors().iter().map(|e| e.to_string()));
+            if let Some(states) = captured.as_deref_mut() {
+                states.push((desc.id.name(), iss.arch_state32(), iss.arch_state16()));
+            }
+        }
+    };
+    // Untimed co-simulation pass: the per-kernel architectural-state
+    // digests are host hashing work common to both engines, and would
+    // otherwise drown the execution-engine difference being measured.
+    sweep_once(&mut iss, passes, Some(&mut states));
+    let t0 = Instant::now();
+    for pass in 0..passes {
+        sweep_once(&mut iss, pass, None);
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let insns = iss.arch_state32().retired + iss.arch_state16().retired;
+    EngineRun {
+        states,
+        sweeps,
+        insns,
+        errors,
+        wall_ms,
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = Cli::parse();
+    let config = CpuConfig::default();
+    let harness = Harness::from_env();
+    let min_speedup = cli.pos_usize(0, 3);
+    let passes = cli.pos_usize(1, 3).max(1);
+
+    let fast = run_workload(&config, Fidelity::Fast, passes);
+    let accurate = run_workload(&config, Fidelity::CycleAccurate, passes);
+
+    // Co-simulation: every kernel sweep's architectural state must be
+    // bit-identical between the engines.
+    let mut violations = Vec::new();
+    let mismatches: Vec<&str> = fast
+        .states
+        .iter()
+        .zip(&accurate.states)
+        .filter(|(f, a)| f != a)
+        .map(|(f, _)| f.0)
+        .collect();
+    if !mismatches.is_empty() {
+        violations.push(format!(
+            "architectural divergence fast vs accurate on: {}",
+            mismatches.join(", ")
+        ));
+    }
+    if fast.sweeps != accurate.sweeps || fast.insns != accurate.insns {
+        violations.push(format!(
+            "work disagreement: fast {}sw/{}in vs accurate {}sw/{}in",
+            fast.sweeps, fast.insns, accurate.sweeps, accurate.insns
+        ));
+    }
+    for e in fast.errors.iter().chain(&accurate.errors) {
+        violations.push(format!("kernel error: {e}"));
+    }
+    let speedup = if fast.wall_ms > 0.0 {
+        accurate.wall_ms / fast.wall_ms
+    } else {
+        f64::INFINITY
+    };
+    if min_speedup > 0 && speedup < min_speedup as f64 {
+        violations.push(format!(
+            "fast path speedup {speedup:.2}x below required {min_speedup}x \
+             (fast {:.2}ms vs accurate {:.2}ms)",
+            fast.wall_ms, accurate.wall_ms
+        ));
+    }
+
+    if cli.json {
+        let metrics = Registry::new();
+        metrics.counter("verify.fast_path.sweeps").add(fast.sweeps);
+        metrics.counter("verify.fast_path.insns").add(fast.insns);
+        metrics.gauge("verify.fast_path.wall_ms").set(fast.wall_ms);
+        metrics
+            .gauge("verify.accurate.wall_ms")
+            .set(accurate.wall_ms);
+        harness.record_metrics(&metrics);
+        let report = RunReport::new("fastpath_gate")
+            .with_fingerprint(config.fingerprint())
+            .result("min_speedup", min_speedup as u64)
+            .result("passes", passes as u64)
+            .result("kernels", fast.states.len() as u64)
+            .result("sweeps", fast.sweeps)
+            .result("insns", fast.insns)
+            .result("cosim_mismatches", mismatches.len() as u64)
+            .result("fast_wall_ms", fast.wall_ms)
+            .result("accurate_wall_ms", accurate.wall_ms)
+            .result("fast_path_speedup", speedup)
+            .result(
+                "violations",
+                Json::Arr(violations.iter().map(|v| Json::from(v.as_str())).collect()),
+            )
+            .with_fidelity_summary(
+                Json::obj()
+                    .set(
+                        "fast",
+                        Json::obj()
+                            .set("sweeps", fast.sweeps)
+                            .set("insns", fast.insns),
+                    )
+                    .set(
+                        "accurate",
+                        Json::obj()
+                            .set("sweeps", accurate.sweeps)
+                            .set("insns", accurate.insns),
+                    ),
+            )
+            .with_metrics(metrics.snapshot());
+        bench::emit_report(&harness.finish(report));
+    } else {
+        println!(
+            "fastpath_gate — {} kernels x {} sizes x 2 radices x {passes} passes",
+            fast.states.len(),
+            SIZES.len()
+        );
+        println!(
+            "  co-sim: {}/{} kernel sweeps bit-identical",
+            fast.states.len() - mismatches.len(),
+            fast.states.len()
+        );
+        println!(
+            "  fast     {:8.2}ms  {:>10} insns  {} sweeps",
+            fast.wall_ms, fast.insns, fast.sweeps
+        );
+        println!(
+            "  accurate {:8.2}ms  {:>10} insns  {} sweeps",
+            accurate.wall_ms, accurate.insns, accurate.sweeps
+        );
+        println!("  speedup  {speedup:8.2}x  (required >= {min_speedup}x)");
+        for v in &violations {
+            eprintln!("fastpath_gate: VIOLATION: {v}");
+        }
+    }
+
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

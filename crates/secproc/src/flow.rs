@@ -37,8 +37,6 @@
 //! whole flow — results *and* degradation log — stays bit-identical
 //! for any thread count.
 //!
-//! The free functions at the bottom of this module are the pre-`FlowCtx`
-//! API, kept as thin deprecated shims.
 
 use crate::genvar::{self, AdmittedVariant, GeneratedVariantRecord};
 use crate::issops::{IssMpn, KernelVariant};
@@ -464,8 +462,9 @@ impl<'a> FlowCtx<'a> {
     ///
     /// When a metrics registry is attached, publishes
     /// `flow.phase1.iss_cycles`, `flow.phase1.ops_characterized`,
-    /// `flow.phase1.mean_abs_error_pct`, `flow.phase1.wall_ms`, plus
-    /// the `charact.*` metrics of every fit.
+    /// `flow.phase1.mean_abs_error_pct`, `flow.phase1.wall_ms`,
+    /// `flow.phase1.iss_wall_ms` (host time inside ISS measurement
+    /// units), plus the `charact.*` metrics of every fit.
     ///
     /// The result — models, quality, degradation log, and every
     /// published metric except `*wall_ms` — is bit-identical for any
@@ -598,9 +597,11 @@ impl<'a> FlowCtx<'a> {
         let mut models32 = BTreeMap::new();
         let mut models16 = BTreeMap::new();
         let mut quality = BTreeMap::new();
+        let mut iss_wall_ms = 0.0;
         for (t, (ch, sim_cycles, outcome, unit_wall_ms)) in tasks.iter().zip(fitted) {
             self.absorb(outcome);
             iss_cycles.add(sim_cycles);
+            iss_wall_ms += unit_wall_ms;
             ops_done.inc();
             if self.metrics.is_some() {
                 reg.counter("charact.stimuli_run").add(t.plan.len() as u64);
@@ -651,6 +652,9 @@ impl<'a> FlowCtx<'a> {
             .set(models.mean_abs_error_pct());
         reg.gauge("flow.phase1.wall_ms")
             .set(t0.elapsed().as_secs_f64() * 1e3);
+        // Host time spent inside ISS measurement units (the part a
+        // fidelity change moves), as distinct from whole-phase wall.
+        reg.gauge("flow.phase1.iss_wall_ms").set(iss_wall_ms);
         models
     }
 
@@ -862,6 +866,11 @@ impl<'a> FlowCtx<'a> {
                         let gen_span = self
                             .spans
                             .map(|sp| sp.enter(format!("xopt.generate.{}", desc.id.name())));
+                        if let Some(sp) = self.spans {
+                            // Golden admission sweeps run on the
+                            // pre-decoded fast path.
+                            sp.set_attr("fidelity", "fast");
+                        }
                         let outcomes = genvar::admitted_variants(desc, self.config);
                         if let Some(sp) = self.spans {
                             sp.add_tasks(outcomes.len() as u64);
@@ -1213,11 +1222,12 @@ impl<'a> FlowCtx<'a> {
         let t0 = Instant::now();
         let measure_leaf = |cycles: f64| {
             if let Some(sp) = self.spans {
-                sp.leaf(
+                sp.leaf_with(
                     format!("measure.{}@{}", kernel.name(), variant.tag()),
                     cycles,
                     1,
                     Some(t0.elapsed().as_secs_f64() * 1e3),
+                    &[("fidelity", Json::from("accurate"))],
                 );
             }
         };
@@ -1812,241 +1822,6 @@ struct PendingRecord {
     gen_task: Option<usize>,
 }
 
-// ---------------------------------------------------------------------
-// Deprecated pre-FlowCtx API: thin shims over the context methods. Each
-// shim builds a throwaway default-policy context, so behavior (and
-// every RNG / cache-key stream) is bit-identical to the historical free
-// functions.
-// ---------------------------------------------------------------------
-
-/// Phase 1 with the default pool and no cache.
-#[deprecated(since = "0.1.0", note = "use FlowCtx::characterize")]
-pub fn characterize_kernels(
-    config: &CpuConfig,
-    variant: KernelVariant,
-    max_limbs: usize,
-    options: &CharactOptions,
-) -> KernelModels {
-    FlowCtx::new(config)
-        .with_variant(variant)
-        .characterize(max_limbs, options)
-}
-
-/// Phase 1 with optional metrics.
-#[deprecated(
-    since = "0.1.0",
-    note = "use FlowCtx::with_metrics + FlowCtx::characterize"
-)]
-pub fn characterize_kernels_metered(
-    config: &CpuConfig,
-    variant: KernelVariant,
-    max_limbs: usize,
-    options: &CharactOptions,
-    metrics: Option<&xobs::Registry>,
-) -> KernelModels {
-    let mut ctx = FlowCtx::new(config).with_variant(variant);
-    if let Some(reg) = metrics {
-        ctx = ctx.with_metrics(reg);
-    }
-    ctx.characterize(max_limbs, options)
-}
-
-/// Phase 1 on an explicit pool with an optional cache.
-#[deprecated(
-    since = "0.1.0",
-    note = "use FlowCtx::with_pool/with_cache + FlowCtx::characterize"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn characterize_kernels_pooled(
-    config: &CpuConfig,
-    variant: KernelVariant,
-    max_limbs: usize,
-    options: &CharactOptions,
-    metrics: Option<&xobs::Registry>,
-    pool: &Pool,
-    cache: Option<&KCache>,
-) -> KernelModels {
-    let mut ctx = FlowCtx::new(config).with_variant(variant).with_pool(pool);
-    if let Some(reg) = metrics {
-        ctx = ctx.with_metrics(reg);
-    }
-    if let Some(kc) = cache {
-        ctx = ctx.with_cache(kc);
-    }
-    ctx.characterize(max_limbs, options)
-}
-
-/// Phase 2 with the default pool.
-///
-/// # Errors
-///
-/// Returns [`ModExpError`] if a configuration fails.
-#[deprecated(since = "0.1.0", note = "use FlowCtx::explore")]
-pub fn explore_modexp(
-    models: &KernelModels,
-    bits: usize,
-    glue_cost: f64,
-) -> Result<ExplorationResult, ModExpError> {
-    explore_impl(models, bits, glue_cost, None, None, &Pool::from_env())
-}
-
-/// Phase 2 with optional metrics.
-///
-/// # Errors
-///
-/// Returns [`ModExpError`] if a configuration fails.
-#[deprecated(since = "0.1.0", note = "use FlowCtx::with_metrics + FlowCtx::explore")]
-pub fn explore_modexp_metered(
-    models: &KernelModels,
-    bits: usize,
-    glue_cost: f64,
-    metrics: Option<&xobs::Registry>,
-) -> Result<ExplorationResult, ModExpError> {
-    explore_impl(models, bits, glue_cost, metrics, None, &Pool::from_env())
-}
-
-/// Phase 2 on an explicit pool.
-///
-/// # Errors
-///
-/// Returns [`ModExpError`] if a configuration fails.
-#[deprecated(since = "0.1.0", note = "use FlowCtx::with_pool + FlowCtx::explore")]
-pub fn explore_modexp_pooled(
-    models: &KernelModels,
-    bits: usize,
-    glue_cost: f64,
-    metrics: Option<&xobs::Registry>,
-    pool: &Pool,
-) -> Result<ExplorationResult, ModExpError> {
-    explore_impl(models, bits, glue_cost, metrics, None, pool)
-}
-
-/// Model validation against co-simulation.
-///
-/// # Errors
-///
-/// Returns [`ModExpError`] if a candidate fails to execute.
-#[deprecated(since = "0.1.0", note = "use FlowCtx::validate_models")]
-pub fn validate_models_metered(
-    models: &KernelModels,
-    config: &CpuConfig,
-    variant: KernelVariant,
-    candidates: &[ModExpConfig],
-    bits: usize,
-    glue_cost: f64,
-    metrics: Option<&xobs::Registry>,
-) -> Result<Vec<f64>, ModExpError> {
-    let mut ctx = FlowCtx::new(config).with_variant(variant);
-    if let Some(reg) = metrics {
-        ctx = ctx.with_metrics(reg);
-    }
-    ctx.validate_models(models, candidates, bits, glue_cost)
-}
-
-/// Single-candidate co-simulation.
-///
-/// # Errors
-///
-/// Returns [`ModExpError`] on configuration failure.
-#[deprecated(since = "0.1.0", note = "use FlowCtx::cosimulate")]
-pub fn cosimulate_candidate(
-    config: &CpuConfig,
-    variant: KernelVariant,
-    candidate: &ModExpConfig,
-    bits: usize,
-    glue_cost: f64,
-) -> Result<f64, ModExpError> {
-    cosim_cached_impl(config, variant, candidate, bits, glue_cost, None)
-}
-
-/// Single-candidate co-simulation through an optional cycle cache.
-///
-/// # Errors
-///
-/// Returns [`ModExpError`] on configuration failure (never on a cache
-/// hit — only successfully co-simulated candidates are cached).
-#[deprecated(
-    since = "0.1.0",
-    note = "use FlowCtx::with_cache + FlowCtx::cosimulate"
-)]
-pub fn cosimulate_candidate_cached(
-    config: &CpuConfig,
-    variant: KernelVariant,
-    candidate: &ModExpConfig,
-    bits: usize,
-    glue_cost: f64,
-    cache: Option<&KCache>,
-) -> Result<f64, ModExpError> {
-    cosim_cached_impl(config, variant, candidate, bits, glue_cost, cache)
-}
-
-/// Phase 3 with the default pool.
-#[deprecated(since = "0.1.0", note = "use FlowCtx::curves")]
-pub fn formulate_mpn_curves(config: &CpuConfig, n: usize) -> BTreeMap<String, AdCurve> {
-    FlowCtx::new(config).curves(n)
-}
-
-/// Phase 3 on an explicit pool with an optional cache.
-#[deprecated(
-    since = "0.1.0",
-    note = "use FlowCtx::with_pool/with_cache + FlowCtx::curves"
-)]
-pub fn formulate_mpn_curves_pooled(
-    config: &CpuConfig,
-    n: usize,
-    pool: &Pool,
-    cache: Option<&KCache>,
-) -> BTreeMap<String, AdCurve> {
-    let mut ctx = FlowCtx::new(config).with_pool(pool);
-    if let Some(kc) = cache {
-        ctx = ctx.with_cache(kc);
-    }
-    ctx.curves(n)
-}
-
-/// The Fig. 4 call graph with measured leaves.
-#[deprecated(since = "0.1.0", note = "use FlowCtx::fig4_graph")]
-pub fn fig4_call_graph(config: &CpuConfig, k: usize) -> CallGraph {
-    FlowCtx::new(config).fig4_graph(k)
-}
-
-/// The Fig. 4 call graph through an optional cycle cache.
-#[deprecated(
-    since = "0.1.0",
-    note = "use FlowCtx::with_cache + FlowCtx::fig4_graph"
-)]
-pub fn fig4_call_graph_cached(config: &CpuConfig, k: usize, cache: Option<&KCache>) -> CallGraph {
-    let mut ctx = FlowCtx::new(config);
-    if let Some(kc) = cache {
-        ctx = ctx.with_cache(kc);
-    }
-    ctx.fig4_graph(k)
-}
-
-/// Phase 4 with the default pool.
-#[deprecated(since = "0.1.0", note = "use FlowCtx::selector")]
-pub fn build_selector(config: &CpuConfig, k: usize) -> Selector {
-    FlowCtx::new(config).selector(k)
-}
-
-/// Phase 4 on an explicit pool with an optional cache.
-#[deprecated(
-    since = "0.1.0",
-    note = "use FlowCtx::with_pool/with_cache + FlowCtx::selector"
-)]
-pub fn build_selector_pooled(
-    config: &CpuConfig,
-    k: usize,
-    pool: &Pool,
-    cache: Option<&KCache>,
-) -> Selector {
-    let mut ctx = FlowCtx::new(config).with_pool(pool);
-    if let Some(kc) = cache {
-        ctx = ctx.with_cache(kc);
-    }
-    ctx.selector(k)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2363,19 +2138,5 @@ mod tests {
         assert!(json.contains("\"phase\":\"measure\""), "{json}");
         assert!(json.contains("\"retry_seeds\":[10,20]"), "{json}");
         assert!(json.contains("\\\"x\\\""), "escapes quotes: {json}");
-    }
-
-    /// The deprecated pre-`FlowCtx` shims must keep compiling and
-    /// keep returning the same results as the context methods.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let cfg = CpuConfig::default();
-        let graph = fig4_call_graph(&cfg, 8);
-        let ctx_graph = FlowCtx::new(&cfg).fig4_graph(8);
-        assert_eq!(
-            graph.local_cycles(kreg::id::ADD_N.name()),
-            ctx_graph.local_cycles(kreg::id::ADD_N.name())
-        );
     }
 }

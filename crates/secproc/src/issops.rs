@@ -28,8 +28,37 @@ use xr32::asm::{assemble, Program};
 use xr32::config::CpuConfig;
 use xr32::cpu::{Cpu, SimError};
 use xr32::ext::ExtensionSet;
+use xr32::Fidelity;
 
 pub use kreg::KernelVariant;
+
+/// Snapshot of one radix core's architectural state: the exact fields
+/// the dual-fidelity co-simulation spot checks compare between the fast
+/// and cycle-accurate engines (timing state is deliberately excluded —
+/// the fast path models none).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    /// General registers `a0`–`a15`.
+    pub regs: [u32; 16],
+    /// FNV-1a digest of the whole data memory.
+    pub mem_digest: u64,
+    /// Cumulative retired-instruction count of the core.
+    pub retired: u64,
+}
+
+impl ArchState {
+    fn of(cpu: &Cpu) -> Self {
+        let mut regs = [0u32; 16];
+        for (i, slot) in regs.iter_mut().enumerate() {
+            *slot = cpu.reg(i);
+        }
+        ArchState {
+            regs,
+            mem_digest: cpu.mem().digest(),
+            retired: cpu.retired(),
+        }
+    }
+}
 
 /// Base addresses of the kernel operand regions in simulator memory.
 const RP_ADDR: u32 = 0x1000;
@@ -48,6 +77,7 @@ pub struct IssMpn {
     verify: bool,
     errors: Vec<KernelError>,
     sink: Option<Box<dyn TraceSink>>,
+    fidelity: Fidelity,
 }
 
 impl IssMpn {
@@ -120,7 +150,38 @@ impl IssMpn {
             verify: true,
             errors: Vec::new(),
             sink: None,
+            fidelity: Fidelity::CycleAccurate,
         }
+    }
+
+    /// Selects the execution engine for both radix cores. The default
+    /// is [`Fidelity::CycleAccurate`]. With [`Fidelity::Fast`]
+    /// selected, kernel invocations run on the pre-decoded functional
+    /// engine: golden verification ([`IssMpn::verify32`] /
+    /// [`IssMpn::verify16`]) is bit-identical but cycle measurement is
+    /// structurally refused — [`IssMpn::measure32`] /
+    /// [`IssMpn::measure16`] return a typed
+    /// [`KernelError::Unsupported`].
+    pub fn set_fidelity(&mut self, fidelity: Fidelity) {
+        self.fidelity = fidelity;
+        self.cpu32.set_fidelity(fidelity);
+        self.cpu16.set_fidelity(fidelity);
+    }
+
+    /// The execution engine both radix cores currently use.
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
+    /// Architectural state of the 32-bit radix core (for dual-fidelity
+    /// co-simulation spot checks).
+    pub fn arch_state32(&self) -> ArchState {
+        ArchState::of(&self.cpu32)
+    }
+
+    /// Architectural state of the 16-bit radix core.
+    pub fn arch_state16(&self) -> ArchState {
+        ArchState::of(&self.cpu16)
     }
 
     /// Attaches (or detaches, with `None`) a trace sink observing every
@@ -214,7 +275,43 @@ impl IssMpn {
     /// *during* the measured invocation (divergence in verify mode,
     /// watchdog timeout, simulator fault) surface as `Err` so the flow
     /// layer can retry or quarantine.
+    ///
+    /// Cycle measurement is only meaningful on the cycle-accurate
+    /// engine; with [`Fidelity::Fast`] selected this returns a typed
+    /// [`KernelError::Unsupported`] so a mis-routed measurement can
+    /// never silently report zero cycles.
     pub fn measure32(&mut self, kernel: KernelId, n: usize, seed: u64) -> Result<f64, KernelError> {
+        if self.fidelity == Fidelity::Fast {
+            return Err(KernelError::Unsupported {
+                kernel,
+                detail: "cycle measurement requires the cycle-accurate engine \
+                         (Fidelity::CycleAccurate)"
+                    .to_owned(),
+            });
+        }
+        let before = self.cycles;
+        self.drive32(kernel, n, seed)?;
+        Ok(self.cycles - before)
+    }
+
+    /// Verifies one kernel invocation against its registered golden
+    /// reference on the same deterministic stimulus stream
+    /// [`IssMpn::measure32`] uses, without reading cycles — the
+    /// correctness half of a measurement, valid on either engine.
+    /// Verification is forced on for the call regardless of
+    /// [`IssMpn::set_verify`].
+    pub fn verify32(&mut self, kernel: KernelId, n: usize, seed: u64) -> Result<(), KernelError> {
+        let was = self.verify;
+        self.verify = true;
+        let out = self.drive32(kernel, n, seed);
+        self.verify = was;
+        out
+    }
+
+    /// Drives one 32-bit kernel invocation on deterministic stimuli
+    /// derived from `seed` (the stream both [`IssMpn::measure32`] and
+    /// [`IssMpn::verify32`] consume, byte-identical between them).
+    fn drive32(&mut self, kernel: KernelId, n: usize, seed: u64) -> Result<(), KernelError> {
         let errors_before = self.errors.len();
         let mut x = seed;
         let mut next = move || {
@@ -223,7 +320,6 @@ impl IssMpn {
                 .wrapping_add(1442695040888963407);
             (x >> 32) as u32
         };
-        let before = self.cycles;
         match kernel {
             id::ADD_N | id::SUB_N => {
                 let a: Vec<u32> = (0..n).map(|_| next()).collect();
@@ -277,11 +373,35 @@ impl IssMpn {
         if let Some(e) = self.errors.get(errors_before) {
             return Err(e.clone());
         }
-        Ok(self.cycles - before)
+        Ok(())
     }
 
     /// 16-bit-radix counterpart of [`IssMpn::measure32`].
     pub fn measure16(&mut self, kernel: KernelId, n: usize, seed: u64) -> Result<f64, KernelError> {
+        if self.fidelity == Fidelity::Fast {
+            return Err(KernelError::Unsupported {
+                kernel,
+                detail: "cycle measurement requires the cycle-accurate engine \
+                         (Fidelity::CycleAccurate)"
+                    .to_owned(),
+            });
+        }
+        let before = self.cycles;
+        self.drive16(kernel, n, seed)?;
+        Ok(self.cycles - before)
+    }
+
+    /// 16-bit-radix counterpart of [`IssMpn::verify32`].
+    pub fn verify16(&mut self, kernel: KernelId, n: usize, seed: u64) -> Result<(), KernelError> {
+        let was = self.verify;
+        self.verify = true;
+        let out = self.drive16(kernel, n, seed);
+        self.verify = was;
+        out
+    }
+
+    /// 16-bit-radix counterpart of [`IssMpn::drive32`].
+    fn drive16(&mut self, kernel: KernelId, n: usize, seed: u64) -> Result<(), KernelError> {
         let errors_before = self.errors.len();
         let mut x = seed;
         let mut next = move || {
@@ -290,7 +410,6 @@ impl IssMpn {
                 .wrapping_add(1442695040888963407);
             (x >> 48) as u16
         };
-        let before = self.cycles;
         match kernel {
             id::ADD_N | id::SUB_N => {
                 let a: Vec<u16> = (0..n).map(|_| next()).collect();
@@ -344,7 +463,7 @@ impl IssMpn {
         if let Some(e) = self.errors.get(errors_before) {
             return Err(e.clone());
         }
-        Ok(self.cycles - before)
+        Ok(())
     }
 
     fn bump(&mut self, name: &'static str) {
@@ -910,6 +1029,49 @@ mod tests {
         iss.take_kernel_errors();
         iss.set_cycle_budget(u64::MAX);
         assert!(iss.measure32(id::ADDMUL_1, 32, 1).is_ok());
+    }
+
+    #[test]
+    fn fast_fidelity_verifies_but_refuses_measurement() {
+        let mut iss = IssMpn::base(CpuConfig::default());
+        iss.set_fidelity(Fidelity::Fast);
+        iss.verify32(id::ADD_N, 8, 1).unwrap();
+        assert!(iss.kernel_errors().is_empty());
+        let err = iss.measure32(id::ADD_N, 8, 1).unwrap_err();
+        assert!(
+            matches!(err, KernelError::Unsupported { kernel, .. } if kernel == id::ADD_N),
+            "got {err}"
+        );
+        let err = iss.measure16(id::ADD_N, 8, 1).unwrap_err();
+        assert!(matches!(err, KernelError::Unsupported { .. }), "got {err}");
+    }
+
+    #[test]
+    fn fast_and_accurate_agree_on_architectural_state() {
+        let drive = |fidelity: Fidelity| {
+            let mut iss = IssMpn::base(CpuConfig::default());
+            iss.set_fidelity(fidelity);
+            for kernel in [
+                id::ADD_N,
+                id::SUB_N,
+                id::MUL_1,
+                id::ADDMUL_1,
+                id::SUBMUL_1,
+                id::LSHIFT,
+                id::RSHIFT,
+                id::DIV_QHAT,
+            ] {
+                for n in [1usize, 3, 8, 33] {
+                    iss.verify32(kernel, n, 0xC0FFEE ^ n as u64).unwrap();
+                    iss.verify16(kernel, n, 0xC0FFEE ^ n as u64).unwrap();
+                }
+            }
+            (iss.arch_state32(), iss.arch_state16())
+        };
+        let accurate = drive(Fidelity::CycleAccurate);
+        let fast = drive(Fidelity::Fast);
+        assert_eq!(accurate, fast, "engines must agree bit-for-bit");
+        assert!(fast.0.retired > 0);
     }
 
     #[test]

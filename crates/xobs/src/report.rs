@@ -27,8 +27,12 @@
 //! span tree (see [`crate::span`]), each span carrying deterministic
 //! sequence/cycle/task fields alongside wall-clock fields, plus
 //! `wall_only` host-execution (per-worker) spans.
-//! Version-1 through -4 reports remain valid; [`validate`] accepts all
-//! five, and [`normalize`] strips everything host-timing-dependent so
+//! Schema 6 adds the optional `fidelity_summary` object: how a
+//! dual-fidelity run split its work between the cycle-accurate
+//! pipeline and the pre-decoded fast path (e.g. sweep and retired
+//! instruction counts per engine). Omitted by single-fidelity runs.
+//! Version-1 through -5 reports remain valid; [`validate`] accepts all
+//! six, and [`normalize`] strips everything host-timing-dependent so
 //! two runs of the same workload can be compared byte-for-byte (the
 //! resilience and variant arrays are seed-determined workload facts
 //! and survive normalization; span wall fields and `wall_only` spans
@@ -38,7 +42,7 @@ use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 
 /// Current report schema version.
-pub const SCHEMA_VERSION: u64 = 5;
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Oldest schema version [`validate`] still accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -58,6 +62,7 @@ pub struct RunReport {
     fault_campaign: Vec<Json>,
     generated_variants: Vec<Json>,
     spans: Vec<Json>,
+    fidelity_summary: Option<Json>,
 }
 
 impl RunReport {
@@ -76,6 +81,7 @@ impl RunReport {
             fault_campaign: Vec::new(),
             generated_variants: Vec::new(),
             spans: Vec::new(),
+            fidelity_summary: None,
         }
     }
 
@@ -187,6 +193,17 @@ impl RunReport {
         self
     }
 
+    /// Records how a dual-fidelity run split its work between the
+    /// cycle-accurate pipeline and the pre-decoded fast path. `summary`
+    /// should be a JSON object of deterministic counts (e.g.
+    /// `{"fast": {"sweeps": 64, "insns": 1.2e6}, "accurate": ...}`).
+    /// Serialized as the `fidelity_summary` field; single-fidelity runs
+    /// omit it (schema 6).
+    pub fn with_fidelity_summary(mut self, summary: Json) -> Self {
+        self.fidelity_summary = Some(summary);
+        self
+    }
+
     /// Serializes the report envelope.
     pub fn to_json(&self) -> Json {
         let mut obj = Json::obj()
@@ -229,6 +246,9 @@ impl RunReport {
         }
         if !self.spans.is_empty() {
             obj = obj.set("spans", Json::Arr(self.spans.clone()));
+        }
+        if let Some(fs) = &self.fidelity_summary {
+            obj = obj.set("fidelity_summary", fs.clone());
         }
         obj = obj.set("results", self.results.clone());
         if let Some(m) = &self.metrics {
@@ -326,6 +346,11 @@ pub fn validate(json: &Json) -> Result<(), String> {
             crate::span::validate_span_json(span).map_err(|e| format!("spans: {e}"))?;
         }
     }
+    if let Some(fs) = json.get("fidelity_summary") {
+        if !matches!(fs, Json::Obj(_)) {
+            return Err("fidelity_summary must be an object".into());
+        }
+    }
     Ok(())
 }
 
@@ -339,6 +364,7 @@ pub fn is_volatile_key(key: &str) -> bool {
         || key == "memo_hit_rate"
         || key == "estimation_speedup"
         || key == "mean_estimation_speedup"
+        || key == "fast_path_speedup"
         || key == "busy_fraction"
         || key == "queue_wait_ms"
         || key.ends_with("wall_ms")
@@ -605,6 +631,58 @@ mod tests {
         let not_arr =
             json::parse(r#"{"schema_version":5,"report":"r","results":{},"spans":7}"#).unwrap();
         assert!(validate(&not_arr).unwrap_err().contains("spans"));
+    }
+
+    #[test]
+    fn fidelity_summary_serializes_and_validates() {
+        let healthy = RunReport::new("r");
+        assert!(healthy.to_json().get("fidelity_summary").is_none());
+
+        let report = RunReport::new("fastpath_gate").with_fidelity_summary(
+            Json::obj()
+                .set(
+                    "fast",
+                    Json::obj().set("sweeps", 64u64).set("insns", 1_200_000u64),
+                )
+                .set("accurate", Json::obj().set("sweeps", 64u64)),
+        );
+        let parsed = json::parse(&report.render()).unwrap();
+        validate(&parsed).unwrap();
+        assert_eq!(
+            parsed
+                .get("fidelity_summary")
+                .and_then(|f| f.get("fast"))
+                .and_then(|f| f.get("sweeps"))
+                .and_then(Json::as_f64),
+            Some(64.0)
+        );
+        // Engine split counts are workload facts: normalize keeps them.
+        assert!(normalize(&parsed).get("fidelity_summary").is_some());
+
+        let bad =
+            json::parse(r#"{"schema_version":6,"report":"r","results":{},"fidelity_summary":[1]}"#)
+                .unwrap();
+        assert!(validate(&bad).unwrap_err().contains("fidelity_summary"));
+    }
+
+    #[test]
+    fn validate_accepts_version_5_reports() {
+        let j = json::parse(
+            r#"{"schema_version":5,"report":"x","results":{},"spans":[
+                {"name":"p","seq_start":0,"seq_end":1,"cycles":0,"tasks":0}]}"#,
+        )
+        .unwrap();
+        validate(&j).unwrap();
+    }
+
+    #[test]
+    fn validate_accepts_version_4_reports() {
+        let j = json::parse(
+            r#"{"schema_version":4,"report":"x","results":{},
+                "generated_variants":[{"kernel":"k","tag":"t","admitted":false}]}"#,
+        )
+        .unwrap();
+        validate(&j).unwrap();
     }
 
     #[test]

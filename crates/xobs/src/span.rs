@@ -168,6 +168,21 @@ impl Spans {
     /// measurement takes when the serial merge publishes results in
     /// submission order.
     pub fn leaf(&self, name: impl Into<String>, cycles: f64, tasks: u64, wall_ms: Option<f64>) {
+        self.leaf_with(name, cycles, tasks, wall_ms, &[]);
+    }
+
+    /// [`Spans::leaf`] with deterministic attributes attached — e.g.
+    /// `fidelity: "fast" | "accurate"` recording which execution engine
+    /// produced the measurement. Attributes survive normalization, so
+    /// they must not carry host-timing values.
+    pub fn leaf_with(
+        &self,
+        name: impl Into<String>,
+        cycles: f64,
+        tasks: u64,
+        wall_ms: Option<f64>,
+        attrs: &[(&str, Json)],
+    ) {
         let now = self.elapsed_ms();
         let mut st = self.lock();
         let id = st.nodes.len();
@@ -180,7 +195,10 @@ impl Spans {
             seq_end: Some(seq_start + 1),
             cycles,
             tasks,
-            attrs: Vec::new(),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect(),
             events: Vec::new(),
             children: Vec::new(),
             start_wall_ms: (now - wall_ms.unwrap_or(0.0)).max(0.0),
@@ -523,6 +541,9 @@ fn render_node(span: &Json, depth: usize, out: &mut String) {
         if let Some(w) = span.get("wall_ms").and_then(Json::as_f64) {
             out.push_str(&format!(" wall={w:.2}ms"));
         }
+        if span_fidelity(span) == Some("fast") {
+            out.push_str(" [fast]");
+        }
     }
     if let Some(attrs) = span.get("attrs") {
         out.push_str(&format!("  {}", attrs.to_string_compact()));
@@ -561,6 +582,13 @@ pub fn to_chrome_trace(spans: &[Json]) -> Json {
         .set("displayTimeUnit", "ms")
 }
 
+/// The span's `fidelity` attribute, when present.
+fn span_fidelity(span: &Json) -> Option<&str> {
+    span.get("attrs")
+        .and_then(|a| a.get("fidelity"))
+        .and_then(Json::as_str)
+}
+
 fn chrome_node(span: &Json, out: &mut Vec<Json>) {
     let name = span.get("name").and_then(Json::as_str).unwrap_or("?");
     let wall_only = span.get("wall_only") == Some(&Json::Bool(true));
@@ -596,16 +624,21 @@ fn chrome_node(span: &Json, out: &mut Vec<Json>) {
             args = args.set(k, v.clone());
         }
     }
-    out.push(
-        Json::obj()
-            .set("name", name)
-            .set("ph", "X")
-            .set("pid", 1u64)
-            .set("tid", tid)
-            .set("ts", ts_us)
-            .set("dur", dur_us)
-            .set("args", args),
-    );
+    let mut event = Json::obj()
+        .set("name", name)
+        .set("ph", "X")
+        .set("pid", 1u64)
+        .set("tid", tid)
+        .set("ts", ts_us)
+        .set("dur", dur_us)
+        .set("args", args);
+    // Fast-path tracks render in a distinct color so dual-fidelity
+    // timelines separate at a glance ("cname" is a Chrome trace-viewer
+    // reserved color name).
+    if span_fidelity(span) == Some("fast") {
+        event = event.set("cname", "good");
+    }
+    out.push(event);
     if let Some(evs) = span.get("events").and_then(Json::as_arr) {
         for ev in evs {
             let ev_name = ev.get("name").and_then(Json::as_str).unwrap_or("?");
@@ -743,5 +776,52 @@ mod tests {
         assert!(evs.iter().all(|e| e.get("ph").is_some()));
         // The worker span lands on its own track.
         assert_eq!(evs[2].get("tid").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn fidelity_attr_marks_renders_and_colors_chrome_tracks() {
+        let spans = Spans::new();
+        {
+            let _f = spans.enter("flow");
+            spans.leaf_with(
+                "verify.k",
+                0.0,
+                4,
+                None,
+                &[("fidelity", Json::from("fast"))],
+            );
+            spans.leaf_with(
+                "measure.k",
+                10.0,
+                1,
+                None,
+                &[("fidelity", Json::from("accurate"))],
+            );
+        }
+        let roots = spans.to_json_roots();
+        validate_span_json(&roots[0]).unwrap();
+        let text = render_tree(&roots);
+        assert!(text.contains("verify.k  cycles=0 tasks=4 [fast]"), "{text}");
+        assert!(text.contains(r#"{"fidelity":"fast"}"#), "{text}");
+        assert!(
+            !text.contains("measure.k  cycles=10 tasks=1 [fast]"),
+            "{text}"
+        );
+        let chrome = to_chrome_trace(&roots);
+        let evs = chrome.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let fast = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("verify.k"))
+            .unwrap();
+        assert_eq!(fast.get("cname").and_then(Json::as_str), Some("good"));
+        let slow = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("measure.k"))
+            .unwrap();
+        assert!(slow.get("cname").is_none());
+        assert_eq!(
+            slow.get("args").and_then(|a| a.get("fidelity")),
+            Some(&Json::from("accurate"))
+        );
     }
 }

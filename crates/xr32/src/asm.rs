@@ -27,6 +27,7 @@
 use crate::isa::{CustomOp, Insn, Reg, UserReg};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// An assembled program: decoded instructions plus the symbol table.
 #[derive(Debug, Clone, Default)]
@@ -37,6 +38,9 @@ pub struct Program {
     lines: Vec<usize>,
     /// First label name per instruction index (for fast profiling).
     names_by_pc: Vec<Option<String>>,
+    /// Content fingerprint over the instruction sequence, computed once
+    /// at assembly; keys per-core pre-decoded fast-path caches.
+    fp: u64,
 }
 
 impl Program {
@@ -73,6 +77,15 @@ impl Program {
     /// Source line of instruction `pc`.
     pub fn line_of(&self, pc: usize) -> Option<usize> {
         self.lines.get(pc).copied()
+    }
+
+    /// Content fingerprint of the instruction sequence (branch targets
+    /// are already resolved into the instructions, so equal fingerprints
+    /// mean semantically identical programs). Computed once by
+    /// [`assemble`], so it is O(1) per call — the fast-execution engine
+    /// uses it to key its per-core decode cache.
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
     }
 
     /// Global labels — those not starting with `.`. By the kernel
@@ -170,11 +183,15 @@ pub fn assemble(src: &str) -> Result<Program, AssembleError> {
             names_by_pc[at] = Some(name.clone());
         }
     }
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    insns.hash(&mut hasher);
+    let fp = hasher.finish();
     Ok(Program {
         insns,
         labels,
         lines,
         names_by_pc,
+        fp,
     })
 }
 

@@ -23,7 +23,9 @@ use crate::config::CpuConfig;
 use crate::ext::{CustomInsnError, ExecCtx, ExtensionSet, UserRegFile};
 use crate::isa::{Insn, Reg};
 use crate::mem::{AccessError, Memory};
+use crate::xjit::{self, FastProgram, Fidelity};
 use std::fmt;
+use std::sync::Arc;
 use xfault::FaultPlan;
 use xobs::trace::{CacheSide, TraceEvent, TraceSink};
 
@@ -158,6 +160,15 @@ pub struct Cpu {
     reg_ready: [u64; 16],
     fuel: u64,
     fault: Option<FaultPlan>,
+    fidelity: Fidelity,
+    /// Cumulative retired-instruction count across all runs (both
+    /// engines) — part of the architectural state the dual-fidelity
+    /// co-simulation checks compare.
+    retired: u64,
+    /// Pre-decoded fast-path programs, keyed by content fingerprint.
+    /// Safe per-core: the configuration and extension set are fixed at
+    /// construction.
+    fast_cache: Vec<(u64, Arc<FastProgram>)>,
 }
 
 impl fmt::Debug for Cpu {
@@ -222,6 +233,9 @@ impl Cpu {
             reg_ready: [0; 16],
             fuel: 200_000_000,
             fault: None,
+            fidelity: Fidelity::CycleAccurate,
+            retired: 0,
+            fast_cache: Vec::new(),
             config,
         }
     }
@@ -278,6 +292,32 @@ impl Cpu {
     /// failing with [`SimError::OutOfFuel`].
     pub fn set_fuel(&mut self, fuel: u64) {
         self.fuel = fuel;
+    }
+
+    /// Selects the execution engine for subsequent runs. The default is
+    /// [`Fidelity::CycleAccurate`]. With [`Fidelity::Fast`] selected,
+    /// runs execute on the pre-decoded functional engine
+    /// ([`crate::xjit`]): architectural state (registers, carry,
+    /// memory, user registers, retired count) is bit-identical, but
+    /// summaries report zero cycles and zero cache activity, trace
+    /// sinks are **not** invoked, and an armed fault plan forces a
+    /// silent fallback to the cycle-accurate engine (every fault site
+    /// lives in the pipeline model).
+    pub fn set_fidelity(&mut self, fidelity: Fidelity) {
+        self.fidelity = fidelity;
+    }
+
+    /// The currently selected execution engine.
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
+    /// Instructions retired across all runs on this core (both
+    /// engines), part of the architectural state compared by the
+    /// dual-fidelity co-simulation checks. Not cleared by
+    /// [`Cpu::reset_timing`].
+    pub fn retired(&self) -> u64 {
+        self.retired
     }
 
     /// Arms a fault-injection plan: subsequent runs consult it at the
@@ -424,6 +464,13 @@ impl Cpu {
         entry_name: &str,
         mut sink: Option<&mut (dyn TraceSink + '_)>,
     ) -> Result<RunSummary, SimError> {
+        if matches!(self.fidelity, Fidelity::Fast) && self.fault.is_none() {
+            // Functional fast path: pre-decoded micro-ops, architectural
+            // state only. Trace sinks see nothing (there are no cycles
+            // to attribute); an armed fault plan keeps the accurate
+            // engine (hook points live in the pipeline model).
+            return self.execute_fast(program, entry);
+        }
         let start_cycles = self.cycles;
         let icache_before = self.icache.stats();
         let dcache_before = self.dcache.stats();
@@ -779,6 +826,7 @@ impl Cpu {
             s.flush();
         }
 
+        self.retired += executed;
         Ok(self.summarize(
             start_cycles,
             icache_before,
@@ -786,6 +834,39 @@ impl Cpu {
             executed,
             classes,
         ))
+    }
+
+    /// Runs `program` on the pre-decoded functional engine, decoding
+    /// (and caching the decode of) the program on first sight. Timing
+    /// state — cycle counter, caches, ready times — is untouched, so a
+    /// later cycle-accurate run on the same core is unaffected.
+    fn execute_fast(&mut self, program: &Program, entry: usize) -> Result<RunSummary, SimError> {
+        let fp = program.fingerprint();
+        let decoded = match self.fast_cache.iter().find(|(key, _)| *key == fp) {
+            Some((_, d)) => Arc::clone(d),
+            None => {
+                let d = Arc::new(FastProgram::decode(program, &self.config, &self.ext));
+                self.fast_cache.push((fp, Arc::clone(&d)));
+                d
+            }
+        };
+        let out = xjit::run(
+            &decoded,
+            entry,
+            &mut self.regs,
+            &mut self.carry,
+            &mut self.mem,
+            &mut self.uregs,
+            self.fuel,
+        )?;
+        self.retired += out.executed;
+        Ok(RunSummary {
+            cycles: 0,
+            instructions: out.executed,
+            classes: out.classes,
+            icache: CacheStats::default(),
+            dcache: CacheStats::default(),
+        })
     }
 
     fn summarize(

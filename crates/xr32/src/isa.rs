@@ -85,7 +85,7 @@ impl fmt::Display for UserReg {
 /// user registers, and carry one immediate. Its semantics, latency and
 /// area come from the [`crate::ext::CustomInsnDef`] registered under
 /// `name`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CustomOp {
     /// Name the instruction was registered under.
     pub name: String,
@@ -101,7 +101,7 @@ pub struct CustomOp {
 ///
 /// Field order for three-operand forms is `(rd, rs1, rs2)`; loads are
 /// `(rd, base, offset)` and stores `(rs, base, offset)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Insn {
     // --- ALU register-register ---
     /// `rd = rs1 + rs2`

@@ -22,8 +22,11 @@
 //!   crate;
 //! - **call-tree cycle attribution** producing the annotated call graphs
 //!   the paper's global custom-instruction selection consumes — attach an
-//!   `xobs::Attribution` sink to any traced run (the legacy [`profile`]
-//!   module is deprecated in its favor).
+//!   `xobs::Attribution` sink to any traced run;
+//! - a **dual-fidelity execution choice**: the cycle-accurate pipeline
+//!   above for measurement, or a pre-decoded functional fast path for
+//!   golden-reference checks and stimulus triage — see [`xjit`] and
+//!   [`Cpu::set_fidelity`](cpu::Cpu::set_fidelity).
 //!
 //! # Examples
 //!
@@ -56,10 +59,11 @@ pub mod energy;
 pub mod ext;
 pub mod isa;
 pub mod mem;
-pub mod profile;
+pub mod xjit;
 
 pub use asm::{assemble, AssembleError, Program};
 pub use config::{CacheConfig, CpuConfig};
 pub use cpu::{Cpu, RunSummary, SimError};
 pub use ext::{CustomInsnDef, ExtensionSet};
 pub use isa::{Insn, Reg};
+pub use xjit::Fidelity;

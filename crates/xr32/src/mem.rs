@@ -183,6 +183,26 @@ impl Memory {
         Ok(self.bytes[a..a + len].to_vec())
     }
 
+    /// 64-bit FNV-1a-style digest over the full memory contents. Used
+    /// by the dual-fidelity co-simulation checks to compare
+    /// whole-memory architectural state without copying it out.
+    /// Absorbs eight little-endian bytes per round (not the byte-wise
+    /// reference FNV) so digesting a megabyte core stays cheap enough
+    /// to sample after every sweep.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut chunks = self.bytes.chunks_exact(8);
+        for c in &mut chunks {
+            h ^= u64::from_le_bytes(c.try_into().expect("width checked"));
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        for &b in chunks.remainder() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
     /// Writes a slice of `u32` words (little-endian) starting at `addr`
     /// (must be 4-byte aligned).
     ///

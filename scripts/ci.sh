@@ -102,11 +102,11 @@ target/release/xopt_gate 32
 target/release/xopt_gate 37
 echo "ci: xopt variant-generation gate ok"
 
-# Deprecation gate: everything in the workspace (bins, benches, tests,
-# examples) must build off the deprecated shims; the shims themselves
-# must still compile for downstream users.
+# Deprecation gate: nothing in the workspace (bins, benches, tests,
+# examples) may introduce or use deprecated items — the legacy flow
+# shims are gone and must stay gone.
 RUSTFLAGS="-D deprecated" cargo check -q --workspace --all-targets
-echo "ci: deprecation gate ok (no in-tree shim users)"
+echo "ci: deprecation gate ok (workspace is deprecation-free)"
 
 # Fault-smoke gate: a fixed-seed injection campaign must (a) satisfy its
 # own detection/recovery contract (non-zero exit otherwise), and (b)
@@ -134,17 +134,27 @@ if ! grep -q '"degradations"' <<<"$DEGRADED"; then
 fi
 echo "ci: fault smoke ok (campaign deterministic, fig8 degrades gracefully)"
 
+# Dual-fidelity gates. Co-sim smoke: the pre-decoded fast path must be
+# architecturally bit-identical to the cycle-accurate pipeline across
+# the full kreg golden-verification workload. Speedup smoke: it must
+# also beat the cycle-accurate engine by at least 3x wall clock, so a
+# regression that silently de-optimizes the fast path (or routes it
+# back through the pipeline) fails CI.
+target/release/fastpath_gate 3
+target/release/fastpath_gate --json 3 | target/release/xr32-trace check-report -
+echo "ci: dual-fidelity gates ok (co-sim bit-identical, fast path >= 3x)"
+
 # Bench-envelope regression gates. First the historical diff: the
-# committed BENCH_7 envelope must not regress any deterministic metric
+# committed BENCH_8 envelope must not regress any deterministic metric
 # against the committed BENCH_2 baseline beyond the documented 3%
 # legacy drift (model/registry evolution across the intervening
 # changes). Then the reproducibility diff: a freshly collected
-# envelope must match the committed BENCH_7 *exactly* once normalized
+# envelope must match the committed BENCH_8 *exactly* once normalized
 # — any deterministic delta is a regression introduced by the working
 # tree.
-target/release/bench_diff --tol 3 BENCH_2.json BENCH_7.json >/dev/null
+target/release/bench_diff --tol 3 BENCH_2.json BENCH_8.json >/dev/null
 FRESH=$(mktemp /tmp/ci_bench.XXXXXX.json)
 trap 'rm -f "$TRACE" "$FRESH"; rm -rf "$DET" "$KREG" "$FAULT"' EXIT
 scripts/bench_report.sh "$FRESH" >/dev/null 2>&1
-target/release/bench_diff BENCH_7.json "$FRESH"
-echo "ci: bench envelope gates ok (BENCH_2 -> BENCH_7 within drift, fresh run exact)"
+target/release/bench_diff BENCH_8.json "$FRESH"
+echo "ci: bench envelope gates ok (BENCH_2 -> BENCH_8 within drift, fresh run exact)"

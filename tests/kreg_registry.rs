@@ -14,6 +14,7 @@ use wsp::secproc::simcipher::SimSha1;
 use wsp::xlint::analyze_source;
 use wsp::xr32::asm::assemble;
 use wsp::xr32::config::CpuConfig;
+use wsp::xr32::Fidelity;
 
 /// The audit CI gates on holds, and the individual identity
 /// derivations it summarizes are collision-free.
@@ -86,6 +87,29 @@ proptest! {
         }
         let errors = iss.take_kernel_errors();
         prop_assert!(errors.is_empty(), "divergences: {errors:?}");
+    }
+
+    /// The pre-decoded fast path verifies every register-convention
+    /// kernel against the same goldens, and its end-of-sweep
+    /// architectural state (registers, memory digest, retired count)
+    /// is bit-identical to the cycle-accurate engine's.
+    #[test]
+    fn fast_path_golden_sweeps_match_cycle_accurate(
+        n in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let sweep = |fidelity: Fidelity| {
+            let mut iss = IssMpn::base(CpuConfig::default());
+            iss.set_fidelity(fidelity);
+            for desc in kreg::registry().iter().filter(|d| d.lib == LibKind::Mpn) {
+                iss.verify32(desc.id, n, seed).expect("mpn kernel verifies at radix 32");
+                iss.verify16(desc.id, n, seed).expect("mpn kernel verifies at radix 16");
+            }
+            let errors = iss.take_kernel_errors();
+            prop_assert!(errors.is_empty(), "divergences: {errors:?}");
+            Ok((iss.arch_state32(), iss.arch_state16()))
+        };
+        prop_assert_eq!(sweep(Fidelity::Fast)?, sweep(Fidelity::CycleAccurate)?);
     }
 
     /// The block-memory SHA-1 kernel matches the golden reference the
