@@ -16,7 +16,9 @@
 //! - **lower is better**: cycle counts (`*cycles*`, `*_cpb`), model
 //!   error (`*error*`, `*mae*`), cache misses, retry attempts;
 //! - **higher is better**: speedups, hit rates, `r_squared`, Pareto
-//!   survivors/points, admitted variants;
+//!   survivors/points (including the cross-product
+//!   `pareto_front_size`), admitted variants, instructions-per-cycle
+//!   (`*ipc*`, the out-of-order cores' headline rate);
 //! - everything else (configs, sizes, counts, span shapes) is
 //!   **neutral**: reported but never gated.
 //!
@@ -305,6 +307,7 @@ fn direction(path: &str) -> Direction {
         "pareto",
         "survivors",
         "admitted",
+        "ipc",
     ];
     if higher.iter().any(|m| key.contains(m)) {
         Direction::HigherBetter
@@ -367,5 +370,47 @@ fn wall_warning(name: &str, base: &Json, new: &Json, tol: f64) -> usize {
         1
     } else {
         0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_classifies_core_and_cross_product_keys() {
+        // Per-point cycles of the two-axis lattice gate downward…
+        assert_eq!(
+            direction("results.cross_product.points[3].cycles"),
+            Direction::LowerBetter
+        );
+        // …front size and IPC gate upward…
+        assert_eq!(
+            direction("results.cross_product.pareto_front_size"),
+            Direction::HigherBetter
+        );
+        assert_eq!(
+            direction("results.ooo.registry_ipc"),
+            Direction::HigherBetter
+        );
+        // …and coordinates/areas are workload facts, never gated.
+        assert_eq!(
+            direction("results.cross_product.points[3].core"),
+            Direction::Neutral
+        );
+        assert_eq!(
+            direction("results.cross_product.points[3].area"),
+            Direction::Neutral
+        );
+        assert_eq!(
+            direction("results.cross_product.n_limbs"),
+            Direction::Neutral
+        );
+    }
+
+    #[test]
+    fn baseline_references_stay_neutral() {
+        assert_eq!(direction("results.base_cycles"), Direction::Neutral);
+        assert_eq!(direction("results.best_cycles"), Direction::LowerBetter);
     }
 }

@@ -2,11 +2,17 @@
 //! modular-exponentiation candidates evaluated with macro-models, a
 //! sample re-evaluated by full ISS co-simulation, and the resulting
 //! efficiency/accuracy numbers (paper: 1407× faster on average, 11.8 %
-//! mean absolute error). With `--json`, stdout carries a single
-//! structured run report — including the `flow.*`/`charact.*`/`space.*`
-//! metrics of the metered methodology phases and the schema-5 `spans`
-//! tree (one `flow` root over characterization, exploration and the
-//! co-simulated samples) — instead of prose.
+//! mean absolute error) — then widens the space along the second
+//! hardware axis: the cross-product (core model × accelerator level)
+//! lattice, sweeping every accelerator level on both the in-order
+//! baseline and the out-of-order core and Pareto-filtering the union
+//! over (area, cycles). With `--json`, stdout carries a single
+//! structured run report — including the
+//! `flow.*`/`charact.*`/`space.*` metrics of the metered methodology
+//! phases, the schema-5 `spans` tree (one `flow` root over
+//! characterization, exploration, the co-simulated samples and the
+//! cross-product sweep) and the schema-7 `core_configs` array —
+//! instead of prose.
 //!
 //! Characterization, exploration and co-simulation run on the
 //! `WSP_THREADS`-sized worker pool, with ISS measurement units served
@@ -139,8 +145,35 @@ fn main() {
     }
     let mae = errors.iter().sum::<f64>() / errors.len() as f64;
     let mean_speedup = speedups.iter().sum::<f64>() / speedups.len() as f64;
+
+    // Phase 4: the cross-product (core model × accelerator level)
+    // lattice. Each core configuration contributes one axis; the union
+    // is Pareto-filtered over (area, cycles).
+    let ooo_config = CpuConfig::ooo();
+    let ctx_ooo = harness.flow_ctx(&ooo_config).with_metrics(&metrics);
+    let xprod_n = (bits / 32).max(8);
+    let mut points = ctx.cross_product_axis(xprod_n);
+    points.extend(ctx_ooo.cross_product_axis(xprod_n));
+    let front_size = flow::mark_pareto_front(&mut points);
     flow_span.end();
     harness.record_metrics(&metrics);
+    if !cli.json {
+        println!("\ncross-product (core × accelerator) design space at {xprod_n} limbs:");
+        for p in &points {
+            println!(
+                "  {:<22} {:<12} area {:>8} GE  cycles {:>10.0}{}",
+                p.core,
+                p.level,
+                p.area,
+                p.cycles,
+                if p.on_front { "  <- front" } else { "" },
+            );
+        }
+        println!(
+            "Pareto front holds {front_size} of {} points across both core models",
+            points.len()
+        );
+    }
 
     if cli.json {
         let report = RunReport::new("sec43_exploration")
@@ -157,6 +190,21 @@ fn main() {
             .result("cosim_samples", samples)
             .result("mean_abs_error_pct", mae)
             .result("mean_estimation_speedup", mean_speedup)
+            .result(
+                "cross_product",
+                Json::obj()
+                    .set("n_limbs", xprod_n as u64)
+                    .set(
+                        "points",
+                        Json::Arr(points.iter().map(|p| p.to_json()).collect()),
+                    )
+                    .set("pareto_front_size", front_size as u64),
+            )
+            .with_core_configs([&config, &ooo_config].map(|c| {
+                Json::obj()
+                    .set("id", c.core_id())
+                    .set("core_area", c.core.area_gates())
+            }))
             .with_degradations(ctx.degradations_json())
             .with_metrics(metrics.snapshot());
         bench::emit_report(&harness.finish(report));

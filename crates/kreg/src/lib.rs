@@ -461,6 +461,22 @@ impl KernelDescriptor {
     pub fn curve_unit(&self) -> String {
         format!("curve:{}", self.cache_tag())
     }
+
+    /// [`charact_unit`](Self::charact_unit) qualified with the core
+    /// configuration (`CoreConfigId`, e.g. `"io"` or `"ooo-…"`) whose
+    /// pipeline produced the measurement: `charact<w>:<tag>@<core>`.
+    /// Measurements from different core models never share a unit name
+    /// (the cache key also embeds the full config fingerprint; the
+    /// suffix keeps human-readable keys and reports unambiguous).
+    pub fn charact_unit_on(&self, width: u32, core_id: &str) -> String {
+        format!("charact{width}:{}@{core_id}", self.cache_tag())
+    }
+
+    /// [`curve_unit`](Self::curve_unit) qualified with the core
+    /// configuration: `curve:<tag>@<core>`.
+    pub fn curve_unit_on(&self, core_id: &str) -> String {
+        format!("curve:{}@{core_id}", self.cache_tag())
+    }
 }
 
 /// A-D levels of the `add<k>` family (measured with a 1-lane MAC
@@ -777,6 +793,23 @@ mod tests {
         assert_eq!(point.basis().len(), 1);
         let blocks = StimulusSpec::Blocks;
         assert_eq!(blocks.space(64).range(0), (1, 4));
+    }
+
+    #[test]
+    fn core_qualified_units_are_distinct_per_core() {
+        let d = get(id::ADD_N).unwrap();
+        assert_eq!(d.charact_unit(32), "charact32:mpn_add_n");
+        assert_eq!(d.charact_unit_on(32, "io"), "charact32:mpn_add_n@io");
+        assert_eq!(d.curve_unit_on("io"), "curve:mpn_add_n@io");
+        assert_ne!(
+            d.charact_unit_on(32, "io"),
+            d.charact_unit_on(32, "ooo-i2x2-r32s16l8b256"),
+            "different cores must never share a measurement unit"
+        );
+        assert_ne!(
+            d.curve_unit_on("io"),
+            d.curve_unit_on("ooo-i2x2-r32s16l8b256")
+        );
     }
 
     #[test]

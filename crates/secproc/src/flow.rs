@@ -528,9 +528,11 @@ impl<'a> FlowCtx<'a> {
         if let Some(sp) = self.spans {
             sp.set_attr("max_limbs", max_limbs as u64);
             sp.set_attr("units", tasks.len() as u64);
+            sp.set_attr("core", config.core_id());
         }
         let fp = config.fingerprint();
         let vtag = variant.tag();
+        let core_id = config.core_id();
         let cache = self.measurement_cache();
         let policy = self.policy;
         let budget = policy.cycle_budget;
@@ -542,7 +544,7 @@ impl<'a> FlowCtx<'a> {
                         &kcache::key(
                             fp,
                             &vtag,
-                            &t.desc.charact_unit(t.width),
+                            &t.desc.charact_unit_on(t.width, &core_id),
                             max_limbs as u64,
                             plan_digest(&t.plan),
                         ),
@@ -687,6 +689,7 @@ impl<'a> FlowCtx<'a> {
             self.metrics,
             self.spans,
             self.pool(),
+            &self.config.core_id(),
         )
     }
 
@@ -841,6 +844,7 @@ impl<'a> FlowCtx<'a> {
         let _phase = self.phase_span("phase3.curves");
         if let Some(sp) = self.spans {
             sp.set_attr("n", n as u64);
+            sp.set_attr("core", self.config.core_id());
         }
         // Every kernel with a registered custom-instruction family gets
         // a curve: its base point plus one point per resource level
@@ -966,6 +970,7 @@ impl<'a> FlowCtx<'a> {
         let gens = &admitted;
         let config = self.config;
         let fp = config.fingerprint();
+        let core_id = config.core_id();
         let cache = self.measurement_cache();
         let policy = self.policy;
         let quarantined: BTreeSet<String> = self.state().quarantined.clone();
@@ -991,7 +996,7 @@ impl<'a> FlowCtx<'a> {
             };
             let report = match cache {
                 Some(kc) => UnitReport::clean(kc.scalar(
-                    &kcache::key(fp, &tag, &unit.curve_unit(), n as u64, 0x0708),
+                    &kcache::key(fp, &tag, &unit.curve_unit_on(&core_id), n as u64, 0x0708),
                     fault_free,
                 )),
                 None if policy.injecting() && quarantined.contains(t.kernel.name()) => UnitReport {
@@ -1199,6 +1204,92 @@ impl<'a> FlowCtx<'a> {
             sel.set_leaf_curve(name, curve);
         }
         sel
+    }
+
+    /// One axis of the cross-product (core config × accelerator level)
+    /// design space: measures the whole mpn registry workload at `n`
+    /// limbs under every accelerator level on *this context's* core
+    /// model, pricing each point as core area (zero for the in-order
+    /// baseline, the ROB/RS/LSQ/predictor gate cost for out-of-order
+    /// members) plus the level's custom-instruction area.
+    ///
+    /// Callers build the full two-axis lattice by collecting the axes
+    /// of one context per core configuration and handing the union to
+    /// [`mark_pareto_front`]. Points return in the fixed level order
+    /// (base, then ascending lanes) regardless of thread count; with a
+    /// cache attached (and injection off) each level is served under
+    /// `fingerprint × level-tag × "xprod@core" × n`.
+    pub fn cross_product_axis(&self, n: usize) -> Vec<CrossPoint> {
+        let _phase = self.phase_span("phase4.cross_product");
+        let config = self.config;
+        let core_id = config.core_id();
+        if let Some(sp) = self.spans {
+            sp.set_attr("n", n as u64);
+            sp.set_attr("core", core_id.as_str());
+        }
+        let fp = config.fingerprint();
+        let core_area = config.core.area_gates();
+        let cache = self.measurement_cache();
+        let levels = XPROD_LEVELS;
+        let measured = self.pool().par_map(&levels, |_, v| {
+            let measure = || {
+                // The full registry workload, warmed then measured with
+                // the phase-3 seeds; verification off (measurement, not
+                // admission — xooo_gate owns the co-sim identity check).
+                let mut iss = IssMpn::with_variant(config.clone(), *v);
+                iss.set_verify(false);
+                let mut total = 0.0;
+                for desc in kreg::registry().iter().filter(|d| d.lib == LibKind::Mpn) {
+                    let _ = iss.measure32(desc.id, n, 7); // warm
+                    total += iss
+                        .measure32(desc.id, n, 8)
+                        .expect("registry kernels use register conventions");
+                }
+                total
+            };
+            match cache {
+                Some(kc) => kc.scalar(
+                    &kcache::key(fp, &v.tag(), &format!("xprod@{core_id}"), n as u64, 0x0708),
+                    measure,
+                ),
+                None => measure(),
+            }
+        });
+        self.drain_worker_spans();
+        levels
+            .iter()
+            .zip(measured)
+            .map(|(v, cycles)| {
+                let accel_area = match v {
+                    KernelVariant::Base => 0,
+                    KernelVariant::Accelerated {
+                        add_lanes,
+                        mac_lanes,
+                    } => {
+                        crate::insns::ldur().area
+                            + crate::insns::stur().area
+                            + crate::insns::add_k(*add_lanes).area
+                            + crate::insns::mac_k(*mac_lanes).area
+                    }
+                };
+                let point = CrossPoint {
+                    core: core_id.clone(),
+                    level: v.tag(),
+                    area: core_area + accel_area,
+                    cycles,
+                    on_front: false,
+                };
+                if let Some(sp) = self.spans {
+                    sp.leaf(
+                        format!("xprod.{}@{}", point.level, point.core),
+                        cycles,
+                        1,
+                        None,
+                    );
+                }
+                point
+            })
+            .collect()
     }
 
     /// One resilient ad-hoc ISS measurement (the bench harnesses' entry
@@ -1578,6 +1669,84 @@ impl ExplorationResult {
     }
 }
 
+/// The accelerator levels the cross-product axis sweeps: the base core
+/// plus the four A-D resource levels (the same lattice the fast-path
+/// equivalence suite covers).
+const XPROD_LEVELS: [KernelVariant; 5] = [
+    KernelVariant::Base,
+    KernelVariant::Accelerated {
+        add_lanes: 2,
+        mac_lanes: 1,
+    },
+    KernelVariant::Accelerated {
+        add_lanes: 4,
+        mac_lanes: 2,
+    },
+    KernelVariant::Accelerated {
+        add_lanes: 8,
+        mac_lanes: 4,
+    },
+    KernelVariant::Accelerated {
+        add_lanes: 16,
+        mac_lanes: 4,
+    },
+];
+
+/// One point of the cross-product (core config × accelerator level)
+/// design space: its coordinates on both axes, its price and speed, and
+/// its Pareto verdict (filled in by [`mark_pareto_front`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossPoint {
+    /// The core-configuration id (`"io"`, `"ooo-…"`).
+    pub core: String,
+    /// The accelerator-level tag (`"base"`, `"accel-a4m2"`, …).
+    pub level: String,
+    /// Total gate-equivalent price: core structures + custom-instruction
+    /// datapaths.
+    pub area: u64,
+    /// Registry-workload cycles at this point.
+    pub cycles: f64,
+    /// Whether the point survives Pareto filtering over (area, cycles).
+    pub on_front: bool,
+}
+
+impl CrossPoint {
+    /// The report/JSON form of this point (schema 7's per-point `core`
+    /// field included).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("core", self.core.as_str())
+            .set("level", self.level.as_str())
+            .set("area", self.area)
+            .set("cycles", self.cycles)
+            .set("on_front", self.on_front)
+    }
+}
+
+/// Marks every point of the combined (possibly multi-core) lattice that
+/// is Pareto-optimal over (area, cycles) — both lower-better — and
+/// returns the front size. A point is dominated when another point is
+/// no worse on both axes and strictly better on at least one;
+/// duplicate coordinates stay on the front together.
+pub fn mark_pareto_front(points: &mut [CrossPoint]) -> usize {
+    let flags: Vec<bool> = (0..points.len())
+        .map(|i| {
+            !points.iter().enumerate().any(|(j, q)| {
+                j != i
+                    && q.area <= points[i].area
+                    && q.cycles <= points[i].cycles
+                    && (q.area < points[i].area || q.cycles < points[i].cycles)
+            })
+        })
+        .collect();
+    let mut size = 0;
+    for (p, flag) in points.iter_mut().zip(flags) {
+        p.on_front = flag;
+        size += usize::from(flag);
+    }
+    size
+}
+
 /// Phase 2 implementation: the 450-candidate lattice is evaluated in
 /// parallel (each candidate owns its modeled-ops provider and cache),
 /// then ranked and offered to the Pareto front in enumeration order, so
@@ -1589,11 +1758,13 @@ fn explore_impl(
     metrics: Option<&xobs::Registry>,
     spans: Option<&Spans>,
     pool: &Pool,
+    core_id: &str,
 ) -> Result<ExplorationResult, ModExpError> {
     let phase = spans.map(|sp| {
         pool.set_tracing(true);
         let guard = sp.enter("phase2.explore");
         sp.set_attr("bits", bits as u64);
+        sp.set_attr("core", core_id);
         guard
     });
     let scratch;
@@ -1945,6 +2116,86 @@ mod tests {
         let big = sel.select("decrypt", 1_000_000).unwrap().unwrap();
         assert!(no_hw.cycles > big.cycles);
         assert_eq!(no_hw.area(), 0);
+    }
+
+    #[test]
+    fn cross_product_front_spans_both_cores() {
+        // The two-axis lattice: one axis per core configuration, union
+        // handed to the Pareto filter. The front must mix core models —
+        // the cheap in-order/base corner is undominated on area, and an
+        // out-of-order point must win somewhere on cycles.
+        let io_cfg = CpuConfig::default();
+        let ooo_cfg = CpuConfig::ooo();
+        let mut points = FlowCtx::new(&io_cfg).cross_product_axis(6);
+        points.extend(FlowCtx::new(&ooo_cfg).cross_product_axis(6));
+        assert_eq!(points.len(), 10);
+        let front = mark_pareto_front(&mut points);
+        assert!(front >= 2, "degenerate front: {points:?}");
+        assert_eq!(front, points.iter().filter(|p| p.on_front).count());
+        assert!(
+            points.iter().any(|p| p.on_front && p.core == "io"),
+            "no in-order point on the front: {points:?}"
+        );
+        assert!(
+            points
+                .iter()
+                .any(|p| p.on_front && p.core.starts_with("ooo-")),
+            "no out-of-order point on the front: {points:?}"
+        );
+        // The in-order/base corner is the unique area minimum, so it is
+        // always Pareto-optimal.
+        let io_base = points
+            .iter()
+            .find(|p| p.core == "io" && p.level == "base")
+            .unwrap();
+        assert_eq!(io_base.area, 0);
+        assert!(io_base.on_front);
+        // OoO points price in the core structures on top of the level.
+        let ooo_base = points
+            .iter()
+            .find(|p| p.core.starts_with("ooo-") && p.level == "base")
+            .unwrap();
+        assert_eq!(ooo_base.area, ooo_cfg.core.area_gates());
+        assert!(ooo_base.cycles < io_base.cycles, "OoO should beat in-order");
+    }
+
+    #[test]
+    fn pareto_front_marks_dominance_correctly() {
+        let mk = |core: &str, level: &str, area: u64, cycles: f64| CrossPoint {
+            core: core.into(),
+            level: level.into(),
+            area,
+            cycles,
+            on_front: false,
+        };
+        let mut pts = vec![
+            mk("io", "base", 0, 100.0),
+            mk("io", "a", 50, 60.0),
+            mk("ooo", "base", 40, 70.0), // dominated by (50,60)? no: area 40<50 → on front
+            mk("ooo", "a", 90, 60.0),    // dominated by (50, 60.0)
+            mk("ooo", "b", 120, 40.0),
+        ];
+        let front = mark_pareto_front(&mut pts);
+        assert_eq!(front, 4);
+        assert!(!pts[3].on_front, "strictly worse on area at equal cycles");
+        // Duplicate coordinates stay on the front together.
+        let mut dups = vec![mk("io", "x", 10, 10.0), mk("ooo", "x", 10, 10.0)];
+        assert_eq!(mark_pareto_front(&mut dups), 2);
+    }
+
+    #[test]
+    fn cross_product_axis_is_cache_and_thread_invariant() {
+        let cfg = CpuConfig::ooo();
+        let kc = KCache::new();
+        let p4 = Pool::new(4);
+        let serial = FlowCtx::new(&cfg).cross_product_axis(4);
+        let pooled_ctx = FlowCtx::new(&cfg).with_pool(&p4).with_cache(&kc);
+        let cold = pooled_ctx.cross_product_axis(4);
+        let warm = pooled_ctx.cross_product_axis(4);
+        assert_eq!(serial, cold);
+        assert_eq!(cold, warm);
+        assert_eq!(kc.misses(), 5, "one computed entry per level");
+        assert_eq!(kc.hits(), 5, "warm rerun served entirely from cache");
     }
 
     #[test]

@@ -206,6 +206,15 @@ impl IssMpn {
         (self.cpu32.cycles(), self.cpu16.cycles())
     }
 
+    /// The *CoreConfigId* of the pipeline model both radix cores run
+    /// (`"io"`, `"ooo-…"`). `measure32`/`measure16` cycle counts are
+    /// only comparable between ISS instances that report the same id;
+    /// the flow layers stamp it into measurement units, span attributes
+    /// and report points.
+    pub fn core_id(&self) -> String {
+        self.cpu32.config().core_id()
+    }
+
     /// Enables/disables per-call verification against the registered
     /// golden reference (on by default).
     pub fn set_verify(&mut self, verify: bool) {

@@ -282,6 +282,63 @@ mod tests {
     }
 
     #[test]
+    fn core_model_is_part_of_the_key_identity() {
+        // Regression for the KCache identity hole: two configurations
+        // identical in every respect except the pipeline model must
+        // produce different keys for the same measurement, because the
+        // full CpuConfig (core kind + widths included) is hashed into
+        // the fingerprint the key embeds.
+        use xr32::config::CpuConfig;
+        let io = CpuConfig::default();
+        let ooo = CpuConfig::ooo();
+        let k_io = key(io.fingerprint(), "base", kreg::opname::ADD_N, 8, 42);
+        let k_ooo = key(ooo.fingerprint(), "base", kreg::opname::ADD_N, 8, 42);
+        assert_ne!(k_io, k_ooo, "core models must never collide on a key");
+
+        // And a slow in-order measurement cached under its key is never
+        // served to the out-of-order core's lookup.
+        let cache = KCache::new();
+        cache.get_or_compute(&k_io, 1, || vec![900.0]);
+        let v = cache.get_or_compute(&k_ooo, 1, || vec![450.0]);
+        assert_eq!(v, vec![450.0], "ooo lookup must measure, not reuse io");
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn cross_core_poisoned_collision_is_dropped() {
+        // Belt-and-braces for the identity fix: even if a cache file
+        // was written by a pre-fix build where an in-order entry sat
+        // under a key now owned by an out-of-order measurement, its
+        // values-vs-checksum integrity still gates the load, so a
+        // tampered/colliding entry is dropped and recomputed rather
+        // than served across core models.
+        use xr32::config::CpuConfig;
+        let path = tmpfile("core_collision");
+        let k_ooo = key(
+            CpuConfig::ooo().fingerprint(),
+            "base",
+            kreg::opname::ADD_N,
+            8,
+            42,
+        );
+        // The stored cycles are the in-order core's (900.0) but the
+        // checksum describes the value an honest writer recorded
+        // (450.0): exactly what a collision overwrite looks like.
+        let stale_check = format!("{:016x}", checksum(&k_ooo, &[450.0]));
+        let doc = format!(
+            r#"{{"schema_version":1,"entries":[{{"key":"{k_ooo}","values":[900.0],"check":"{stale_check}"}}]}}"#
+        );
+        std::fs::write(&path, doc).unwrap();
+
+        let cache = KCache::open(&path);
+        assert_eq!(cache.poisoned_dropped(), 1);
+        let v = cache.get_or_compute(&k_ooo, 1, || vec![450.0]);
+        assert_eq!(v, vec![450.0], "recomputed under the ooo key");
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn poisoned_entry_is_dropped_and_recomputed() {
         let path = tmpfile("poison");
         let k = key(0x1234, "base", kreg::opname::ADD_N, 8, 42);

@@ -31,8 +31,14 @@
 //! dual-fidelity run split its work between the cycle-accurate
 //! pipeline and the pre-decoded fast path (e.g. sweep and retired
 //! instruction counts per engine). Omitted by single-fidelity runs.
-//! Version-1 through -5 reports remain valid; [`validate`] accepts all
-//! six, and [`normalize`] strips everything host-timing-dependent so
+//! Schema 7 adds the optional `core_configs` array: one object per
+//! core model a cross-product (core config × accelerator level) run
+//! swept, each carrying at least a string `id` (`"io"`, `"ooo-…"`)
+//! and typically the core's structural gate cost; per-point results
+//! reference these ids via their own `core` fields. Omitted by
+//! single-core runs.
+//! Version-1 through -6 reports remain valid; [`validate`] accepts all
+//! seven, and [`normalize`] strips everything host-timing-dependent so
 //! two runs of the same workload can be compared byte-for-byte (the
 //! resilience and variant arrays are seed-determined workload facts
 //! and survive normalization; span wall fields and `wall_only` spans
@@ -42,7 +48,7 @@ use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 
 /// Current report schema version.
-pub const SCHEMA_VERSION: u64 = 6;
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Oldest schema version [`validate`] still accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -63,6 +69,7 @@ pub struct RunReport {
     generated_variants: Vec<Json>,
     spans: Vec<Json>,
     fidelity_summary: Option<Json>,
+    core_configs: Vec<Json>,
 }
 
 impl RunReport {
@@ -82,6 +89,7 @@ impl RunReport {
             generated_variants: Vec::new(),
             spans: Vec::new(),
             fidelity_summary: None,
+            core_configs: Vec::new(),
         }
     }
 
@@ -204,6 +212,19 @@ impl RunReport {
         self
     }
 
+    /// Records the core models a cross-product run swept (one JSON
+    /// object per core configuration, each with at least a string
+    /// `id`; per-point results reference these ids via their own
+    /// `core` fields). Serialized as the `core_configs` array when
+    /// non-empty; single-core runs omit the field (schema 7).
+    pub fn with_core_configs<I>(mut self, configs: I) -> Self
+    where
+        I: IntoIterator<Item = Json>,
+    {
+        self.core_configs.extend(configs);
+        self
+    }
+
     /// Serializes the report envelope.
     pub fn to_json(&self) -> Json {
         let mut obj = Json::obj()
@@ -249,6 +270,9 @@ impl RunReport {
         }
         if let Some(fs) = &self.fidelity_summary {
             obj = obj.set("fidelity_summary", fs.clone());
+        }
+        if !self.core_configs.is_empty() {
+            obj = obj.set("core_configs", Json::Arr(self.core_configs.clone()));
         }
         obj = obj.set("results", self.results.clone());
         if let Some(m) = &self.metrics {
@@ -349,6 +373,17 @@ pub fn validate(json: &Json) -> Result<(), String> {
     if let Some(fs) = json.get("fidelity_summary") {
         if !matches!(fs, Json::Obj(_)) {
             return Err("fidelity_summary must be an object".into());
+        }
+    }
+    if let Some(cores) = json.get("core_configs") {
+        let arr = cores.as_arr().ok_or("core_configs must be an array")?;
+        for core in arr {
+            if !matches!(core, Json::Obj(_)) {
+                return Err("core_configs entries must be objects".into());
+            }
+            if core.get("id").is_none_or(|v| v.as_str().is_none()) {
+                return Err("core_configs entries need a string `id`".into());
+            }
         }
     }
     Ok(())
@@ -663,6 +698,59 @@ mod tests {
             json::parse(r#"{"schema_version":6,"report":"r","results":{},"fidelity_summary":[1]}"#)
                 .unwrap();
         assert!(validate(&bad).unwrap_err().contains("fidelity_summary"));
+    }
+
+    #[test]
+    fn core_configs_serialize_and_validate() {
+        let healthy = RunReport::new("r").with_core_configs(Vec::<Json>::new());
+        assert!(healthy.to_json().get("core_configs").is_none());
+
+        let report = RunReport::new("sec43_exploration")
+            .with_core_configs([
+                Json::obj().set("id", "io").set("area", 0u64),
+                Json::obj()
+                    .set("id", "ooo-i2x2-r32s16l8b256")
+                    .set("area", 42_000u64),
+            ])
+            .result(
+                "cross_product.points",
+                Json::Arr(vec![Json::obj()
+                    .set("core", "ooo-i2x2-r32s16l8b256")
+                    .set("level", "base")
+                    .set("area", 42_000u64)
+                    .set("cycles", 9_000.0)
+                    .set("on_front", true)]),
+            );
+        let parsed = json::parse(&report.render()).unwrap();
+        validate(&parsed).unwrap();
+        let cores = parsed.get("core_configs").and_then(Json::as_arr).unwrap();
+        assert_eq!(cores.len(), 2);
+        assert_eq!(cores[0].get("id").and_then(Json::as_str), Some("io"));
+        // Core sweeps are workload facts, not host noise: normalize keeps them.
+        assert!(normalize(&parsed).get("core_configs").is_some());
+
+        let bad = json::parse(r#"{"schema_version":7,"report":"r","results":{},"core_configs":7}"#)
+            .unwrap();
+        assert!(validate(&bad).unwrap_err().contains("core_configs"));
+        let bad_entry =
+            json::parse(r#"{"schema_version":7,"report":"r","results":{},"core_configs":[7]}"#)
+                .unwrap();
+        assert!(validate(&bad_entry).unwrap_err().contains("objects"));
+        let bad_id = json::parse(
+            r#"{"schema_version":7,"report":"r","results":{},"core_configs":[{"area":1}]}"#,
+        )
+        .unwrap();
+        assert!(validate(&bad_id).unwrap_err().contains("id"));
+    }
+
+    #[test]
+    fn validate_accepts_version_6_reports() {
+        let j = json::parse(
+            r#"{"schema_version":6,"report":"x","results":{},
+                "fidelity_summary":{"fast":{"sweeps":64}}}"#,
+        )
+        .unwrap();
+        validate(&j).unwrap();
     }
 
     #[test]

@@ -24,6 +24,19 @@ pub const MUX_BIT_GE: u64 = 3;
 pub const XOR_BIT_GE: u64 = 3;
 /// Fixed decode/control overhead charged once per custom instruction.
 pub const DECODE_GE: u64 = 150;
+/// Gate equivalents per reorder-buffer entry (PC + result tag + status
+/// flip-flops plus the commit-port wiring share).
+pub const ROB_ENTRY_GE: u64 = 520;
+/// Gate equivalents per reservation-station entry (two operand/tag
+/// fields plus wake-up comparators — CAM-dominated, hence pricier than
+/// a ROB slot).
+pub const RS_ENTRY_GE: u64 = 680;
+/// Gate equivalents per load-store-queue entry (address + data fields
+/// plus the disambiguation comparators).
+pub const LSQ_ENTRY_GE: u64 = 740;
+/// Gate equivalents per 2-bit branch-predictor counter (two flip-flops
+/// plus the indexed-array wiring share).
+pub const PREDICTOR_COUNTER_GE: u64 = 22;
 
 /// Builder for the structural area of one custom-instruction datapath.
 ///
@@ -86,6 +99,26 @@ impl AreaModel {
         self.fixed(n * XOR_BIT_GE)
     }
 
+    /// Adds `n` reorder-buffer entries.
+    pub fn rob_entries(self, n: u64) -> Self {
+        self.fixed(n * ROB_ENTRY_GE)
+    }
+
+    /// Adds `n` reservation-station entries.
+    pub fn rs_entries(self, n: u64) -> Self {
+        self.fixed(n * RS_ENTRY_GE)
+    }
+
+    /// Adds `n` load-store-queue entries.
+    pub fn lsq_entries(self, n: u64) -> Self {
+        self.fixed(n * LSQ_ENTRY_GE)
+    }
+
+    /// Adds `n` 2-bit branch-predictor counters.
+    pub fn predictor_counters(self, n: u64) -> Self {
+        self.fixed(n * PREDICTOR_COUNTER_GE)
+    }
+
     /// Adds a fixed number of gates (wiring-dominated structures such as
     /// bit permutations).
     pub fn fixed(mut self, gates: u64) -> Self {
@@ -124,5 +157,30 @@ mod tests {
     #[test]
     fn multiplier_dwarfs_adder() {
         const { assert!(MUL32_GE > 10 * ADDER32_GE) }
+    }
+
+    #[test]
+    fn ooo_structures_accumulate() {
+        let a = AreaModel::new()
+            .rob_entries(32)
+            .rs_entries(16)
+            .lsq_entries(8)
+            .predictor_counters(256)
+            .gates();
+        assert_eq!(
+            a,
+            DECODE_GE
+                + 32 * ROB_ENTRY_GE
+                + 16 * RS_ENTRY_GE
+                + 8 * LSQ_ENTRY_GE
+                + 256 * PREDICTOR_COUNTER_GE
+        );
+    }
+
+    #[test]
+    fn cam_entries_cost_more_than_rob_slots() {
+        // Wake-up/disambiguation CAMs dominate plain status storage.
+        const { assert!(RS_ENTRY_GE > ROB_ENTRY_GE) }
+        const { assert!(LSQ_ENTRY_GE > RS_ENTRY_GE) }
     }
 }

@@ -8,6 +8,7 @@ pub use crate::cache::CacheConfig;
 
 use crate::ext::ExtensionSet;
 use crate::isa::Insn;
+use crate::xcore::{CoreSpec, OooParams};
 
 /// Configuration of an XR32 core.
 ///
@@ -50,6 +51,11 @@ pub struct CpuConfig {
     /// Core clock frequency in Hz (used to convert cycles to time and
     /// throughput; the paper's prototype ran at 188 MHz).
     pub clock_hz: u64,
+    /// Which pipeline model the core runs — the in-order baseline or an
+    /// out-of-order family member (see [`crate::xcore`]). Part of the
+    /// configuration's identity: mixed into [`CpuConfig::fingerprint`]
+    /// and rendered by [`CpuConfig::core_id`].
+    pub core: CoreSpec,
 }
 
 impl Default for CpuConfig {
@@ -73,6 +79,7 @@ impl Default for CpuConfig {
             user_regs: 8,
             user_reg_words: 16, // up to 512-bit extension state
             clock_hz: 188_000_000,
+            core: CoreSpec::InOrder,
         }
     }
 }
@@ -110,7 +117,26 @@ impl CpuConfig {
         mix(self.user_regs as u64);
         mix(self.user_reg_words as u64);
         mix(self.clock_hz);
+        match &self.core {
+            CoreSpec::InOrder => mix(1),
+            CoreSpec::OutOfOrder(p) => {
+                mix(2);
+                mix(p.issue_width as u64);
+                mix(p.retire_width as u64);
+                mix(p.rob_entries as u64);
+                mix(p.rs_entries as u64);
+                mix(p.lsq_entries as u64);
+                mix(p.predictor_entries as u64);
+            }
+        }
         h
+    }
+
+    /// The short core-configuration identifier (`"io"`, `"ooo-…"`) this
+    /// configuration's pipeline model carries into cache units, span
+    /// attributes and report fields.
+    pub fn core_id(&self) -> String {
+        self.core.id()
     }
 
     /// The static scheduling cost model of this configuration — the
@@ -122,6 +148,16 @@ impl CpuConfig {
             load_use_delay: 1,
             mul_result_delay: self.mul_latency.saturating_sub(1),
             branch_penalty: self.branch_penalty,
+        }
+    }
+
+    /// The baseline platform with the default out-of-order pipeline
+    /// model in place of the in-order one — the second point on the
+    /// core axis of the cross-product design space.
+    pub fn ooo() -> Self {
+        CpuConfig {
+            core: CoreSpec::OutOfOrder(OooParams::default()),
+            ..Self::default()
         }
     }
 
@@ -209,6 +245,26 @@ mod tests {
             ..CpuConfig::default()
         };
         assert_ne!(base.fingerprint(), tweaked.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_core_models() {
+        // Two configs identical except for the pipeline model must
+        // never collide (the KCache identity contract).
+        let io = CpuConfig::default();
+        let ooo = CpuConfig::ooo();
+        assert_ne!(io.fingerprint(), ooo.fingerprint());
+        assert_eq!(io.core_id(), "io");
+        assert!(ooo.core_id().starts_with("ooo-"));
+        // And different widths within the out-of-order family differ.
+        let narrow = CpuConfig {
+            core: CoreSpec::OutOfOrder(OooParams {
+                rob_entries: 8,
+                ..OooParams::default()
+            }),
+            ..CpuConfig::default()
+        };
+        assert_ne!(ooo.fingerprint(), narrow.fingerprint());
     }
 
     #[test]

@@ -1,33 +1,35 @@
 //! The cycle-accurate XR32 executor.
 //!
-//! Timing model (single-issue, in-order, 5-stage pipeline abstraction):
+//! `Cpu` owns the architectural state — registers, carry, memory, user
+//! registers, caches, the cycle counter — and delegates the pipeline
+//! (decode/issue/retire timing, trace-event emission, fault-plan hook
+//! points) to a pluggable [`CoreModel`](crate::xcore::CoreModel)
+//! selected by [`CpuConfig::core`]:
 //!
-//! - every instruction costs one issue cycle;
-//! - instruction fetch goes through the I-cache: a miss adds
-//!   `mem_latency` cycles;
-//! - loads and stores go through the D-cache: a miss adds `mem_latency`;
-//!   a load's result is available one cycle late (load-use interlock);
-//! - taken branches, jumps, calls and returns add `branch_penalty`
-//!   refill cycles;
-//! - `mul`/`mulhu` results are available after `mul_latency` cycles and
-//!   are only legal when the hardware-multiplier option is configured;
-//! - custom instructions cost their registered latency.
+//! - [`InOrderCore`](crate::xcore::InOrderCore): the paper's baseline
+//!   single-issue in-order 5-stage pipeline abstraction (the timing
+//!   model is documented in [`crate::xcore::inorder`]);
+//! - [`OooCore`](crate::xcore::OooCore): a scoreboarded out-of-order
+//!   family with parameterized structure widths (documented in
+//!   [`crate::xcore::ooo`]).
 //!
-//! Dependent-result delays are modeled with per-register ready times: an
-//! instruction that reads a register before its ready cycle stalls until
-//! it is ready.
+//! Both models run identical functional semantics, so the architectural
+//! state after a run is bit-identical across core models and the
+//! pre-decoded [`crate::xjit`] fast path; only cycle accounting
+//! differs.
 
 use crate::asm::Program;
 use crate::cache::{Cache, CacheStats};
 use crate::config::CpuConfig;
-use crate::ext::{CustomInsnError, ExecCtx, ExtensionSet, UserRegFile};
-use crate::isa::{Insn, Reg};
+use crate::ext::{CustomInsnError, ExtensionSet, UserRegFile};
+use crate::isa::Reg;
 use crate::mem::{AccessError, Memory};
+use crate::xcore::{CoreEnv, CoreModel};
 use crate::xjit::{self, FastProgram, Fidelity};
 use std::fmt;
 use std::sync::Arc;
 use xfault::FaultPlan;
-use xobs::trace::{CacheSide, TraceEvent, TraceSink};
+use xobs::trace::TraceSink;
 
 /// PC value that terminates a [`Cpu::call`]-style run when returned to.
 pub const RETURN_SENTINEL: u32 = u32::MAX;
@@ -169,6 +171,9 @@ pub struct Cpu {
     /// Safe per-core: the configuration and extension set are fixed at
     /// construction.
     fast_cache: Vec<(u64, Arc<FastProgram>)>,
+    /// The pipeline model executing cycle-accurate runs, built from
+    /// [`CpuConfig::core`] at construction.
+    core: Box<dyn CoreModel + Send>,
 }
 
 impl fmt::Debug for Cpu {
@@ -178,34 +183,6 @@ impl fmt::Debug for Cpu {
             .field("regs", &self.regs)
             .field("carry", &self.carry)
             .finish_non_exhaustive()
-    }
-}
-
-/// One cache access on the hot path: the untraced branch is the
-/// original two-line hit test, the traced branch delegates to
-/// [`Cache::access_traced`]. Takes fields, not `&mut Cpu`, so callers
-/// can hold disjoint borrows.
-fn cache_access(
-    cache: &mut Cache,
-    addr: u64,
-    side: CacheSide,
-    cycles: &mut u64,
-    miss_latency: u32,
-    sink: &mut Option<&mut (dyn TraceSink + '_)>,
-) -> bool {
-    match sink {
-        None => {
-            let hit = cache.access(addr);
-            if !hit {
-                *cycles += miss_latency as u64;
-            }
-            hit
-        }
-        Some(s) => {
-            let (hit, after) = cache.access_traced(addr, side, *cycles, miss_latency, &mut **s);
-            *cycles = after;
-            hit
-        }
     }
 }
 
@@ -221,7 +198,9 @@ impl Cpu {
     pub fn with_extensions(config: CpuConfig, ext: ExtensionSet) -> Self {
         let mut regs = [0; 16];
         regs[Reg::SP.index()] = config.mem_size as u32;
+        let core = config.core.build();
         Cpu {
+            core,
             regs,
             carry: false,
             mem: Memory::new(config.mem_size),
@@ -340,9 +319,11 @@ impl Cpu {
         self.fault.as_ref()
     }
 
-    /// Clears cycles, caches, registers and the carry flag (memory is
-    /// preserved).
+    /// Clears cycles, caches, registers, the carry flag and the core
+    /// model's internal timing state such as branch-predictor counters
+    /// (memory is preserved).
     pub fn reset_timing(&mut self) {
+        self.core.reset_timing();
         self.cycles = 0;
         self.reg_ready = [0; 16];
         self.regs = [0; 16];
@@ -462,7 +443,7 @@ impl Cpu {
         program: &Program,
         entry: usize,
         entry_name: &str,
-        mut sink: Option<&mut (dyn TraceSink + '_)>,
+        sink: Option<&mut (dyn TraceSink + '_)>,
     ) -> Result<RunSummary, SimError> {
         if matches!(self.fidelity, Fidelity::Fast) && self.fault.is_none() {
             // Functional fast path: pre-decoded micro-ops, architectural
@@ -474,365 +455,33 @@ impl Cpu {
         let start_cycles = self.cycles;
         let icache_before = self.icache.stats();
         let dcache_before = self.dcache.stats();
-        let mut executed: u64 = 0;
-        let mut classes = ClassCounts::default();
-        let mut pc = entry;
-        // Depth of trace frames currently open: the synthetic entry
-        // frame plus executed calls minus executed returns. Frames left
-        // open at halt are closed synthetically so attribution always
-        // balances (root inclusive == total cycles).
-        let mut trace_depth: u64 = 0;
-        if let Some(s) = sink.as_deref_mut() {
-            s.on_event(&TraceEvent::Call {
-                pc: entry as u32,
-                callee: entry_name,
-                cycle: start_cycles,
-            });
-            trace_depth = 1;
-        }
-        let mut halted = false;
-
-        loop {
-            if pc == RETURN_SENTINEL as usize {
-                break; // clean return from a `call`
-            }
-            let insn = match program.insns().get(pc) {
-                Some(i) => i,
-                None => return Err(SimError::PcOutOfRange { pc }),
-            };
-            if executed >= self.fuel {
-                return Err(SimError::OutOfFuel { executed });
-            }
-            executed += 1;
-            match insn {
-                Insn::Lw(..)
-                | Insn::Sw(..)
-                | Insn::Lbu(..)
-                | Insn::Sb(..)
-                | Insn::Lhu(..)
-                | Insn::Sh(..) => classes.mem += 1,
-                Insn::Beq(..)
-                | Insn::Bne(..)
-                | Insn::Bltu(..)
-                | Insn::Bgeu(..)
-                | Insn::Blt(..)
-                | Insn::Bge(..)
-                | Insn::J(_)
-                | Insn::Call(_)
-                | Insn::Ret
-                | Insn::Jr(_) => classes.control += 1,
-                Insn::Mul(..) | Insn::Mulhu(..) => classes.mul += 1,
-                Insn::Custom(_) => classes.custom += 1,
-                _ => classes.alu += 1,
-            }
-
-            // Source-operand interlock: stall until inputs are ready.
-            let before_stall = self.cycles;
-            for src in insn.sources() {
-                let ready = self.reg_ready[src.index()];
-                if ready > self.cycles {
-                    self.cycles = ready;
-                }
-            }
-            if let Some(s) = sink.as_deref_mut() {
-                let stall = self.cycles - before_stall;
-                if stall > 0 {
-                    s.on_event(&TraceEvent::Stall {
-                        pc: pc as u32,
-                        cycles: stall as u32,
-                        cycle: self.cycles,
-                    });
-                }
-            }
-
-            // Instruction fetch.
-            cache_access(
-                &mut self.icache,
-                pc as u64 * 4,
-                CacheSide::Instruction,
-                &mut self.cycles,
-                self.config.mem_latency,
-                &mut sink,
-            );
-            // Issue.
-            self.cycles += 1;
-
-            let mut next_pc = pc + 1;
-            let mut taken = false;
-            let mut returned = false;
-
-            macro_rules! rd {
-                ($r:expr) => {
-                    self.regs[$r.index()]
-                };
-            }
-
-            match insn {
-                Insn::Add(d, a, b) => self.regs[d.index()] = rd!(a).wrapping_add(rd!(b)),
-                Insn::Addc(d, a, b) => {
-                    let t = rd!(a) as u64 + rd!(b) as u64 + self.carry as u64;
-                    self.regs[d.index()] = t as u32;
-                    self.carry = t >> 32 != 0;
-                }
-                Insn::Sub(d, a, b) => self.regs[d.index()] = rd!(a).wrapping_sub(rd!(b)),
-                Insn::Subc(d, a, b) => {
-                    let t = (rd!(a) as u64)
-                        .wrapping_sub(rd!(b) as u64)
-                        .wrapping_sub(self.carry as u64);
-                    self.regs[d.index()] = t as u32;
-                    self.carry = t >> 32 != 0;
-                }
-                Insn::And(d, a, b) => self.regs[d.index()] = rd!(a) & rd!(b),
-                Insn::Or(d, a, b) => self.regs[d.index()] = rd!(a) | rd!(b),
-                Insn::Xor(d, a, b) => self.regs[d.index()] = rd!(a) ^ rd!(b),
-                Insn::Sll(d, a, b) => self.regs[d.index()] = rd!(a) << (rd!(b) & 31),
-                Insn::Srl(d, a, b) => self.regs[d.index()] = rd!(a) >> (rd!(b) & 31),
-                Insn::Sra(d, a, b) => {
-                    self.regs[d.index()] = ((rd!(a) as i32) >> (rd!(b) & 31)) as u32
-                }
-                Insn::Sltu(d, a, b) => self.regs[d.index()] = (rd!(a) < rd!(b)) as u32,
-                Insn::Slt(d, a, b) => {
-                    self.regs[d.index()] = ((rd!(a) as i32) < (rd!(b) as i32)) as u32
-                }
-                Insn::Mul(d, a, b) | Insn::Mulhu(d, a, b) => {
-                    if !self.config.has_mul {
-                        return Err(SimError::Illegal {
-                            pc,
-                            reason: "mul requires the hardware-multiplier option".into(),
-                        });
-                    }
-                    let t = rd!(a) as u64 * rd!(b) as u64;
-                    self.regs[d.index()] = if matches!(insn, Insn::Mul(..)) {
-                        t as u32
-                    } else {
-                        (t >> 32) as u32
-                    };
-                    self.reg_ready[d.index()] =
-                        self.cycles + self.config.mul_latency.saturating_sub(1) as u64;
-                }
-                Insn::Addi(d, a, imm) => self.regs[d.index()] = rd!(a).wrapping_add(*imm as u32),
-                Insn::Andi(d, a, imm) => self.regs[d.index()] = rd!(a) & imm,
-                Insn::Ori(d, a, imm) => self.regs[d.index()] = rd!(a) | imm,
-                Insn::Xori(d, a, imm) => self.regs[d.index()] = rd!(a) ^ imm,
-                Insn::Slli(d, a, sh) => self.regs[d.index()] = rd!(a) << sh,
-                Insn::Srli(d, a, sh) => self.regs[d.index()] = rd!(a) >> sh,
-                Insn::Srai(d, a, sh) => self.regs[d.index()] = ((rd!(a) as i32) >> sh) as u32,
-                Insn::Movi(d, imm) => self.regs[d.index()] = *imm as u32,
-                Insn::Mov(d, a) => self.regs[d.index()] = rd!(a),
-                Insn::Lw(d, base, off) | Insn::Lbu(d, base, off) | Insn::Lhu(d, base, off) => {
-                    let addr = rd!(base).wrapping_add(*off as u32);
-                    if let Some(f) = self.fault.as_mut() {
-                        if f.cache_tag() {
-                            self.dcache.invalidate(addr as u64);
-                        }
-                    }
-                    cache_access(
-                        &mut self.dcache,
-                        addr as u64,
-                        CacheSide::Data,
-                        &mut self.cycles,
-                        self.config.mem_latency,
-                        &mut sink,
-                    );
-                    let v = match insn {
-                        Insn::Lw(..) => self.mem.load_u32(addr),
-                        Insn::Lbu(..) => self.mem.load_u8(addr).map(u32::from),
-                        _ => self.mem.load_u16(addr).map(u32::from),
-                    }
-                    .map_err(|source| SimError::Mem { pc, source })?;
-                    let v = match self.fault.as_mut() {
-                        Some(f) => f.data(v),
-                        None => v,
-                    };
-                    self.regs[d.index()] = v;
-                    // Load-use delay: result arrives one cycle late.
-                    self.reg_ready[d.index()] = self.cycles + 1;
-                }
-                Insn::Sw(v, base, off) | Insn::Sb(v, base, off) | Insn::Sh(v, base, off) => {
-                    let addr = rd!(base).wrapping_add(*off as u32);
-                    if let Some(f) = self.fault.as_mut() {
-                        if f.cache_tag() {
-                            self.dcache.invalidate(addr as u64);
-                        }
-                    }
-                    cache_access(
-                        &mut self.dcache,
-                        addr as u64,
-                        CacheSide::Data,
-                        &mut self.cycles,
-                        self.config.mem_latency,
-                        &mut sink,
-                    );
-                    let val = rd!(v);
-                    match insn {
-                        Insn::Sw(..) => self.mem.store_u32(addr, val),
-                        Insn::Sb(..) => self.mem.store_u8(addr, val as u8),
-                        _ => self.mem.store_u16(addr, val as u16),
-                    }
-                    .map_err(|source| SimError::Mem { pc, source })?;
-                }
-                Insn::Beq(a, b, t) => {
-                    if rd!(a) == rd!(b) {
-                        next_pc = *t;
-                        taken = true;
-                    }
-                }
-                Insn::Bne(a, b, t) => {
-                    if rd!(a) != rd!(b) {
-                        next_pc = *t;
-                        taken = true;
-                    }
-                }
-                Insn::Bltu(a, b, t) => {
-                    if rd!(a) < rd!(b) {
-                        next_pc = *t;
-                        taken = true;
-                    }
-                }
-                Insn::Bgeu(a, b, t) => {
-                    if rd!(a) >= rd!(b) {
-                        next_pc = *t;
-                        taken = true;
-                    }
-                }
-                Insn::Blt(a, b, t) => {
-                    if (rd!(a) as i32) < (rd!(b) as i32) {
-                        next_pc = *t;
-                        taken = true;
-                    }
-                }
-                Insn::Bge(a, b, t) => {
-                    if (rd!(a) as i32) >= (rd!(b) as i32) {
-                        next_pc = *t;
-                        taken = true;
-                    }
-                }
-                Insn::J(t) => {
-                    next_pc = *t;
-                    taken = true;
-                }
-                Insn::Call(t) => {
-                    self.regs[Reg::RA.index()] = (pc + 1) as u32;
-                    let callee = program.label_at(*t).unwrap_or("<anon>");
-                    if let Some(s) = sink.as_deref_mut() {
-                        s.on_event(&TraceEvent::Call {
-                            pc: pc as u32,
-                            callee,
-                            cycle: self.cycles,
-                        });
-                        trace_depth += 1;
-                    }
-                    next_pc = *t;
-                    taken = true;
-                }
-                Insn::Ret => {
-                    next_pc = self.regs[Reg::RA.index()] as usize;
-                    taken = true;
-                    // Frame close is recorded after the branch penalty
-                    // is charged (below), so a return's refill cycles
-                    // stay inside the returning frame and attribution
-                    // accounts for every cycle.
-                    returned = true;
-                }
-                Insn::Jr(r) => {
-                    next_pc = rd!(r) as usize;
-                    taken = true;
-                }
-                Insn::Clc => self.carry = false,
-                Insn::Nop => {}
-                Insn::Halt => halted = true,
-                Insn::Custom(op) => {
-                    let def = self.ext.get(&op.name).ok_or_else(|| SimError::Illegal {
-                        pc,
-                        reason: format!("unknown custom instruction `{}`", op.name),
-                    })?;
-                    let exec = def.exec.clone();
-                    let latency = def.latency;
-                    let mut ctx = ExecCtx {
-                        regs: &mut self.regs,
-                        uregs: &mut self.uregs,
-                        mem: &mut self.mem,
-                        carry: &mut self.carry,
-                    };
-                    exec(&mut ctx, op).map_err(|source| SimError::Custom { pc, source })?;
-                    self.cycles += latency.saturating_sub(1) as u64;
-                    if let Some(f) = self.fault.as_mut() {
-                        if let Some(mask) = f.custom_result() {
-                            // Stuck-at-one fault on one line of the
-                            // result bus (destination register).
-                            if let Some(d) = op.regs.first() {
-                                self.regs[d.index()] |= mask;
-                            }
-                        }
-                    }
-                    if let Some(s) = sink.as_deref_mut() {
-                        s.on_event(&TraceEvent::Custom {
-                            pc: pc as u32,
-                            name: &op.name,
-                            latency,
-                            cycle: self.cycles,
-                        });
-                    }
-                }
-            }
-
-            if taken {
-                self.cycles += self.config.branch_penalty as u64;
-                if let Some(s) = sink.as_deref_mut() {
-                    s.on_event(&TraceEvent::TakenBranch {
-                        pc: pc as u32,
-                        target: next_pc as u32,
-                        penalty: self.config.branch_penalty,
-                        cycle: self.cycles,
-                    });
-                }
-            }
-            if let Some(f) = self.fault.as_mut() {
-                // One register-file upset opportunity per retired
-                // instruction.
-                if let Some((r, mask)) = f.regfile(self.regs.len()) {
-                    self.regs[r] ^= mask;
-                }
-            }
-            if let Some(s) = sink.as_deref_mut() {
-                if returned && trace_depth > 0 {
-                    s.on_event(&TraceEvent::Ret {
-                        pc: pc as u32,
-                        cycle: self.cycles,
-                    });
-                    trace_depth -= 1;
-                }
-                s.on_event(&TraceEvent::Retire {
-                    pc: pc as u32,
-                    cycle: self.cycles,
-                });
-            }
-            if halted {
-                break;
-            }
-            pc = next_pc;
-        }
-
-        if let Some(s) = sink {
-            // Close frames left open (the synthetic entry frame, plus
-            // any callees a `halt` terminated from inside).
-            while trace_depth > 0 {
-                s.on_event(&TraceEvent::Ret {
-                    pc: pc as u32,
-                    cycle: self.cycles,
-                });
-                trace_depth -= 1;
-            }
-            s.flush();
-        }
-
-        self.retired += executed;
+        let out = self.core.execute(
+            CoreEnv {
+                config: &self.config,
+                regs: &mut self.regs,
+                carry: &mut self.carry,
+                mem: &mut self.mem,
+                uregs: &mut self.uregs,
+                ext: &self.ext,
+                icache: &mut self.icache,
+                dcache: &mut self.dcache,
+                cycles: &mut self.cycles,
+                reg_ready: &mut self.reg_ready,
+                fuel: self.fuel,
+                fault: &mut self.fault,
+            },
+            program,
+            entry,
+            entry_name,
+            sink,
+        )?;
+        self.retired += out.executed;
         Ok(self.summarize(
             start_cycles,
             icache_before,
             dcache_before,
-            executed,
-            classes,
+            out.executed,
+            out.classes,
         ))
     }
 

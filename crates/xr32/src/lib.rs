@@ -8,9 +8,12 @@
 //! - a **32-bit RISC base ISA** (16 general registers, load/store,
 //!   single-cycle ALU, optional hardware multiplier) — see [`isa`];
 //! - a **two-pass assembler** for writing library kernels — see [`asm`];
-//! - a **cycle-accurate timing model** (in-order pipeline with load-use
-//!   interlocks, branch penalty, I/D caches with configurable geometry) —
-//!   see [`cpu`] and [`cache`];
+//! - **pluggable cycle-accurate core models** behind one pipeline seam:
+//!   the in-order baseline (load-use interlocks, branch penalty) and a
+//!   scoreboarded out-of-order family (ROB, renaming, reservation
+//!   stations, load-store queue, 2-bit branch predictor), both over
+//!   I/D caches with configurable geometry — see [`xcore`], [`cpu`]
+//!   and [`cache`];
 //! - a **TIE-like extension interface**: designer-specified custom
 //!   instructions with semantics, latency, and a structural gate-count
 //!   area model, plus wide *user registers* and custom load/stores — see
@@ -59,6 +62,7 @@ pub mod energy;
 pub mod ext;
 pub mod isa;
 pub mod mem;
+pub mod xcore;
 pub mod xjit;
 
 pub use asm::{assemble, AssembleError, Program};
@@ -66,4 +70,5 @@ pub use config::{CacheConfig, CpuConfig};
 pub use cpu::{Cpu, RunSummary, SimError};
 pub use ext::{CustomInsnDef, ExtensionSet};
 pub use isa::{Insn, Reg};
+pub use xcore::{CoreKind, CoreModel, CoreSpec, OooParams};
 pub use xjit::Fidelity;
