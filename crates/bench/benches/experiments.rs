@@ -9,7 +9,7 @@ use secproc::gap;
 use secproc::measure;
 use secproc::simcipher::{SimAes, SimDes, Variant};
 use secproc::ssl::{speedup_series, SslCostModel};
-use secproc::FlowCtx;
+use secproc::FlowBuilder;
 use std::hint::black_box;
 use xr32::config::CpuConfig;
 
@@ -22,7 +22,7 @@ fn bench_fig1_gap(c: &mut Criterion) {
 fn bench_fig4_callgraph(c: &mut Criterion) {
     let config = CpuConfig::default();
     c.bench_function("fig4/call_graph_total_cycles", |b| {
-        let graph = FlowCtx::new(&config).fig4_graph(32);
+        let graph = FlowBuilder::new(&config).build().unwrap().fig4_graph(32);
         b.iter(|| graph.total_cycles(black_box("decrypt")).expect("DAG"));
     });
 }
@@ -30,7 +30,12 @@ fn bench_fig4_callgraph(c: &mut Criterion) {
 fn bench_fig5_adcurves(c: &mut Criterion) {
     let config = CpuConfig::default();
     c.bench_function("fig5/formulate_mpn_curves_n8", |b| {
-        b.iter(|| FlowCtx::new(black_box(&config)).curves(8));
+        b.iter(|| {
+            FlowBuilder::new(black_box(&config))
+                .build()
+                .unwrap()
+                .curves(8)
+        });
     });
 }
 
@@ -122,7 +127,7 @@ fn bench_fig8_ssl(c: &mut Criterion) {
 
 fn bench_sec43_exploration(c: &mut Criterion) {
     let config = CpuConfig::default();
-    let ctx = FlowCtx::new(&config);
+    let ctx = FlowBuilder::new(&config).build().unwrap();
     let models = ctx.characterize(
         8,
         &macromodel::charact::CharactOptions {

@@ -9,10 +9,14 @@
 //! over (area, cycles). With `--json`, stdout carries a single
 //! structured run report — including the
 //! `flow.*`/`charact.*`/`space.*` metrics of the metered methodology
-//! phases, the schema-5 `spans` tree (one `flow` root over
-//! characterization, exploration, the co-simulated samples and the
-//! cross-product sweep) and the schema-7 `core_configs` array —
-//! instead of prose.
+//! phases, the schema-5 `spans` tree, the schema-7 `core_configs`
+//! array and the schema-8 `job` stanza — instead of prose.
+//!
+//! Since the serving layer landed, this binary is a thin shell around
+//! [`secproc::job::JobSpec::run`]: the arguments parse into the same
+//! `explore` job spec the `xserve` daemon accepts over its socket, so
+//! a CLI run and a daemon run of one spec produce byte-identical
+//! normalized reports by construction.
 //!
 //! Characterization, exploration and co-simulation run on the
 //! `WSP_THREADS`-sized worker pool, with ISS measurement units served
@@ -21,201 +25,104 @@
 //! thread count and cache state; only `wall_ms` and friends vary.
 
 use bench::{Cli, Harness};
-use pubkey::space::ModExpConfig;
-use secproc::flow;
-use std::time::Instant;
-use xobs::{Json, Registry, RunReport};
-use xr32::config::CpuConfig;
+use secproc::job::JobSpec;
+use xfault::PlanSpec;
+use xobs::Json;
 
 fn main() {
     let cli = Cli::parse();
     let bits = cli.pos_usize(0, 512);
     let cosim_samples = cli.pos_usize(1, 6);
-    let config = CpuConfig::default();
-    let metrics = Registry::new();
+    let mut spec = JobSpec::explore(bits, cosim_samples);
+    spec.faults = match PlanSpec::from_env() {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("xfault: ignoring malformed WSP_FAULTS: {e}");
+            None
+        }
+    };
+
     let harness = Harness::from_env();
-    let ctx = harness.flow_ctx(&config).with_metrics(&metrics);
-
-    if !cli.json {
-        println!("§4.3 — algorithm design space exploration ({bits}-bit modular exponentiation)\n");
-    }
-
-    // Phase 1: characterization (one-time cost).
-    let flow_span = harness.spans().enter("flow");
-    let t0 = Instant::now();
-    let models = ctx.characterize(
-        (bits / 32).max(8),
-        &macromodel::charact::CharactOptions {
-            train_samples: 24,
-            validation_points: 8,
-        },
-    );
-    let charact_time = t0.elapsed();
-    if !cli.json {
-        println!(
-            "characterization: {} models fitted in {:.2?} on {} worker(s); mean |err| {:.1}% \
-             (paper: 11.8%)",
-            models.quality.len(),
-            charact_time,
-            harness.pool.threads(),
-            models.mean_abs_error_pct()
-        );
-        if let Some(q) = models.quality.get(&(kreg::id::SHA1.name(), 32)) {
-            println!(
-                "  incl. block kernel {}: |err| {:.1}% over 1..4-block stimuli",
-                kreg::id::SHA1,
-                q.mae_pct
-            );
+    let report = match spec.run(&harness.job_env()) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("sec43_exploration: job failed ({}): {e}", e.code());
+            std::process::exit(1);
         }
-    }
-
-    // Phase 2: macro-model exploration of the full lattice.
-    let result = ctx
-        .explore(&models, bits, 4.0)
-        .expect("all 450 configs run");
-    if !cli.json {
-        println!(
-            "\nexplored {} candidates in {:.2?} ({:.2?} per candidate)",
-            result.evaluated,
-            result.elapsed,
-            result.elapsed / result.evaluated as u32
-        );
-        println!("\ntop 5 candidates (estimated cycles):");
-        for c in result.ranked.iter().take(5) {
-            println!("  {:>14.3e}  {}", c.cycles, c.config);
-        }
-    }
-    let baseline = result
-        .ranked
-        .iter()
-        .find(|c| c.config == ModExpConfig::baseline())
-        .expect("baseline is in the lattice");
-    if !cli.json {
-        println!(
-            "\nbaseline {} at {:.3e} cycles — best is {:.1}X faster algorithmically",
-            baseline.config,
-            baseline.cycles,
-            baseline.cycles / result.best().cycles
-        );
-    }
-
-    // The slow reference: co-simulate a handful of candidates (the
-    // paper could only afford six in 66 CPU-hours).
-    if !cli.json {
-        println!("\nISS co-simulation of {cosim_samples} sampled candidates:");
-    }
-    let step = result.ranked.len() / cosim_samples.max(1);
-    let mut errors = Vec::new();
-    let mut speedups = Vec::new();
-    let mut samples = Vec::new();
-    for i in 0..cosim_samples {
-        let cand = &result.ranked[i * step];
-        let t = Instant::now();
-        let cosim = ctx
-            .cosimulate(&models, &cand.config, bits, 4.0)
-            .expect("candidate co-simulates");
-        let cosim_time = t.elapsed();
-        let t = Instant::now();
-        // Re-run the macro-model estimate to time it fairly.
-        let _ = flow::explore_single(&models, &cand.config, bits, 4.0);
-        let est_time = t.elapsed().max(std::time::Duration::from_nanos(1));
-        let err = ((cand.cycles - cosim) / cosim).abs() * 100.0;
-        let speedup = cosim_time.as_secs_f64() / est_time.as_secs_f64();
-        metrics.histogram("flow.model_error_pct").observe(err);
-        if !cli.json {
-            println!(
-                "  {:<40} est {:>12.3e}  cosim {:>12.3e}  err {:>5.1}%  est {:.0}x faster",
-                cand.config.to_string(),
-                cand.cycles,
-                cosim,
-                err,
-                speedup
-            );
-        }
-        samples.push(
-            Json::obj()
-                .set("config", cand.config.to_string())
-                .set("estimated_cycles", cand.cycles)
-                .set("cosim_cycles", cosim)
-                .set("error_pct", err)
-                .set("estimation_speedup", speedup),
-        );
-        errors.push(err);
-        speedups.push(speedup);
-    }
-    let mae = errors.iter().sum::<f64>() / errors.len() as f64;
-    let mean_speedup = speedups.iter().sum::<f64>() / speedups.len() as f64;
-
-    // Phase 4: the cross-product (core model × accelerator level)
-    // lattice. Each core configuration contributes one axis; the union
-    // is Pareto-filtered over (area, cycles).
-    let ooo_config = CpuConfig::ooo();
-    let ctx_ooo = harness.flow_ctx(&ooo_config).with_metrics(&metrics);
-    let xprod_n = (bits / 32).max(8);
-    let mut points = ctx.cross_product_axis(xprod_n);
-    points.extend(ctx_ooo.cross_product_axis(xprod_n));
-    let front_size = flow::mark_pareto_front(&mut points);
-    flow_span.end();
-    harness.record_metrics(&metrics);
-    if !cli.json {
-        println!("\ncross-product (core × accelerator) design space at {xprod_n} limbs:");
-        for p in &points {
-            println!(
-                "  {:<22} {:<12} area {:>8} GE  cycles {:>10.0}{}",
-                p.core,
-                p.level,
-                p.area,
-                p.cycles,
-                if p.on_front { "  <- front" } else { "" },
-            );
-        }
-        println!(
-            "Pareto front holds {front_size} of {} points across both core models",
-            points.len()
-        );
-    }
+    };
+    let _ = harness.kcache.save();
 
     if cli.json {
-        let report = RunReport::new("sec43_exploration")
-            .with_fingerprint(config.fingerprint())
-            .result("bits", bits as u64)
-            .result("candidates_evaluated", result.evaluated as u64)
-            .result("best_config", result.best().config.to_string())
-            .result("best_cycles", result.best().cycles)
-            .result("baseline_cycles", baseline.cycles)
-            .result(
-                "algorithmic_speedup",
-                baseline.cycles / result.best().cycles,
-            )
-            .result("cosim_samples", samples)
-            .result("mean_abs_error_pct", mae)
-            .result("mean_estimation_speedup", mean_speedup)
-            .result(
-                "cross_product",
-                Json::obj()
-                    .set("n_limbs", xprod_n as u64)
-                    .set(
-                        "points",
-                        Json::Arr(points.iter().map(|p| p.to_json()).collect()),
-                    )
-                    .set("pareto_front_size", front_size as u64),
-            )
-            .with_core_configs([&config, &ooo_config].map(|c| {
-                Json::obj()
-                    .set("id", c.core_id())
-                    .set("core_area", c.core.area_gates())
-            }))
-            .with_degradations(ctx.degradations_json())
-            .with_metrics(metrics.snapshot());
-        bench::emit_report(&harness.finish(report));
+        bench::emit_report(&report);
         return;
     }
 
-    let _ = harness.kcache.save();
+    // Prose mode: a condensed summary off the structured report.
+    let json = report.to_json();
+    let results = json.get("results").expect("report carries results");
+    let f = |key: &str| results.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
+    let s = |key: &str| {
+        results
+            .get(key)
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_owned()
+    };
+    println!("§4.3 — algorithm design space exploration ({bits}-bit modular exponentiation)\n");
     println!(
-        "\nmean |error| {mae:.1}% (paper: 11.8%); mean estimation speedup {mean_speedup:.0}x \
-         (paper: 1407x)"
+        "explored {} candidates; best {} at {:.3e} cycles",
+        f("candidates_evaluated"),
+        s("best_config"),
+        f("best_cycles"),
     );
+    println!(
+        "baseline {:.3e} cycles — best is {:.1}X faster algorithmically",
+        f("baseline_cycles"),
+        f("algorithmic_speedup"),
+    );
+    if let Some(samples) = results.get("cosim_samples").and_then(Json::as_arr) {
+        println!(
+            "\nISS co-simulation of {} sampled candidates:",
+            samples.len()
+        );
+        for sample in samples {
+            println!(
+                "  {:<40} est {:>12.3e}  cosim {:>12.3e}  err {:>5.1}%",
+                sample.get("config").and_then(Json::as_str).unwrap_or("?"),
+                sample
+                    .get("estimated_cycles")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN),
+                sample
+                    .get("cosim_cycles")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN),
+                sample
+                    .get("error_pct")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN),
+            );
+        }
+    }
+    println!(
+        "\nmean |error| {:.1}% (paper: 11.8%); mean estimation speedup {:.0}x (paper: 1407x)",
+        f("mean_abs_error_pct"),
+        f("mean_estimation_speedup"),
+    );
+    if let Some(xp) = results.get("cross_product") {
+        let n_points = xp
+            .get("points")
+            .and_then(Json::as_arr)
+            .map_or(0, |p| p.len());
+        println!(
+            "cross-product (core × accelerator) at {} limbs: Pareto front holds {} of {} points",
+            xp.get("n_limbs").and_then(Json::as_f64).unwrap_or(f64::NAN),
+            xp.get("pareto_front_size")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN),
+            n_points,
+        );
+    }
     println!(
         "wall {:.0} ms on {} worker(s); memo cache {:.0}% hits ({} entries)",
         harness.wall_ms(),

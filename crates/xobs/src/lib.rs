@@ -53,6 +53,7 @@
 
 pub mod attrib;
 pub mod bintrace;
+pub mod frames;
 pub mod json;
 pub mod metrics;
 pub mod report;
@@ -61,6 +62,7 @@ pub mod trace;
 
 pub use attrib::{Attribution, EventStats, FlatEntry};
 pub use bintrace::{read_trace, BinaryTraceWriter, TraceReadError};
+pub use frames::{Assembler, Frame, FrameError};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 pub use report::{RunReport, SCHEMA_VERSION};

@@ -37,8 +37,14 @@
 //! and typically the core's structural gate cost; per-point results
 //! reference these ids via their own `core` fields. Omitted by
 //! single-core runs.
-//! Version-1 through -6 reports remain valid; [`validate`] accepts all
-//! seven, and [`normalize`] strips everything host-timing-dependent so
+//! Schema 8 adds the optional `job` object: the serialized job spec a
+//! run was driven by (the serving layer's `JobSpec`), carrying at
+//! least a string `kind` plus the canonical spec and its digest. Only
+//! spec-derived fields appear, so a daemon-run job and the equivalent
+//! CLI run stamp identical bytes. Omitted by runs not driven through
+//! a job spec.
+//! Version-1 through -7 reports remain valid; [`validate`] accepts all
+//! eight, and [`normalize`] strips everything host-timing-dependent so
 //! two runs of the same workload can be compared byte-for-byte (the
 //! resilience and variant arrays are seed-determined workload facts
 //! and survive normalization; span wall fields and `wall_only` spans
@@ -48,7 +54,7 @@ use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 
 /// Current report schema version.
-pub const SCHEMA_VERSION: u64 = 7;
+pub const SCHEMA_VERSION: u64 = 8;
 
 /// Oldest schema version [`validate`] still accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -70,6 +76,7 @@ pub struct RunReport {
     spans: Vec<Json>,
     fidelity_summary: Option<Json>,
     core_configs: Vec<Json>,
+    job: Option<Json>,
 }
 
 impl RunReport {
@@ -90,6 +97,7 @@ impl RunReport {
             spans: Vec::new(),
             fidelity_summary: None,
             core_configs: Vec::new(),
+            job: None,
         }
     }
 
@@ -225,11 +233,22 @@ impl RunReport {
         self
     }
 
+    /// Records the serialized job spec this run was driven by (a JSON
+    /// object with at least a string `kind`; see schema 8). Runs not
+    /// driven through a job spec omit the field.
+    pub fn with_job(mut self, job: Json) -> Self {
+        self.job = Some(job);
+        self
+    }
+
     /// Serializes the report envelope.
     pub fn to_json(&self) -> Json {
         let mut obj = Json::obj()
             .set("schema_version", SCHEMA_VERSION)
             .set("report", self.name.as_str());
+        if let Some(job) = &self.job {
+            obj = obj.set("job", job.clone());
+        }
         if let Some(fp) = self.config_fingerprint {
             obj = obj.set("config_fingerprint", format!("{fp:016x}"));
         }
@@ -375,6 +394,14 @@ pub fn validate(json: &Json) -> Result<(), String> {
             return Err("fidelity_summary must be an object".into());
         }
     }
+    if let Some(job) = json.get("job") {
+        if !matches!(job, Json::Obj(_)) {
+            return Err("job must be an object".into());
+        }
+        if job.get("kind").is_none_or(|v| v.as_str().is_none()) {
+            return Err("job needs a string `kind`".into());
+        }
+    }
     if let Some(cores) = json.get("core_configs") {
         let arr = cores.as_arr().ok_or("core_configs must be an array")?;
         for core in arr {
@@ -402,9 +429,14 @@ pub fn is_volatile_key(key: &str) -> bool {
         || key == "fast_path_speedup"
         || key == "busy_fraction"
         || key == "queue_wait_ms"
+        || key == "jobs_per_s"
+        || key == "queries_per_s"
+        || key == "p50_ms"
+        || key == "p99_ms"
         || key.ends_with("wall_ms")
         || key.starts_with("xpar.")
         || key.starts_with("kcache.")
+        || key.starts_with("xserve.")
 }
 
 /// True for an array element normalization drops entirely: a
@@ -741,6 +773,64 @@ mod tests {
         )
         .unwrap();
         assert!(validate(&bad_id).unwrap_err().contains("id"));
+    }
+
+    #[test]
+    fn job_stanza_serializes_validates_and_survives_normalization() {
+        let healthy = RunReport::new("r");
+        assert!(healthy.to_json().get("job").is_none());
+
+        let report = RunReport::new("sec43_exploration").with_job(
+            Json::obj()
+                .set("kind", "explore")
+                .set("digest", "00c0ffee00c0ffee")
+                .set(
+                    "spec",
+                    Json::obj().set("kind", "explore").set("bits", 128u64),
+                ),
+        );
+        let parsed = json::parse(&report.render()).unwrap();
+        validate(&parsed).unwrap();
+        assert_eq!(
+            parsed
+                .get("job")
+                .and_then(|j| j.get("kind"))
+                .and_then(Json::as_str),
+            Some("explore")
+        );
+        // The spec is a workload fact: normalize keeps it.
+        assert!(normalize(&parsed).get("job").is_some());
+
+        let bad = json::parse(r#"{"schema_version":8,"report":"r","results":{},"job":7}"#).unwrap();
+        assert!(validate(&bad).unwrap_err().contains("job"));
+        let bad_kind =
+            json::parse(r#"{"schema_version":8,"report":"r","results":{},"job":{"bits":1}}"#)
+                .unwrap();
+        assert!(validate(&bad_kind).unwrap_err().contains("kind"));
+    }
+
+    #[test]
+    fn serving_throughput_keys_are_volatile() {
+        for key in [
+            "jobs_per_s",
+            "queries_per_s",
+            "p50_ms",
+            "p99_ms",
+            "xserve.submit_p99_ms",
+        ] {
+            assert!(is_volatile_key(key), "{key}");
+        }
+        assert!(!is_volatile_key("cancelled_jobs"));
+    }
+
+    #[test]
+    fn validate_accepts_version_7_reports() {
+        let j = json::parse(
+            r#"{"schema_version":7,"report":"x","results":{},
+                "core_configs":[{"id":"io"}]}"#,
+        )
+        .unwrap();
+        validate(&j).unwrap();
     }
 
     #[test]

@@ -34,8 +34,39 @@
 pub mod memo;
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// A cloneable cooperative-cancellation flag.
+///
+/// The service layer hands one token per job to the workers executing
+/// it; [`Pool::par_map_cancellable`] polls the token between items, and
+/// flow phases poll it at phase boundaries. Cancellation is therefore
+/// *cooperative and lossy* — an in-flight item completes — but never
+/// corrupts results: a cancelled map returns `None` rather than a
+/// partial vector, so the determinism contract ("the output equals the
+/// serial run") holds unconditionally for every map that completes.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
 
 /// The golden-ratio seed increment (⌊2⁶⁴/φ⌋, the Weyl constant of
 /// splitmix64) used wherever the workspace steps a deterministic seed
@@ -298,6 +329,47 @@ impl Pool {
         out
     }
 
+    /// [`Pool::par_map`] with cooperative cancellation: polls `token`
+    /// before each item and returns `None` as soon as cancellation is
+    /// observed (in-flight items finish; their results are discarded).
+    ///
+    /// When the token is never cancelled the result is `Some` of
+    /// exactly what [`Pool::par_map`] returns — same chunking, same
+    /// submission-order merge — so cancellable callers keep the
+    /// determinism contract for free.
+    pub fn par_map_cancellable<T, R, F>(
+        &self,
+        items: &[T],
+        token: &CancelToken,
+        f: F,
+    ) -> Option<Vec<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if token.is_cancelled() {
+            return None;
+        }
+        let cancelled = AtomicBool::new(false);
+        let out = self.par_map(items, |i, t| {
+            if token.is_cancelled() {
+                cancelled.store(true, Ordering::Relaxed);
+                return None;
+            }
+            Some(f(i, t))
+        });
+        if cancelled.load(Ordering::Relaxed) || token.is_cancelled() {
+            return None;
+        }
+        // No item observed cancellation: every slot is Some.
+        Some(
+            out.into_iter()
+                .map(|r| r.expect("uncancelled item"))
+                .collect(),
+        )
+    }
+
     /// Maps every item through `f` in parallel, then folds the results
     /// **in submission order** on the calling thread — the parallel
     /// drop-in for `items.iter().map(f).fold(init, reduce)`.
@@ -488,6 +560,57 @@ mod tests {
         assert_eq!(st.len(), 1);
         assert_eq!(st[0].workers.len(), 1);
         assert_eq!((st[0].workers[0].lo, st[0].workers[0].hi), (0, 20));
+    }
+
+    #[test]
+    fn cancellable_map_matches_par_map_when_uncancelled() {
+        let items: Vec<u64> = (0..97).collect();
+        for threads in [1, 3, 8] {
+            let pool = Pool::new(threads);
+            let token = CancelToken::new();
+            let got = pool
+                .par_map_cancellable(&items, &token, |i, v| v * 3 + i as u64)
+                .expect("uncancelled map completes");
+            let expect = pool.par_map(&items, |i, v| v * 3 + i as u64);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_map_runs_nothing() {
+        let evaluated = AtomicUsize::new(0);
+        let token = CancelToken::new();
+        token.cancel();
+        let items: Vec<u32> = (0..50).collect();
+        let out = Pool::new(4).par_map_cancellable(&items, &token, |_, v| {
+            evaluated.fetch_add(1, Ordering::Relaxed);
+            *v
+        });
+        assert!(out.is_none());
+        assert_eq!(evaluated.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn mid_map_cancellation_returns_none() {
+        let items: Vec<u32> = (0..200).collect();
+        let pool = Pool::new(1);
+        let token = CancelToken::new();
+        let out = pool.par_map_cancellable(&items, &token, |i, v| {
+            if i == 10 {
+                token.cancel();
+            }
+            *v
+        });
+        assert!(out.is_none(), "cancellation mid-map discards the partial");
+    }
+
+    #[test]
+    fn cancel_token_clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
     }
 
     #[test]

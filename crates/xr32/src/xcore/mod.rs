@@ -104,6 +104,29 @@ impl CoreSpec {
         }
     }
 
+    /// Parses a *CoreConfigId* produced by [`CoreSpec::id`] back to the
+    /// spec — the wire-deserialization inverse used by serialized job
+    /// specs. `None` for malformed ids, so a parsed spec always builds.
+    pub fn parse(id: &str) -> Option<CoreSpec> {
+        if id == "io" {
+            return Some(CoreSpec::InOrder);
+        }
+        let rest = id.strip_prefix("ooo-i")?;
+        let (issue, rest) = rest.split_once('x')?;
+        let (retire, rest) = rest.split_once("-r")?;
+        let (rob, rest) = rest.split_once('s')?;
+        let (rs, rest) = rest.split_once('l')?;
+        let (lsq, pred) = rest.split_once('b')?;
+        Some(CoreSpec::OutOfOrder(OooParams {
+            issue_width: issue.parse().ok()?,
+            retire_width: retire.parse().ok()?,
+            rob_entries: rob.parse().ok()?,
+            rs_entries: rs.parse().ok()?,
+            lsq_entries: lsq.parse().ok()?,
+            predictor_entries: pred.parse().ok()?,
+        }))
+    }
+
     /// Builds the executable model for this spec.
     pub fn build(&self) -> Box<dyn CoreModel + Send> {
         match self {
@@ -232,6 +255,28 @@ mod tests {
     fn inorder_core_area_is_the_baseline_zero() {
         assert_eq!(CoreSpec::InOrder.area_gates(), 0);
         assert!(CoreSpec::OutOfOrder(OooParams::default()).area_gates() > 0);
+    }
+
+    #[test]
+    fn spec_ids_round_trip_through_parse() {
+        let specs = [
+            CoreSpec::InOrder,
+            CoreSpec::OutOfOrder(OooParams::default()),
+            CoreSpec::OutOfOrder(OooParams {
+                issue_width: 4,
+                retire_width: 3,
+                rob_entries: 64,
+                rs_entries: 24,
+                lsq_entries: 12,
+                predictor_entries: 512,
+            }),
+        ];
+        for spec in specs {
+            assert_eq!(CoreSpec::parse(&spec.id()), Some(spec), "{}", spec.id());
+        }
+        assert_eq!(CoreSpec::parse("ooo"), None);
+        assert_eq!(CoreSpec::parse("ooo-i2x2"), None);
+        assert_eq!(CoreSpec::parse("io2"), None);
     }
 
     #[test]

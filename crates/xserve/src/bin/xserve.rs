@@ -1,0 +1,77 @@
+//! The methodology daemon.
+//!
+//! ```text
+//! xserve [--tcp ADDR | --unix PATH] [--executors N] [--chunk BYTES]
+//! ```
+//!
+//! Defaults: `--tcp 127.0.0.1:7444`, four executors, 8 KiB frames.
+//! The worker pool is sized by `WSP_THREADS` (else host parallelism)
+//! and the kernel-cycle cache persists at `$WSP_KCACHE` (default
+//! `target/kcache.json`) — the same environment contract as the CLI
+//! harnesses, so a daemon and a CLI run share warm starts. Runs until
+//! a client sends `{"op":"shutdown"}`; queued jobs drain as `4005`
+//! job errors and the cache is flushed before exit.
+
+use secproc::kcache::KCache;
+use std::path::PathBuf;
+use xserve::{Bind, Server, ServerConfig};
+
+fn main() {
+    let mut bind = Bind::Tcp("127.0.0.1:7444".into());
+    let mut executors = 4usize;
+    let mut chunk = xobs::frames::DEFAULT_CHUNK;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("xserve: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--tcp" => bind = Bind::Tcp(value("--tcp")),
+            "--unix" => bind = Bind::Unix(PathBuf::from(value("--unix"))),
+            "--executors" => {
+                executors = value("--executors").parse().unwrap_or_else(|_| {
+                    eprintln!("xserve: --executors needs an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--chunk" => {
+                chunk = value("--chunk").parse().unwrap_or_else(|_| {
+                    eprintln!("xserve: --chunk needs an integer");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("xserve: unknown argument `{other}`");
+                eprintln!(
+                    "usage: xserve [--tcp ADDR | --unix PATH] [--executors N] [--chunk BYTES]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut config = ServerConfig::new(bind.clone());
+    config.executors = executors;
+    config.chunk = chunk;
+    config.kcache = KCache::open_default();
+
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("xserve: cannot bind {bind:?}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match (&bind, server.local_addr()) {
+        (_, Some(addr)) => eprintln!("xserve: listening on tcp {addr}"),
+        (Bind::Unix(path), None) => eprintln!("xserve: listening on unix {}", path.display()),
+        _ => {}
+    }
+    if let Err(e) = server.run() {
+        eprintln!("xserve: serve loop failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,244 @@
+//! Serving-layer throughput/latency envelope (`xserve-bench`).
+//!
+//! ```text
+//! xserve-bench [JOBS] [QUERIES] [--json]
+//! ```
+//!
+//! Boots an in-process daemon on a loopback port and drives it from
+//! eight pipelined client connections through two phases:
+//!
+//! 1. **Jobs** — `JOBS` (default 1000) single-kernel measurement jobs
+//!    submitted concurrently; per job, the submit→first-frame latency
+//!    is recorded client-side, yielding `p50_ms`/`p99_ms` and
+//!    `jobs_per_s`.
+//! 2. **Queries** — `QUERIES` (default 1 000 000) kernel-cycle lookups
+//!    cycling over 64 distinct keys, so all but the first 64 are
+//!    served from the shard-locked cache: `queries_per_s`.
+//!
+//! The throughput/latency numbers land in the report's volatile keys
+//! (stripped by normalization, carried by the BENCH envelope); the
+//! deterministic keys anchor the run's shape (counts, client fan-in,
+//! distinct keys).
+
+use secproc::job::{JobKind, JobSpec};
+use std::time::Instant;
+use xobs::{Registry, RunReport};
+use xpar::Pool;
+use xserve::{Bind, Client, Request, Response, Server, ServerConfig};
+
+const CLIENTS: usize = 8;
+const DISTINCT_QUERY_KEYS: u64 = 64;
+/// Queries kept in flight per connection before reading replies back.
+const QUERY_BATCH: usize = 512;
+
+fn die(msg: &str) -> ! {
+    eprintln!("xserve-bench: {msg}");
+    std::process::exit(1);
+}
+
+/// The unit job of the throughput phase: one cheap kernel measurement,
+/// distinct per (client, index) so every job does real scheduling and
+/// real work.
+fn job_spec(client: usize, index: usize) -> JobSpec {
+    let mut spec = JobSpec::new(JobKind::Measure);
+    spec.kernels = vec![kreg::id::ADD_N];
+    spec.limbs = 4;
+    spec.seed = 1_000 + (client * 1_000_000 + index) as u64;
+    spec
+}
+
+/// Submit this client's share pipelined, then drain the stream,
+/// timing submit→first-frame per job. Returns the latencies (ms).
+fn job_worker(addr: std::net::SocketAddr, client: usize, share: usize) -> Vec<f64> {
+    let mut c = Client::connect_tcp(addr).unwrap_or_else(|e| die(&format!("connect: {e}")));
+    let mut submitted_at = Vec::with_capacity(share);
+    for i in 0..share {
+        c.send(&Request::Submit {
+            id: Some(format!("b{client}-{i}")),
+            priority: 0,
+            spec: job_spec(client, i),
+        })
+        .unwrap_or_else(|e| die(&format!("submit: {e}")));
+        submitted_at.push(Instant::now());
+    }
+    let mut first_frame_ms = vec![f64::NAN; share];
+    let mut accepted = 0usize;
+    let mut finished = 0usize;
+    while accepted < share || finished < share {
+        match c.next_response() {
+            Ok(Response::Accepted { .. }) => accepted += 1,
+            Ok(Response::JobFrame { id, frame }) => {
+                let i: usize = id
+                    .rsplit('-')
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die(&format!("unparseable job id `{id}`")));
+                if first_frame_ms[i].is_nan() {
+                    first_frame_ms[i] = submitted_at[i].elapsed().as_secs_f64() * 1e3;
+                }
+                if frame.last {
+                    finished += 1;
+                }
+            }
+            Ok(Response::JobError { id, code, detail }) => {
+                die(&format!("job {id} failed ({code}): {detail}"))
+            }
+            Ok(other) => die(&format!("unexpected response: {other:?}")),
+            Err(e) => die(&format!("stream: {e}")),
+        }
+    }
+    first_frame_ms
+}
+
+/// Fire this client's share of cached queries in pipelined batches.
+fn query_worker(addr: std::net::SocketAddr, share: usize) {
+    let mut c = Client::connect_tcp(addr).unwrap_or_else(|e| die(&format!("connect: {e}")));
+    let mut sent = 0usize;
+    while sent < share {
+        let batch = QUERY_BATCH.min(share - sent);
+        for i in 0..batch {
+            c.send(&Request::Query {
+                core: "io".into(),
+                variant: "base".into(),
+                kernel: "mpn_add_n".into(),
+                n: 4,
+                seed: ((sent + i) as u64) % DISTINCT_QUERY_KEYS,
+            })
+            .unwrap_or_else(|e| die(&format!("query send: {e}")));
+        }
+        for _ in 0..batch {
+            match c.next_response() {
+                Ok(Response::QueryResult { .. }) => {}
+                Ok(other) => die(&format!("unexpected query response: {other:?}")),
+                Err(e) => die(&format!("query stream: {e}")),
+            }
+        }
+        sent += batch;
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn main() {
+    let mut json = false;
+    let mut positional = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let pos = |i: usize, default: usize| -> usize {
+        positional
+            .get(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    };
+    let jobs = pos(0, 1000).max(CLIENTS);
+    let queries = pos(1, 1_000_000).max(CLIENTS);
+
+    let pool_threads = Pool::from_env().threads();
+    let mut config = ServerConfig::new(Bind::Tcp("127.0.0.1:0".into()));
+    config.executors = pool_threads.max(4);
+    let server = Server::bind(config).unwrap_or_else(|e| die(&format!("bind: {e}")));
+    let addr = server.local_addr().expect("tcp server has an address");
+    let serve = std::thread::spawn(move || server.run());
+    let t_start = Instant::now();
+
+    // Phase 1: concurrent jobs.
+    let t_jobs = Instant::now();
+    let mut workers = Vec::new();
+    for client in 0..CLIENTS {
+        let share = jobs / CLIENTS + usize::from(client < jobs % CLIENTS);
+        workers.push(std::thread::spawn(move || job_worker(addr, client, share)));
+    }
+    let mut latencies: Vec<f64> = Vec::with_capacity(jobs);
+    for worker in workers {
+        latencies.extend(worker.join().unwrap_or_else(|_| die("job worker panicked")));
+    }
+    let jobs_wall_s = t_jobs.elapsed().as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let jobs_per_s = jobs as f64 / jobs_wall_s;
+
+    // Phase 2: cached kernel-cycle queries.
+    let t_q = Instant::now();
+    let mut workers = Vec::new();
+    for client in 0..CLIENTS {
+        let share = queries / CLIENTS + usize::from(client < queries % CLIENTS);
+        workers.push(std::thread::spawn(move || query_worker(addr, share)));
+    }
+    for worker in workers {
+        worker
+            .join()
+            .unwrap_or_else(|_| die("query worker panicked"));
+    }
+    let queries_wall_s = t_q.elapsed().as_secs_f64();
+    let queries_per_s = queries as f64 / queries_wall_s;
+
+    let mut control = Client::connect_tcp(addr).unwrap_or_else(|e| die(&format!("connect: {e}")));
+    let stats = control
+        .stats()
+        .unwrap_or_else(|e| die(&format!("stats: {e}")));
+    if stats.completed < jobs as u64 {
+        die(&format!(
+            "only {} of {jobs} jobs completed",
+            stats.completed
+        ));
+    }
+    if stats.queries < queries as u64 {
+        die(&format!(
+            "only {} of {queries} queries served",
+            stats.queries
+        ));
+    }
+    control
+        .shutdown()
+        .unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+    match serve.join() {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => die(&format!("serve loop: {e}")),
+        Err(_) => die("serve loop panicked"),
+    }
+
+    let metrics = Registry::new();
+    metrics.gauge("xserve.jobs_per_s").set(jobs_per_s);
+    metrics.gauge("xserve.p50_ms").set(p50);
+    metrics.gauge("xserve.p99_ms").set(p99);
+    metrics.gauge("xserve.queries_per_s").set(queries_per_s);
+    let report = RunReport::new("xserve_bench")
+        .result("jobs", jobs as u64)
+        .result("queries", queries as u64)
+        .result("clients", CLIENTS as u64)
+        .result("distinct_query_keys", DISTINCT_QUERY_KEYS)
+        .result("jobs_per_s", jobs_per_s)
+        .result("p50_ms", p50)
+        .result("p99_ms", p99)
+        .result("queries_per_s", queries_per_s)
+        .with_metrics(metrics.snapshot())
+        .with_wall_ms(t_start.elapsed().as_secs_f64() * 1e3)
+        .with_threads(pool_threads);
+
+    if json {
+        println!("{}", report.to_json().to_string_compact());
+        return;
+    }
+    println!("xserve-bench — serving layer envelope\n");
+    println!(
+        "jobs:    {jobs} concurrent over {CLIENTS} connections in {:.2}s — {:.0} jobs/s",
+        jobs_wall_s, jobs_per_s
+    );
+    println!("         submit→first-frame p50 {p50:.2} ms, p99 {p99:.2} ms");
+    println!(
+        "queries: {queries} over {DISTINCT_QUERY_KEYS} keys in {:.2}s — {:.0} queries/s",
+        queries_wall_s, queries_per_s
+    );
+}

@@ -8,12 +8,12 @@
 //!
 //! Run with: `cargo run --release --example custom_instruction_selection`
 
-use wsp::secproc::FlowCtx;
+use wsp::secproc::FlowBuilder;
 use wsp::xr32::config::CpuConfig;
 
 fn main() {
     let config = CpuConfig::default();
-    let ctx = FlowCtx::new(&config);
+    let ctx = FlowBuilder::new(&config).build().unwrap();
     let limbs = 32; // 1024-bit operands
 
     println!("phase 3: formulating A-D curves on the ISS ({limbs}-limb operands)\n");

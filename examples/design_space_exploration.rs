@@ -9,7 +9,7 @@
 
 use wsp::macromodel::charact::CharactOptions;
 use wsp::pubkey::space::ModExpConfig;
-use wsp::secproc::FlowCtx;
+use wsp::secproc::FlowBuilder;
 use wsp::xr32::config::CpuConfig;
 
 fn main() {
@@ -24,7 +24,7 @@ fn main() {
         "characterizing kernels on the XR32 ISS (operands up to {} limbs)...",
         bits / 32
     );
-    let ctx = FlowCtx::new(&config);
+    let ctx = FlowBuilder::new(&config).build().unwrap();
     let models = ctx.characterize(
         (bits / 32).max(8),
         &CharactOptions {

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Collect every bench binary's structured `--json` run report into one
-# machine-readable BENCH_9.json document. Each report is validated
+# machine-readable BENCH_10.json document. Each report is validated
 # against the xobs schema (via `xr32-trace check-report`) before it is
 # admitted. Set RUN_MICROBENCH=1 to also run the criterion suites and
 # fold their stable `BENCH,<name>,<median_ns>` lines into the output.
@@ -12,10 +12,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_9.json}
+OUT=${1:-BENCH_10.json}
 BIN=target/release
 
-cargo build --release -q --package bench
+cargo build --release -q --package bench --package xserve
 
 # name + small arguments so a full collection pass stays quick; the
 # report schema is size-independent.
@@ -29,6 +29,7 @@ RUNS=(
   "sec43_exploration 128 2"
   "fastpath_gate 3"
   "xooo_gate"
+  "xserve-bench 1000 1000000"
 )
 
 tmp=$(mktemp -d)

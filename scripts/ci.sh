@@ -109,6 +109,15 @@ echo "ci: xopt variant-generation gate ok"
 RUSTFLAGS="-D deprecated" cargo check -q --workspace --all-targets
 echo "ci: deprecation gate ok (workspace is deprecation-free)"
 
+# Serving-layer gate: a job run through the xserve daemon must produce
+# a byte-identical normalized report to the same JobSpec run directly
+# in-process, cancellation must surface the stable 4004 code (and count
+# in the scheduler stats), and concurrent clients hammering the cached
+# kernel-cycle query path must all observe the same values.
+cargo build --release -q --package xserve
+target/release/xserve-gate
+echo "ci: serving-layer gate ok (daemon == direct, cancellation typed, queries coherent)"
+
 # Fault-smoke gate: a fixed-seed injection campaign must (a) satisfy its
 # own detection/recovery contract (non-zero exit otherwise), and (b)
 # produce byte-identical reports at 1 and 8 worker threads — fault
@@ -155,16 +164,16 @@ target/release/xooo_gate
 echo "ci: core-model gate ok (three-engine co-sim bit-identical, OoO wins)"
 
 # Bench-envelope regression gates. First the historical diff: the
-# committed BENCH_9 envelope must not regress any deterministic metric
+# committed BENCH_10 envelope must not regress any deterministic metric
 # against the committed BENCH_2 baseline beyond the documented 3%
 # legacy drift (model/registry evolution across the intervening
 # changes). Then the reproducibility diff: a freshly collected
-# envelope must match the committed BENCH_9 *exactly* once normalized
+# envelope must match the committed BENCH_10 *exactly* once normalized
 # — any deterministic delta is a regression introduced by the working
 # tree.
-target/release/bench_diff --tol 3 BENCH_2.json BENCH_9.json >/dev/null
+target/release/bench_diff --tol 3 BENCH_2.json BENCH_10.json >/dev/null
 FRESH=$(mktemp /tmp/ci_bench.XXXXXX.json)
 trap 'rm -f "$TRACE" "$FRESH"; rm -rf "$DET" "$KREG" "$FAULT"' EXIT
 scripts/bench_report.sh "$FRESH" >/dev/null 2>&1
-target/release/bench_diff BENCH_9.json "$FRESH"
-echo "ci: bench envelope gates ok (BENCH_2 -> BENCH_9 within drift, fresh run exact)"
+target/release/bench_diff BENCH_10.json "$FRESH"
+echo "ci: bench envelope gates ok (BENCH_2 -> BENCH_10 within drift, fresh run exact)"

@@ -9,7 +9,7 @@ use wsp::pubkey::modexp::{mod_exp, ExpCache};
 use wsp::pubkey::ops::NativeMpn;
 use wsp::pubkey::space::{CacheMode, ModExpConfig, MulAlgo};
 use wsp::secproc::flow;
-use wsp::secproc::FlowCtx;
+use wsp::secproc::FlowBuilder;
 use wsp::xr32::config::CpuConfig;
 
 fn quick_options() -> CharactOptions {
@@ -24,7 +24,7 @@ fn methodology_end_to_end() {
     let config = CpuConfig::default();
 
     // Phase 1: characterization.
-    let ctx = FlowCtx::new(&config);
+    let ctx = FlowBuilder::new(&config).build().unwrap();
     let models = ctx.characterize(8, &quick_options());
     assert!(
         models.mean_abs_error_pct() < 20.0,
@@ -77,7 +77,7 @@ fn macro_model_estimate_tracks_cosimulation() {
     // §4.3's accuracy claim, as a regression test: the native estimate
     // must stay within a loose error band of full co-simulation.
     let config = CpuConfig::default();
-    let ctx = FlowCtx::new(&config);
+    let ctx = FlowBuilder::new(&config).build().unwrap();
     let models = ctx.characterize(8, &quick_options());
     for candidate in [ModExpConfig::baseline(), ModExpConfig::optimized()] {
         let est = flow::explore_single(&models, &candidate, 96, 4.0).expect("estimate runs");
